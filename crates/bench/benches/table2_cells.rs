@@ -1,0 +1,36 @@
+//! Criterion benchmark for Table 2 (tiled matrix-matrix product):
+//! measures wall-clock simulation cost of each memory-system
+//! configuration at a reduced scale. The paper-shape *results* come from
+//! the `table2` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use impulse_sim::{Machine, SystemConfig};
+use impulse_workloads::{Mmp, MmpParams, MmpVariant};
+
+fn bench_table2(c: &mut Criterion) {
+    let params = MmpParams { n: 64, tile: 32 };
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+
+    for variant in MmpVariant::ALL {
+        let label = match variant {
+            MmpVariant::Conventional => "conventional",
+            MmpVariant::SoftwareCopy => "software_copy",
+            MmpVariant::TileRemap => "tile_remap",
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = Machine::new(&SystemConfig::paint_small());
+                let mut w = Mmp::setup(&mut m, params, variant).expect("setup");
+                w.run(&mut m).expect("run");
+                black_box(m.report(label).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Ablation of the DRAM scheduler the paper was designing (Section 2.2):
+//! in-order issue (their published configuration) vs. open-row-first
+//! reordering vs. bank-parallel interleave.
+//!
+//! Two address mixes exercise the two goals the paper names:
+//!
+//! * **interleaved streams** — several sequential streams whose arrival
+//!   order alternates between them (the access pattern of CG's DATA /
+//!   COLUMN / x' streams, and of McKee et al.'s stream benchmarks).
+//!   In-order issue ping-pongs between DRAM rows; grouping by row turns
+//!   almost every access into an open-row hit.
+//! * **dense gather** — word-grained scatter/gather batches over a region
+//!   small enough that several requests share a row (reordering recovers
+//!   that locality; bank interleave overlaps the rest).
+//!
+//! Overrides: `words=` (batch size), `batches=`, `streams=`, `seed=`.
+
+use impulse_bench::Args;
+use impulse_dram::{Dram, DramConfig, SchedulePolicy, Scheduler};
+use impulse_types::{AccessKind, MAddr};
+
+/// Deterministic xorshift for address generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Batches that round-robin `streams` sequential streams. The streams are
+/// spaced a whole bank-rotation apart so they contend for the same banks
+/// with different rows — the worst case for in-order issue.
+fn stream_batches(cfg: &DramConfig, streams: u64, words: u64, batches: u64) -> Vec<Vec<MAddr>> {
+    let bank_rotation = cfg.row_bytes * cfg.banks;
+    let mut cursors: Vec<u64> = (0..streams).map(|s| s * 8 * bank_rotation).collect();
+    (0..batches)
+        .map(|_| {
+            (0..words)
+                .map(|i| {
+                    let s = (i % streams) as usize;
+                    let a = cursors[s];
+                    cursors[s] += 8;
+                    MAddr::new(a)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Word-grained gather batches over a dense region (several requests per
+/// DRAM row).
+fn gather_batches(rng: &mut Rng, words: u64, span: u64, batches: u64) -> Vec<Vec<MAddr>> {
+    (0..batches)
+        .map(|_| {
+            (0..words)
+                .map(|_| MAddr::new((rng.next() % (span / 8)) * 8))
+                .collect()
+        })
+        .collect()
+}
+
+fn run(policy: SchedulePolicy, batches: &[Vec<MAddr>]) -> (u64, f64) {
+    let mut dram = Dram::new(DramConfig {
+        banks: 16,
+        t_bus_min: 1,
+        ..DramConfig::default()
+    });
+    let sched = Scheduler::new(policy);
+    let mut now = 0;
+    for b in batches {
+        now = sched.run_batch(&mut dram, b, AccessKind::Load, 8, now).done;
+    }
+    (now, dram.stats().row_hit_ratio())
+}
+
+fn main() {
+    let args = Args::parse();
+    let words = args.get("words", 64);
+    let n_batches = args.get("batches", if args.paper { 20_000 } else { 4_000 });
+    let streams = args.get("streams", 4);
+    let seed = args.get("seed", 42);
+
+    let dram_cfg = DramConfig::default();
+    let mut rng = Rng(seed | 1);
+    let workloads = [
+        (
+            "interleaved streams",
+            stream_batches(&dram_cfg, streams, words, n_batches),
+        ),
+        (
+            "dense gather (64 KB image)",
+            gather_batches(&mut rng, words, 64 * 1024, n_batches),
+        ),
+    ];
+
+    println!("\n================================================================");
+    println!("DRAM scheduler ablation — {n_batches} batches of {words} word reads");
+    println!("(the paper's published results use the in-order scheduler; the");
+    println!(" reordering policies are its Section 2.2 'designed' scheduler)");
+    println!("================================================================");
+    for (name, batches) in &workloads {
+        println!("\n--- {name} ---");
+        println!(
+            "{:<18}{:>14}{:>12}{:>10}",
+            "policy", "total cycles", "row hits", "speedup"
+        );
+        let (base_cycles, _) = run(SchedulePolicy::InOrder, batches);
+        for policy in SchedulePolicy::ALL {
+            let (cycles, row_hits) = run(policy, batches);
+            println!(
+                "{:<18}{:>14}{:>11.1}%{:>10.2}",
+                policy.name(),
+                cycles,
+                100.0 * row_hits,
+                base_cycles as f64 / cycles as f64
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,129 @@
+//! Runs every experiment at quick scale and writes one CSV of headline
+//! metrics — the one-command regeneration entry point
+//! (`results.csv` in the current directory, or `out=<path>`).
+//!
+//! For the paper-layout tables with reference values, run the individual
+//! binaries (`table1`, `table2`, `fig1`, ...).
+
+use std::io::Write;
+use std::sync::Arc;
+
+use impulse_sim::{Machine, Report, SystemConfig};
+use impulse_workloads::{
+    ChannelFilter, DbScan, DbVariant, Diagonal, DiagonalVariant, IpcGather, IpcVariant, Lu,
+    LuVariant, MediaVariant, Mmp, MmpParams, MmpVariant, SparsePattern, Smvp, SmvpVariant,
+    TlbStress, TlbVariant, Transpose, TransposeVariant,
+};
+
+fn collect() -> Vec<Report> {
+    let mut out = Vec::new();
+
+    // Table 1 cells.
+    let pattern = Arc::new(SparsePattern::generate(14_000, 24, 0x00c9_a15e));
+    for (variant, mc_pf, l1_pf) in [
+        (SmvpVariant::Conventional, false, false),
+        (SmvpVariant::Conventional, true, true),
+        (SmvpVariant::ScatterGather, false, false),
+        (SmvpVariant::ScatterGather, true, false),
+        (SmvpVariant::ScatterGather, true, true),
+        (SmvpVariant::Recolored, false, false),
+        (SmvpVariant::Recolored, true, true),
+    ] {
+        let cfg = SystemConfig::paint().with_prefetch(mc_pf, l1_pf);
+        let mut m = Machine::new(&cfg);
+        let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("smvp");
+        w.run(&mut m, 1);
+        out.push(m.report(format!("table1/{}/mc={mc_pf}/l1={l1_pf}", variant.name())));
+        eprintln!("done: {}", out.last().unwrap().name);
+    }
+
+    // Table 2 cells.
+    for variant in MmpVariant::ALL {
+        let mut m = Machine::new(&SystemConfig::paint());
+        let mut w = Mmp::setup(&mut m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
+        w.run(&mut m).expect("mmp run");
+        out.push(m.report(format!("table2/{}", variant.name())));
+        eprintln!("done: {}", out.last().unwrap().name);
+    }
+
+    // Tiled LU decomposition.
+    for variant in [LuVariant::Conventional, LuVariant::TileRemap] {
+        let mut m = Machine::new(&SystemConfig::paint());
+        let mut w = Lu::setup(&mut m, 128, 32, variant).expect("lu");
+        w.run(&mut m).expect("lu run");
+        out.push(m.report(format!("lu/{}", variant.name())));
+    }
+
+    // Figure 1.
+    for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
+        let mut m = Machine::new(&SystemConfig::paint());
+        let d = Diagonal::setup(&mut m, 2048, variant).expect("diag");
+        m.reset_stats();
+        d.run(&mut m, 4);
+        out.push(m.report(format!("fig1/{}", variant.name())));
+    }
+
+    // Transpose.
+    for variant in [TransposeVariant::Conventional, TransposeVariant::Remapped] {
+        let mut m = Machine::new(&SystemConfig::paint());
+        let w = Transpose::setup(&mut m, 512, variant).expect("transpose");
+        m.reset_stats();
+        w.column_reduce(&mut m);
+        out.push(m.report(format!("transpose/{}", variant.name())));
+    }
+
+    // Superpages.
+    for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
+        let mut m = Machine::new(&SystemConfig::paint());
+        let w = TlbStress::setup(&mut m, 8, 64, variant).expect("tlb");
+        m.reset_stats();
+        w.sweep(&mut m, 8);
+        out.push(m.report(format!("superpage/{}", variant.name())));
+    }
+
+    // Database selection scan.
+    for variant in [DbVariant::Conventional, DbVariant::ImpulseGather] {
+        let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+        let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, 0xdb, variant).expect("db");
+        m.reset_stats();
+        w.fetch(&mut m);
+        out.push(m.report(format!("dbscan/{}", variant.name())));
+    }
+
+    // Multimedia channel extraction.
+    for variant in [MediaVariant::Conventional, MediaVariant::ChannelRemap] {
+        let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+        let w = ChannelFilter::setup(&mut m, 1 << 20, 3, variant).expect("media");
+        m.reset_stats();
+        w.filter(&mut m);
+        out.push(m.report(format!("media/{}", variant.name())));
+    }
+
+    // IPC.
+    for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
+        let mut m = Machine::new(&SystemConfig::paint());
+        let w = IpcGather::setup(&mut m, 8, 4096, 64, variant).expect("ipc");
+        m.reset_stats();
+        for _ in 0..64 {
+            w.send(&mut m);
+        }
+        out.push(m.report(format!("ipc/{}", variant.name())));
+    }
+
+    out
+}
+
+fn main() {
+    let path = std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("out=").map(String::from))
+        .unwrap_or_else(|| "results.csv".to_string());
+
+    let reports = collect();
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    writeln!(f, "{}", Report::csv_header()).expect("write header");
+    for r in &reports {
+        writeln!(f, "{}", r.csv_row()).expect("write row");
+    }
+    println!("wrote {} experiment rows to {path}", reports.len());
+}

@@ -1,0 +1,136 @@
+//! Design-choice sweeps over the Impulse controller's sizing parameters,
+//! using the scatter/gather CG kernel (the workload that stresses every
+//! mechanism at once). The paper fixes these by fiat — 256-byte
+//! descriptor buffers, a 2 KB prefetch SRAM, eight descriptors, an
+//! on-chip PgTbl TLB — so this harness asks how sensitive the headline
+//! result is to each.
+//!
+//! Sweeps: per-descriptor prefetch buffer size, non-shadow prefetch SRAM
+//! size, controller TLB entries, DRAM banks, and the DRAM scheduling
+//! policy. Overrides: `rows=`, `nnz=`, `seed=`.
+
+use std::sync::Arc;
+
+use impulse_bench::Args;
+use impulse_dram::SchedulePolicy;
+use impulse_sim::{Machine, Report, SystemConfig};
+use impulse_workloads::{Mmp, MmpParams, MmpVariant, SparsePattern, Smvp, SmvpVariant};
+
+fn run(cfg: &SystemConfig, pattern: &Arc<SparsePattern>) -> Report {
+    let mut m = Machine::new(cfg);
+    let w = Smvp::setup(&mut m, pattern.clone(), SmvpVariant::ScatterGather).expect("setup");
+    w.run(&mut m, 1);
+    m.report("sweep")
+}
+
+fn header(title: &str) {
+    println!("\n--- {title} ---");
+    println!(
+        "{:<22}{:>14}{:>12}{:>14}",
+        "setting", "cycles", "avg load", "desc buf hits"
+    );
+}
+
+fn row(label: &str, r: &Report) {
+    println!(
+        "{:<22}{:>14}{:>12.2}{:>14}",
+        label,
+        r.cycles,
+        r.mem.avg_load_time(),
+        r.desc.buffer_hits
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows = args.get("rows", 14_000);
+    let nnz = args.get("nnz", if args.paper { 156 } else { 24 });
+    let seed = args.get("seed", 0x5eed);
+    let pattern = Arc::new(SparsePattern::generate(rows, nnz, seed));
+
+    println!("================================================================");
+    println!(
+        "Impulse design-choice sweeps — scatter/gather CG, n={rows}, nnz={}",
+        pattern.nnz()
+    );
+    println!("(controller prefetch on; each sweep varies one parameter)");
+    println!("================================================================");
+
+    let base = SystemConfig::paint().with_prefetch(true, false);
+
+    header("per-descriptor prefetch buffer (paper: 256 B)");
+    for bytes in [128u64, 256, 512, 1024] {
+        let mut cfg = base.clone();
+        cfg.mc.desc_buffer_bytes = bytes;
+        row(&format!("{bytes} B"), &run(&cfg, &pattern));
+    }
+
+    header("non-shadow prefetch SRAM (paper: 2 KB)");
+    for bytes in [512u64, 2048, 8192] {
+        let mut cfg = base.clone();
+        cfg.mc.prefetch_sram_bytes = bytes;
+        row(&format!("{bytes} B"), &run(&cfg, &pattern));
+    }
+
+    header("controller PgTbl TLB entries (ours: 64)");
+    for entries in [8usize, 16, 64, 256] {
+        let mut cfg = base.clone();
+        cfg.mc.pgtbl.tlb_entries = entries;
+        row(&format!("{entries} entries"), &run(&cfg, &pattern));
+    }
+
+    header("DRAM banks (ours: 16)");
+    for banks in [4u64, 8, 16, 32] {
+        let mut cfg = base.clone();
+        cfg.dram.banks = banks;
+        row(&format!("{banks} banks"), &run(&cfg, &pattern));
+    }
+
+    header("outstanding load misses (MSHRs; Paint's L1 was non-blocking)");
+    for mshr in [1usize, 2, 4, 8] {
+        let cfg = base.clone().with_mshr(mshr);
+        row(&format!("{mshr} outstanding"), &run(&cfg, &pattern));
+    }
+
+    header("DRAM scheduling policy (paper's results: in-order)");
+    for policy in SchedulePolicy::ALL {
+        let mut cfg = base.clone();
+        cfg.mc.sched = policy;
+        row(policy.name(), &run(&cfg, &pattern));
+    }
+
+    // Section 4.2's forward-looking claim: "as caches (and therefore
+    // tiles) grow larger, the cost of copying grows, whereas the cost of
+    // tile remapping does not." Sweep the tile size and compare the
+    // *overhead* each scheme pays on top of the compute-identical
+    // conventional load stream.
+    println!("
+--- tile size vs copy/remap overhead (paper §4.2 claim) ---");
+    println!(
+        "{:<12}{:>16}{:>18}{:>18}",
+        "tile", "conv (Mcyc)", "copy ovh (Mcyc)", "remap ovh (Mcyc)"
+    );
+    for tile in [16u64, 32, 64] {
+        let n = 256;
+        let mut cycles = [0u64; 3];
+        for (i, variant) in MmpVariant::ALL.iter().enumerate() {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let mut w = Mmp::setup(&mut m, MmpParams { n, tile }, *variant).expect("mmp");
+            w.run(&mut m).expect("mmp run");
+            cycles[i] = m.report("t").cycles;
+        }
+        // Overhead = extra instructions + syscalls relative to the pure
+        // kernel, measured as time above the (fast, conflict-free) remap
+        // compute floor. Copy overhead grows with tile²; remap overhead
+        // is flat per-tile.
+        let floor = cycles[2].min(cycles[1]);
+        println!(
+            "{:<12}{:>16.2}{:>18.2}{:>18.2}",
+            format!("{tile}x{tile}"),
+            cycles[0] as f64 / 1e6,
+            (cycles[1].saturating_sub(floor)) as f64 / 1e6,
+            (cycles[2].saturating_sub(floor)) as f64 / 1e6,
+        );
+    }
+    println!();
+}

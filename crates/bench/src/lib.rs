@@ -1,0 +1,191 @@
+//! Shared harness code for the table/figure regenerator binaries.
+//!
+//! Each binary reproduces one table or figure from the paper:
+//!
+//! * `table1` — NAS conjugate gradient (sparse matrix-vector product)
+//! * `table2` — tiled dense matrix-matrix product
+//! * `fig1` — the diagonal remapping example
+//! * `ablation_dram` — the designed DRAM scheduler (Section 2.2)
+//! * `superpage` — the superpage/TLB experiment (Section 6)
+//! * `ipc` — IPC scatter/gather (Section 6)
+//!
+//! Run with `--paper` for the paper's full problem sizes (slower), or
+//! with the scaled defaults for a quick check. The printed tables carry
+//! the paper's reported numbers alongside the measured ones so the shape
+//! comparison is immediate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use impulse_sim::Report;
+
+/// The four prefetch configurations every table sweeps: the paper's
+/// columns "Standard", "Impulse" (controller prefetch), "L1 cache"
+/// prefetch, and "both".
+pub const PREFETCH_COLUMNS: [(bool, bool, &str); 4] = [
+    (false, false, "standard"),
+    (true, false, "impulse-pf"),
+    (false, true, "L1-pf"),
+    (true, true, "both"),
+];
+
+/// One section of a paper-style table: a memory-system configuration and
+/// its four prefetch-column reports.
+#[derive(Clone, Debug)]
+pub struct TableSection {
+    /// Section title (e.g. "Conventional memory system").
+    pub title: String,
+    /// Reports for the four prefetch columns.
+    pub reports: Vec<Report>,
+    /// The paper's reported values for the same section, if any:
+    /// `(time_bcycles, l1, l2, mem, avg_load, speedup)` per column.
+    pub paper: Option<[PaperRow; 4]>,
+}
+
+/// The paper's reported metrics for one table cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperRow {
+    /// Time in billions of cycles.
+    pub time: f64,
+    /// L1 hit ratio (%).
+    pub l1: f64,
+    /// L2 hit ratio (%).
+    pub l2: f64,
+    /// Memory hit ratio (%).
+    pub mem: f64,
+    /// Average load time (cycles).
+    pub avg_load: f64,
+    /// Speedup over "Conventional, no prefetch".
+    pub speedup: f64,
+}
+
+/// Prints a full table in the paper's layout (metrics as rows, prefetch
+/// configurations as columns), with the paper's numbers interleaved when
+/// available. `baseline` is the conventional/no-prefetch report that
+/// speedups are computed against.
+pub fn print_table(title: &str, sections: &[TableSection], baseline: &Report) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+    for section in sections {
+        println!("\n--- {} ---", section.title);
+        print!("{:<26}", "");
+        for (_, _, label) in PREFETCH_COLUMNS {
+            print!("{label:>12}");
+        }
+        println!();
+
+        let row = |name: &str, f: &dyn Fn(&Report) -> String| {
+            print!("{name:<26}");
+            for r in &section.reports {
+                print!("{:>12}", f(r));
+            }
+            println!();
+        };
+        let paper_row = |name: &str, f: &dyn Fn(&PaperRow) -> String| {
+            if let Some(p) = &section.paper {
+                print!("{name:<26}");
+                for pr in p {
+                    print!("{:>12}", f(pr));
+                }
+                println!();
+            }
+        };
+
+        row("time (Mcycles)", &|r| {
+            format!("{:.2}", r.cycles as f64 / 1e6)
+        });
+        paper_row("  paper (Gcycles)", &|p| format!("{:.2}", p.time));
+        row("L1 hit ratio", &|r| {
+            format!("{:.1}%", 100.0 * r.mem.l1_ratio())
+        });
+        paper_row("  paper", &|p| format!("{:.1}%", p.l1));
+        row("L2 hit ratio", &|r| {
+            format!("{:.1}%", 100.0 * r.mem.l2_ratio())
+        });
+        paper_row("  paper", &|p| format!("{:.1}%", p.l2));
+        row("mem hit ratio", &|r| {
+            format!("{:.1}%", 100.0 * r.mem.mem_ratio())
+        });
+        paper_row("  paper", &|p| format!("{:.1}%", p.mem));
+        row("avg load time", &|r| {
+            format!("{:.2}", r.mem.avg_load_time())
+        });
+        paper_row("  paper", &|p| format!("{:.2}", p.avg_load));
+        row("speedup", &|r| format!("{:.2}", r.speedup_over(baseline)));
+        paper_row("  paper", &|p| {
+            if p.speedup == 0.0 {
+                "—".to_string()
+            } else {
+                format!("{:.2}", p.speedup)
+            }
+        });
+    }
+    println!();
+}
+
+/// Minimal command-line handling shared by the regenerator binaries:
+/// recognizes `--paper` and `key=value` overrides.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// Run the paper's full problem size.
+    pub paper: bool,
+    /// `key=value` overrides.
+    pub overrides: Vec<(String, u64)>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut out = Args::default();
+        for a in std::env::args().skip(1) {
+            if a == "--paper" {
+                out.paper = true;
+            } else if let Some((k, v)) = a.split_once('=') {
+                let v = v
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("expected integer in `{a}`"));
+                out.overrides.push((k.trim_start_matches('-').to_string(), v));
+            } else {
+                panic!("unrecognized argument `{a}` (use --paper or key=value)");
+            }
+        }
+        out
+    }
+
+    /// Fetches an override or the default.
+    pub fn get(&self, key: &str, default: u64) -> u64 {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_columns_cover_all_combinations() {
+        let set: std::collections::HashSet<(bool, bool)> =
+            PREFETCH_COLUMNS.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn args_defaults_and_overrides() {
+        let a = Args {
+            paper: false,
+            overrides: vec![("rows".into(), 100), ("rows".into(), 200)],
+        };
+        assert_eq!(a.get("rows", 5), 200, "last override wins");
+        assert_eq!(a.get("cols", 7), 7);
+    }
+}

@@ -1,0 +1,664 @@
+//! Generic set-associative cache model.
+
+use impulse_types::geom::{is_pow2, log2};
+use impulse_types::{AccessKind, PAddr, VAddr};
+
+/// Which address space selects the cache set.
+///
+/// Tags are always physical (bus) addresses, as in both Paint caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Indexing {
+    /// Set index comes from the virtual address (the Paint L1).
+    Virtual,
+    /// Set index comes from the physical address (the Paint L2).
+    Physical,
+}
+
+/// Replacement policy within a set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Least-recently-used (exact, via access stamps).
+    Lru,
+    /// Not-recently-used (reference bits, cleared when all are set).
+    Nru,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in reports ("L1", "L2").
+    pub name: &'static str,
+    /// Total capacity in bytes. Must be `line * ways * sets` for a
+    /// power-of-two set count.
+    pub size: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Which address selects the set.
+    pub indexing: Indexing,
+    /// Whether store misses allocate a line (`true` = write-allocate,
+    /// `false` = write-around).
+    pub write_allocate: bool,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// The Paint L1 data cache: 32 KB direct-mapped, 32 B lines, virtually
+    /// indexed / physically tagged, write-back, write-around.
+    pub fn paint_l1() -> Self {
+        Self {
+            name: "L1",
+            size: 32 * 1024,
+            line: 32,
+            ways: 1,
+            indexing: Indexing::Virtual,
+            write_allocate: false,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// The Paint L2 data cache: 256 KB 2-way, 128 B lines, physically
+    /// indexed and tagged, write-back, write-allocate.
+    pub fn paint_l2() -> Self {
+        Self {
+            name: "L2",
+            size: 256 * 1024,
+            line: 128,
+            ways: 2,
+            indexing: Indexing::Physical,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size / self.line / self.ways
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or do not divide evenly.
+    fn validate(&self) {
+        assert!(is_pow2(self.line), "{}: line size must be a power of two", self.name);
+        assert!(self.ways > 0, "{}: must have at least one way", self.name);
+        assert!(
+            self.size.is_multiple_of(self.line * self.ways),
+            "{}: size must be line*ways*sets",
+            self.name
+        );
+        assert!(
+            is_pow2(self.sets()),
+            "{}: set count must be a power of two",
+            self.name
+        );
+    }
+}
+
+/// Counters for one cache level.
+///
+/// Hit/miss counters are split by access kind because the paper's tables
+/// report *load*-based hit ratios.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Load accesses.
+    pub loads: u64,
+    /// Load hits.
+    pub load_hits: u64,
+    /// Store accesses.
+    pub stores: u64,
+    /// Store hits.
+    pub store_hits: u64,
+    /// Store misses that bypassed the cache (write-around).
+    pub store_bypasses: u64,
+    /// Lines filled (demand).
+    pub fills: u64,
+    /// Lines filled by prefetch.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines brought in by prefetch (useful prefetches).
+    pub prefetch_useful: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Valid lines evicted (clean or dirty).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Load hit ratio, or 0 when no loads occurred.
+    pub fn load_hit_ratio(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_hits as f64 / self.loads as f64
+        }
+    }
+}
+
+/// Result of a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The line was present.
+    Hit,
+    /// The line was fetched and filled; `writeback` is the physical line
+    /// address of a dirty victim that must be written to the next level.
+    Miss {
+        /// Dirty victim line (physical line base), if any.
+        writeback: Option<PAddr>,
+    },
+    /// Store miss on a write-around cache: the store is forwarded to the
+    /// next level without allocating.
+    Bypass,
+}
+
+/// Result of flushing a single line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// The line was not cached.
+    NotPresent,
+    /// The line was cached and clean; it was invalidated.
+    Clean,
+    /// The line was cached and dirty; it was invalidated and its contents
+    /// must be written back.
+    Dirty,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    /// Physical line base address (the tag, kept unhashed for clarity).
+    ptag: u64,
+    /// LRU stamp or NRU reference bit (0/1).
+    stamp: u64,
+    /// Set when the line was filled by a prefetch and not yet demanded.
+    prefetched: bool,
+}
+
+/// A set-associative cache.
+///
+/// # Examples
+///
+/// The Paint L1 is write-around: store misses bypass it rather than
+/// allocating.
+///
+/// ```
+/// use impulse_cache::{Cache, CacheConfig, Outcome};
+/// use impulse_types::{AccessKind, PAddr, VAddr};
+///
+/// let mut l1 = Cache::new(CacheConfig::paint_l1());
+/// let (v, p) = (VAddr::new(0x2000), PAddr::new(0x9000));
+/// assert_eq!(l1.access(v, p, AccessKind::Store), Outcome::Bypass);
+/// assert!(!l1.probe(v, p));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * ways, way-major within a set
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not internally consistent (see
+    /// [`CacheConfig`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = cfg.sets();
+        let lines = vec![Line::default(); (sets * cfg.ways) as usize];
+        let line_shift = log2(cfg.line);
+        Self {
+            set_mask: sets - 1,
+            line_shift,
+            lines,
+            tick: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics; contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Line base (physical) for an address.
+    #[inline]
+    pub fn line_base(&self, p: PAddr) -> PAddr {
+        p.align_down(self.cfg.line)
+    }
+
+    #[inline]
+    fn set_of(&self, v: VAddr, p: PAddr) -> usize {
+        let idx_addr = match self.cfg.indexing {
+            Indexing::Virtual => v.raw(),
+            Indexing::Physical => p.raw(),
+        };
+        ((idx_addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn ptag_of(&self, p: PAddr) -> u64 {
+        p.raw() >> self.line_shift
+    }
+
+    fn set_range(&self, set: usize) -> core::ops::Range<usize> {
+        let ways = self.cfg.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Whether the line containing `(v, p)` is present (no state change).
+    pub fn probe(&self, v: VAddr, p: PAddr) -> bool {
+        let set = self.set_of(v, p);
+        let ptag = self.ptag_of(p);
+        self.lines[self.set_range(set)]
+            .iter()
+            .any(|l| l.valid && l.ptag == ptag)
+    }
+
+    /// Performs a demand access; updates replacement state, allocates on
+    /// miss per the write policy, and reports any dirty victim.
+    pub fn access(&mut self, v: VAddr, p: PAddr, kind: AccessKind) -> Outcome {
+        self.tick += 1;
+        let set = self.set_of(v, p);
+        let ptag = self.ptag_of(p);
+        let range = self.set_range(set);
+        let tick = self.tick;
+
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.ptag == ptag)
+        {
+            if line.prefetched {
+                line.prefetched = false;
+                self.stats.prefetch_useful += 1;
+            }
+            line.stamp = tick;
+            match kind {
+                AccessKind::Load => {
+                    self.stats.loads += 1;
+                    self.stats.load_hits += 1;
+                }
+                AccessKind::Store => {
+                    self.stats.stores += 1;
+                    self.stats.store_hits += 1;
+                    line.dirty = true;
+                }
+            }
+            return Outcome::Hit;
+        }
+
+        // Miss.
+        match kind {
+            AccessKind::Load => self.stats.loads += 1,
+            AccessKind::Store => {
+                self.stats.stores += 1;
+                if !self.cfg.write_allocate {
+                    self.stats.store_bypasses += 1;
+                    return Outcome::Bypass;
+                }
+            }
+        }
+
+        let writeback = self.fill_at(set, ptag, kind.is_store(), false);
+        self.stats.fills += 1;
+        Outcome::Miss { writeback }
+    }
+
+    /// Fills the line containing `(v, p)` without a demand access — the
+    /// path used by hardware prefetchers. Returns a dirty victim, if any.
+    ///
+    /// Filling an already-present line is a no-op (`None`).
+    pub fn prefetch_fill(&mut self, v: VAddr, p: PAddr) -> Option<PAddr> {
+        if self.probe(v, p) {
+            return None;
+        }
+        self.tick += 1;
+        let set = self.set_of(v, p);
+        let ptag = self.ptag_of(p);
+        let wb = self.fill_at(set, ptag, false, true);
+        self.stats.prefetch_fills += 1;
+        wb
+    }
+
+    /// Chooses a victim in `set`, evicts it, installs `ptag`; returns the
+    /// dirty victim's physical line address if one was displaced.
+    fn fill_at(&mut self, set: usize, ptag: u64, dirty: bool, prefetched: bool) -> Option<PAddr> {
+        let range = self.set_range(set);
+        let victim_idx = self.choose_victim(range.clone());
+        let line_shift = self.line_shift;
+        let tick = self.tick;
+
+        let line = &mut self.lines[victim_idx];
+        let mut writeback = None;
+        if line.valid {
+            self.stats.evictions += 1;
+            if line.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(PAddr::new(line.ptag << line_shift));
+            }
+        }
+        *line = Line {
+            valid: true,
+            dirty,
+            ptag,
+            stamp: tick,
+            prefetched,
+        };
+        if self.cfg.replacement == Replacement::Nru {
+            self.normalize_nru(range, victim_idx);
+        }
+        writeback
+    }
+
+    fn choose_victim(&self, range: core::ops::Range<usize>) -> usize {
+        // Prefer an invalid way.
+        if let Some(i) = range.clone().find(|&i| !self.lines[i].valid) {
+            return i;
+        }
+        match self.cfg.replacement {
+            Replacement::Lru => range
+                .clone()
+                .min_by_key(|&i| self.lines[i].stamp)
+                .expect("cache sets are never empty"),
+            Replacement::Nru => {
+                // First way whose reference stamp is "old" (not the current
+                // generation); fall back to the first way.
+                range
+                    .clone()
+                    .find(|&i| self.lines[i].stamp == 0)
+                    .unwrap_or(range.start)
+            }
+        }
+    }
+
+    /// For NRU: when every line in the set has been referenced, clear all
+    /// reference marks except the just-installed line.
+    fn normalize_nru(&mut self, range: core::ops::Range<usize>, keep: usize) {
+        if range.clone().all(|i| self.lines[i].stamp != 0) {
+            for i in range {
+                if i != keep {
+                    self.lines[i].stamp = 0;
+                }
+            }
+        }
+    }
+
+    /// Flushes (writes back and invalidates) the line containing `(v, p)`.
+    pub fn flush_line(&mut self, v: VAddr, p: PAddr) -> FlushOutcome {
+        let set = self.set_of(v, p);
+        let ptag = self.ptag_of(p);
+        let range = self.set_range(set);
+        for i in range {
+            let line = &mut self.lines[i];
+            if line.valid && line.ptag == ptag {
+                line.valid = false;
+                let was_dirty = line.dirty;
+                line.dirty = false;
+                if was_dirty {
+                    self.stats.writebacks += 1;
+                    return FlushOutcome::Dirty;
+                }
+                return FlushOutcome::Clean;
+            }
+        }
+        FlushOutcome::NotPresent
+    }
+
+    /// Purges (invalidates *without* writeback) the line containing
+    /// `(v, p)` — used for remapped input tiles whose contents are clean
+    /// copies of other memory.
+    pub fn purge_line(&mut self, v: VAddr, p: PAddr) -> bool {
+        let set = self.set_of(v, p);
+        let ptag = self.ptag_of(p);
+        let range = self.set_range(set);
+        for i in range {
+            let line = &mut self.lines[i];
+            if line.valid && line.ptag == ptag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates everything (no writebacks); statistics are preserved.
+    pub fn invalidate_all(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+
+    /// Number of valid lines currently cached (for tests/diagnostics).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(x: u64) -> VAddr {
+        VAddr::new(x)
+    }
+    fn pa(x: u64) -> PAddr {
+        PAddr::new(x)
+    }
+
+    fn tiny(ways: u64, write_allocate: bool) -> Cache {
+        Cache::new(CacheConfig {
+            name: "T",
+            size: 32 * ways * 4, // 4 sets
+            line: 32,
+            ways,
+            indexing: Indexing::Physical,
+            write_allocate,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    #[test]
+    fn paint_geometries() {
+        let l1 = Cache::new(CacheConfig::paint_l1());
+        assert_eq!(l1.config().sets(), 1024);
+        let l2 = Cache::new(CacheConfig::paint_l2());
+        assert_eq!(l2.config().sets(), 1024);
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut c = tiny(1, true);
+        assert!(matches!(
+            c.access(va(0), pa(0), AccessKind::Load),
+            Outcome::Miss { writeback: None }
+        ));
+        assert_eq!(c.access(va(0), pa(0), AccessKind::Load), Outcome::Hit);
+        assert_eq!(c.access(va(8), pa(8), AccessKind::Load), Outcome::Hit);
+        let s = c.stats();
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.load_hits, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = tiny(1, true);
+        // 4 sets of 32B: addresses 0 and 128 share set 0.
+        c.access(va(0), pa(0), AccessKind::Load);
+        c.access(va(128), pa(128), AccessKind::Load);
+        assert!(!c.probe(va(0), pa(0)));
+        assert!(c.probe(va(128), pa(128)));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 0, "clean eviction has no writeback");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(1, true);
+        c.access(va(0), pa(0), AccessKind::Store); // allocate dirty
+        match c.access(va(128), pa(128), AccessKind::Load) {
+            Outcome::Miss { writeback } => assert_eq!(writeback, Some(pa(0))),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_around_bypasses_on_store_miss() {
+        let mut c = tiny(1, false);
+        assert_eq!(c.access(va(0), pa(0), AccessKind::Store), Outcome::Bypass);
+        assert!(!c.probe(va(0), pa(0)));
+        assert_eq!(c.stats().store_bypasses, 1);
+        // But store hits still update in place.
+        c.access(va(0), pa(0), AccessKind::Load);
+        assert_eq!(c.access(va(0), pa(0), AccessKind::Store), Outcome::Hit);
+    }
+
+    #[test]
+    fn lru_two_way_keeps_recent() {
+        let mut c = tiny(2, true);
+        // Set 0 aliases: 0, 256, 512 (8 lines total, 4 sets, 2 ways).
+        c.access(va(0), pa(0), AccessKind::Load);
+        c.access(va(256), pa(256), AccessKind::Load);
+        c.access(va(0), pa(0), AccessKind::Load); // touch 0: 256 is LRU
+        c.access(va(512), pa(512), AccessKind::Load); // evicts 256
+        assert!(c.probe(va(0), pa(0)));
+        assert!(!c.probe(va(256), pa(256)));
+        assert!(c.probe(va(512), pa(512)));
+    }
+
+    #[test]
+    fn virtual_indexing_uses_vaddr_for_set() {
+        let mut c = Cache::new(CacheConfig {
+            indexing: Indexing::Virtual,
+            ..CacheConfig::paint_l1()
+        });
+        // Same physical line, two virtual aliases with different set bits:
+        // both can live in the cache simultaneously (the classic
+        // virtually-indexed alias behaviour).
+        c.access(va(0x0000), pa(0x9000), AccessKind::Load);
+        c.access(va(0x4020), pa(0x9020), AccessKind::Load);
+        assert!(c.probe(va(0x0000), pa(0x9000)));
+        assert!(c.probe(va(0x4020), pa(0x9020)));
+    }
+
+    #[test]
+    fn prefetch_fill_counts_useful_hits() {
+        let mut c = tiny(1, true);
+        assert_eq!(c.prefetch_fill(va(0), pa(0)), None);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.access(va(0), pa(0), AccessKind::Load), Outcome::Hit);
+        assert_eq!(c.stats().prefetch_useful, 1);
+        // Second hit is not counted again.
+        c.access(va(0), pa(0), AccessKind::Load);
+        assert_eq!(c.stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_is_idempotent_when_present() {
+        let mut c = tiny(1, true);
+        c.access(va(0), pa(0), AccessKind::Load);
+        assert_eq!(c.prefetch_fill(va(0), pa(0)), None);
+        assert_eq!(c.stats().prefetch_fills, 0);
+    }
+
+    #[test]
+    fn prefetch_can_pollute() {
+        let mut c = tiny(1, true);
+        c.access(va(0), pa(0), AccessKind::Load);
+        c.prefetch_fill(va(128), pa(128)); // same set, evicts 0
+        assert!(!c.probe(va(0), pa(0)));
+    }
+
+    #[test]
+    fn flush_line_reports_dirtiness() {
+        let mut c = tiny(1, true);
+        assert_eq!(c.flush_line(va(0), pa(0)), FlushOutcome::NotPresent);
+        c.access(va(0), pa(0), AccessKind::Load);
+        assert_eq!(c.flush_line(va(0), pa(0)), FlushOutcome::Clean);
+        c.access(va(0), pa(0), AccessKind::Store);
+        assert_eq!(c.flush_line(va(0), pa(0)), FlushOutcome::Dirty);
+        assert!(!c.probe(va(0), pa(0)));
+    }
+
+    #[test]
+    fn purge_discards_dirty_data_silently() {
+        let mut c = tiny(1, true);
+        c.access(va(0), pa(0), AccessKind::Store);
+        let wb_before = c.stats().writebacks;
+        assert!(c.purge_line(va(0), pa(0)));
+        assert_eq!(c.stats().writebacks, wb_before);
+        assert!(!c.purge_line(va(0), pa(0)));
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = tiny(2, true);
+        c.access(va(0), pa(0), AccessKind::Load);
+        c.access(va(32), pa(32), AccessKind::Load);
+        assert_eq!(c.valid_lines(), 2);
+        c.invalidate_all();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn nru_replacement_victimizes_unreferenced() {
+        let mut c = Cache::new(CacheConfig {
+            name: "N",
+            size: 32 * 4, // 1 set, 4 ways
+            line: 32,
+            ways: 4,
+            indexing: Indexing::Physical,
+            write_allocate: true,
+            replacement: Replacement::Nru,
+        });
+        for i in 0..4 {
+            c.access(va(i * 32), pa(i * 32), AccessKind::Load);
+        }
+        // All referenced; the last fill normalizes others to unreferenced.
+        // A new line must evict one of the normalized (unreferenced) ways,
+        // not the most recently installed one.
+        c.access(va(4 * 32), pa(4 * 32), AccessKind::Load);
+        assert!(c.probe(va(3 * 32), pa(3 * 32)));
+    }
+
+    #[test]
+    fn stats_ratio_handles_zero() {
+        assert_eq!(CacheStats::default().load_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            name: "bad",
+            size: 96,
+            line: 24,
+            ways: 1,
+            indexing: Indexing::Physical,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+        });
+    }
+}

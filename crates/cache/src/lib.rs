@@ -1,0 +1,42 @@
+//! Cache and TLB models for the Impulse simulator.
+//!
+//! Reproduces the Paint cache hierarchy from the paper's evaluation
+//! (Section 4):
+//!
+//! * **L1 data cache** — 32 KB, direct-mapped, 32-byte lines, *virtually
+//!   indexed / physically tagged*, write-back, **write-around** (no
+//!   allocation on store misses), 1-cycle hits.
+//! * **L2 data cache** — 256 KB, 2-way set-associative, 128-byte lines,
+//!   physically indexed and tagged, write-back, write-allocate, 7-cycle
+//!   hits.
+//! * **TLB** — unified, fully associative, not-recently-used replacement.
+//! * **Stream buffers** ([`stream`]) — the Jouppi/McKee related-work
+//!   baseline of the paper's Section 5, as an optional L1-side unit.
+//!
+//! The cache model is generic over geometry, indexing space, write policy,
+//! and replacement, so the same type implements both levels (and any
+//! configuration an experiment wants to sweep). Timing lives in the system
+//! model (`impulse-sim`); this crate tracks state and statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use impulse_cache::{Cache, CacheConfig, Outcome};
+//! use impulse_types::{AccessKind, PAddr, VAddr};
+//!
+//! let mut l1 = Cache::new(CacheConfig::paint_l1());
+//! let (v, p) = (VAddr::new(0x1000), PAddr::new(0x8000));
+//! assert!(matches!(l1.access(v, p, AccessKind::Load), Outcome::Miss { .. }));
+//! assert!(matches!(l1.access(v, p, AccessKind::Load), Outcome::Hit));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod stream;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats, FlushOutcome, Indexing, Outcome, Replacement};
+pub use stream::{StreamBuffers, StreamConfig, StreamOutcome, StreamStats};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -1,0 +1,829 @@
+//! The Impulse memory controller (MC).
+//!
+//! Implements the datapath of Figure 3 in the paper. An address arriving
+//! from the bus is either a real physical address — passed to the DRAM
+//! scheduler, optionally through the 2 KB prefetch SRAM — or a *shadow*
+//! address, in which case the matching shadow descriptor is selected, the
+//! AddrCalc expands it into pseudo-virtual segments, the controller page
+//! table (PgTbl) translates those to DRAM addresses, the DRAM scheduler
+//! issues the reads, and the descriptor assembles the returned words into
+//! a cache line for the bus.
+//!
+//! A design goal carried over from the paper: accesses to non-shadow
+//! memory take the direct path and are never slowed by the remapping
+//! machinery.
+
+use core::fmt;
+
+use impulse_dram::{Dram, SchedulePolicy, Scheduler};
+use impulse_types::geom::PAGE_SIZE;
+use impulse_types::{AccessKind, Cycle, MAddr, PAddr, PRange};
+
+use crate::desc::{DescStats, ShadowDescriptor};
+use crate::pgtbl::{PgTbl, PgTblConfig, PgTblStats};
+use crate::prefetch::{PrefetchCache, PrefetchStats};
+use crate::remap::{RemapFn, Segment};
+
+/// Identifier of a configured shadow descriptor slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DescId(usize);
+
+impl DescId {
+    /// The slot index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors from descriptor management.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McError {
+    /// All descriptor slots are configured.
+    NoFreeDescriptor,
+    /// The descriptor id does not name a configured slot.
+    InvalidDescriptor(usize),
+    /// The region is not entirely within shadow address space.
+    RegionNotShadow(PRange),
+    /// The region overlaps an already-configured descriptor.
+    RegionOverlap(PRange),
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::NoFreeDescriptor => write!(f, "all shadow descriptors are in use"),
+            McError::InvalidDescriptor(i) => write!(f, "descriptor slot {i} is not configured"),
+            McError::RegionNotShadow(r) => {
+                write!(f, "region {r:?} is not entirely in shadow space")
+            }
+            McError::RegionOverlap(r) => {
+                write!(f, "region {r:?} overlaps a configured shadow region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+/// Configuration of the Impulse memory controller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct McConfig {
+    /// Fixed controller pipeline overhead per request, cycles.
+    pub t_overhead: Cycle,
+    /// SRAM (prefetch buffer) read latency, cycles.
+    pub t_sram: Cycle,
+    /// Bus/L2 line size served by the controller, bytes.
+    pub line_bytes: u64,
+    /// Capacity of the non-shadow prefetch SRAM (the paper's 2 KB buffer).
+    pub prefetch_sram_bytes: u64,
+    /// Per-descriptor prefetch buffer size (the paper's 256 bytes).
+    pub desc_buffer_bytes: u64,
+    /// Number of shadow descriptor slots (the paper models eight).
+    pub num_descriptors: usize,
+    /// Controller page table configuration.
+    pub pgtbl: PgTblConfig,
+    /// DRAM scheduling policy. The paper's published results use
+    /// [`SchedulePolicy::InOrder`].
+    pub sched: SchedulePolicy,
+    /// Enable one-block-lookahead prefetch of non-remapped data.
+    pub prefetch_nonshadow: bool,
+    /// Enable per-descriptor prefetch of remapped (shadow) data.
+    pub prefetch_shadow: bool,
+    /// Granularity of controller reads of indirection vectors, bytes.
+    pub vector_block_bytes: u64,
+    /// DRAM burst granularity for gather coalescing, bytes: consecutive
+    /// gather segments falling in the same aligned burst are served by
+    /// one DRAM access (the controller reads whole bursts regardless, so
+    /// sub-burst objects — e.g. byte-granularity channel extraction —
+    /// cost one access per burst, not one per object).
+    pub coalesce_bytes: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            t_overhead: 2,
+            t_sram: 1,
+            line_bytes: 128,
+            prefetch_sram_bytes: 2048,
+            desc_buffer_bytes: 256,
+            num_descriptors: 8,
+            pgtbl: PgTblConfig::default(),
+            sched: SchedulePolicy::InOrder,
+            prefetch_nonshadow: false,
+            prefetch_shadow: false,
+            vector_block_bytes: 32,
+            coalesce_bytes: 32,
+        }
+    }
+}
+
+/// Top-level controller statistics (component stats are exposed through
+/// their own accessors).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Non-shadow line reads served.
+    pub line_reads: u64,
+    /// Non-shadow line writes served.
+    pub line_writes: u64,
+    /// Shadow line reads served.
+    pub shadow_line_reads: u64,
+    /// Shadow line writes (scatters) served.
+    pub shadow_line_writes: u64,
+}
+
+/// The Impulse memory controller.
+#[derive(Clone, Debug)]
+pub struct MemController {
+    cfg: McConfig,
+    dram: Dram,
+    sched: Scheduler,
+    pgtbl: PgTbl,
+    pf: PrefetchCache,
+    descs: Vec<Option<ShadowDescriptor>>,
+    shadow_base: u64,
+    stats: McStats,
+    seg_scratch: Vec<Segment>,
+    req_scratch: Vec<(MAddr, u64)>,
+}
+
+impl MemController {
+    /// Builds a controller in front of `dram`. Shadow space is every bus
+    /// address at or above the installed DRAM capacity.
+    pub fn new(dram: Dram, cfg: McConfig) -> Self {
+        let shadow_base = dram.config().capacity;
+        // Keep the memory-resident page table inside installed DRAM even
+        // when simulating small memories.
+        let mut pg_cfg = cfg.pgtbl;
+        if pg_cfg.table_base.raw() >= shadow_base {
+            let reserve = (1u64 << 20).min(shadow_base / 2);
+            pg_cfg.table_base = MAddr::new(shadow_base - reserve);
+        }
+        Self {
+            sched: Scheduler::new(cfg.sched),
+            pgtbl: PgTbl::new(pg_cfg),
+            pf: PrefetchCache::new(cfg.prefetch_sram_bytes, cfg.line_bytes),
+            descs: (0..cfg.num_descriptors).map(|_| None).collect(),
+            shadow_base,
+            stats: McStats::default(),
+            seg_scratch: Vec::with_capacity(32),
+            req_scratch: Vec::with_capacity(32),
+            dram,
+            cfg,
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &McConfig {
+        &self.cfg
+    }
+
+    /// First shadow address (= installed DRAM capacity).
+    pub fn shadow_base(&self) -> PAddr {
+        PAddr::new(self.shadow_base)
+    }
+
+    /// Whether a bus address falls in shadow space.
+    #[inline]
+    pub fn is_shadow(&self, p: PAddr) -> bool {
+        p.raw() >= self.shadow_base
+    }
+
+    /// Top-level statistics.
+    pub fn stats(&self) -> McStats {
+        self.stats
+    }
+
+    /// Resets all controller statistics, including the DRAM's, the
+    /// prefetch SRAM's, the page table's, and every descriptor's.
+    pub fn reset_stats(&mut self) {
+        self.stats = McStats::default();
+        self.pf.reset_stats();
+        self.pgtbl.reset_stats();
+        self.dram.reset_stats();
+        for d in self.descs.iter_mut().flatten() {
+            d.reset_stats();
+        }
+    }
+
+    /// Controller page-table statistics.
+    pub fn pgtbl_stats(&self) -> PgTblStats {
+        self.pgtbl.stats()
+    }
+
+    /// Non-shadow prefetch SRAM statistics.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.pf.stats()
+    }
+
+    /// Aggregated statistics across all configured descriptors.
+    pub fn desc_stats(&self) -> DescStats {
+        let mut total = DescStats::default();
+        for d in self.descs.iter().flatten() {
+            let s = d.stats();
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.buffer_hits += s.buffer_hits;
+            total.gathers += s.gathers;
+            total.dram_requests += s.dram_requests;
+        }
+        total
+    }
+
+    /// The DRAM array behind the controller.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Mutable access to the DRAM array (tests, OS-level bookkeeping).
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// Installs a pseudo-virtual page mapping (the OS "downloads a set of
+    /// page mappings" during remap setup).
+    pub fn map_page(&mut self, pv_page: u64, frame: MAddr) {
+        self.pgtbl.map_page(pv_page, frame);
+    }
+
+    /// Claims a free descriptor slot for `region` with remapping `remap`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no slot is free, the region is not entirely in
+    /// shadow space, or it overlaps an already-configured region.
+    pub fn claim_descriptor(&mut self, region: PRange, remap: RemapFn) -> Result<DescId, McError> {
+        if region.start().raw() < self.shadow_base {
+            return Err(McError::RegionNotShadow(region));
+        }
+        if self
+            .descs
+            .iter()
+            .flatten()
+            .any(|d| d.region().overlaps(&region))
+        {
+            return Err(McError::RegionOverlap(region));
+        }
+        let slot = self
+            .descs
+            .iter()
+            .position(Option::is_none)
+            .ok_or(McError::NoFreeDescriptor)?;
+        self.descs[slot] = Some(ShadowDescriptor::new(
+            region,
+            remap,
+            self.cfg.line_bytes,
+            self.cfg.desc_buffer_bytes,
+        ));
+        Ok(DescId(slot))
+    }
+
+    /// Releases a descriptor slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slot is not configured.
+    pub fn release_descriptor(&mut self, id: DescId) -> Result<(), McError> {
+        match self.descs.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                Ok(())
+            }
+            _ => Err(McError::InvalidDescriptor(id.0)),
+        }
+    }
+
+    /// Read-only view of a configured descriptor.
+    pub fn descriptor(&self, id: DescId) -> Option<&ShadowDescriptor> {
+        self.descs.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Resolves a shadow bus address to the DRAM address it currently
+    /// remaps to — the full AddrCalc + PgTbl path, with no timing or
+    /// statistics effects. Returns `None` if no descriptor matches or the
+    /// pseudo-virtual page is unmapped.
+    pub fn resolve_shadow(&self, p: PAddr) -> Option<MAddr> {
+        let desc = self.descs.iter().flatten().find(|d| d.matches(p))?;
+        let soff = desc.offset_of(p);
+        let pv = desc.remap().pv_of(soff);
+        self.pgtbl.resolve(pv)
+    }
+
+    /// Reads the memory line containing `p`; returns the cycle at which
+    /// the line's data is at the controller, ready for the bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is a shadow address with no configured descriptor —
+    /// on real hardware that is a bus error; in the simulator it is an OS
+    /// bug.
+    pub fn read_line(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        if self.is_shadow(p) {
+            self.read_shadow(p, now)
+        } else {
+            self.read_physical(p, now)
+        }
+    }
+
+    /// Writes the memory line containing `p` (an L2 writeback); returns
+    /// the completion cycle. Writes are posted — callers need not stall on
+    /// the result — but they do occupy the DRAM.
+    pub fn write_line(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        if self.is_shadow(p) {
+            self.write_shadow(p, now)
+        } else {
+            self.write_physical(p, now)
+        }
+    }
+
+    // ---- non-shadow path -------------------------------------------------
+
+    fn read_physical(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        self.stats.line_reads += 1;
+        let t = now + self.cfg.t_overhead;
+        let line = p.align_down(self.cfg.line_bytes);
+        if self.cfg.prefetch_nonshadow {
+            if let Some(ready) = self.pf.demand_lookup(line, t) {
+                let data = ready.max(t) + self.cfg.t_sram;
+                self.obl_prefetch(line.add(self.cfg.line_bytes), data);
+                return data;
+            }
+        }
+        let done = self
+            .dram
+            .access(MAddr::new(line.raw()), AccessKind::Load, self.cfg.line_bytes, t);
+        if self.cfg.prefetch_nonshadow {
+            self.obl_prefetch(line.add(self.cfg.line_bytes), done);
+        }
+        done
+    }
+
+    fn write_physical(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        self.stats.line_writes += 1;
+        let line = p.align_down(self.cfg.line_bytes);
+        self.pf.invalidate(line);
+        self.dram.access(
+            MAddr::new(line.raw()),
+            AccessKind::Store,
+            self.cfg.line_bytes,
+            now + self.cfg.t_overhead,
+        )
+    }
+
+    /// One-block-lookahead prefetch into the 2 KB SRAM.
+    fn obl_prefetch(&mut self, line: PAddr, start: Cycle) {
+        if line.raw() + self.cfg.line_bytes > self.shadow_base {
+            return; // next line is not backed by DRAM
+        }
+        if self.pf.contains(line) {
+            return;
+        }
+        let done = self.dram.access(
+            MAddr::new(line.raw()),
+            AccessKind::Load,
+            self.cfg.line_bytes,
+            start,
+        );
+        self.pf.insert(line, done);
+    }
+
+    // ---- shadow path -----------------------------------------------------
+
+    fn desc_index(&self, p: PAddr) -> usize {
+        self.descs
+            .iter()
+            .position(|d| d.as_ref().is_some_and(|d| d.matches(p)))
+            .unwrap_or_else(|| panic!("shadow access to {p:?} matches no descriptor"))
+    }
+
+    fn read_shadow(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        self.stats.shadow_line_reads += 1;
+        let idx = self.desc_index(p);
+        let t = now + self.cfg.t_overhead;
+        let line = p.align_down(self.cfg.line_bytes);
+        let line_bytes = self.cfg.line_bytes;
+        let t_sram = self.cfg.t_sram;
+
+        let desc = self.descs[idx].as_mut().expect("descriptor just matched");
+        desc.note_read();
+        if self.cfg.prefetch_shadow {
+            if let Some(ready) = desc.buffer_lookup(line, t) {
+                let data = ready.max(t) + t_sram;
+                self.shadow_prefetch(idx, line.add(line_bytes), data);
+                return data;
+            }
+        }
+        let done = self.gather(idx, line, AccessKind::Load, t);
+        if self.cfg.prefetch_shadow {
+            self.shadow_prefetch(idx, line.add(line_bytes), done);
+        }
+        done
+    }
+
+    fn write_shadow(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        self.stats.shadow_line_writes += 1;
+        let idx = self.desc_index(p);
+        let line = p.align_down(self.cfg.line_bytes);
+        let desc = self.descs[idx].as_mut().expect("descriptor just matched");
+        desc.note_write();
+        desc.buffer_invalidate(line);
+        self.gather(idx, line, AccessKind::Store, now + self.cfg.t_overhead)
+    }
+
+    /// Background gather of the next shadow line into the descriptor's
+    /// 256-byte buffer. Speculative: silently abandoned if the line's
+    /// pseudo-virtual pages are not all mapped (e.g. the color-excluded
+    /// holes of a recolored region).
+    fn shadow_prefetch(&mut self, idx: usize, line: PAddr, start: Cycle) {
+        let desc = self.descs[idx].as_ref().expect("descriptor configured");
+        if !desc.matches(line) || desc.buffer_contains(line) {
+            return;
+        }
+        if !self.gather_mapped(idx, line) {
+            return;
+        }
+        let done = self.gather(idx, line, AccessKind::Load, start);
+        let desc = self.descs[idx].as_mut().expect("descriptor configured");
+        desc.buffer_insert(line, done);
+    }
+
+    /// Whether every pseudo-virtual page a gather of `line` would touch is
+    /// mapped in the controller page table.
+    fn gather_mapped(&mut self, idx: usize, line: PAddr) -> bool {
+        let Self {
+            descs,
+            pgtbl,
+            seg_scratch,
+            cfg,
+            ..
+        } = self;
+        let desc = descs[idx].as_ref().expect("descriptor configured");
+        let region = desc.region();
+        let soff = desc.offset_of(line);
+        let len = cfg.line_bytes.min(region.len() - soff);
+        if let Some(vseg) = desc.remap().vector_segment(soff, len) {
+            if !pgtbl.is_mapped(vseg.pv) || !pgtbl.is_mapped(vseg.pv.add(vseg.bytes - 1)) {
+                return false;
+            }
+        }
+        desc.remap().segments(soff, len, seg_scratch);
+        seg_scratch
+            .iter()
+            .all(|seg| pgtbl.is_mapped(seg.pv) && pgtbl.is_mapped(seg.pv.add(seg.bytes - 1)))
+    }
+
+    /// Performs the gather (or scatter) for one shadow line: indirection
+    /// vector reads, AddrCalc expansion, PgTbl translation, and a
+    /// scheduled batch of DRAM accesses. Returns the completion cycle.
+    fn gather(&mut self, idx: usize, line: PAddr, kind: AccessKind, t0: Cycle) -> Cycle {
+        let Self {
+            descs,
+            pgtbl,
+            dram,
+            sched,
+            seg_scratch,
+            req_scratch,
+            cfg,
+            ..
+        } = self;
+        let desc = descs[idx].as_mut().expect("descriptor configured");
+        let region = desc.region();
+        let soff = desc.offset_of(line);
+        let len = cfg.line_bytes.min(region.len() - soff);
+
+        let mut t = t0;
+
+        // 1. Indirection-vector reads (scatter/gather mappings only). The
+        // vector is read at the controller in `vector_block_bytes` blocks;
+        // sequential gathers reuse the most recent block for free.
+        if let Some(vseg) = desc.remap().vector_segment(soff, len) {
+            let vb = cfg.vector_block_bytes;
+            let first = vseg.pv.align_down(vb);
+            let end = vseg.pv.raw() + vseg.bytes;
+            let mut block = first;
+            while block.raw() < end {
+                if !desc.vector_block_cached(block) {
+                    let (m, ready) = pgtbl.translate(block, dram, t);
+                    t = dram.access(m, AccessKind::Load, vb, ready);
+                }
+                block = block.add(vb);
+            }
+        }
+
+        // 2. AddrCalc: expand the shadow line into pseudo-virtual segments.
+        desc.remap().segments(soff, len, seg_scratch);
+
+        // 3. PgTbl: translate, splitting segments at page boundaries.
+        req_scratch.clear();
+        for seg in seg_scratch.iter() {
+            let mut pv = seg.pv;
+            let mut remaining = seg.bytes;
+            while remaining > 0 {
+                let take = (PAGE_SIZE - pv.page_offset()).min(remaining);
+                let (m, ready) = pgtbl.translate(pv, dram, t);
+                t = t.max(ready);
+                req_scratch.push((m, take));
+                pv = pv.add(take);
+                remaining -= take;
+            }
+        }
+
+        // 3.5 Burst coalescing: consecutive requests landing in the same
+        // aligned DRAM burst are one access (the DRAM returns whole
+        // bursts anyway; the descriptor extracts the useful bytes).
+        let granule = cfg.coalesce_bytes;
+        let mut merged: Vec<(MAddr, u64)> = Vec::with_capacity(req_scratch.len());
+        for &(addr, bytes) in req_scratch.iter() {
+            if let Some(last) = merged.last_mut() {
+                let block = last.0.align_down(granule);
+                if addr.raw() >= block.raw() && addr.raw() < block.raw() + granule {
+                    let end = (addr.raw() + bytes).max(last.0.raw() + last.1);
+                    last.1 = end - last.0.raw();
+                    continue;
+                }
+            }
+            merged.push((addr, bytes));
+        }
+
+        // 4. DRAM scheduler: issue the batch.
+        let outcome = sched.run_batch_sized(dram, &merged, kind, t);
+        desc.note_gather(merged.len() as u64);
+        outcome.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impulse_dram::DramConfig;
+    use impulse_types::PvAddr;
+    use std::sync::Arc;
+
+    const SHADOW: u64 = 1 << 30;
+
+    fn small_dram() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+
+    fn mc(prefetch_nonshadow: bool, prefetch_shadow: bool) -> MemController {
+        MemController::new(
+            small_dram(),
+            McConfig {
+                prefetch_nonshadow,
+                prefetch_shadow,
+                ..McConfig::default()
+            },
+        )
+    }
+
+    fn map_identity(mcc: &mut MemController, pv_base: u64, frame_base: u64, pages: u64) {
+        for i in 0..pages {
+            mcc.map_page(
+                (pv_base >> 12) + i,
+                MAddr::new(frame_base + i * PAGE_SIZE),
+            );
+        }
+    }
+
+    #[test]
+    fn shadow_boundary_is_dram_capacity() {
+        let m = mc(false, false);
+        assert_eq!(m.shadow_base(), PAddr::new(SHADOW));
+        assert!(!m.is_shadow(PAddr::new(SHADOW - 1)));
+        assert!(m.is_shadow(PAddr::new(SHADOW)));
+    }
+
+    #[test]
+    fn physical_read_goes_straight_to_dram() {
+        let mut m = mc(false, false);
+        let done = m.read_line(PAddr::new(0x1000), 0);
+        assert!(done > 0);
+        assert_eq!(m.stats().line_reads, 1);
+        assert_eq!(m.dram().stats().reads, 1);
+        assert_eq!(m.prefetch_stats().issued, 0);
+    }
+
+    #[test]
+    fn obl_prefetch_speeds_streaming() {
+        let mut m_off = mc(false, false);
+        let mut m_on = mc(true, false);
+        // Stream four lines; with OBL the later lines should be cheaper.
+        let mut t_off = 0;
+        let mut t_on = 0;
+        for i in 0..4u64 {
+            let p = PAddr::new(0x10000 + i * 128);
+            let now_off = t_off + 100;
+            let now_on = t_on + 100;
+            t_off = m_off.read_line(p, now_off);
+            t_on = m_on.read_line(p, now_on);
+        }
+        assert!(m_on.prefetch_stats().hits >= 2);
+        assert!(t_on < t_off, "prefetching stream should finish earlier");
+    }
+
+    #[test]
+    fn obl_does_not_prefetch_into_shadow() {
+        let mut m = mc(true, false);
+        // Demand the last DRAM line: lookahead would cross into shadow.
+        let p = PAddr::new(SHADOW - 128);
+        m.read_line(p, 0);
+        assert_eq!(m.prefetch_stats().issued, 0);
+    }
+
+    #[test]
+    fn write_invalidates_prefetched_line() {
+        let mut m = mc(true, false);
+        let p = PAddr::new(0x2000);
+        m.read_line(p, 0); // prefetches 0x2080
+        let t = m.read_line(PAddr::new(0x2080), 1000);
+        assert_eq!(m.prefetch_stats().hits, 1);
+        m.write_line(PAddr::new(0x2080), t);
+        // After the write, a read must go to DRAM again (no stale SRAM hit).
+        m.read_line(PAddr::new(0x2080), t + 1000);
+        assert_eq!(m.prefetch_stats().hits, 1);
+    }
+
+    #[test]
+    fn claim_validates_regions() {
+        let mut m = mc(false, false);
+        let not_shadow = PRange::new(PAddr::new(0x1000), 4096);
+        assert_eq!(
+            m.claim_descriptor(not_shadow, RemapFn::direct(PvAddr::new(0))),
+            Err(McError::RegionNotShadow(not_shadow))
+        );
+        let r1 = PRange::new(PAddr::new(SHADOW), 4096);
+        let id = m
+            .claim_descriptor(r1, RemapFn::direct(PvAddr::new(0)))
+            .unwrap();
+        let r2 = PRange::new(PAddr::new(SHADOW + 2048), 4096);
+        assert_eq!(
+            m.claim_descriptor(r2, RemapFn::direct(PvAddr::new(0))),
+            Err(McError::RegionOverlap(r2))
+        );
+        m.release_descriptor(id).unwrap();
+        assert!(m.claim_descriptor(r2, RemapFn::direct(PvAddr::new(0))).is_ok());
+        assert_eq!(
+            m.release_descriptor(DescId(7)),
+            Err(McError::InvalidDescriptor(7))
+        );
+    }
+
+    #[test]
+    fn descriptor_slots_exhaust() {
+        let mut m = mc(false, false);
+        for i in 0..8 {
+            let r = PRange::new(PAddr::new(SHADOW + i * 4096), 4096);
+            m.claim_descriptor(r, RemapFn::direct(PvAddr::new(0)))
+                .unwrap();
+        }
+        let r = PRange::new(PAddr::new(SHADOW + 8 * 4096), 4096);
+        assert_eq!(
+            m.claim_descriptor(r, RemapFn::direct(PvAddr::new(0))),
+            Err(McError::NoFreeDescriptor)
+        );
+    }
+
+    #[test]
+    fn direct_shadow_read_translates_through_pgtbl() {
+        let mut m = mc(false, false);
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::direct(PvAddr::new(0x10_0000)))
+            .unwrap();
+        map_identity(&mut m, 0x10_0000, 0x40_0000, 1);
+        let done = m.read_line(PAddr::new(SHADOW + 128), 0);
+        assert!(done > 0);
+        assert_eq!(m.stats().shadow_line_reads, 1);
+        assert_eq!(m.desc_stats().gathers, 1);
+        // Direct mapping of a line = a single DRAM request.
+        assert_eq!(m.desc_stats().dram_requests, 1);
+        assert_eq!(m.pgtbl_stats().walks, 1);
+    }
+
+    #[test]
+    fn adjacent_gather_segments_coalesce_into_bursts() {
+        let mut m = mc(false, false);
+        // Byte-granularity channel extraction: 1-byte objects, 4-byte
+        // stride. A 128-byte shadow line covers 128 objects spanning 512
+        // bytes of DRAM = 16 bursts of 32 bytes, not 128 word reads.
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::strided(PvAddr::new(0), 1, 4))
+            .unwrap();
+        map_identity(&mut m, 0, 0, 8);
+        m.read_line(PAddr::new(SHADOW), 0);
+        assert_eq!(m.desc_stats().dram_requests, 16);
+    }
+
+    #[test]
+    fn strided_gather_issues_one_request_per_object() {
+        let mut m = mc(false, false);
+        // 8-byte objects, 1 KB apart: a 128-byte line needs 16 reads.
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::strided(PvAddr::new(0), 8, 1024))
+            .unwrap();
+        map_identity(&mut m, 0, 0, 8); // 16 objects * 1 KB = 4 pages + slack
+        m.read_line(PAddr::new(SHADOW), 0);
+        assert_eq!(m.desc_stats().dram_requests, 16);
+    }
+
+    #[test]
+    fn gather_reads_indirection_vector_blocks() {
+        let mut m = mc(false, false);
+        // Elements 40 bytes apart: never two in one 32-byte burst, so no
+        // coalescing — one DRAM read per element.
+        let indices = Arc::new((0..64u64).map(|i| (i * 5) % 64).collect::<Vec<_>>());
+        let remap = RemapFn::gather(
+            PvAddr::new(0),
+            8,
+            indices,
+            PvAddr::new(0x8000),
+            4,
+        );
+        let region = PRange::new(PAddr::new(SHADOW), 512);
+        m.claim_descriptor(region, remap).unwrap();
+        map_identity(&mut m, 0, 0, 1); // data page
+        map_identity(&mut m, 0x8000, PAGE_SIZE, 1); // vector page
+        m.read_line(PAddr::new(SHADOW), 0);
+        // 16 element reads + 2 vector block reads (16 elems * 4 B = 64 B).
+        assert_eq!(m.dram().stats().reads, 16 + 2 + m.pgtbl_stats().walks);
+    }
+
+    #[test]
+    fn shadow_prefetch_hides_gather_latency() {
+        let mut none = mc(false, false);
+        let mut pf = mc(false, true);
+        for m in [&mut none, &mut pf] {
+            let region = PRange::new(PAddr::new(SHADOW), 4096);
+            m.claim_descriptor(region, RemapFn::strided(PvAddr::new(0), 8, 1024))
+                .unwrap();
+            map_identity(m, 0, 0, 256);
+        }
+        // Sequential shadow lines far apart in time: the prefetched case
+        // should serve the second line almost instantly.
+        let mut lat_none = Vec::new();
+        let mut lat_pf = Vec::new();
+        for i in 0..4u64 {
+            let p = PAddr::new(SHADOW + i * 128);
+            let now = 10_000 * (i + 1);
+            lat_none.push(none.read_line(p, now) - now);
+            lat_pf.push(pf.read_line(p, now) - now);
+        }
+        assert!(lat_pf[1] < lat_none[1] / 2, "{lat_pf:?} vs {lat_none:?}");
+        assert!(pf.desc_stats().buffer_hits >= 3);
+    }
+
+    #[test]
+    fn scatter_write_invalidates_buffer() {
+        let mut m = mc(false, true);
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::direct(PvAddr::new(0)))
+            .unwrap();
+        map_identity(&mut m, 0, 0, 1);
+        let t = m.read_line(PAddr::new(SHADOW), 0); // prefetches line 1
+        let before = m.desc_stats().buffer_hits;
+        m.write_line(PAddr::new(SHADOW + 128), t); // dirties prefetched line
+        m.read_line(PAddr::new(SHADOW + 128), t + 10_000);
+        // The read after the write may NOT be served from the stale buffer.
+        assert_eq!(m.desc_stats().buffer_hits, before);
+        assert_eq!(m.stats().shadow_line_writes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no descriptor")]
+    fn unmapped_shadow_access_panics() {
+        let mut m = mc(false, false);
+        m.read_line(PAddr::new(SHADOW + 0x100000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no descriptor")]
+    fn unmapped_shadow_write_panics() {
+        let mut m = mc(false, false);
+        m.write_line(PAddr::new(SHADOW + 0x100000), 0);
+    }
+
+    #[test]
+    fn eight_descriptors_serve_interleaved_traffic() {
+        let mut m = mc(false, true);
+        let mut regions = Vec::new();
+        for i in 0..8u64 {
+            let r = PRange::new(PAddr::new(SHADOW + i * (1 << 16)), 1 << 14);
+            m.claim_descriptor(r, RemapFn::direct(PvAddr::new(i << 24)))
+                .unwrap();
+            for page in 0..4u64 {
+                m.map_page((i << 12) + page, MAddr::new((i << 20) + (page << 12)));
+            }
+            regions.push(r);
+        }
+        // Round-robin reads across every descriptor, twice.
+        let mut now = 0;
+        for round in 0..2u64 {
+            for r in &regions {
+                now = m.read_line(r.start().add(round * 128), now + 10);
+            }
+        }
+        let s = m.desc_stats();
+        assert_eq!(s.reads, 16);
+        assert!(s.gathers >= 8);
+        assert_eq!(m.stats().shadow_line_reads, 16);
+    }
+}

@@ -1,0 +1,226 @@
+//! Shadow space descriptors (SDescs).
+//!
+//! Each descriptor owns one remapped shadow region: its bus-address range,
+//! the remapping function the AddrCalc applies, and a 256-byte prefetch
+//! buffer "that can be used to prefetch shadow memory" (Section 2.2). The
+//! paper models eight descriptors despite needing no more than three for
+//! its applications; the controller does the same.
+
+use impulse_types::{Cycle, PAddr, PRange, PvAddr};
+
+use crate::prefetch::PrefetchCache;
+use crate::remap::RemapFn;
+
+/// Per-descriptor statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DescStats {
+    /// Shadow line reads served by this descriptor.
+    pub reads: u64,
+    /// Shadow line writes (scatters) served.
+    pub writes: u64,
+    /// Reads satisfied from the 256-byte prefetch buffer.
+    pub buffer_hits: u64,
+    /// Gather/scatter operations performed against DRAM.
+    pub gathers: u64,
+    /// Individual DRAM requests those operations issued.
+    pub dram_requests: u64,
+}
+
+/// One configured shadow region at the memory controller.
+#[derive(Clone, Debug)]
+pub struct ShadowDescriptor {
+    region: PRange,
+    remap: RemapFn,
+    buffer: PrefetchCache,
+    /// Last indirection-vector block fetched, to avoid recharging for
+    /// sequential gathers that share a vector cache block.
+    last_vector_block: Option<PvAddr>,
+    stats: DescStats,
+}
+
+impl ShadowDescriptor {
+    /// Configures a descriptor over `region` with remapping `remap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region start is not aligned to `line_bytes`, or if a
+    /// gather remapping cannot cover the region.
+    pub fn new(region: PRange, remap: RemapFn, line_bytes: u64, buffer_bytes: u64) -> Self {
+        assert!(
+            region.start().is_aligned(line_bytes),
+            "shadow regions must start line-aligned: {region:?}"
+        );
+        if let Some(max) = remap.addressable_bytes() {
+            // The OS maps shadow space in whole pages; more than a page of
+            // slack beyond the gather image is a configuration bug.
+            let limit = max
+                .next_multiple_of(line_bytes)
+                .next_multiple_of(impulse_types::geom::PAGE_SIZE);
+            assert!(
+                region.len() <= limit,
+                "shadow region ({} bytes) larger than gather image ({max} bytes)",
+                region.len()
+            );
+        }
+        Self {
+            region,
+            remap,
+            buffer: PrefetchCache::new(buffer_bytes, line_bytes),
+            last_vector_block: None,
+            stats: DescStats::default(),
+        }
+    }
+
+    /// The shadow bus-address range this descriptor serves.
+    pub fn region(&self) -> PRange {
+        self.region
+    }
+
+    /// The remapping function.
+    pub fn remap(&self) -> &RemapFn {
+        &self.remap
+    }
+
+    /// Per-descriptor statistics.
+    pub fn stats(&self) -> DescStats {
+        self.stats
+    }
+
+    /// Resets statistics (configuration and buffer contents preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = DescStats::default();
+    }
+
+    /// Whether this descriptor serves `addr`.
+    #[inline]
+    pub fn matches(&self, addr: PAddr) -> bool {
+        self.region.contains(addr)
+    }
+
+    /// Shadow offset (bytes from region start) of an address.
+    #[inline]
+    pub fn offset_of(&self, addr: PAddr) -> u64 {
+        self.region.offset_of(addr)
+    }
+
+    pub(crate) fn note_read(&mut self) {
+        self.stats.reads += 1;
+    }
+
+    pub(crate) fn note_write(&mut self) {
+        self.stats.writes += 1;
+    }
+
+    pub(crate) fn note_gather(&mut self, dram_requests: u64) {
+        self.stats.gathers += 1;
+        self.stats.dram_requests += dram_requests;
+    }
+
+    /// Buffer lookup for a shadow line (by bus address); counts a hit.
+    pub(crate) fn buffer_lookup(&mut self, line: PAddr, now: Cycle) -> Option<Cycle> {
+        let r = self.buffer.demand_lookup(line, now);
+        if r.is_some() {
+            self.stats.buffer_hits += 1;
+        }
+        r
+    }
+
+    /// Whether the buffer already holds (or is filling) a shadow line.
+    pub(crate) fn buffer_contains(&self, line: PAddr) -> bool {
+        self.buffer.contains(line)
+    }
+
+    /// Records a background gather completing at `ready_at`.
+    pub(crate) fn buffer_insert(&mut self, line: PAddr, ready_at: Cycle) {
+        self.buffer.insert(line, ready_at);
+    }
+
+    /// Invalidates a buffered shadow line (consistency on scatter writes).
+    pub(crate) fn buffer_invalidate(&mut self, line: PAddr) {
+        self.buffer.invalidate(line);
+    }
+
+    /// Tracks indirection-vector block reuse; returns `true` if `block`
+    /// was already the most recent block (no DRAM read needed).
+    pub(crate) fn vector_block_cached(&mut self, block: PvAddr) -> bool {
+        if self.last_vector_block == Some(block) {
+            true
+        } else {
+            self.last_vector_block = Some(block);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn region(start: u64, len: u64) -> PRange {
+        PRange::new(PAddr::new(start), len)
+    }
+
+    fn direct_desc() -> ShadowDescriptor {
+        ShadowDescriptor::new(
+            region(0x4000_0000, 4096),
+            RemapFn::direct(PvAddr::new(0)),
+            128,
+            256,
+        )
+    }
+
+    #[test]
+    fn matches_and_offsets() {
+        let d = direct_desc();
+        assert!(d.matches(PAddr::new(0x4000_0000)));
+        assert!(d.matches(PAddr::new(0x4000_0fff)));
+        assert!(!d.matches(PAddr::new(0x4000_1000)));
+        assert_eq!(d.offset_of(PAddr::new(0x4000_0080)), 0x80);
+    }
+
+    #[test]
+    fn buffer_round_trip() {
+        let mut d = direct_desc();
+        let line = PAddr::new(0x4000_0000);
+        assert!(d.buffer_lookup(line, 0).is_none());
+        d.buffer_insert(line, 99);
+        assert_eq!(d.buffer_lookup(line, 0), Some(99));
+        assert_eq!(d.stats().buffer_hits, 1);
+        d.buffer_invalidate(line);
+        assert!(!d.buffer_contains(line));
+    }
+
+    #[test]
+    fn vector_block_dedupe() {
+        let mut d = direct_desc();
+        let b = PvAddr::new(0x100);
+        assert!(!d.vector_block_cached(b));
+        assert!(d.vector_block_cached(b));
+        assert!(!d.vector_block_cached(PvAddr::new(0x120)));
+    }
+
+    #[test]
+    fn gather_region_size_checked() {
+        let idx = Arc::new(vec![0u64; 16]); // 16 * 8 = 128 bytes image
+        let remap = RemapFn::gather(PvAddr::new(0), 8, idx, PvAddr::new(0x9000), 4);
+        // Page-rounded slack is fine (the OS maps whole pages)...
+        let _ = ShadowDescriptor::new(region(0x4000_0000, 4096), remap.clone(), 128, 256);
+        // ...more than a page over the image is not.
+        let result = std::panic::catch_unwind(|| {
+            ShadowDescriptor::new(region(0x4000_0000, 8192), remap, 128, 256)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn misaligned_region_rejected() {
+        let _ = ShadowDescriptor::new(
+            region(0x4000_0020, 4096),
+            RemapFn::direct(PvAddr::new(0)),
+            128,
+            256,
+        );
+    }
+}

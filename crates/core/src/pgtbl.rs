@@ -1,0 +1,258 @@
+//! The controller page table (PgTbl): pseudo-virtual → physical, with an
+//! on-chip TLB backed by main memory.
+//!
+//! The OS downloads page-grained mappings for every remapped data
+//! structure (step 4 of the remapping protocol in Section 2.1). At access
+//! time the controller's AddrCalc produces pseudo-virtual addresses; this
+//! unit translates them to real DRAM addresses. Translations that miss the
+//! on-chip TLB cost a DRAM read of the memory-resident table.
+
+use std::collections::HashMap;
+
+use impulse_dram::Dram;
+use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::{AccessKind, Cycle, MAddr, PvAddr};
+
+/// Configuration of the controller page table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PgTblConfig {
+    /// On-chip TLB entries.
+    pub tlb_entries: usize,
+    /// DRAM location of the memory-resident table (for walk reads).
+    pub table_base: MAddr,
+    /// Bytes read per walk.
+    pub walk_bytes: u64,
+}
+
+impl Default for PgTblConfig {
+    fn default() -> Self {
+        Self {
+            tlb_entries: 64,
+            // Park the table in the top megabyte of a 1 GB DRAM; the OS
+            // model reserves this region.
+            table_base: MAddr::new((1 << 30) - (1 << 20)),
+            walk_bytes: 8,
+        }
+    }
+}
+
+/// Statistics for the controller page table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PgTblStats {
+    /// Translations requested.
+    pub lookups: u64,
+    /// Translations served by the on-chip TLB.
+    pub tlb_hits: u64,
+    /// Walk reads issued to DRAM.
+    pub walks: u64,
+}
+
+/// Controller page table with an on-chip TLB.
+#[derive(Clone, Debug)]
+pub struct PgTbl {
+    cfg: PgTblConfig,
+    map: HashMap<u64, MAddr>,
+    /// Fully-associative LRU TLB over pv pages (small; linear scan).
+    tlb: Vec<(u64, u64)>, // (pv page, stamp)
+    tick: u64,
+    stats: PgTblStats,
+}
+
+impl PgTbl {
+    /// Builds an empty controller page table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TLB would have zero entries.
+    pub fn new(cfg: PgTblConfig) -> Self {
+        assert!(cfg.tlb_entries > 0, "controller TLB needs at least one entry");
+        Self {
+            cfg,
+            map: HashMap::new(),
+            tlb: Vec::new(),
+            tick: 0,
+            stats: PgTblStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PgTblStats {
+        self.stats
+    }
+
+    /// Resets statistics (mappings and cached translations are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = PgTblStats::default();
+    }
+
+    /// Installs (or replaces) the mapping for one pseudo-virtual page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not page-aligned.
+    pub fn map_page(&mut self, pv_page: u64, frame: MAddr) {
+        assert!(
+            frame.raw().is_multiple_of(PAGE_SIZE),
+            "page frames must be page-aligned: {frame:?}"
+        );
+        self.map.insert(pv_page, frame);
+    }
+
+    /// Removes the mapping for a pseudo-virtual page and drops any cached
+    /// translation.
+    pub fn unmap_page(&mut self, pv_page: u64) {
+        self.map.remove(&pv_page);
+        self.tlb.retain(|&(p, _)| p != pv_page);
+    }
+
+    /// Number of installed page mappings.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether a pseudo-virtual address has a mapping installed.
+    pub fn is_mapped(&self, pv: PvAddr) -> bool {
+        self.map.contains_key(&(pv.raw() >> PAGE_SHIFT))
+    }
+
+    /// Resolves a pseudo-virtual address to its DRAM address without
+    /// timing or statistics effects (for inspection and testing).
+    pub fn resolve(&self, pv: PvAddr) -> Option<MAddr> {
+        self.map
+            .get(&(pv.raw() >> PAGE_SHIFT))
+            .map(|frame| frame.add(pv.page_offset()))
+    }
+
+    /// Translates a pseudo-virtual address; returns the DRAM address and
+    /// the cycle at which the translation is available (TLB misses pay a
+    /// DRAM walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never mapped — the OS must download mappings
+    /// before the CPU touches the corresponding shadow addresses.
+    pub fn translate(&mut self, pv: PvAddr, dram: &mut Dram, now: Cycle) -> (MAddr, Cycle) {
+        self.stats.lookups += 1;
+        let pv_page = pv.raw() >> PAGE_SHIFT;
+        let frame = *self
+            .map
+            .get(&pv_page)
+            .unwrap_or_else(|| panic!("controller page table has no mapping for pv page {pv_page:#x}"));
+        let maddr = frame.add(pv.page_offset());
+
+        self.tick += 1;
+        if let Some(entry) = self.tlb.iter_mut().find(|(p, _)| *p == pv_page) {
+            entry.1 = self.tick;
+            self.stats.tlb_hits += 1;
+            return (maddr, now);
+        }
+
+        // TLB miss: read the memory-resident table entry.
+        self.stats.walks += 1;
+        let entry_addr = self
+            .cfg
+            .table_base
+            .add((pv_page % (1 << 17)) * self.cfg.walk_bytes);
+        let ready = dram.access(entry_addr, AccessKind::Load, self.cfg.walk_bytes, now);
+
+        if self.tlb.len() < self.cfg.tlb_entries {
+            self.tlb.push((pv_page, self.tick));
+        } else {
+            let victim = self
+                .tlb
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, stamp))| stamp)
+                .map(|(i, _)| i)
+                .expect("TLB is non-empty when full");
+            self.tlb[victim] = (pv_page, self.tick);
+        }
+        (maddr, ready)
+    }
+
+    /// Drops all cached translations (mappings stay installed).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impulse_dram::DramConfig;
+
+    fn setup() -> (PgTbl, Dram) {
+        let cfg = PgTblConfig {
+            tlb_entries: 2,
+            table_base: MAddr::new(0x1000_0000),
+            walk_bytes: 8,
+        };
+        (PgTbl::new(cfg), Dram::new(DramConfig::default()))
+    }
+
+    #[test]
+    fn translate_applies_page_offset() {
+        let (mut pt, mut dram) = setup();
+        pt.map_page(5, MAddr::new(0x8000));
+        let (m, _) = pt.translate(PvAddr::new(5 * PAGE_SIZE + 0x123), &mut dram, 0);
+        assert_eq!(m, MAddr::new(0x8123));
+    }
+
+    #[test]
+    fn first_translation_walks_then_hits() {
+        let (mut pt, mut dram) = setup();
+        pt.map_page(1, MAddr::new(0));
+        let (_, t1) = pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        assert!(t1 > 0, "miss should pay a walk");
+        let (_, t2) = pt.translate(PvAddr::new(PAGE_SIZE + 8), &mut dram, t1);
+        assert_eq!(t2, t1, "hit should be free");
+        assert_eq!(pt.stats().walks, 1);
+        assert_eq!(pt.stats().tlb_hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_in_tiny_tlb() {
+        let (mut pt, mut dram) = setup();
+        for p in 0..3 {
+            pt.map_page(p, MAddr::new(p * PAGE_SIZE));
+        }
+        pt.translate(PvAddr::new(0), &mut dram, 0); // walk 0
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0); // walk 1
+        pt.translate(PvAddr::new(2 * PAGE_SIZE), &mut dram, 0); // walk 2, evict 0
+        pt.translate(PvAddr::new(0), &mut dram, 0); // walk again
+        assert_eq!(pt.stats().walks, 4);
+    }
+
+    #[test]
+    fn unmap_page_forgets_translation() {
+        let (mut pt, mut dram) = setup();
+        pt.map_page(1, MAddr::new(0));
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        pt.unmap_page(1);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn flush_tlb_forces_rewalk() {
+        let (mut pt, mut dram) = setup();
+        pt.map_page(1, MAddr::new(0));
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        pt.flush_tlb();
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        assert_eq!(pt.stats().walks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mapping")]
+    fn unmapped_page_panics() {
+        let (mut pt, mut dram) = setup();
+        let _ = pt.translate(PvAddr::new(0), &mut dram, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn misaligned_frame_rejected() {
+        let (mut pt, _) = setup();
+        pt.map_page(0, MAddr::new(12));
+    }
+}

@@ -1,0 +1,333 @@
+//! DRAM timing model for the Impulse simulator.
+//!
+//! Models a multi-bank page-mode DRAM of the kind behind a late-1990s
+//! memory controller: each bank has one open row (the "DRAM page"); an
+//! access to the open row costs the row-hit latency, any other access pays
+//! precharge + activate. Data returns over a shared DRAM data bus whose
+//! occupancy serializes transfers.
+//!
+//! The paper's published results use a **simple in-order scheduler**
+//! (Section 2.2: "the simulation results reported in this paper assume a
+//! simple scheduler that issues accesses in order"); the smarter scheduler
+//! they were designing — row-locality reordering, bank-level parallelism,
+//! CPU-priority — is implemented in [`sched`] and evaluated by the
+//! `ablation_dram` bench.
+//!
+//! # Examples
+//!
+//! ```
+//! use impulse_dram::{Dram, DramConfig};
+//! use impulse_types::{AccessKind, MAddr};
+//!
+//! let mut dram = Dram::new(DramConfig::default());
+//! let t1 = dram.access(MAddr::new(0), AccessKind::Load, 8, 0);
+//! // Second access to the same row hits the open row buffer: cheaper.
+//! let t2 = dram.access(MAddr::new(64), AccessKind::Load, 8, t1);
+//! assert!(t2 - t1 < t1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sched;
+
+pub use sched::{BatchOutcome, SchedulePolicy, Scheduler};
+
+use impulse_types::{AccessKind, Cycle, MAddr};
+
+/// Configuration of the DRAM array and its timing, in CPU cycles.
+///
+/// Defaults are calibrated so that an isolated row-miss word read completes
+/// in ~30 cycles at the controller, which combined with the bus and
+/// controller overheads reproduces the Paint simulator's 40-cycle
+/// memory-access latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independent banks.
+    pub banks: u64,
+    /// Bytes per row (the unit of page-mode locality).
+    pub row_bytes: u64,
+    /// Latency of a column access to an already-open row.
+    pub t_row_hit: Cycle,
+    /// Latency when the wrong row is open (precharge + activate + access).
+    pub t_row_miss: Cycle,
+    /// Bytes the DRAM data bus moves per cycle.
+    pub bus_bytes_per_cycle: u64,
+    /// Minimum data-bus occupancy per access, cycles.
+    pub t_bus_min: Cycle,
+    /// Total capacity in bytes; accesses are debug-checked against it.
+    pub capacity: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            banks: 4,
+            row_bytes: 2048,
+            t_row_hit: 8,
+            t_row_miss: 28,
+            bus_bytes_per_cycle: 16,
+            t_bus_min: 2,
+            capacity: 1 << 30, // 1 GB installed DRAM, as in the paper's example
+        }
+    }
+}
+
+impl DramConfig {
+    /// Bank index for an address (row-interleaved: consecutive rows land in
+    /// consecutive banks).
+    #[inline]
+    pub fn bank_of(&self, addr: MAddr) -> u64 {
+        (addr.raw() / self.row_bytes) % self.banks
+    }
+
+    /// Row identifier within the bank for an address.
+    #[inline]
+    pub fn row_of(&self, addr: MAddr) -> u64 {
+        (addr.raw() / self.row_bytes) / self.banks
+    }
+
+    /// Data-bus occupancy for a transfer of `bytes`.
+    #[inline]
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycle {
+        self.t_bus_min.max(bytes.div_ceil(self.bus_bytes_per_cycle))
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+/// Counters maintained by the DRAM model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read accesses served.
+    pub reads: u64,
+    /// Write accesses served.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that had to open a row.
+    pub row_misses: u64,
+    /// Total bytes moved over the DRAM data bus.
+    pub bytes: u64,
+    /// Cycles spent waiting for a busy bank.
+    pub bank_wait: u64,
+}
+
+impl DramStats {
+    /// Fraction of accesses that hit an open row, or 0 if none occurred.
+    pub fn row_hit_ratio(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The DRAM array: banks, open-row state, and the shared data bus.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    data_bus_free: Cycle,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM array from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or a zero-byte row.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.banks > 0, "DRAM must have at least one bank");
+        assert!(cfg.row_bytes > 0, "DRAM rows must be non-empty");
+        let banks = vec![Bank::default(); cfg.banks as usize];
+        Self {
+            cfg,
+            banks,
+            data_bus_free: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration this array was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Resets statistics (open-row and timing state are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Performs one access of `bytes` bytes starting at `now`; returns the
+    /// cycle at which the data transfer completes.
+    ///
+    /// The access waits for its bank, pays row-hit or row-miss latency,
+    /// then occupies the shared data bus for the transfer.
+    pub fn access(&mut self, addr: MAddr, kind: AccessKind, bytes: u64, now: Cycle) -> Cycle {
+        debug_assert!(
+            addr.raw() < self.cfg.capacity,
+            "DRAM access beyond installed capacity: {addr:?}"
+        );
+        let bank_idx = self.cfg.bank_of(addr) as usize;
+        let row = self.cfg.row_of(addr);
+        let bank = &mut self.banks[bank_idx];
+
+        let start = now.max(bank.busy_until);
+        self.stats.bank_wait += start - now;
+
+        let latency = if bank.open_row == Some(row) {
+            self.stats.row_hits += 1;
+            self.cfg.t_row_hit
+        } else {
+            self.stats.row_misses += 1;
+            bank.open_row = Some(row);
+            self.cfg.t_row_miss
+        };
+        let data_ready = start + latency;
+        // The bank is free to start another column access once data reaches
+        // the row buffer; the shared data bus serializes the transfer out.
+        bank.busy_until = data_ready;
+
+        let xfer_start = data_ready.max(self.data_bus_free);
+        let done = xfer_start + self.cfg.transfer_cycles(bytes);
+        self.data_bus_free = done;
+
+        match kind {
+            AccessKind::Load => self.stats.reads += 1,
+            AccessKind::Store => self.stats.writes += 1,
+        }
+        self.stats.bytes += bytes;
+        done
+    }
+
+    /// Closes all open rows (e.g. across a simulated refresh or barrier).
+    pub fn precharge_all(&mut self) {
+        for bank in &mut self.banks {
+            bank.open_row = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = dram();
+        let done = d.access(MAddr::new(0), AccessKind::Load, 8, 0);
+        assert_eq!(d.stats().row_misses, 1);
+        assert_eq!(d.stats().row_hits, 0);
+        let cfg = DramConfig::default();
+        assert_eq!(done, cfg.t_row_miss + cfg.t_bus_min);
+    }
+
+    #[test]
+    fn same_row_hits_open_page() {
+        let mut d = dram();
+        let t1 = d.access(MAddr::new(0), AccessKind::Load, 8, 0);
+        let t2 = d.access(MAddr::new(512), AccessKind::Load, 8, t1);
+        assert_eq!(d.stats().row_hits, 1);
+        assert!(t2 - t1 < t1, "row hit should be cheaper than row miss");
+    }
+
+    #[test]
+    fn different_rows_same_bank_miss() {
+        let cfg = DramConfig::default();
+        let stride = cfg.row_bytes * cfg.banks; // same bank, next row
+        let mut d = Dram::new(cfg);
+        d.access(MAddr::new(0), AccessKind::Load, 8, 0);
+        d.access(MAddr::new(stride), AccessKind::Load, 8, 1000);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn adjacent_rows_use_different_banks() {
+        let cfg = DramConfig::default();
+        assert_ne!(
+            cfg.bank_of(MAddr::new(0)),
+            cfg.bank_of(MAddr::new(cfg.row_bytes))
+        );
+    }
+
+    #[test]
+    fn bank_conflicts_wait() {
+        let mut d = dram();
+        // Two immediate accesses to the same bank, different rows.
+        let cfg = DramConfig::default();
+        let stride = cfg.row_bytes * cfg.banks;
+        d.access(MAddr::new(0), AccessKind::Load, 8, 0);
+        d.access(MAddr::new(stride), AccessKind::Load, 8, 0);
+        assert!(d.stats().bank_wait > 0);
+    }
+
+    #[test]
+    fn data_bus_serializes_parallel_banks() {
+        let cfg = DramConfig::default();
+        let row = cfg.row_bytes;
+        let mut d = Dram::new(cfg.clone());
+        // Same start time, different banks: banks overlap, bus serializes.
+        let t1 = d.access(MAddr::new(0), AccessKind::Load, 128, 0);
+        let t2 = d.access(MAddr::new(row), AccessKind::Load, 128, 0);
+        assert_eq!(t2 - t1, cfg.transfer_cycles(128));
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes() {
+        let cfg = DramConfig::default();
+        assert_eq!(cfg.transfer_cycles(8), cfg.t_bus_min);
+        assert_eq!(cfg.transfer_cycles(128), 128 / cfg.bus_bytes_per_cycle);
+    }
+
+    #[test]
+    fn stats_track_reads_writes_bytes() {
+        let mut d = dram();
+        d.access(MAddr::new(0), AccessKind::Load, 32, 0);
+        d.access(MAddr::new(32), AccessKind::Store, 32, 100);
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes, 64);
+    }
+
+    #[test]
+    fn precharge_forces_row_miss() {
+        let mut d = dram();
+        d.access(MAddr::new(0), AccessKind::Load, 8, 0);
+        d.precharge_all();
+        d.access(MAddr::new(8), AccessKind::Load, 8, 1000);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn row_hit_ratio_handles_empty() {
+        assert_eq!(DramStats::default().row_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let cfg = DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        };
+        let _ = Dram::new(cfg);
+    }
+}

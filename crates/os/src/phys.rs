@@ -1,0 +1,228 @@
+//! Physical page-frame allocation.
+//!
+//! The allocator hands out 4 KB DRAM frames under one of two placement
+//! policies: `Sequential` (first-touch, the common contiguous case) or
+//! `Random` (a fragmented machine — the situation that makes conventional
+//! page recoloring expensive and Impulse's no-copy recoloring attractive).
+//! It also supports *colored* allocation, used by tests and by the
+//! software-copying baselines.
+
+use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::MAddr;
+
+/// Frame placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Allocate frames in ascending order.
+    Sequential,
+    /// Allocate frames in a pseudo-random order derived from the seed.
+    Random(u64),
+}
+
+/// Errors from the frame allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhysError {
+    /// No free frame satisfies the request.
+    OutOfMemory,
+}
+
+impl core::fmt::Display for PhysError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PhysError::OutOfMemory => write!(f, "out of physical memory"),
+        }
+    }
+}
+
+impl std::error::Error for PhysError {}
+
+/// The physical frame allocator.
+///
+/// # Examples
+///
+/// ```
+/// use impulse_os::{AllocPolicy, PhysMem};
+///
+/// let mut phys = PhysMem::new(1 << 20, 0, AllocPolicy::Sequential);
+/// let a = phys.alloc()?;
+/// let b = phys.alloc()?;
+/// assert_ne!(a, b);
+/// phys.free(a);
+/// # Ok::<(), impulse_os::PhysError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhysMem {
+    /// Free frame numbers, popped from the back.
+    free: Vec<u64>,
+    total_frames: u64,
+    allocated: u64,
+}
+
+impl PhysMem {
+    /// Builds an allocator over `capacity` bytes of DRAM, keeping the top
+    /// `reserved_top` bytes out of the pool (the controller page table
+    /// lives there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation leaves no allocatable frames.
+    pub fn new(capacity: u64, reserved_top: u64, policy: AllocPolicy) -> Self {
+        let usable = capacity
+            .checked_sub(reserved_top)
+            .expect("reservation exceeds capacity");
+        let frames = usable / PAGE_SIZE;
+        assert!(frames > 0, "no allocatable frames");
+        let mut free: Vec<u64> = (0..frames).rev().collect();
+        if let AllocPolicy::Random(seed) = policy {
+            shuffle(&mut free, seed);
+        }
+        Self {
+            free,
+            total_frames: frames,
+            allocated: 0,
+        }
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Frames still free.
+    pub fn free_frames(&self) -> u64 {
+        self.total_frames - self.allocated
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::OutOfMemory`] when the pool is exhausted.
+    pub fn alloc(&mut self) -> Result<MAddr, PhysError> {
+        let frame = self.free.pop().ok_or(PhysError::OutOfMemory)?;
+        self.allocated += 1;
+        Ok(MAddr::new(frame << PAGE_SHIFT))
+    }
+
+    /// Allocates a frame whose *page color* (frame number modulo
+    /// `num_colors`) is in `colors`. Used by copy-based baselines that pay
+    /// for color control with data movement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::OutOfMemory`] if no free frame has an
+    /// acceptable color.
+    pub fn alloc_colored(&mut self, colors: &[u64], num_colors: u64) -> Result<MAddr, PhysError> {
+        let pos = self
+            .free
+            .iter()
+            .rposition(|f| colors.contains(&(f % num_colors)))
+            .ok_or(PhysError::OutOfMemory)?;
+        let frame = self.free.swap_remove(pos);
+        self.allocated += 1;
+        Ok(MAddr::new(frame << PAGE_SHIFT))
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not page-aligned.
+    pub fn free(&mut self, frame: MAddr) {
+        assert!(
+            frame.raw().is_multiple_of(PAGE_SIZE),
+            "freeing a non-page-aligned frame: {frame:?}"
+        );
+        self.free.push(frame.raw() >> PAGE_SHIFT);
+        self.allocated -= 1;
+    }
+}
+
+/// Fisher–Yates with an xorshift generator (keeps this crate free of a
+/// rand dependency; determinism is all the simulator needs).
+fn shuffle(v: &mut [u64], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocates_ascending() {
+        let mut p = PhysMem::new(16 * PAGE_SIZE, 0, AllocPolicy::Sequential);
+        assert_eq!(p.alloc().unwrap(), MAddr::new(0));
+        assert_eq!(p.alloc().unwrap(), MAddr::new(PAGE_SIZE));
+        assert_eq!(p.allocated_frames(), 2);
+        assert_eq!(p.free_frames(), 14);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_complete() {
+        let mut a = PhysMem::new(64 * PAGE_SIZE, 0, AllocPolicy::Random(7));
+        let mut b = PhysMem::new(64 * PAGE_SIZE, 0, AllocPolicy::Random(7));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let fa = a.alloc().unwrap();
+            assert_eq!(fa, b.alloc().unwrap());
+            assert!(seen.insert(fa));
+        }
+        assert!(a.alloc().is_err());
+    }
+
+    #[test]
+    fn random_actually_permutes() {
+        let mut p = PhysMem::new(64 * PAGE_SIZE, 0, AllocPolicy::Random(1));
+        let first: Vec<u64> = (0..8).map(|_| p.alloc().unwrap().raw()).collect();
+        assert_ne!(first, (0..8).map(|i| i * PAGE_SIZE).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reservation_shrinks_pool() {
+        let p = PhysMem::new(16 * PAGE_SIZE, 4 * PAGE_SIZE, AllocPolicy::Sequential);
+        assert_eq!(p.free_frames(), 12);
+    }
+
+    #[test]
+    fn colored_allocation_respects_colors() {
+        let mut p = PhysMem::new(64 * PAGE_SIZE, 0, AllocPolicy::Sequential);
+        for _ in 0..8 {
+            let f = p.alloc_colored(&[3, 5], 8).unwrap();
+            let color = (f.raw() >> 12) % 8;
+            assert!(color == 3 || color == 5);
+        }
+    }
+
+    #[test]
+    fn colored_allocation_exhausts() {
+        let mut p = PhysMem::new(8 * PAGE_SIZE, 0, AllocPolicy::Sequential);
+        assert!(p.alloc_colored(&[0], 8).is_ok());
+        assert_eq!(p.alloc_colored(&[0], 8), Err(PhysError::OutOfMemory));
+    }
+
+    #[test]
+    fn free_returns_frame_to_pool() {
+        let mut p = PhysMem::new(PAGE_SIZE, 0, AllocPolicy::Sequential);
+        let f = p.alloc().unwrap();
+        assert!(p.alloc().is_err());
+        p.free(f);
+        assert_eq!(p.alloc().unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn free_rejects_unaligned() {
+        let mut p = PhysMem::new(2 * PAGE_SIZE, 0, AllocPolicy::Sequential);
+        p.free(MAddr::new(1));
+    }
+}

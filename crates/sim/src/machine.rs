@@ -1,0 +1,794 @@
+//! The top-level simulated machine: a single-issue CPU driving the memory
+//! system, plus the OS.
+//!
+//! Workloads are *execution-driven*: they run as ordinary Rust code
+//! against a [`Machine`], issuing `load`/`store`/`compute` operations that
+//! advance the cycle clock exactly as the Paint simulator's single-issue
+//! PA-RISC would (every instruction costs at least one cycle; loads block
+//! until data returns; stores retire through the write path).
+//!
+//! The `sys_*` methods are the Impulse system calls: they perform the
+//! kernel work, charge the trap/download costs, and carry out the cache
+//! flushes the paper's protocol requires (step 5 of Section 2.1).
+
+use std::sync::Arc;
+
+use impulse_os::{Kernel, OsError, Pid, RemapGrant};
+use impulse_types::geom::PAGE_SIZE;
+use impulse_types::{Cycle, PAddr, VAddr, VRange};
+
+use crate::config::SystemConfig;
+use crate::report::Report;
+use crate::system::MemorySystem;
+use crate::trace::{TraceEvent, Tracer};
+
+/// Entries in the simulator's internal translation memo (not an
+/// architectural structure — the architectural TLB lives in the memory
+/// system; this only avoids HashMap lookups on the simulator hot path).
+const XLAT_SLOTS: usize = 16;
+
+/// A simulated machine: CPU clock + memory system + OS.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    kernel: Kernel,
+    ms: MemorySystem,
+    now: Cycle,
+    epoch: Cycle,
+    syscall_cycles: u64,
+    instructions: u64,
+    xlat: [(u64, u64); XLAT_SLOTS], // (vpage, page base bus address)
+    tracer: Option<Tracer>,
+    /// Completion times of overlapped (non-blocking) load misses.
+    inflight: std::collections::VecDeque<Cycle>,
+    mshr: usize,
+    overlap_threshold: Cycle,
+    /// Online superpage promotion threshold (0 = disabled).
+    promote_threshold: u64,
+}
+
+impl Machine {
+    /// Boots a machine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's and the DRAM's idea of installed capacity
+    /// disagree.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        assert_eq!(
+            cfg.kernel.dram_capacity, cfg.dram.capacity,
+            "kernel and DRAM must agree on installed capacity"
+        );
+        Self {
+            kernel: Kernel::new(cfg.kernel),
+            ms: MemorySystem::new(cfg),
+            now: 0,
+            epoch: 0,
+            syscall_cycles: 0,
+            instructions: 0,
+            xlat: [(u64::MAX, 0); XLAT_SLOTS],
+            tracer: None,
+            inflight: std::collections::VecDeque::with_capacity(cfg.mshr),
+            mshr: cfg.mshr,
+            overlap_threshold: cfg.t_l2_hit,
+            promote_threshold: 0,
+        }
+    }
+
+    /// Enables online superpage promotion: once a region takes
+    /// `threshold` TLB misses, the OS dynamically rebuilds it as a shadow
+    /// superpage (Section 6's "dynamically build superpages"). Only
+    /// span-aligned multi-page regions are promoted.
+    pub fn enable_auto_promotion(&mut self, threshold: u64) {
+        assert!(threshold > 0, "a zero threshold would promote everything");
+        self.promote_threshold = threshold;
+    }
+
+    /// Retires completed overlapped misses; stalls for the oldest if the
+    /// miss window is full.
+    #[inline]
+    fn make_mshr_slot(&mut self) {
+        while let Some(&c) = self.inflight.front() {
+            if c <= self.now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.inflight.len() >= self.mshr {
+            let oldest = self.inflight.pop_front().expect("window non-empty");
+            self.now = self.now.max(oldest);
+        }
+    }
+
+    /// Waits for every outstanding load (synchronization point: system
+    /// calls, flushes, end of measurement).
+    fn drain_loads(&mut self) {
+        if let Some(&last) = self.inflight.back() {
+            self.now = self.now.max(last);
+        }
+        self.inflight.clear();
+    }
+
+    /// Attaches a trace recorder; every demand access is recorded until
+    /// [`Machine::take_tracer`] detaches it.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the trace recorder, if one was attached.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The OS.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The memory system (for stats and inspection).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.ms
+    }
+
+    /// Instructions retired (loads + stores + compute cycles).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    #[inline]
+    fn translate_fast(&mut self, v: VAddr) -> PAddr {
+        let vpage = v.page_number();
+        let slot = (vpage as usize) & (XLAT_SLOTS - 1);
+        let (tag, base) = self.xlat[slot];
+        if tag == vpage {
+            return PAddr::new(base + v.page_offset());
+        }
+        let p = self.kernel.translate(v);
+        self.xlat[slot] = (vpage, p.page_base().raw());
+        p
+    }
+
+    fn invalidate_xlat(&mut self) {
+        self.xlat = [(u64::MAX, 0); XLAT_SLOTS];
+    }
+
+    /// Executes a load of the word at `v`; the clock advances to
+    /// completion (single-issue, blocking loads).
+    #[inline]
+    pub fn load(&mut self, v: VAddr) {
+        if self.mshr > 1 {
+            self.make_mshr_slot();
+        }
+        let p = self.translate_fast(v);
+        let span = self.kernel.tlb_span(v.page_number());
+        let start = self.now;
+        let penalties = self.ms.stats().tlb_penalties;
+        let done = self.ms.load(v, p, span, start);
+        if self.mshr > 1 && done > start + self.overlap_threshold {
+            // A miss beyond the L2: issue it and keep going (non-blocking
+            // loads); the data's consumer is assumed far enough away.
+            self.inflight.push_back(done);
+            self.now = start + 1;
+        } else {
+            self.now = done;
+        }
+        self.instructions += 1;
+        if self.promote_threshold > 0 && self.ms.stats().tlb_penalties != penalties {
+            self.consider_promotion(v);
+        }
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at: start,
+                kind: impulse_types::AccessKind::Load,
+                vaddr: v,
+                paddr: p,
+                latency: self.now - start,
+            });
+        }
+    }
+
+    /// Executes a store to the word at `v`.
+    #[inline]
+    pub fn store(&mut self, v: VAddr) {
+        let p = self.translate_fast(v);
+        let span = self.kernel.tlb_span(v.page_number());
+        let start = self.now;
+        self.now = self.ms.store(v, p, span, start);
+        self.instructions += 1;
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at: start,
+                kind: impulse_types::AccessKind::Store,
+                vaddr: v,
+                paddr: p,
+                latency: self.now - start,
+            });
+        }
+    }
+
+    /// Executes `n` non-memory instructions (1 cycle each on the
+    /// single-issue pipeline).
+    #[inline]
+    pub fn compute(&mut self, n: u64) {
+        self.now += n;
+        self.instructions += n;
+    }
+
+    /// Online promotion check after a TLB miss.
+    fn consider_promotion(&mut self, v: VAddr) {
+        if let Some(region) = self.kernel.note_tlb_miss(v, self.promote_threshold) {
+            // Best effort: descriptor exhaustion just skips the promotion.
+            let _ = self.sys_superpage(region);
+        }
+    }
+
+    /// Translates without timing (for assertions and tests).
+    pub fn translate(&self, v: VAddr) -> PAddr {
+        self.kernel.translate(v)
+    }
+
+    /// Programs a stream buffer with an explicit stride starting at the
+    /// physical address of `v` (McKee-style software-declared vector
+    /// access; no-op unless stream buffers are configured). The stream
+    /// follows *physical* addresses, so it breaks at page boundaries —
+    /// callers re-program per page, which is exactly the limitation the
+    /// paper contrasts Impulse against.
+    pub fn program_stream(&mut self, v: VAddr, stride: i64) {
+        let p = self.translate_fast(v);
+        self.now += 1; // one instruction to arm the stream
+        self.ms.program_stream(p, stride, self.now);
+    }
+
+    // ---- OS entry points ---------------------------------------------
+
+    fn charge_syscall(&mut self, pages: u64) {
+        self.drain_loads();
+        let costs = self.kernel.config().costs;
+        let cost = costs.t_trap + pages * costs.t_per_page;
+        self.now += cost;
+        self.syscall_cycles += cost;
+        self.invalidate_xlat();
+    }
+
+    /// Allocates and maps an ordinary data region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel allocation failures.
+    pub fn alloc_region(&mut self, bytes: u64, align: u64) -> Result<VRange, OsError> {
+        let r = self.kernel.alloc_region(bytes, align)?;
+        self.charge_syscall(r.page_count());
+        Ok(r)
+    }
+
+    /// Allocates a region constrained to the given L2 page colors — the
+    /// copying-world tool the paper contrasts with Impulse recoloring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel allocation failures.
+    pub fn alloc_region_colored(
+        &mut self,
+        bytes: u64,
+        align: u64,
+        colors: &[u64],
+    ) -> Result<VRange, OsError> {
+        let r = self.kernel.alloc_region_colored(bytes, align, colors)?;
+        self.charge_syscall(r.page_count());
+        Ok(r)
+    }
+
+    /// Flushes a virtual range from the caches (writes back dirty lines),
+    /// charging the per-line flush cost.
+    pub fn flush_region(&mut self, r: VRange) {
+        self.drain_loads();
+        let costs = self.kernel.config().costs;
+        let line = self.ms.l1().config().line;
+        let mut flushed = 0;
+        for v in r.blocks(line) {
+            if let Some(p) = self.kernel.aspace().try_translate(v) {
+                self.ms.flush_line(v, p, self.now);
+                flushed += 1;
+            }
+        }
+        self.now += flushed * costs.t_per_flush_line;
+        self.syscall_cycles += flushed * costs.t_per_flush_line;
+    }
+
+    /// Purges a virtual range (invalidates without writeback) — used for
+    /// remapped input tiles whose cached copies are clean.
+    pub fn purge_region(&mut self, r: VRange) {
+        let costs = self.kernel.config().costs;
+        let line = self.ms.l1().config().line;
+        let mut purged = 0;
+        for v in r.blocks(line) {
+            if let Some(p) = self.kernel.aspace().try_translate(v) {
+                self.ms.purge_line(v, p);
+                purged += 1;
+            }
+        }
+        self.now += purged * costs.t_per_flush_line;
+        self.syscall_cycles += purged * costs.t_per_flush_line;
+    }
+
+    /// System call: scatter/gather remap (see
+    /// [`Kernel::remap_gather`]). Flushes the target so the controller
+    /// gathers fresh data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_remap_gather(
+        &mut self,
+        target: VRange,
+        elem_size: u64,
+        indices: Arc<Vec<u64>>,
+        index_region: VRange,
+        index_bytes: u64,
+    ) -> Result<RemapGrant, OsError> {
+        let grant = self.kernel.remap_gather(
+            self.ms.mc_mut(),
+            target,
+            elem_size,
+            indices,
+            index_region,
+            index_bytes,
+        )?;
+        self.charge_syscall(grant.pages_installed);
+        self.flush_region(target);
+        Ok(grant)
+    }
+
+    /// Like [`Machine::sys_remap_gather`], but places the alias so that
+    /// streaming it alongside `partner` (e.g. CG's `DATA` array, consumed
+    /// in lock-step with `x'`) cannot conflict in the virtually-indexed
+    /// L1: the alias starts half an L1 away from `partner` modulo the L1
+    /// size. This is the "appropriate alignment and offset
+    /// characteristics" of the paper's step 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_remap_gather_interleaved(
+        &mut self,
+        target: VRange,
+        elem_size: u64,
+        indices: Arc<Vec<u64>>,
+        index_region: VRange,
+        index_bytes: u64,
+        partner: VAddr,
+    ) -> Result<RemapGrant, OsError> {
+        let l1 = self.ms.l1().config().size;
+        let phase = ((partner.raw() + l1 / 2) % l1) & !(PAGE_SIZE - 1);
+        let grant = self.kernel.remap_gather_aligned(
+            self.ms.mc_mut(),
+            target,
+            elem_size,
+            indices,
+            index_region,
+            index_bytes,
+            l1,
+            phase,
+        )?;
+        self.charge_syscall(grant.pages_installed);
+        self.flush_region(target);
+        Ok(grant)
+    }
+
+    /// System call: strided remap (see [`Kernel::remap_strided`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_remap_strided(
+        &mut self,
+        base: VAddr,
+        object_size: u64,
+        stride: u64,
+        count: u64,
+        alias_align: u64,
+    ) -> Result<RemapGrant, OsError> {
+        let grant = self.kernel.remap_strided(
+            self.ms.mc_mut(),
+            base,
+            object_size,
+            stride,
+            count,
+            alias_align,
+        )?;
+        self.charge_syscall(grant.pages_installed);
+        // Only the strided objects themselves need flushing — not the
+        // (possibly huge) span between them.
+        for i in 0..count {
+            self.flush_region(VRange::new(base.add(i * stride), object_size));
+        }
+        Ok(grant)
+    }
+
+    /// System call: retarget a strided alias at a new base (the per-tile
+    /// remap of Section 3.2). The caller is responsible for the
+    /// purge/flush protocol on the tiles themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_retarget_strided(
+        &mut self,
+        grant: &mut RemapGrant,
+        new_base: VAddr,
+        object_size: u64,
+        stride: u64,
+        count: u64,
+    ) -> Result<(), OsError> {
+        let pages = self.kernel.retarget_strided(
+            self.ms.mc_mut(),
+            grant,
+            new_base,
+            object_size,
+            stride,
+            count,
+        )?;
+        self.charge_syscall(pages);
+        Ok(())
+    }
+
+    /// System call: no-copy page recoloring (see
+    /// [`Kernel::remap_recolor`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use impulse_sim::{Machine, SystemConfig};
+    ///
+    /// let mut m = Machine::new(&SystemConfig::paint_small());
+    /// let x = m.alloc_region(64 * 1024, 8)?;
+    /// // Pin x to the first half of the physically-indexed L2.
+    /// let colors: Vec<u64> = (0..16).collect();
+    /// let grant = m.sys_recolor(x, &colors)?;
+    /// m.load(grant.alias.start()); // same data, new cache placement
+    /// # Ok::<(), impulse_os::OsError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_recolor(
+        &mut self,
+        target: VRange,
+        colors: &[u64],
+    ) -> Result<RemapGrant, OsError> {
+        let grant = self.kernel.remap_recolor(self.ms.mc_mut(), target, colors)?;
+        self.charge_syscall(grant.pages_installed);
+        self.flush_region(target);
+        Ok(grant)
+    }
+
+    /// System call: build a superpage over `target` (see
+    /// [`Kernel::build_superpage`]). Flushes the range under its *old*
+    /// physical tags and shoots down its TLB entries before the mapping
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_superpage(&mut self, target: VRange) -> Result<RemapGrant, OsError> {
+        // The flush must happen before the remap: cached lines are tagged
+        // with the original physical addresses.
+        self.flush_region(target);
+        for page in target.blocks(PAGE_SIZE) {
+            self.ms.tlb_shootdown(page);
+        }
+        let grant = self.kernel.build_superpage(self.ms.mc_mut(), target)?;
+        self.charge_syscall(grant.pages_installed);
+        Ok(grant)
+    }
+
+    /// Spawns a new (empty) process.
+    pub fn sys_spawn(&mut self) -> Pid {
+        let pid = self.kernel.spawn();
+        self.charge_syscall(0);
+        pid
+    }
+
+    /// Switches to another process: charges the context-switch cost and
+    /// flushes the TLB (the model has no address-space identifiers). The
+    /// physically-tagged caches need no flush.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist.
+    pub fn sys_switch(&mut self, pid: Pid) -> Result<(), OsError> {
+        self.kernel.switch(pid)?;
+        self.ms.tlb_flush();
+        self.charge_syscall(1);
+        Ok(())
+    }
+
+    /// Shares a grant's shadow region into another process (no-copy IPC,
+    /// Section 6): the receiver gets its own alias onto the same
+    /// controller descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the calling process owns the grant.
+    pub fn sys_share(&mut self, grant: &RemapGrant, with: Pid) -> Result<VRange, OsError> {
+        let alias = self.kernel.share_remap(grant, with)?;
+        self.charge_syscall(alias.page_count());
+        Ok(alias)
+    }
+
+    /// Releases a remap grant. Flushes the alias from the caches first
+    /// (its shadow addresses will no longer be served) and shoots down its
+    /// TLB entries; superpage grants have their original mappings
+    /// restored by the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors.
+    pub fn sys_release(&mut self, grant: &RemapGrant) -> Result<(), OsError> {
+        self.flush_region(grant.alias);
+        for page in grant.alias.blocks(PAGE_SIZE) {
+            self.ms.tlb_shootdown(page);
+        }
+        self.kernel.release_remap(self.ms.mc_mut(), grant)?;
+        self.charge_syscall(grant.alias.page_count());
+        Ok(())
+    }
+
+    // ---- measurement ---------------------------------------------------
+
+    /// Resets all statistics and starts a new measurement epoch (cache and
+    /// DRAM contents survive, enabling warm-up then measure).
+    pub fn reset_stats(&mut self) {
+        self.drain_loads();
+        self.epoch = self.now;
+        self.syscall_cycles = 0;
+        self.instructions = 0;
+        self.ms.reset_stats();
+        self.ms.mc_mut().reset_stats();
+    }
+
+    /// Builds a report over the current measurement epoch. Outstanding
+    /// overlapped loads are charged to the epoch (max completion time).
+    pub fn report(&self, name: impl Into<String>) -> Report {
+        let now = self
+            .inflight
+            .back()
+            .map_or(self.now, |&last| self.now.max(last));
+        Report::collect(
+            name.into(),
+            now - self.epoch,
+            self.instructions,
+            self.syscall_cycles,
+            &self.ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(&SystemConfig::paint_small())
+    }
+
+    #[test]
+    fn clock_advances_per_operation() {
+        let mut m = machine();
+        let r = m.alloc_region(4096, 8).unwrap();
+        let t0 = m.now();
+        m.compute(5);
+        assert_eq!(m.now(), t0 + 5);
+        m.load(r.start());
+        assert!(m.now() > t0 + 5);
+        assert_eq!(m.instructions(), 6);
+    }
+
+    #[test]
+    fn repeated_loads_hit_l1() {
+        let mut m = machine();
+        let r = m.alloc_region(4096, 8).unwrap();
+        m.load(r.start());
+        let t = m.now();
+        m.load(r.start());
+        assert_eq!(m.now() - t, 1);
+    }
+
+    #[test]
+    fn syscalls_cost_cycles() {
+        let mut m = machine();
+        let t0 = m.now();
+        let _ = m.alloc_region(1 << 16, 8).unwrap();
+        assert!(m.now() > t0, "allocation trap must cost time");
+    }
+
+    #[test]
+    fn gather_alias_is_loadable() {
+        let mut m = machine();
+        let x = m.alloc_region(1024 * 8, 8).unwrap();
+        let colv = m.alloc_region(512 * 4, 4).unwrap();
+        let indices = Arc::new((0..512u64).map(|i| (i * 13) % 1024).collect::<Vec<_>>());
+        let g = m
+            .sys_remap_gather(x, 8, indices, colv, 4)
+            .expect("gather remap");
+        // Stream the gathered alias.
+        for k in 0..512u64 {
+            m.load(g.alias.start().add(k * 8));
+        }
+        let rep = m.report("gather");
+        assert_eq!(rep.mem.loads, 512);
+        assert!(rep.mem.l1_ratio() > 0.7, "gathered data is dense in L1");
+        assert!(m.memory().mc().desc_stats().gathers > 0);
+    }
+
+    #[test]
+    fn recolored_alias_reads_same_frames() {
+        let mut m = machine();
+        let x = m.alloc_region(8 * PAGE_SIZE, 8).unwrap();
+        let g = m.sys_recolor(x, &[0, 1]).unwrap();
+        // Both views are readable; the alias sits in shadow space.
+        m.load(x.start());
+        m.load(g.alias.start());
+        assert!(m.memory().mc().is_shadow(m.translate(g.alias.start())));
+    }
+
+    #[test]
+    fn superpage_reduces_tlb_penalties() {
+        let run = |superpage: bool| {
+            let mut m = machine();
+            let pages = 64;
+            let r = m
+                .alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE)
+                .unwrap();
+            if superpage {
+                m.sys_superpage(r).unwrap();
+            }
+            m.reset_stats();
+            // Touch every page, twice around, exceeding nothing but
+            // demonstrating reach.
+            for round in 0..2u64 {
+                for i in 0..pages {
+                    m.load(r.start().add(i * PAGE_SIZE + round * 8));
+                }
+            }
+            m.report("tlb").mem.tlb_penalties
+        };
+        let base = run(false);
+        let sp = run(true);
+        assert!(sp < base, "superpage TLB penalties {sp} !< {base}");
+        assert_eq!(sp, 1, "one penalty to load the superpage entry");
+    }
+
+    #[test]
+    fn report_epoch_resets() {
+        let mut m = machine();
+        let r = m.alloc_region(4096, 8).unwrap();
+        m.load(r.start());
+        m.reset_stats();
+        let rep = m.report("fresh");
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.mem.loads, 0);
+    }
+
+    #[test]
+    fn nonblocking_loads_overlap_misses() {
+        let run = |mshr: usize| {
+            let cfg = SystemConfig::paint_small().with_mshr(mshr);
+            let mut m = Machine::new(&cfg);
+            let r = m.alloc_region(1 << 20, 8).unwrap();
+            m.reset_stats();
+            // Independent strided misses: a non-blocking CPU overlaps them.
+            for i in 0..2048u64 {
+                m.load(r.start().add(i * 512 % (1 << 20)));
+                m.compute(2);
+            }
+            m.report("mshr").cycles
+        };
+        let blocking = run(1);
+        let overlapped = run(4);
+        assert!(
+            overlapped * 3 < blocking * 2,
+            "4 MSHRs should cut at least a third: {overlapped} !<< {blocking}"
+        );
+        // Determinism holds in both modes.
+        assert_eq!(run(4), overlapped);
+    }
+
+    #[test]
+    fn nonblocking_drains_at_sync_points() {
+        let cfg = SystemConfig::paint_small().with_mshr(8);
+        let mut m = Machine::new(&cfg);
+        let r = m.alloc_region(1 << 16, 8).unwrap();
+        for i in 0..8u64 {
+            m.load(r.start().add(i * 8192));
+        }
+        let before = m.now();
+        m.flush_region(r); // sync point: all loads must retire first
+        assert!(m.now() > before);
+        let rep = m.report("drained");
+        assert!(rep.cycles >= rep.mem.loads);
+    }
+
+    #[test]
+    fn auto_promotion_builds_superpages_online() {
+        use impulse_types::geom::PAGE_SIZE;
+        let mut m = machine();
+        let pages = 64u64;
+        // Span-aligned region: promotable.
+        let r = m
+            .alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE)
+            .unwrap();
+        m.enable_auto_promotion(16);
+        m.reset_stats();
+        // Two sweeps: the first racks up TLB misses and triggers the
+        // promotion; the second runs under one superpage entry.
+        for round in 0..3u64 {
+            for i in 0..pages {
+                m.load(r.start().add(i * PAGE_SIZE + round * 8));
+            }
+        }
+        // Promotion happened: the region now translates into shadow space.
+        assert!(m.memory().mc().is_shadow(m.translate(r.start())));
+        let (_, span) = m.kernel().tlb_span(r.start().raw() >> 12);
+        assert_eq!(span, pages);
+        // Far fewer penalties than three unpromoted sweeps (192).
+        assert!(m.memory().stats().tlb_penalties < 64 + 16);
+    }
+
+    #[test]
+    fn auto_promotion_skips_unaligned_and_small_regions() {
+        use impulse_types::geom::PAGE_SIZE;
+        let mut m = machine();
+        let single = m.alloc_region(PAGE_SIZE, 1).unwrap();
+        let unaligned = m.alloc_region(8 * PAGE_SIZE, PAGE_SIZE).unwrap();
+        m.enable_auto_promotion(2);
+        for _ in 0..8 {
+            m.load(single.start());
+            for i in 0..8 {
+                m.load(unaligned.start().add(i * PAGE_SIZE));
+            }
+            // Churn the TLB so misses keep occurring.
+            for i in 0..256u64 {
+                m.load(unaligned.start().add((i % 8) * PAGE_SIZE + 8));
+            }
+        }
+        assert!(!m.memory().mc().is_shadow(m.translate(single.start())));
+        if !unaligned.start().is_aligned(8 * PAGE_SIZE) {
+            assert!(!m.memory().mc().is_shadow(m.translate(unaligned.start())));
+        }
+    }
+
+    #[test]
+    fn tracer_records_demand_accesses() {
+        let mut m = machine();
+        let r = m.alloc_region(4096, 8).unwrap();
+        m.attach_tracer(crate::trace::Tracer::new(8));
+        m.load(r.start());
+        m.store(r.start().add(8));
+        m.compute(5); // not traced
+        let t = m.take_tracer().unwrap();
+        assert_eq!(t.events().len(), 2);
+        assert!(t.events()[0].kind.is_load());
+        assert!(t.events()[1].kind.is_store());
+        assert!(t.events()[0].latency >= 1);
+        assert_eq!(t.events()[0].vaddr, r.start());
+        assert!(m.take_tracer().is_none());
+    }
+
+    #[test]
+    fn release_then_reuse_descriptor() {
+        let mut m = machine();
+        let x = m.alloc_region(PAGE_SIZE, 8).unwrap();
+        for _ in 0..20 {
+            let g = m.sys_recolor(x, &[0]).unwrap();
+            m.load(g.alias.start());
+            m.sys_release(&g).unwrap();
+        }
+    }
+}

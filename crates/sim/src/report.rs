@@ -1,0 +1,229 @@
+//! Measurement reports in the shape of the paper's tables.
+//!
+//! Tables 1 and 2 report, per configuration: execution time (cycles), L1 /
+//! L2 / memory hit ratios with *total loads* as the divisor, the average
+//! load time, and the speedup over the "Conventional, no prefetch" row.
+
+use core::fmt;
+
+use impulse_cache::{CacheStats, TlbStats};
+use impulse_core::{DescStats, McStats, PgTblStats, PrefetchStats};
+use impulse_dram::DramStats;
+
+use crate::bus::BusStats;
+use crate::system::{MemStats, MemorySystem};
+
+/// A complete measurement over one run epoch.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Configuration label.
+    pub name: String,
+    /// Cycles elapsed in the epoch.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles spent inside OS traps, downloads, and flushes.
+    pub syscall_cycles: u64,
+    /// Demand access counters.
+    pub mem: MemStats,
+    /// L1 cache internals.
+    pub l1: CacheStats,
+    /// L2 cache internals.
+    pub l2: CacheStats,
+    /// TLB internals.
+    pub tlb: TlbStats,
+    /// System bus counters.
+    pub bus: BusStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Controller front-end counters.
+    pub mc: McStats,
+    /// Controller prefetch SRAM counters.
+    pub pf: PrefetchStats,
+    /// Aggregated shadow descriptor counters.
+    pub desc: DescStats,
+    /// Controller page table counters.
+    pub pgtbl: PgTblStats,
+}
+
+impl Report {
+    /// Gathers a report from the memory system.
+    pub fn collect(
+        name: String,
+        cycles: u64,
+        instructions: u64,
+        syscall_cycles: u64,
+        ms: &MemorySystem,
+    ) -> Self {
+        Self {
+            name,
+            cycles,
+            instructions,
+            syscall_cycles,
+            mem: ms.stats(),
+            l1: ms.l1().stats(),
+            l2: ms.l2().stats(),
+            tlb: ms.tlb().stats(),
+            bus: ms.bus().stats(),
+            dram: ms.mc().dram().stats(),
+            mc: ms.mc().stats(),
+            pf: ms.mc().prefetch_stats(),
+            desc: ms.mc().desc_stats(),
+            pgtbl: ms.mc().pgtbl_stats(),
+        }
+    }
+
+    /// Speedup of this configuration relative to `baseline` (the paper's
+    /// convention: `baseline.time / self.time`).
+    pub fn speedup_over(&self, baseline: &Report) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// One row in the paper's table format:
+    /// time, L1/L2/mem hit ratios, average load time, speedup.
+    pub fn paper_row(&self, baseline: &Report) -> String {
+        format!(
+            "{:<28} {:>12} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.2} {:>8.2}",
+            self.name,
+            self.cycles,
+            100.0 * self.mem.l1_ratio(),
+            100.0 * self.mem.l2_ratio(),
+            100.0 * self.mem.mem_ratio(),
+            self.mem.avg_load_time(),
+            self.speedup_over(baseline),
+        )
+    }
+
+    /// Header matching [`Report::paper_row`].
+    pub fn paper_header() -> String {
+        format!(
+            "{:<28} {:>12} {:>8} {:>8} {:>8} {:>9} {:>8}",
+            "configuration", "cycles", "L1 hit", "L2 hit", "mem hit", "avg load", "speedup"
+        )
+    }
+
+    /// CSV header matching [`Report::csv_row`], for spreadsheet/plotting
+    /// pipelines.
+    pub fn csv_header() -> &'static str {
+        "name,cycles,instructions,loads,stores,l1_ratio,l2_ratio,mem_ratio,\
+         avg_load_time,tlb_penalties,bus_bytes,dram_bytes,dram_row_hit_ratio,\
+         mc_gathers,mc_desc_buffer_hits,mc_pf_hits,syscall_cycles"
+    }
+
+    /// One CSV record of the headline metrics.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{},{},{:.6},{},{},{},{}",
+            self.name,
+            self.cycles,
+            self.instructions,
+            self.mem.loads,
+            self.mem.stores,
+            self.mem.l1_ratio(),
+            self.mem.l2_ratio(),
+            self.mem.mem_ratio(),
+            self.mem.avg_load_time(),
+            self.mem.tlb_penalties,
+            self.bus.bytes,
+            self.dram.bytes,
+            self.dram.row_hit_ratio(),
+            self.desc.gathers,
+            self.desc.buffer_hits,
+            self.pf.hits,
+            self.syscall_cycles,
+        )
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.name)?;
+        writeln!(
+            f,
+            "  cycles {}  instructions {}  (syscall cycles {})",
+            self.cycles, self.instructions, self.syscall_cycles
+        )?;
+        writeln!(
+            f,
+            "  loads {}  L1 {:.1}%  L2 {:.1}%  mem {:.1}%  avg load {:.2} cyc",
+            self.mem.loads,
+            100.0 * self.mem.l1_ratio(),
+            100.0 * self.mem.l2_ratio(),
+            100.0 * self.mem.mem_ratio(),
+            self.mem.avg_load_time()
+        )?;
+        writeln!(
+            f,
+            "  bus {} B  dram {} B (row hits {:.0}%)  tlb penalties {}",
+            self.bus.bytes,
+            self.dram.bytes,
+            100.0 * self.dram.row_hit_ratio(),
+            self.mem.tlb_penalties
+        )?;
+        write!(
+            f,
+            "  mc: {} reads / {} shadow reads, {} gathers, pf hits {}, desc buffer hits {}",
+            self.mc.line_reads,
+            self.mc.shadow_line_reads,
+            self.desc.gathers,
+            self.pf.hits,
+            self.desc.buffer_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::machine::Machine;
+
+    fn sample() -> Report {
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        let r = m.alloc_region(4096, 8).unwrap();
+        for i in 0..64 {
+            m.load(r.start().add(i * 8));
+        }
+        m.report("sample")
+    }
+
+    #[test]
+    fn speedup_is_relative_time() {
+        let a = sample();
+        let mut b = a.clone();
+        b.cycles = a.cycles * 2;
+        assert!((b.speedup_over(&a) - 0.5).abs() < 1e-9);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-9);
+        assert!((a.speedup_over(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_and_row_are_nonempty() {
+        let r = sample();
+        assert!(!format!("{r}").is_empty());
+        let row = r.paper_row(&r);
+        assert!(row.contains("sample"));
+        assert!(!Report::paper_header().is_empty());
+    }
+
+    #[test]
+    fn zero_cycles_speedup_is_zero() {
+        let mut r = sample();
+        r.cycles = 0;
+        let base = sample();
+        assert_eq!(r.speedup_over(&base), 0.0);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = sample();
+        let header_cols = Report::csv_header().split(',').count();
+        let row_cols = r.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(r.csv_row().starts_with("sample,"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The access vocabulary shared by the CPU, cache, bus, and controller
+//! models.
+
+use core::fmt;
+
+/// What kind of memory operation an access is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load. Loads block the single-issue CPU until data returns.
+    Load,
+    /// A data store. Stores retire through the write path and do not count
+    /// toward the paper's load-based hit ratios.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this is a load.
+    #[inline]
+    pub const fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => f.write_str("load"),
+            AccessKind::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// A single memory access: kind plus size in bytes.
+///
+/// Addresses travel separately (each pipeline stage uses its own address
+/// space newtype), so `Access` carries only the space-independent facts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Access width in bytes (e.g. 8 for a `f64`, 4 for a `u32` index).
+    pub size: u8,
+}
+
+impl Access {
+    /// A `size`-byte load.
+    #[inline]
+    pub const fn load(size: u8) -> Self {
+        Self {
+            kind: AccessKind::Load,
+            size,
+        }
+    }
+
+    /// A `size`-byte store.
+    #[inline]
+    pub const fn store(size: u8) -> Self {
+        Self {
+            kind: AccessKind::Store,
+            size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let l = Access::load(8);
+        let s = Access::store(4);
+        assert!(l.kind.is_load());
+        assert!(!l.kind.is_store());
+        assert!(s.kind.is_store());
+        assert_eq!(l.size, 8);
+        assert_eq!(s.size, 4);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

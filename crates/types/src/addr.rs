@@ -1,0 +1,231 @@
+//! Address-space newtypes.
+//!
+//! Each address space gets its own newtype over `u64` so that the type
+//! system enforces the translation discipline of the Impulse architecture:
+//! the MMU turns a [`VAddr`] into a [`PAddr`]; the Impulse controller's
+//! AddrCalc turns a shadow [`PAddr`] into one or more [`PvAddr`]s; and the
+//! controller page table (PgTbl) turns a [`PvAddr`] into an [`MAddr`].
+
+use core::fmt;
+
+use crate::geom::{LINE_SHIFT_L1, PAGE_SHIFT, PAGE_SIZE};
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: Self = Self(0);
+
+            /// Creates an address from a raw `u64`.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw `u64` value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns this address advanced by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the addition overflows.
+            #[inline]
+            #[must_use]
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// Returns this address moved back by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the subtraction underflows.
+            #[inline]
+            #[must_use]
+            pub const fn sub(self, bytes: u64) -> Self {
+                Self(self.0 - bytes)
+            }
+
+            /// Byte distance from `base` to `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `base > self`.
+            #[inline]
+            pub const fn offset_from(self, base: Self) -> u64 {
+                self.0 - base.0
+            }
+
+            /// The page number of this address (address divided by the
+            /// 4 KB page size).
+            #[inline]
+            pub const fn page_number(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// The base address of the page containing this address.
+            #[inline]
+            pub const fn page_base(self) -> Self {
+                Self(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Byte offset of this address within its page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The base address of the aligned `line`-byte block containing
+            /// this address. `line` must be a power of two.
+            #[inline]
+            pub const fn align_down(self, line: u64) -> Self {
+                Self(self.0 & !(line - 1))
+            }
+
+            /// Whether this address is aligned to `align` bytes (a power of
+            /// two).
+            #[inline]
+            pub const fn is_aligned(self, align: u64) -> bool {
+                self.0 & (align - 1) == 0
+            }
+
+            /// The base address of the L1-line-sized block containing this
+            /// address. Convenience for trace post-processing.
+            #[inline]
+            pub const fn l1_line_base(self) -> Self {
+                Self(self.0 & !((1u64 << LINE_SHIFT_L1) - 1))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, ":{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A process virtual address, translated by the CPU MMU/TLB.
+    VAddr,
+    "v"
+);
+
+addr_newtype!(
+    /// A bus ("physical") address as seen by caches and the system bus.
+    ///
+    /// On an Impulse system a `PAddr` may be a *shadow* address — an
+    /// address not backed by DRAM that the Impulse controller remaps.
+    PAddr,
+    "p"
+);
+
+addr_newtype!(
+    /// A pseudo-virtual address inside the Impulse memory controller.
+    ///
+    /// Pseudo-virtual space mirrors virtual space so that the controller can
+    /// remap data structures larger than one page; it exists to save address
+    /// bits relative to using full virtual addresses at the controller.
+    PvAddr,
+    "pv"
+);
+
+addr_newtype!(
+    /// A media address: a real DRAM location. Every `MAddr` is backed by
+    /// installed memory.
+    MAddr,
+    "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let a = PAddr::new(0x1234);
+        assert_eq!(a.page_number(), 1);
+        assert_eq!(a.page_base(), PAddr::new(0x1000));
+        assert_eq!(a.page_offset(), 0x234);
+    }
+
+    #[test]
+    fn align_down_masks_low_bits() {
+        let a = VAddr::new(0x107f);
+        assert_eq!(a.align_down(32), VAddr::new(0x1060));
+        assert_eq!(a.align_down(128), VAddr::new(0x1000));
+        assert!(a.align_down(128).is_aligned(128));
+        assert!(!a.is_aligned(2));
+    }
+
+    #[test]
+    fn add_sub_offset_roundtrip() {
+        let base = MAddr::new(4096);
+        let a = base.add(300);
+        assert_eq!(a.offset_from(base), 300);
+        assert_eq!(a.sub(300), base);
+    }
+
+    #[test]
+    fn debug_display_nonempty_and_tagged() {
+        let a = PvAddr::new(0);
+        assert_eq!(format!("{a:?}"), "pv:0x0");
+        assert_eq!(format!("{a}"), "0x0");
+        assert_eq!(format!("{:x}", PAddr::new(0xabc)), "abc");
+        assert_eq!(format!("{:X}", PAddr::new(0xabc)), "ABC");
+    }
+
+    #[test]
+    fn types_are_distinct() {
+        fn takes_v(_: VAddr) {}
+        takes_v(VAddr::new(1));
+        // takes_v(PAddr::new(1)); // must not compile
+    }
+
+    #[test]
+    fn l1_line_base_is_32_bytes() {
+        assert_eq!(PAddr::new(95).l1_line_base(), PAddr::new(64));
+    }
+
+    #[test]
+    fn ordering_and_hash_derive() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(VAddr::new(1));
+        assert!(s.contains(&VAddr::new(1)));
+        assert!(VAddr::new(1) < VAddr::new(2));
+    }
+}

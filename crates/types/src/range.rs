@@ -1,0 +1,173 @@
+//! Half-open address ranges.
+
+use core::fmt;
+
+use crate::addr::{PAddr, VAddr};
+use crate::geom::PAGE_SIZE;
+
+macro_rules! range_newtype {
+    ($(#[$meta:meta])* $name:ident, $addr:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name {
+            start: $addr,
+            len: u64,
+        }
+
+        impl $name {
+            /// Creates a range `[start, start + len)`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `start + len` overflows `u64`.
+            pub fn new(start: $addr, len: u64) -> Self {
+                assert!(
+                    start.raw().checked_add(len).is_some(),
+                    "address range overflows the address space"
+                );
+                Self { start, len }
+            }
+
+            /// The first address in the range.
+            #[inline]
+            pub const fn start(&self) -> $addr {
+                self.start
+            }
+
+            /// One past the last address in the range.
+            #[inline]
+            pub const fn end(&self) -> $addr {
+                $addr::new(self.start.raw() + self.len)
+            }
+
+            /// Length of the range in bytes.
+            #[inline]
+            pub const fn len(&self) -> u64 {
+                self.len
+            }
+
+            /// Whether the range is empty.
+            #[inline]
+            pub const fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// Whether `addr` lies inside the range.
+            #[inline]
+            pub const fn contains(&self, addr: $addr) -> bool {
+                addr.raw() >= self.start.raw() && addr.raw() < self.start.raw() + self.len
+            }
+
+            /// Whether `other` overlaps this range anywhere.
+            #[inline]
+            pub const fn overlaps(&self, other: &Self) -> bool {
+                self.start.raw() < other.start.raw() + other.len
+                    && other.start.raw() < self.start.raw() + self.len
+            }
+
+            /// Byte offset of `addr` from the start of the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `addr` is below the range start.
+            #[inline]
+            pub const fn offset_of(&self, addr: $addr) -> u64 {
+                addr.raw() - self.start.raw()
+            }
+
+            /// Number of 4 KB pages the range touches.
+            #[inline]
+            pub const fn page_count(&self) -> u64 {
+                if self.len == 0 {
+                    0
+                } else {
+                    (self.end().raw() - 1) / PAGE_SIZE - self.start.raw() / PAGE_SIZE + 1
+                }
+            }
+
+            /// Iterates over the base addresses of aligned `step`-byte blocks
+            /// covering the range.
+            pub fn blocks(&self, step: u64) -> impl Iterator<Item = $addr> + '_ {
+                let first = self.start.align_down(step).raw();
+                let end = self.end().raw();
+                (first..end).step_by(step as usize).map($addr::new)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "[{:?}..{:?})", self.start, self.end())
+            }
+        }
+    };
+}
+
+range_newtype!(
+    /// A half-open range of virtual addresses.
+    VRange,
+    VAddr
+);
+
+range_newtype!(
+    /// A half-open range of bus ("physical", possibly shadow) addresses.
+    PRange,
+    PAddr
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_offsets() {
+        let r = VRange::new(VAddr::new(0x1000), 0x100);
+        assert!(r.contains(VAddr::new(0x1000)));
+        assert!(r.contains(VAddr::new(0x10ff)));
+        assert!(!r.contains(VAddr::new(0x1100)));
+        assert_eq!(r.offset_of(VAddr::new(0x1010)), 0x10);
+        assert_eq!(r.len(), 0x100);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = PRange::new(PAddr::new(0), 100);
+        let b = PRange::new(PAddr::new(99), 10);
+        let c = PRange::new(PAddr::new(100), 10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn page_count_spans_partial_pages() {
+        let r = VRange::new(VAddr::new(0xff0), 0x20);
+        assert_eq!(r.page_count(), 2);
+        let one = VRange::new(VAddr::new(0), 1);
+        assert_eq!(one.page_count(), 1);
+        let empty = VRange::new(VAddr::new(0), 0);
+        assert_eq!(empty.page_count(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn block_iteration_is_aligned_and_covering() {
+        let r = PRange::new(PAddr::new(40), 100);
+        let blocks: Vec<_> = r.blocks(32).collect();
+        assert_eq!(
+            blocks,
+            vec![
+                PAddr::new(32),
+                PAddr::new(64),
+                PAddr::new(96),
+                PAddr::new(128)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_rejected() {
+        let _ = VRange::new(VAddr::new(u64::MAX), 2);
+    }
+}

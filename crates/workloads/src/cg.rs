@@ -1,0 +1,252 @@
+//! The full conjugate-gradient iteration (the NAS CG benchmark), not just
+//! its SMVP kernel.
+//!
+//! Each CG iteration is one sparse matrix-vector product `q = A·p` plus a
+//! handful of dense vector operations (two dot products, three AXPYs).
+//! Reproducing the whole iteration matters for two reasons:
+//!
+//! * the paper's Table 1 times the complete benchmark, where the dense
+//!   vector work dilutes the SMVP speedup, and
+//! * under scatter/gather remapping the *multiplicand changes every
+//!   iteration* — the application must flush the freshly-written `p` from
+//!   the caches before the controller gathers it ("we assume that an
+//!   application that uses Impulse ensures data consistency through
+//!   appropriate flushing of the caches", Section 2.3). This module
+//!   implements that protocol.
+
+use std::sync::Arc;
+
+use impulse_os::OsError;
+use impulse_sim::Machine;
+use impulse_types::{VAddr, VRange};
+
+use crate::smvp::SmvpVariant;
+use crate::sparse::SparsePattern;
+
+const F64: u64 = 8;
+const IDX: u64 = 4;
+
+/// A complete CG solve bound to a machine.
+#[derive(Clone, Debug)]
+pub struct CgBenchmark {
+    pattern: Arc<SparsePattern>,
+    variant: SmvpVariant,
+    data: VRange,
+    column: VRange,
+    rows: VRange,
+    /// Search direction (the SMVP multiplicand).
+    p: VRange,
+    /// q = A·p.
+    q: VRange,
+    /// Solution estimate.
+    x: VRange,
+    /// Residual.
+    r: VRange,
+    /// Gathered alias p' (scatter/gather variant only).
+    p_gather: Option<VRange>,
+}
+
+impl CgBenchmark {
+    /// Allocates the CG state and performs the remapping system calls the
+    /// variant requires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and remapping failures.
+    pub fn setup(
+        m: &mut Machine,
+        pattern: Arc<SparsePattern>,
+        variant: SmvpVariant,
+    ) -> Result<Self, OsError> {
+        let n = pattern.n();
+        let nnz = pattern.nnz();
+        let data = m.alloc_region(nnz * F64, 128)?;
+        let column = m.alloc_region(nnz * IDX, 128)?;
+        let rows = m.alloc_region((n + 1) * IDX, 128)?;
+        let p = m.alloc_region(n * F64, 128)?;
+        let q = m.alloc_region(n * F64, 128)?;
+        let x = m.alloc_region(n * F64, 128)?;
+        let r = m.alloc_region(n * F64, 128)?;
+
+        let mut cg = Self {
+            pattern,
+            variant,
+            data,
+            column,
+            rows,
+            p,
+            q,
+            x,
+            r,
+            p_gather: None,
+        };
+        match variant {
+            SmvpVariant::Conventional => {}
+            SmvpVariant::ScatterGather => {
+                // p' placed half an L1 away from DATA (see smvp.rs).
+                let indices = Arc::new(cg.pattern.cols().to_vec());
+                let grant = m.sys_remap_gather_interleaved(
+                    cg.p,
+                    F64,
+                    indices,
+                    cg.column,
+                    IDX,
+                    cg.data.start(),
+                )?;
+                cg.p_gather = Some(grant.alias);
+            }
+            SmvpVariant::Recolored => {
+                let half: Vec<u64> = (0..16).collect();
+                let q3: Vec<u64> = (16..24).collect();
+                let q4: Vec<u64> = (24..32).collect();
+                cg.p = m.sys_recolor(cg.p, &half)?.alias;
+                cg.data = m.sys_recolor(cg.data, &q3)?.alias;
+                cg.column = m.sys_recolor(cg.column, &q4)?.alias;
+            }
+        }
+        Ok(cg)
+    }
+
+    /// The variant this benchmark was set up for.
+    pub fn variant(&self) -> SmvpVariant {
+        self.variant
+    }
+
+    #[inline]
+    fn at(r: VRange, i: u64, size: u64) -> VAddr {
+        r.start().add(i * size)
+    }
+
+    /// `q = A·p` through whichever view the variant uses.
+    fn smvp(&self, m: &mut Machine) {
+        let n = self.pattern.n();
+        let cols = self.pattern.cols();
+        match self.variant {
+            SmvpVariant::Conventional | SmvpVariant::Recolored => {
+                for i in 0..n {
+                    m.load(Self::at(self.rows, i + 1, IDX));
+                    m.compute(2);
+                    for j in self.pattern.row_range(i) {
+                        m.load(Self::at(self.column, j, IDX));
+                        m.load(Self::at(self.data, j, F64));
+                        m.load(Self::at(self.p, cols[j as usize], F64));
+                        m.compute(3);
+                    }
+                    m.store(Self::at(self.q, i, F64));
+                    m.compute(1);
+                }
+            }
+            SmvpVariant::ScatterGather => {
+                let pg = self.p_gather.expect("gather alias configured");
+                for i in 0..n {
+                    m.load(Self::at(self.rows, i + 1, IDX));
+                    m.compute(2);
+                    for j in self.pattern.row_range(i) {
+                        m.load(Self::at(self.data, j, F64));
+                        m.load(Self::at(pg, j, F64));
+                        m.compute(3);
+                    }
+                    m.store(Self::at(self.q, i, F64));
+                    m.compute(1);
+                }
+            }
+        }
+    }
+
+    /// Dot product of two vectors (2 loads + multiply-add per element).
+    fn dot(&self, m: &mut Machine, a: VRange, b: VRange) {
+        for i in 0..self.pattern.n() {
+            m.load(Self::at(a, i, F64));
+            m.load(Self::at(b, i, F64));
+            m.compute(2);
+        }
+    }
+
+    /// `y ← y + α·x` (2 loads + 1 store + multiply-add per element).
+    fn axpy(&self, m: &mut Machine, y: VRange, x: VRange) {
+        for i in 0..self.pattern.n() {
+            m.load(Self::at(y, i, F64));
+            m.load(Self::at(x, i, F64));
+            m.store(Self::at(y, i, F64));
+            m.compute(2);
+        }
+    }
+
+    /// Runs one full CG iteration:
+    /// `q = A·p; α = ρ/(p·q); x += α·p; r -= α·q; ρ' = r·r; p = r + β·p`.
+    pub fn iteration(&self, m: &mut Machine) {
+        self.smvp(m);
+        self.dot(m, self.p, self.q); // α denominator
+        m.compute(8); // scalar α, β arithmetic
+        self.axpy(m, self.x, self.p);
+        self.axpy(m, self.r, self.q);
+        self.dot(m, self.r, self.r); // ρ'
+        self.axpy(m, self.p, self.r); // p = r + β·p (fused update)
+
+        // Consistency protocol (Section 2.3): p changed, and the next
+        // iteration's gather must see the new values in DRAM — flush it.
+        if self.variant == SmvpVariant::ScatterGather {
+            m.flush_region(self.p);
+        }
+    }
+
+    /// Runs `iterations` CG iterations.
+    pub fn run(&self, m: &mut Machine, iterations: u64) {
+        for _ in 0..iterations {
+            self.iteration(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impulse_sim::{Report, SystemConfig};
+
+    fn run_variant(variant: SmvpVariant, mc_pf: bool) -> Report {
+        // Densities well below CG-A's 156 nnz/row let the dense vector
+        // phases dominate and mask the SMVP effect; 24/row keeps the
+        // paper's balance at test scale.
+        let pattern = Arc::new(SparsePattern::generate(14_000, 24, 5));
+        let cfg = SystemConfig::paint_small().with_prefetch(mc_pf, false);
+        let mut m = Machine::new(&cfg);
+        let cg = CgBenchmark::setup(&mut m, pattern, variant).expect("setup");
+        cg.run(&mut m, 2);
+        m.report(variant.name())
+    }
+
+    #[test]
+    fn full_cg_issues_vector_work_on_top_of_smvp() {
+        let r = run_variant(SmvpVariant::Conventional, false);
+        // Per iteration: n SMVP stores + 3 AXPYs × n stores.
+        assert_eq!(r.mem.stores, 2 * (14_000 + 3 * 14_000));
+    }
+
+    #[test]
+    fn scatter_gather_with_prefetch_still_wins_on_full_cg() {
+        let conv = run_variant(SmvpVariant::Conventional, false);
+        let sg_pf = run_variant(SmvpVariant::ScatterGather, true);
+        assert!(
+            sg_pf.cycles < conv.cycles,
+            "sg+pf {} !< conv {}",
+            sg_pf.cycles,
+            conv.cycles
+        );
+        // The dense vector phases dilute the speedup relative to
+        // SMVP-only, as in the paper's whole-benchmark numbers.
+        let speedup = conv.cycles as f64 / sg_pf.cycles as f64;
+        assert!(speedup > 1.05 && speedup < 3.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn gather_consistency_flush_happens_every_iteration() {
+        let pattern = Arc::new(SparsePattern::generate(2048, 4, 5));
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        let cg = CgBenchmark::setup(&mut m, pattern, SmvpVariant::ScatterGather).unwrap();
+        let wb_before = m.memory().stats().mem_writebacks;
+        cg.run(&mut m, 2);
+        // The p-vector flushes force dirty lines back to DRAM each
+        // iteration.
+        assert!(m.memory().stats().mem_writebacks > wb_before);
+    }
+}

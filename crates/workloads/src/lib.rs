@@ -1,0 +1,63 @@
+//! Workloads from the Impulse paper, execution-driven against
+//! [`impulse_sim::Machine`].
+//!
+//! * [`sparse`] / [`smvp`] / [`cg`] — the NAS conjugate-gradient sparse
+//!   matrix-vector product and the full CG iteration, in conventional,
+//!   scatter/gather-remapped, and page-recolored configurations
+//!   (Table 1); plus a Spark98-like finite-element mesh pattern.
+//! * [`mmp`] / [`lu`] — tiled dense matrix-matrix product (Table 2) and
+//!   tiled LU decomposition: no-copy tiling, software tile copying, and
+//!   Impulse tile remapping.
+//! * [`diagonal`] / [`transpose`] — the dense-matrix diagonal walk of
+//!   Figure 1, and its big sibling: a no-copy transposed alias built from
+//!   a permutation indirection vector.
+//! * [`ipc`] — IPC message assembly by software copy vs. controller
+//!   gather (Section 6).
+//! * [`tlbstress`] — the superpage TLB experiment (Section 6 /
+//!   ISCA '98 recap).
+//! * [`dbscan`] / [`media`] — the abstract's "commercial importance"
+//!   classes: a database selection scan (gather through an index's
+//!   row-id list) and a multimedia channel extraction (byte-granularity
+//!   strided remap of interleaved RGBA).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use impulse_sim::{Machine, SystemConfig};
+//! use impulse_workloads::{SparsePattern, Smvp, SmvpVariant};
+//!
+//! let mut m = Machine::new(&SystemConfig::paint_small());
+//! let pattern = Arc::new(SparsePattern::generate(1024, 8, 42));
+//! let w = Smvp::setup(&mut m, pattern, SmvpVariant::ScatterGather)?;
+//! w.run(&mut m, 1);
+//! println!("{}", m.report("CG scatter/gather"));
+//! # Ok::<(), impulse_os::OsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod dbscan;
+pub mod diagonal;
+pub mod ipc;
+pub mod lu;
+pub mod media;
+pub mod mmp;
+pub mod smvp;
+pub mod sparse;
+pub mod tlbstress;
+pub mod transpose;
+
+pub use cg::CgBenchmark;
+pub use dbscan::{DbScan, DbVariant};
+pub use diagonal::{Diagonal, DiagonalVariant};
+pub use lu::{Lu, LuVariant};
+pub use media::{ChannelFilter, MediaVariant};
+pub use ipc::{IpcGather, IpcVariant};
+pub use mmp::{Mmp, MmpParams, MmpVariant};
+pub use smvp::{Smvp, SmvpVariant};
+pub use sparse::SparsePattern;
+pub use tlbstress::{TlbStress, TlbVariant};
+pub use transpose::{Transpose, TransposeVariant};

@@ -1,0 +1,174 @@
+//! Sparse matrix patterns in compressed-sparse-row form.
+//!
+//! The NAS CG benchmark builds its matrix from pseudo-randomly placed
+//! non-zeroes; we generate an equivalent pattern with a seeded RNG (the
+//! Class A instance is 14,000 × 14,000 with 2.19 million non-zeroes,
+//! ≈ 156 per row). Only the *pattern* matters to the memory system — the
+//! simulator models addresses, not values.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A CSR sparsity pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparsePattern {
+    n: u64,
+    row_ptr: Vec<u64>,
+    cols: Vec<u64>,
+}
+
+impl SparsePattern {
+    /// Generates an `n × n` pattern with `nnz_per_row` uniformly random,
+    /// sorted column indices per row (duplicates removed, so rows may be
+    /// slightly shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `nnz_per_row == 0`.
+    pub fn generate(n: u64, nnz_per_row: u64, seed: u64) -> Self {
+        assert!(n > 0, "matrix must be non-empty");
+        assert!(nnz_per_row > 0, "rows must have at least one non-zero");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut row_ptr = Vec::with_capacity(n as usize + 1);
+        let mut cols = Vec::with_capacity((n * nnz_per_row) as usize);
+        row_ptr.push(0);
+        let mut scratch = Vec::with_capacity(nnz_per_row as usize);
+        for _ in 0..n {
+            scratch.clear();
+            for _ in 0..nnz_per_row {
+                scratch.push(rng.gen_range(0..n));
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            cols.extend_from_slice(&scratch);
+            row_ptr.push(cols.len() as u64);
+        }
+        Self { n, row_ptr, cols }
+    }
+
+    /// The NAS CG Class A pattern dimensions (14,000 rows, ≈ 156 nnz/row
+    /// → ≈ 2.19 M non-zeroes), seeded deterministically.
+    pub fn cg_class_a() -> Self {
+        Self::generate(14_000, 156, 0x00c9_a15e)
+    }
+
+    /// A scaled-down CG-like pattern that preserves the memory-system
+    /// relationships (x exceeds the 32 KB L1, fits in half the 256 KB L2;
+    /// DATA/COLUMN streams dwarf the L2).
+    pub fn cg_scaled(nnz_per_row: u64, seed: u64) -> Self {
+        Self::generate(14_000, nnz_per_row, seed)
+    }
+
+    /// A Spark98-like pattern: the stiffness matrix of a 2-D `side ×
+    /// side` finite-element mesh (each node couples to its ≤8 grid
+    /// neighbours and itself). Spark98's earthquake kernels spend most of
+    /// their time in SMVP over exactly this kind of matrix (Section 3.1
+    /// cites them alongside CG); unlike CG's uniform pattern, mesh columns
+    /// are *clustered*, so the multiplicand has real spatial locality.
+    pub fn mesh2d(side: u64) -> Self {
+        assert!(side > 0, "mesh must be non-empty");
+        let n = side * side;
+        let mut row_ptr = Vec::with_capacity(n as usize + 1);
+        let mut cols = Vec::new();
+        row_ptr.push(0);
+        for r in 0..side {
+            for c in 0..side {
+                for dr in -1i64..=1 {
+                    for dc in -1i64..=1 {
+                        let nr = r as i64 + dr;
+                        let nc = c as i64 + dc;
+                        if (0..side as i64).contains(&nr) && (0..side as i64).contains(&nc) {
+                            cols.push(nr as u64 * side + nc as u64);
+                        }
+                    }
+                }
+                row_ptr.push(cols.len() as u64);
+            }
+        }
+        Self { n, row_ptr, cols }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Total non-zeroes.
+    pub fn nnz(&self) -> u64 {
+        self.cols.len() as u64
+    }
+
+    /// Row start offsets (length `n + 1`).
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// Column index of each non-zero, row-major.
+    pub fn cols(&self) -> &[u64] {
+        &self.cols
+    }
+
+    /// The half-open non-zero range of row `i`.
+    pub fn row_range(&self, i: u64) -> core::ops::Range<u64> {
+        self.row_ptr[i as usize]..self.row_ptr[i as usize + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_well_formed() {
+        let p = SparsePattern::generate(100, 8, 42);
+        assert_eq!(p.n(), 100);
+        assert_eq!(p.row_ptr().len(), 101);
+        assert_eq!(*p.row_ptr().last().unwrap(), p.nnz());
+        for i in 0..100 {
+            let r = p.row_range(i);
+            let cols = &p.cols()[r.start as usize..r.end as usize];
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(cols.iter().all(|&c| c < 100));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SparsePattern::generate(64, 4, 7);
+        let b = SparsePattern::generate(64, 4, 7);
+        assert_eq!(a, b);
+        let c = SparsePattern::generate(64, 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nnz_close_to_requested() {
+        let p = SparsePattern::generate(1000, 16, 3);
+        // Dedup trims a little; must stay within a few percent.
+        assert!(p.nnz() > 1000 * 15 && p.nnz() <= 1000 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_rows_rejected() {
+        let _ = SparsePattern::generate(0, 4, 0);
+    }
+
+    #[test]
+    fn mesh2d_has_nine_point_stencil_interior() {
+        let p = SparsePattern::mesh2d(8);
+        assert_eq!(p.n(), 64);
+        // Interior node (3,3) = row 27: nine neighbours including itself.
+        let r = p.row_range(27);
+        assert_eq!(r.end - r.start, 9);
+        // Corner node 0: four neighbours.
+        let r0 = p.row_range(0);
+        assert_eq!(r0.end - r0.start, 4);
+        // All sorted within each row.
+        for i in 0..p.n() {
+            let rr = p.row_range(i);
+            let cs = &p.cols()[rr.start as usize..rr.end as usize];
+            assert!(cs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

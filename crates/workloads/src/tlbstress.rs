@@ -1,0 +1,123 @@
+//! TLB-stress workload for the superpage experiment.
+//!
+//! The paper's Section 6 recaps earlier work (Swanson et al., ISCA '98):
+//! Impulse's direct remapping can weld non-contiguous physical pages into
+//! a contiguous shadow superpage, cutting TLB misses. This workload walks
+//! several large regions with a working set of pages far beyond the
+//! 120-entry TLB; with one superpage per region the whole working set
+//! needs only a handful of entries.
+
+use impulse_os::OsError;
+use impulse_sim::Machine;
+use impulse_types::geom::PAGE_SIZE;
+use impulse_types::VRange;
+
+/// Whether the regions are welded into superpages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TlbVariant {
+    /// One TLB entry per 4 KB page.
+    BasePages,
+    /// One Impulse shadow superpage per region.
+    Superpages,
+}
+
+impl TlbVariant {
+    /// Label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TlbVariant::BasePages => "base pages",
+            TlbVariant::Superpages => "impulse superpages",
+        }
+    }
+}
+
+/// A TLB-stress workload over several page-aligned regions.
+#[derive(Clone, Debug)]
+pub struct TlbStress {
+    regions: Vec<VRange>,
+    pages_per_region: u64,
+}
+
+impl TlbStress {
+    /// Allocates `regions` regions of `pages_per_region` pages each
+    /// (power of two), building superpages per the variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and remapping failures.
+    pub fn setup(
+        m: &mut Machine,
+        regions: u64,
+        pages_per_region: u64,
+        variant: TlbVariant,
+    ) -> Result<Self, OsError> {
+        let mut rs = Vec::with_capacity(regions as usize);
+        for _ in 0..regions {
+            let r = m.alloc_region(
+                pages_per_region * PAGE_SIZE,
+                pages_per_region.next_power_of_two() * PAGE_SIZE,
+            )?;
+            if variant == TlbVariant::Superpages {
+                m.sys_superpage(r)?;
+            }
+            rs.push(r);
+        }
+        Ok(Self {
+            regions: rs,
+            pages_per_region,
+        })
+    }
+
+    /// Round-robins across regions touching one word per page — the TLB
+    /// worst case — for `rounds` full sweeps.
+    pub fn sweep(&self, m: &mut Machine, rounds: u64) {
+        for round in 0..rounds {
+            for p in 0..self.pages_per_region {
+                for r in &self.regions {
+                    m.load(r.start().add(p * PAGE_SIZE + (round % 8) * 8));
+                    m.compute(2);
+                }
+            }
+        }
+    }
+
+    /// Total pages in the working set.
+    pub fn working_set_pages(&self) -> u64 {
+        self.regions.len() as u64 * self.pages_per_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impulse_sim::{Report, SystemConfig};
+
+    fn run_variant(variant: TlbVariant) -> Report {
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        // 4 regions × 64 pages = 256 pages ≫ 120 TLB entries.
+        let w = TlbStress::setup(&mut m, 4, 64, variant).expect("setup");
+        m.reset_stats();
+        w.sweep(&mut m, 3);
+        m.report(variant.name())
+    }
+
+    #[test]
+    fn superpages_eliminate_tlb_thrash() {
+        let base = run_variant(TlbVariant::BasePages);
+        let sp = run_variant(TlbVariant::Superpages);
+        assert!(
+            sp.mem.tlb_penalties * 10 < base.mem.tlb_penalties,
+            "superpages {} !≪ base {}",
+            sp.mem.tlb_penalties,
+            base.mem.tlb_penalties
+        );
+        assert!(sp.cycles < base.cycles);
+    }
+
+    #[test]
+    fn working_set_exceeds_tlb() {
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        let w = TlbStress::setup(&mut m, 4, 64, TlbVariant::BasePages).unwrap();
+        assert!(w.working_set_pages() > 120);
+    }
+}

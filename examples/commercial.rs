@@ -1,0 +1,60 @@
+//! The abstract's closing promise: "we expect that Impulse will benefit
+//! regularly strided, memory-bound applications of commercial
+//! importance, such as database and multimedia programs."
+//!
+//! Two miniatures: a database selection scan (the index's row-id list
+//! becomes a gather indirection vector) and a multimedia channel
+//! extraction (byte-granularity strided remap of interleaved RGBA).
+//!
+//! Run with: `cargo run --release --example commercial`
+
+use impulse::sim::{Machine, Report, SystemConfig};
+use impulse::workloads::{ChannelFilter, DbScan, DbVariant, MediaVariant};
+
+fn db(variant: DbVariant) -> Report {
+    let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+    // 1 M records × 64 B (64 MB table), 256 K selected rows.
+    let w = DbScan::setup(&mut m, 1 << 20, 64, 1 << 18, 0xdb, variant).expect("setup");
+    m.reset_stats();
+    w.fetch(&mut m);
+    m.report(variant.name())
+}
+
+fn media(variant: MediaVariant) -> Report {
+    let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+    // A 4-megapixel RGBA frame; extract the alpha channel.
+    let w = ChannelFilter::setup(&mut m, 4 << 20, 3, variant).expect("setup");
+    m.reset_stats();
+    w.filter(&mut m);
+    m.report(variant.name())
+}
+
+fn main() {
+    println!("database selection scan: fetch one field from 256K of 1M records\n");
+    let conv = db(DbVariant::Conventional);
+    let imp = db(DbVariant::ImpulseGather);
+    println!("{}", Report::paper_header());
+    println!("{}", conv.paper_row(&conv));
+    println!("{}", imp.paper_row(&conv));
+    println!(
+        "  bus traffic: {} KB -> {} KB ({:.1}x less)\n",
+        conv.bus.bytes / 1024,
+        imp.bus.bytes / 1024,
+        conv.bus.bytes as f64 / imp.bus.bytes as f64
+    );
+
+    println!("multimedia: alpha-channel filter over a 4-megapixel RGBA frame\n");
+    let conv = media(MediaVariant::Conventional);
+    let imp = media(MediaVariant::ChannelRemap);
+    println!("{}", Report::paper_header());
+    println!("{}", conv.paper_row(&conv));
+    println!("{}", imp.paper_row(&conv));
+    println!(
+        "  bus traffic: {} KB -> {} KB ({:.1}x less; one byte in four is useful\n  \
+         on the conventional path, and the controller coalesces the strided\n  \
+         bytes into whole DRAM bursts)",
+        conv.bus.bytes / 1024,
+        imp.bus.bytes / 1024,
+        conv.bus.bytes as f64 / imp.bus.bytes as f64
+    );
+}

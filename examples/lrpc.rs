@@ -1,0 +1,92 @@
+//! LRPC-style cross-process IPC over a shared shadow region — the final
+//! suggestion in the paper's conclusions: "fast local IPC mechanisms,
+//! such as LRPC, use shared memory to map buffers into sender and
+//! receiver address spaces, and Impulse could be used to support fast,
+//! no-copy scatter/gather into shared shadow address spaces."
+//!
+//! The sender's scattered message pieces are gathered by one controller
+//! descriptor; the shadow region is mapped into *both* address spaces, so
+//! the receiver streams a dense message that was never copied.
+//!
+//! Run with: `cargo run --release --example lrpc`
+
+use std::sync::Arc;
+
+use impulse::os::Pid;
+use impulse::sim::{Machine, SystemConfig};
+
+const PIECES: u64 = 8;
+const PIECE_BYTES: u64 = 4096;
+const CALLS: u64 = 32;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+
+    // --- sender process (INIT): scattered buffers + gather descriptor --
+    let mut piece_regions = Vec::new();
+    let base = m.alloc_region(PIECE_BYTES, 8)?;
+    piece_regions.push(base);
+    for _ in 1..PIECES {
+        piece_regions.push(m.alloc_region(PIECE_BYTES, 8)?);
+    }
+    let span = piece_regions.last().unwrap().end().offset_from(base.start());
+    let target = impulse::types::VRange::new(base.start(), span);
+
+    let words: u64 = PIECES * PIECE_BYTES / 8;
+    let mut indices = Vec::with_capacity(words as usize);
+    for piece in &piece_regions {
+        let w0 = piece.start().offset_from(base.start()) / 8;
+        for w in 0..PIECE_BYTES / 8 {
+            indices.push(w0 + w);
+        }
+    }
+    let index_region = m.alloc_region(words * 4, 8)?;
+    let grant = m.sys_remap_gather(target, 8, Arc::new(indices), index_region, 4)?;
+
+    // --- receiver process: gets its own alias onto the shadow region ---
+    let receiver = m.sys_spawn();
+    let rx_alias = m.sys_share(&grant, receiver)?;
+
+    // --- the RPC loop: sender writes pieces, receiver streams them -----
+    m.reset_stats();
+    for call in 0..CALLS {
+        // Sender fills its scattered buffers in its own address space.
+        for piece in &piece_regions {
+            for w in (0..PIECE_BYTES).step_by(64) {
+                m.store(piece.start().add(w + (call % 8) * 8));
+                m.compute(1);
+            }
+        }
+        // Consistency (Section 2.3): make the writes visible to the
+        // controller's gathers before the receiver looks.
+        m.flush_region(target);
+
+        // Receiver streams the dense message — zero copies.
+        m.sys_switch(receiver)?;
+        for w in 0..words {
+            m.load(rx_alias.start().add(w * 8));
+            m.compute(1);
+        }
+        m.sys_switch(Pid::INIT)?;
+    }
+
+    let r = m.report("lrpc");
+    println!(
+        "{CALLS} calls × {} KB messages across two address spaces:",
+        PIECES * PIECE_BYTES / 1024
+    );
+    println!(
+        "  {} cycles total ({} per call), {} loads, {} stores — and not one of\n  \
+         those stores is a copy: the receiver reads the sender's buffers\n  \
+         through the shared shadow gather.",
+        r.cycles,
+        r.cycles / CALLS,
+        r.mem.loads,
+        r.mem.stores
+    );
+    println!(
+        "  receiver-side L1 hit ratio on the gathered message: {:.1}%",
+        100.0 * r.mem.l1_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! No-copy page recoloring (Section 3.1 / Table 1, third section).
+//!
+//! On a conventional machine, controlling which L2 sets a data structure
+//! occupies requires *copying* it to better-colored physical pages.
+//! Impulse recolors by remapping: the OS picks shadow addresses with the
+//! desired color bits and maps them straight back to the original frames.
+//!
+//! This example keeps a reused vector `x` in the first half of the L2
+//! while two streams sweep the other half, and shows the conflict misses
+//! disappear.
+//!
+//! Run with: `cargo run --release --example page_recolor`
+
+use impulse::sim::{Machine, Report, SystemConfig};
+use impulse::types::VRange;
+
+const X_BYTES: u64 = 112 * 1024; // reused vector (fits half the 256 KB L2)
+const STREAM_BYTES: u64 = 4 << 20; // two 4 MB streams
+
+fn workload(m: &mut Machine, x: VRange, s1: VRange, s2: VRange, rounds: u64) {
+    // Interleave stream sweeps with random reuse of x, CG-style.
+    let mut lcg = 12345u64;
+    for _ in 0..rounds {
+        for off in (0..STREAM_BYTES).step_by(8) {
+            m.load(s1.start().add(off));
+            m.load(s2.start().add(off));
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let xi = (lcg >> 16) % (X_BYTES / 8);
+            m.load(x.start().add(xi * 8));
+            m.compute(3);
+        }
+    }
+}
+
+fn run(recolor: bool) -> Report {
+    let mut m = Machine::new(&SystemConfig::paint());
+    let mut x = m.alloc_region(X_BYTES, 128).expect("alloc x");
+    let s1 = m.alloc_region(STREAM_BYTES, 128).expect("alloc s1");
+    let s2 = m.alloc_region(STREAM_BYTES, 128).expect("alloc s2");
+    if recolor {
+        // x → colors 0..16 (first half of the L2); the streams keep their
+        // random frames but can no longer touch x's sets... to fully
+        // partition, recolor them into the two remaining quadrants.
+        let first_half: Vec<u64> = (0..16).collect();
+        let q3: Vec<u64> = (16..24).collect();
+        let q4: Vec<u64> = (24..32).collect();
+        let gx = m.sys_recolor(x, &first_half).expect("recolor x");
+        x = gx.alias;
+        let g1 = m.sys_recolor(s1, &q3).expect("recolor s1");
+        let g2 = m.sys_recolor(s2, &q4).expect("recolor s2");
+        m.reset_stats();
+        workload(&mut m, x, g1.alias, g2.alias, 1);
+    } else {
+        m.reset_stats();
+        workload(&mut m, x, s1, s2, 1);
+    }
+    m.report(if recolor { "impulse recolored" } else { "conventional" })
+}
+
+fn main() {
+    let conventional = run(false);
+    let recolored = run(true);
+
+    println!("{}", Report::paper_header());
+    println!("{}", conventional.paper_row(&conventional));
+    println!("{}", recolored.paper_row(&conventional));
+
+    println!(
+        "\nx-vector conflict misses: conventional {:.2}% of loads reach \
+         memory, recolored {:.2}%",
+        100.0 * conventional.mem.mem_ratio(),
+        100.0 * recolored.mem.mem_ratio()
+    );
+    println!(
+        "(paper, Table 1: recoloring turned a 5.5% memory ratio into 4.4% \
+         and bought 4% end-to-end)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Tiled LU decomposition with Impulse tile remapping — extending the
+//! paper's Section 3.2 argument from matrix product to the factorization
+//! kernels it names (LU, dense Cholesky).
+//!
+//! The trailing GEMM updates are remapped through three strided shadow
+//! aliases of the *same* matrix; inputs are purged and outputs flushed as
+//! the aliases move, exactly the consistency protocol of Section 3.2.
+//!
+//! Run with: `cargo run --release --example tiled_lu`
+
+use impulse::sim::{Machine, Report, SystemConfig, Tracer};
+use impulse::workloads::{Lu, LuVariant};
+
+fn run(n: u64, tile: u64, variant: LuVariant) -> Report {
+    let mut m = Machine::new(&SystemConfig::paint());
+    let mut lu = Lu::setup(&mut m, n, tile, variant).expect("setup");
+    lu.run(&mut m).expect("run");
+    m.report(variant.name())
+}
+
+fn main() {
+    const N: u64 = 256;
+    const T: u64 = 32;
+
+    println!("LU factorization of a {N}x{N} matrix, {T}x{T} tiles\n");
+
+    let conv = run(N, T, LuVariant::Conventional);
+    let remap = run(N, T, LuVariant::TileRemap);
+
+    println!("{}", Report::paper_header());
+    println!("{}", conv.paper_row(&conv));
+    println!("{}", remap.paper_row(&conv));
+
+    println!(
+        "\nthe trailing-update tiles dominate: remapping lifts their L1 \
+         behaviour just as in Table 2,\nwhile the panel/diagonal phases \
+         (shared between variants) are untouched."
+    );
+    println!(
+        "controller scatter writes (output tiles going home): {}",
+        remap.mc.shadow_line_writes
+    );
+
+    // Bonus: a short trace through the remapped alias shows the dense
+    // access pattern the CPU sees.
+    let mut m = Machine::new(&SystemConfig::paint());
+    let mut lu = Lu::setup(&mut m, 64, 32, LuVariant::TileRemap).expect("setup");
+    m.attach_tracer(Tracer::new(200_000));
+    lu.run(&mut m).expect("run");
+    let trace = m.take_tracer().expect("tracer attached");
+    let (unique_lines, touches) = trace.line_touch_summary(32);
+    println!(
+        "\ntrace: {} accesses touched {} distinct 32 B lines ({:.1} touches/line)",
+        touches,
+        unique_lines,
+        touches as f64 / unique_lines as f64
+    );
+}

@@ -1,0 +1,56 @@
+//! Tiled dense matrix-matrix product with Impulse tile remapping
+//! (Section 3.2 / Table 2).
+//!
+//! Tiles of a dense matrix are non-contiguous and conflict in the caches;
+//! the classic fix is copying each tile into a contiguous buffer. Impulse
+//! instead remaps each tile through a base-stride shadow descriptor —
+//! same cache behaviour, no copying, and retargeting the alias to the
+//! next tile is just a system call.
+//!
+//! Run with: `cargo run --release --example tiled_mmp`
+
+use impulse::sim::{Machine, Report, SystemConfig};
+use impulse::workloads::{Mmp, MmpParams, MmpVariant};
+
+fn run(params: MmpParams, variant: MmpVariant) -> Report {
+    let mut machine = Machine::new(&SystemConfig::paint());
+    let mut workload = Mmp::setup(&mut machine, params, variant).expect("setup");
+    workload.run(&mut machine).expect("run");
+    machine.report(variant.name())
+}
+
+fn main() {
+    let params = MmpParams { n: 128, tile: 32 };
+    println!(
+        "C = A × B, {n}×{n} doubles, {t}×{t} tiles\n",
+        n = params.n,
+        t = params.tile
+    );
+
+    let conventional = run(params, MmpVariant::Conventional);
+    let copy = run(params, MmpVariant::SoftwareCopy);
+    let remap = run(params, MmpVariant::TileRemap);
+
+    println!("{}", Report::paper_header());
+    for r in [&conventional, &copy, &remap] {
+        println!("{}", r.paper_row(&conventional));
+    }
+
+    println!(
+        "\ntile remapping reaches the same ~99% L1 hit ratio as copying, \
+         without moving any data:"
+    );
+    println!(
+        "  copy:  {} loads issued ({} of them pure copy overhead)",
+        copy.mem.loads,
+        copy.mem.loads - conventional.mem.loads
+    );
+    println!(
+        "  remap: {} loads issued (identical to the untiled kernel)",
+        remap.mem.loads
+    );
+    println!(
+        "  remap scatter writes at the controller: {}",
+        remap.mc.shadow_line_writes
+    );
+}

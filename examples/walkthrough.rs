@@ -1,0 +1,85 @@
+//! Figures 2 and 3 of the paper, as executable documentation: follow one
+//! access to a remapped matrix diagonal through every translation stage —
+//! virtual alias → (MMU) → shadow → (AddrCalc) → pseudo-virtual →
+//! (PgTbl) → DRAM — and watch the controller gather a cache line.
+//!
+//! Run with: `cargo run --release --example walkthrough`
+
+use impulse::core::RemapFn;
+use impulse::sim::{Machine, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const N: u64 = 256;
+    let mut m = Machine::new(&SystemConfig::paint_small());
+
+    println!("== setup ==============================================================");
+    let a = m.alloc_region(N * N * 8, 128)?;
+    println!("matrix A: {N}x{N} f64 at {:?} ({} KB)", a.start(), a.len() / 1024);
+
+    let stride = (N + 1) * 8;
+    let grant = m.sys_remap_strided(a.start(), 8, stride, N, 4096)?;
+    println!(
+        "sys_remap_strided(A, object=8 B, stride={stride} B, count={N})\n\
+         -> alias `diagonal` at {:?}, shadow region {:?}, descriptor {:?}",
+        grant.alias.start(),
+        grant.shadow,
+        grant.desc
+    );
+
+    println!("\n== one access: diagonal[5] ===========================================");
+    let v = grant.alias.start().add(5 * 8);
+    println!("1. CPU issues virtual address        {v:?}");
+
+    let p = m.translate(v);
+    println!("2. MMU translates to bus address     {p:?}");
+    println!(
+        "   - above installed DRAM ({:?}) => a SHADOW address",
+        m.memory().mc().shadow_base()
+    );
+
+    let desc = m
+        .memory()
+        .mc()
+        .descriptor(grant.desc)
+        .expect("descriptor configured");
+    let soffset = desc.offset_of(p);
+    println!("3. descriptor matches; shadow offset {soffset:#x}");
+
+    let pv = desc.remap().pv_of(soffset);
+    println!("4. AddrCalc ({}) maps offset -> pseudo-virtual {pv:?}", desc.remap().name());
+    if let RemapFn::Strided { object_size, stride, .. } = desc.remap() {
+        println!("   - object {} of size {object_size}, stride {stride}", soffset / object_size);
+    }
+
+    let maddr = m.memory().mc().resolve_shadow(p).expect("mapped");
+    println!("5. PgTbl maps the pv page -> DRAM    {maddr:?}");
+
+    let direct = m.translate(a.start().add(5 * stride));
+    println!(
+        "   cross-check via the ordinary path: A[5][5] = A + 5*{stride} -> {direct:?}  {}",
+        if direct.raw() == maddr.raw() { "(same word ✓)" } else { "(MISMATCH!)" }
+    );
+
+    println!("\n== the gather, timed =================================================");
+    let t0 = m.now();
+    m.load(v);
+    println!(
+        "load diagonal[5]: {} cycles — the controller gathered a whole 128 B\n\
+         line (16 diagonal elements) from 16 strided DRAM locations",
+        m.now() - t0
+    );
+    let t0 = m.now();
+    for i in 6..16 {
+        m.load(grant.alias.start().add(i * 8));
+    }
+    println!(
+        "loads diagonal[6..16]: {} cycles total — all L1 hits on the packed line",
+        m.now() - t0
+    );
+    let s = m.memory().mc().desc_stats();
+    println!(
+        "controller: {} gather(s), {} DRAM requests, descriptor buffer hits {}",
+        s.gathers, s.dram_requests, s.buffer_hits
+    );
+    Ok(())
+}

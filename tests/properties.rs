@@ -1,0 +1,425 @@
+//! Property-based tests (proptest) over the core data structures.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use impulse::cache::{Cache, CacheConfig, Indexing, Outcome, Replacement, Tlb, TlbConfig};
+use impulse::core::{RemapFn, Segment};
+use impulse::dram::{Dram, DramConfig, SchedulePolicy, Scheduler};
+use impulse::os::{AllocPolicy, PhysMem};
+use impulse::types::geom::PAGE_SIZE;
+use impulse::types::{AccessKind, MAddr, PAddr, PvAddr, VAddr};
+
+// ---------------------------------------------------------------- remap
+
+proptest! {
+    /// Every remapping's segments exactly tile the requested byte range,
+    /// and each segment's start agrees with `pv_of` at that offset.
+    #[test]
+    fn strided_segments_tile_the_request(
+        object_pow in 3u32..10,          // 8..512-byte objects
+        stride_extra in 0u64..4096,
+        soffset in 0u64..65536,
+        len in 1u64..1024,
+    ) {
+        let object = 1u64 << object_pow;
+        let stride = object + stride_extra;
+        let f = RemapFn::strided(PvAddr::new(0x10_0000), object, stride);
+        let mut segs = Vec::new();
+        f.segments(soffset, len, &mut segs);
+
+        let total: u64 = segs.iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(total, len);
+
+        let mut off = soffset;
+        for seg in &segs {
+            prop_assert_eq!(seg.pv, f.pv_of(off));
+            // A segment never crosses an object boundary.
+            prop_assert!(off % object + seg.bytes <= object);
+            off += seg.bytes;
+        }
+    }
+
+    /// Gather segments follow the indirection vector element-by-element.
+    #[test]
+    fn gather_segments_follow_indices(
+        indices in prop::collection::vec(0u64..10_000, 1..200),
+        elem_pow in 2u32..7, // 4..64-byte elements
+        start_elem in 0usize..100,
+    ) {
+        let elem = 1u64 << elem_pow;
+        let n = indices.len();
+        let start = start_elem.min(n - 1);
+        let idx = Arc::new(indices.clone());
+        let f = RemapFn::gather(PvAddr::new(0), elem, idx, PvAddr::new(1 << 30), 4);
+
+        let count = (n - start).min(16);
+        let mut segs = Vec::new();
+        f.segments(start as u64 * elem, count as u64 * elem, &mut segs);
+        prop_assert_eq!(segs.len(), count);
+        for (k, seg) in segs.iter().enumerate() {
+            prop_assert_eq!(seg.bytes, elem);
+            prop_assert_eq!(seg.pv.raw(), indices[start + k] * elem);
+        }
+    }
+
+    /// Direct mapping is a pure offset.
+    #[test]
+    fn direct_is_offset(base in 0u64..(1 << 40), off in 0u64..(1 << 20)) {
+        let f = RemapFn::direct(PvAddr::new(base));
+        prop_assert_eq!(f.pv_of(off).raw(), base + off);
+        let mut segs = Vec::new();
+        f.segments(off, 128, &mut segs);
+        prop_assert_eq!(&segs[..], &[Segment { pv: PvAddr::new(base + off), bytes: 128 }]);
+    }
+}
+
+// ---------------------------------------------------------------- cache
+
+proptest! {
+    /// After any access sequence: a just-loaded line is always present,
+    /// and the number of valid lines never exceeds capacity.
+    #[test]
+    fn cache_presence_and_capacity(
+        ops in prop::collection::vec((0u64..64, prop::bool::ANY), 1..300),
+        ways in 1u64..4,
+    ) {
+        let mut c = Cache::new(CacheConfig {
+            name: "prop",
+            size: 32 * ways * 4,
+            line: 32,
+            ways,
+            indexing: Indexing::Physical,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+        });
+        let capacity = (c.config().sets() * ways) as usize;
+        for (slot, is_store) in ops {
+            let addr = slot * 32;
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            c.access(VAddr::new(addr), PAddr::new(addr), kind);
+            prop_assert!(c.probe(VAddr::new(addr), PAddr::new(addr)));
+            prop_assert!(c.valid_lines() <= capacity);
+        }
+    }
+
+    /// Write-back integrity: every line stored to is eventually either
+    /// still cached (dirty) or was reported as a writeback/flush — dirty
+    /// data is never silently dropped.
+    #[test]
+    fn dirty_lines_are_never_lost(
+        ops in prop::collection::vec(0u64..32, 1..200),
+    ) {
+        let mut c = Cache::new(CacheConfig {
+            name: "wb",
+            size: 256, // 8 lines, direct-mapped: lots of evictions
+            line: 32,
+            ways: 1,
+            indexing: Indexing::Physical,
+            write_allocate: true,
+            replacement: Replacement::Lru,
+        });
+        use std::collections::HashSet;
+        let mut dirty: HashSet<u64> = HashSet::new();
+        for slot in ops {
+            let addr = slot * 32;
+            match c.access(VAddr::new(addr), PAddr::new(addr), AccessKind::Store) {
+                Outcome::Miss { writeback: Some(wb) } => {
+                    prop_assert!(dirty.remove(&wb.raw()),
+                        "writeback of a line never dirtied: {wb:?}");
+                }
+                Outcome::Miss { writeback: None } | Outcome::Hit => {}
+                Outcome::Bypass => unreachable!("write-allocate never bypasses"),
+            }
+            dirty.insert(addr);
+        }
+        // Whatever is still dirty must be flushable, exactly once each.
+        for addr in dirty {
+            let out = c.flush_line(VAddr::new(addr), PAddr::new(addr));
+            prop_assert_eq!(out, impulse::cache::FlushOutcome::Dirty);
+        }
+    }
+
+    /// TLB: a working set no larger than the TLB never misses twice.
+    #[test]
+    fn tlb_small_working_set_converges(pages in prop::collection::vec(0u64..64, 1..64)) {
+        let mut t = Tlb::new(TlbConfig { entries: 64 });
+        for &p in &pages {
+            if !t.lookup(p) {
+                t.insert(p, 1);
+            }
+        }
+        // Second pass: everything hits.
+        for &p in &pages {
+            prop_assert!(t.lookup(p), "page {p} missed on the second pass");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- dram
+
+proptest! {
+    /// All scheduling policies serve every request, and reordering never
+    /// changes how many bytes move.
+    #[test]
+    fn schedulers_serve_everything(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..64),
+        now in 0u64..10_000,
+    ) {
+        let reqs: Vec<MAddr> = addrs.iter().map(|&a| MAddr::new(a & !7)).collect();
+        let mut row_hits = Vec::new();
+        for policy in SchedulePolicy::ALL {
+            let mut dram = Dram::new(DramConfig::default());
+            let out = Scheduler::new(policy).run_batch(&mut dram, &reqs, AccessKind::Load, 8, now);
+            prop_assert_eq!(out.completions.len(), reqs.len());
+            prop_assert!(out.completions.iter().all(|&c| c > now));
+            prop_assert_eq!(out.done, *out.completions.iter().max().unwrap());
+            prop_assert_eq!(dram.stats().bytes, reqs.len() as u64 * 8);
+            row_hits.push(dram.stats().row_hits);
+        }
+        // Grouping by (bank, row) minimizes row transitions on a cold
+        // DRAM, so open-row-first never sees fewer hits than in-order,
+        // and bank-parallel preserves the grouping.
+        prop_assert!(row_hits[1] >= row_hits[0],
+            "open-row-first hits {} < in-order hits {}", row_hits[1], row_hits[0]);
+        prop_assert_eq!(row_hits[2], row_hits[1]);
+    }
+
+    /// DRAM timing is causal: completions never precede issue, and a
+    /// busy bank only delays, never rewinds.
+    #[test]
+    fn dram_is_causal(
+        addrs in prop::collection::vec(0u64..(1 << 18), 1..100),
+    ) {
+        let mut dram = Dram::new(DramConfig::default());
+        let mut now = 0;
+        for a in addrs {
+            let done = dram.access(MAddr::new(a & !7), AccessKind::Load, 8, now);
+            prop_assert!(done > now);
+            now = done;
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.row_hits + s.row_misses, s.reads);
+    }
+}
+
+// --------------------------------------------------------------- machine
+
+proptest! {
+    /// Whole-machine robustness: arbitrary interleavings of loads, stores,
+    /// computes, and remap system calls never panic, keep the load-ratio
+    /// identity, and stay deterministic.
+    #[test]
+    fn machine_survives_random_programs(
+        ops in prop::collection::vec((0u8..6, 0u64..4096), 1..150),
+        seed in 0u64..32,
+    ) {
+        use impulse::sim::{Machine, SystemConfig};
+
+        let run = |ops: &[(u8, u64)]| {
+            let mut m = Machine::new(&SystemConfig::paint_small());
+            let data = m.alloc_region(64 * 1024, 8).unwrap();
+            let mut grant = None;
+            for &(op, arg) in ops {
+                let off = (arg * 8) % (64 * 1024);
+                match op {
+                    0 | 1 => m.load(data.start().add(off)),
+                    2 => m.store(data.start().add(off)),
+                    3 => m.compute(arg % 16 + 1),
+                    4 => {
+                        if grant.is_none() {
+                            let colors = [(arg % 32), (arg.wrapping_add(7) % 32)];
+                            grant = m.sys_recolor(data, &colors).ok();
+                        } else if let Some(g) = grant.take() {
+                            m.sys_release(&g).unwrap();
+                        }
+                    }
+                    _ => {
+                        if let Some(g) = &grant {
+                            m.load(g.alias.start().add(off));
+                        } else {
+                            m.flush_region(data);
+                        }
+                    }
+                }
+            }
+            m.report("fuzz")
+        };
+        let _ = seed;
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a.cycles, b.cycles, "determinism");
+        prop_assert_eq!(
+            a.mem.l1_load_hits + a.mem.l2_load_hits + a.mem.mem_loads,
+            a.mem.loads,
+            "every load is served at exactly one level"
+        );
+        prop_assert!(a.mem.load_cycles >= a.mem.loads, "loads cost at least a cycle");
+    }
+}
+
+proptest! {
+    /// Randomized strided remaps through the whole machine resolve to the
+    /// same DRAM words as direct MMU accesses.
+    #[test]
+    fn machine_strided_remap_is_address_preserving(
+        object_pow in 3u32..9,
+        stride_factor in 1u64..6,
+        count in 2u64..40,
+        probes in prop::collection::vec((0u64..40, 0u64..512), 1..20),
+    ) {
+        use impulse::sim::{Machine, SystemConfig};
+        use impulse::types::MAddr;
+
+        let object = 1u64 << object_pow;
+        let stride = object * stride_factor + object; // ≥ object, varied
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        let span = (count - 1) * stride + object;
+        let base = m.alloc_region(span, 128).unwrap();
+        let grant = m
+            .sys_remap_strided(base.start(), object, stride, count, 4096)
+            .unwrap();
+
+        for (obj, within) in probes {
+            let obj = obj % count;
+            let within = within % object;
+            let alias_v = grant.alias.start().add(obj * object + within);
+            let p = m.translate(alias_v);
+            let via = m.memory().mc().resolve_shadow(p)
+                .expect("alias must resolve");
+            let direct = MAddr::new(m.translate(base.start().add(obj * stride + within)).raw());
+            prop_assert_eq!(via, direct);
+        }
+    }
+}
+
+proptest! {
+    /// Multi-descriptor dispatch: several descriptors with different
+    /// remap kinds coexist; every probe resolves per the *matching*
+    /// descriptor's arithmetic.
+    #[test]
+    fn controller_dispatches_across_descriptors(
+        probes in prop::collection::vec((0usize..3, 0u64..2048), 1..40),
+        stride_extra in 1u64..64,
+        seed in 1u64..1000,
+    ) {
+        use impulse::core::{McConfig, MemController, RemapFn};
+        use impulse::dram::{Dram, DramConfig};
+        use impulse::types::{MAddr, PAddr, PRange, PvAddr};
+
+        let dram = Dram::new(DramConfig { capacity: 1 << 24, ..DramConfig::default() });
+        let mut mc = MemController::new(dram, McConfig::default());
+        let shadow = mc.shadow_base();
+
+        // Identity page table over the first 8 MB.
+        for page in 0..2048u64 {
+            mc.map_page(page, MAddr::new(page << 12));
+        }
+
+        // Descriptor 0: direct at pv 1 MB.
+        let r0 = PRange::new(shadow, 1 << 16);
+        mc.claim_descriptor(r0, RemapFn::direct(PvAddr::new(1 << 20))).unwrap();
+        // Descriptor 1: strided 8-byte objects.
+        let stride = 8 + 8 * stride_extra;
+        let r1 = PRange::new(shadow.add(1 << 16), 1 << 14);
+        mc.claim_descriptor(r1, RemapFn::strided(PvAddr::new(2 << 20), 8, stride)).unwrap();
+        // Descriptor 2: gather over 4096 elements.
+        let indices: Vec<u64> = (0..4096u64).map(|i| (i * seed) % 4096).collect();
+        let r2 = PRange::new(shadow.add(1 << 17), 4096 * 8);
+        mc.claim_descriptor(
+            r2,
+            RemapFn::gather(PvAddr::new(4 << 20), 8, std::sync::Arc::new(indices.clone()),
+                PvAddr::new(6 << 20), 4),
+        ).unwrap();
+
+        for (which, off) in probes {
+            let off8 = off * 8 % (1 << 14);
+            let (addr, expect) = match which {
+                0 => (r0.start().add(off8), (1u64 << 20) + off8),
+                1 => (r1.start().add(off8), (2u64 << 20) + (off8 / 8) * stride),
+                _ => (
+                    r2.start().add(off8),
+                    (4u64 << 20) + indices[(off8 / 8) as usize] * 8,
+                ),
+            };
+            let got = mc.resolve_shadow(addr).expect("must resolve");
+            prop_assert_eq!(got, MAddr::new(expect), "descriptor {} offset {}", which, off8);
+            prop_assert!(mc.resolve_shadow(PAddr::new(addr.raw() + (1 << 30))).is_none(),
+                "far-away shadow addresses match nothing");
+        }
+    }
+}
+
+// ----------------------------------------------------------------- types
+
+proptest! {
+    /// Range block iteration covers the range exactly, with aligned steps.
+    #[test]
+    fn range_blocks_cover(start in 0u64..(1 << 30), len in 1u64..(1 << 16), shift in 3u32..10) {
+        use impulse::types::{VAddr, VRange};
+        let step = 1u64 << shift;
+        let r = VRange::new(VAddr::new(start), len);
+        let blocks: Vec<VAddr> = r.blocks(step).collect();
+        prop_assert!(!blocks.is_empty());
+        prop_assert!(blocks[0].raw() <= start);
+        prop_assert!(blocks.last().unwrap().raw() < start + len);
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[1].raw() - w[0].raw(), step);
+        }
+        for b in &blocks {
+            prop_assert!(b.is_aligned(step));
+        }
+        // Every byte of the range falls inside some block.
+        prop_assert!(blocks.last().unwrap().raw() + step >= start + len);
+    }
+
+    /// Alignment helpers are idempotent and ordered.
+    #[test]
+    fn alignment_laws(x in 0u64..(1 << 40), shift in 0u32..16) {
+        use impulse::types::geom::{round_down, round_up};
+        let a = 1u64 << shift;
+        let up = round_up(x, a);
+        let down = round_down(x, a);
+        prop_assert!(down <= x && x <= up);
+        prop_assert_eq!(round_up(up, a), up);
+        prop_assert_eq!(round_down(down, a), down);
+        prop_assert!(up - down < 2 * a);
+    }
+}
+
+// ---------------------------------------------------------------- phys
+
+proptest! {
+    /// Frames are handed out uniquely, under either policy.
+    #[test]
+    fn frames_are_unique(seed in 0u64..1000, n in 1u64..64) {
+        for policy in [AllocPolicy::Sequential, AllocPolicy::Random(seed)] {
+            let mut p = PhysMem::new(64 * PAGE_SIZE, 0, policy);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..n {
+                let f = p.alloc().unwrap();
+                prop_assert!(f.raw().is_multiple_of(PAGE_SIZE));
+                prop_assert!(seen.insert(f.raw()), "duplicate frame");
+            }
+        }
+    }
+
+    /// Free then re-alloc cycles never lose or duplicate frames.
+    #[test]
+    fn alloc_free_cycles(ops in prop::collection::vec(prop::bool::ANY, 1..200)) {
+        let mut p = PhysMem::new(16 * PAGE_SIZE, 0, AllocPolicy::Sequential);
+        let mut held: Vec<MAddr> = Vec::new();
+        for do_alloc in ops {
+            if do_alloc {
+                if let Ok(f) = p.alloc() {
+                    prop_assert!(!held.contains(&f));
+                    held.push(f);
+                }
+            } else if let Some(f) = held.pop() {
+                p.free(f);
+            }
+            prop_assert_eq!(p.allocated_frames(), held.len() as u64);
+        }
+    }
+}
