@@ -2,64 +2,53 @@
 //! segment expansion, controller page-table translation, DRAM scheduler
 //! batches, and full shadow-line gathers.
 
+use std::hint::black_box;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
-
+use impulse_bench::harness::Group;
 use impulse_core::{McConfig, MemController, RemapFn};
 use impulse_dram::{Dram, DramConfig, SchedulePolicy, Scheduler};
 use impulse_types::{AccessKind, MAddr, PAddr, PRange, PvAddr};
 
-fn bench_addrcalc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("addrcalc");
+fn bench_addrcalc() {
+    let mut g = Group::new("addrcalc");
     let strided = RemapFn::strided(PvAddr::new(0), 8, 8 * 1025);
     let indices: Arc<Vec<u64>> = Arc::new((0..65536u64).map(|i| (i * 37) % 65536).collect());
     let gather = RemapFn::gather(PvAddr::new(0), 8, indices, PvAddr::new(1 << 30), 4);
     let mut segs = Vec::with_capacity(32);
 
-    g.bench_function("strided_segments_128B", |b| {
-        let mut off = 0u64;
-        b.iter(|| {
-            strided.segments(off % 65536, 128, &mut segs);
-            off += 128;
-            black_box(segs.len())
-        })
+    let mut off = 0u64;
+    g.bench("strided_segments_128B", || {
+        strided.segments(off % 65536, 128, &mut segs);
+        off += 128;
+        black_box(segs.len())
     });
-    g.bench_function("gather_segments_128B", |b| {
-        let mut off = 0u64;
-        b.iter(|| {
-            gather.segments(off % (65536 * 8 - 128), 128, &mut segs);
-            off += 128;
-            black_box(segs.len())
-        })
+    let mut segs = Vec::with_capacity(32);
+    let mut off = 0u64;
+    g.bench("gather_segments_128B", || {
+        gather.segments(off % (65536 * 8 - 128), 128, &mut segs);
+        off += 128;
+        black_box(segs.len())
     });
-    g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram_scheduler");
+fn bench_scheduler() {
+    let mut g = Group::new("dram_scheduler");
     let reqs: Vec<MAddr> = (0..16u64)
         .map(|i| MAddr::new(((i * 2654435761) % (1 << 20)) & !7))
         .collect();
     for policy in SchedulePolicy::ALL {
-        g.bench_function(policy.name(), |b| {
-            b.iter_batched(
-                || Dram::new(DramConfig::default()),
-                |mut dram| {
-                    Scheduler::new(policy)
-                        .run_batch(&mut dram, &reqs, AccessKind::Load, 8, 0)
-                        .done
-                },
-                BatchSize::SmallInput,
-            )
+        g.bench(policy.name(), || {
+            let mut dram = Dram::new(DramConfig::default());
+            Scheduler::new(policy)
+                .run_batch(&mut dram, &reqs, AccessKind::Load, 8, 0)
+                .done
         });
     }
-    g.finish();
 }
 
-fn bench_gather_line(c: &mut Criterion) {
-    let mut g = c.benchmark_group("controller");
+fn bench_gather_line() {
+    let mut g = Group::new("controller");
     let dram = Dram::new(DramConfig::default());
     let mut mc = MemController::new(dram, McConfig::default());
     let shadow = mc.shadow_base();
@@ -77,28 +66,26 @@ fn bench_gather_line(c: &mut Criterion) {
         mc.map_page((1 << 15) + page, MAddr::new((1 << 28) + (page << 12)));
     }
 
-    g.bench_function("gather_shadow_line", |b| {
-        let mut now = 0u64;
-        let mut line = 0u64;
-        b.iter(|| {
-            let p = PAddr::new(shadow.raw() + (line % 4096) * 128);
-            line += 1;
-            now = mc.read_line(p, now + 100);
-            black_box(now)
-        })
+    let mut now = 0u64;
+    let mut line = 0u64;
+    g.bench("gather_shadow_line", || {
+        let p = PAddr::new(shadow.raw() + (line % 4096) * 128);
+        line += 1;
+        now = mc.read_line(p, now + 100);
+        black_box(now)
     });
-    g.bench_function("read_physical_line", |b| {
-        let mut now = 0u64;
-        let mut line = 0u64;
-        b.iter(|| {
-            let p = PAddr::new((line % 4096) * 128);
-            line += 1;
-            now = mc.read_line(p, now + 100);
-            black_box(now)
-        })
+    let mut now = 0u64;
+    let mut line = 0u64;
+    g.bench("read_physical_line", || {
+        let p = PAddr::new((line % 4096) * 128);
+        line += 1;
+        now = mc.read_line(p, now + 100);
+        black_box(now)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_addrcalc, bench_scheduler, bench_gather_line);
-criterion_main!(benches);
+fn main() {
+    bench_addrcalc();
+    bench_scheduler();
+    bench_gather_line();
+}

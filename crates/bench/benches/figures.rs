@@ -1,62 +1,53 @@
-//! Criterion benchmarks for the remaining experiments: the Figure 1
-//! diagonal walk, the superpage TLB sweep, and the IPC gather — each in
-//! its conventional and Impulse form.
+//! Benchmarks for the remaining experiments: the Figure 1 diagonal walk,
+//! the superpage TLB sweep, and the IPC gather — each in its
+//! conventional and Impulse form.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use impulse_bench::harness::Group;
 use impulse_sim::{Machine, SystemConfig};
-use impulse_workloads::{
-    Diagonal, DiagonalVariant, IpcGather, IpcVariant, TlbStress, TlbVariant,
-};
+use impulse_workloads::{Diagonal, DiagonalVariant, IpcGather, IpcVariant, TlbStress, TlbVariant};
 
-fn bench_fig1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_diagonal");
+fn bench_fig1() {
+    let mut g = Group::new("fig1_diagonal");
     for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
-        g.bench_function(variant.name(), |b| {
-            b.iter(|| {
-                let mut m = Machine::new(&SystemConfig::paint_small());
-                let d = Diagonal::setup(&mut m, 512, variant).expect("setup");
-                d.run(&mut m, 2);
-                black_box(m.now())
-            })
+        g.bench(variant.name(), || {
+            let mut m = Machine::new(&SystemConfig::paint_small());
+            let d = Diagonal::setup(&mut m, 512, variant).expect("setup");
+            d.run(&mut m, 2);
+            black_box(m.now())
         });
     }
-    g.finish();
 }
 
-fn bench_superpage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("superpage_tlb");
-    g.sample_size(20);
+fn bench_superpage() {
+    let mut g = Group::new("superpage_tlb");
     for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
-        g.bench_function(variant.name(), |b| {
-            b.iter(|| {
-                let mut m = Machine::new(&SystemConfig::paint_small());
-                let w = TlbStress::setup(&mut m, 4, 64, variant).expect("setup");
-                w.sweep(&mut m, 2);
-                black_box(m.now())
-            })
+        g.bench(variant.name(), || {
+            let mut m = Machine::new(&SystemConfig::paint_small());
+            let w = TlbStress::setup(&mut m, 4, 64, variant).expect("setup");
+            w.sweep(&mut m, 2);
+            black_box(m.now())
         });
     }
-    g.finish();
 }
 
-fn bench_ipc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ipc_gather");
+fn bench_ipc() {
+    let mut g = Group::new("ipc_gather");
     for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
-        g.bench_function(variant.name(), |b| {
-            b.iter(|| {
-                let mut m = Machine::new(&SystemConfig::paint_small());
-                let w = IpcGather::setup(&mut m, 4, 2048, 64, variant).expect("setup");
-                for _ in 0..4 {
-                    w.send(&mut m);
-                }
-                black_box(m.now())
-            })
+        g.bench(variant.name(), || {
+            let mut m = Machine::new(&SystemConfig::paint_small());
+            let w = IpcGather::setup(&mut m, 4, 2048, 64, variant).expect("setup");
+            for _ in 0..4 {
+                w.send(&mut m);
+            }
+            black_box(m.now())
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fig1, bench_superpage, bench_ipc);
-criterion_main!(benches);
+fn main() {
+    bench_fig1();
+    bench_superpage();
+    bench_ipc();
+}

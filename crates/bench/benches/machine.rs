@@ -3,9 +3,9 @@
 //! patterns. These guard against regressions in the simulator hot path
 //! (translation, TLB, cache lookup, controller dispatch).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use impulse_bench::harness::Group;
 use impulse_sim::{Machine, SystemConfig};
 use impulse_types::VRange;
 
@@ -17,47 +17,46 @@ fn machine_with_region(bytes: u64) -> (Machine, VRange) {
     (m, r)
 }
 
-fn bench_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine_throughput");
-    g.throughput(Throughput::Elements(OPS));
+fn bench_machine() {
+    let mut g = Group::new("machine_throughput");
 
-    g.bench_function("sequential_loads", |b| {
+    {
         let (mut m, r) = machine_with_region(1 << 22);
         let mut off = 0u64;
-        b.iter(|| {
+        g.bench("sequential_loads_10k", || {
             for _ in 0..OPS {
                 m.load(r.start().add(off % (1 << 22)));
                 off += 8;
             }
             black_box(m.now())
-        })
-    });
+        });
+    }
 
-    g.bench_function("random_loads", |b| {
+    {
         let (mut m, r) = machine_with_region(1 << 22);
         let mut lcg = 0x2545_f491_4f6c_dd1du64;
-        b.iter(|| {
+        g.bench("random_loads_10k", || {
             for _ in 0..OPS {
                 lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
                 m.load(r.start().add(((lcg >> 17) % (1 << 22)) & !7));
             }
             black_box(m.now())
-        })
-    });
+        });
+    }
 
-    g.bench_function("l1_resident_loads", |b| {
+    {
         let (mut m, r) = machine_with_region(16 * 1024);
         let mut off = 0u64;
-        b.iter(|| {
+        g.bench("l1_resident_loads_10k", || {
             for _ in 0..OPS {
                 m.load(r.start().add(off % (16 * 1024)));
                 off += 8;
             }
             black_box(m.now())
-        })
-    });
+        });
+    }
 
-    g.bench_function("gathered_alias_loads", |b| {
+    {
         let mut m = Machine::new(&SystemConfig::paint_small().with_prefetch(true, false));
         let x = m.alloc_region(1 << 20, 8).expect("alloc x");
         let colv = m.alloc_region(1 << 19, 4).expect("alloc col");
@@ -69,17 +68,16 @@ fn bench_machine(c: &mut Criterion) {
             .expect("gather")
             .alias;
         let mut off = 0u64;
-        b.iter(|| {
+        g.bench("gathered_alias_loads_10k", || {
             for _ in 0..OPS {
                 m.load(alias.start().add(off % (n * 8)));
                 off += 8;
             }
             black_box(m.now())
-        })
-    });
-
-    g.finish();
+        });
+    }
 }
 
-criterion_group!(benches, bench_machine);
-criterion_main!(benches);
+fn main() {
+    bench_machine();
+}

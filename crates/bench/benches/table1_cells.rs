@@ -1,42 +1,39 @@
-//! Criterion benchmark for Table 1 (NAS CG sparse matrix-vector
-//! product): measures wall-clock simulation cost of each memory-system
+//! Benchmark for Table 1 (NAS CG sparse matrix-vector product):
+//! measures wall-clock simulation cost of each memory-system
 //! configuration at a reduced scale. The paper-shape *results* come from
 //! the `table1` binary; this bench tracks the simulator's own
 //! performance on the same cells.
 
+use std::hint::black_box;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use impulse_bench::harness::Group;
 use impulse_sim::{Machine, SystemConfig};
-use impulse_workloads::{SparsePattern, Smvp, SmvpVariant};
+use impulse_workloads::{Smvp, SmvpVariant, SparsePattern};
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let pattern = Arc::new(SparsePattern::generate(4096, 8, 11));
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
+    let mut g = Group::new("table1");
 
     let cells = [
         (SmvpVariant::Conventional, false, false, "conventional"),
         (SmvpVariant::Conventional, true, true, "conventional+pf"),
         (SmvpVariant::ScatterGather, false, false, "scatter_gather"),
-        (SmvpVariant::ScatterGather, true, false, "scatter_gather+mcpf"),
+        (
+            SmvpVariant::ScatterGather,
+            true,
+            false,
+            "scatter_gather+mcpf",
+        ),
         (SmvpVariant::Recolored, false, false, "recolored"),
     ];
     for (variant, mc_pf, l1_pf, label) in cells {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let cfg = SystemConfig::paint_small().with_prefetch(mc_pf, l1_pf);
-                let mut m = Machine::new(&cfg);
-                let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("setup");
-                w.run(&mut m, 1);
-                black_box(m.report(label).cycles)
-            })
+        g.bench(label, || {
+            let cfg = SystemConfig::paint_small().with_prefetch(mc_pf, l1_pf);
+            let mut m = Machine::new(&cfg);
+            let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("setup");
+            w.run(&mut m, 1);
+            black_box(m.report(label).cycles)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -1,18 +1,17 @@
-//! Criterion benchmark for Table 2 (tiled matrix-matrix product):
-//! measures wall-clock simulation cost of each memory-system
-//! configuration at a reduced scale. The paper-shape *results* come from
-//! the `table2` binary.
+//! Benchmark for Table 2 (tiled matrix-matrix product): measures
+//! wall-clock simulation cost of each memory-system configuration at a
+//! reduced scale. The paper-shape *results* come from the `table2`
+//! binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use impulse_bench::harness::Group;
 use impulse_sim::{Machine, SystemConfig};
 use impulse_workloads::{Mmp, MmpParams, MmpVariant};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let params = MmpParams { n: 64, tile: 32 };
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
+    let mut g = Group::new("table2");
 
     for variant in MmpVariant::ALL {
         let label = match variant {
@@ -20,17 +19,11 @@ fn bench_table2(c: &mut Criterion) {
             MmpVariant::SoftwareCopy => "software_copy",
             MmpVariant::TileRemap => "tile_remap",
         };
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut m = Machine::new(&SystemConfig::paint_small());
-                let mut w = Mmp::setup(&mut m, params, variant).expect("setup");
-                w.run(&mut m).expect("run");
-                black_box(m.report(label).cycles)
-            })
+        g.bench(label, || {
+            let mut m = Machine::new(&SystemConfig::paint_small());
+            let mut w = Mmp::setup(&mut m, params, variant).expect("setup");
+            w.run(&mut m).expect("run");
+            black_box(m.report(label).cycles)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

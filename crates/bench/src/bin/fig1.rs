@@ -36,16 +36,8 @@ fn main() {
     println!("\n================================================================");
     println!("Figure 1 — diagonal of a dense {n}×{n} matrix, {passes} pass(es)");
     println!("================================================================");
-    println!(
-        "{:<30}{:>16}{:>16}",
-        "", "conventional", "impulse remap"
-    );
-    println!(
-        "{:<30}{:>16}{:>16}",
-        "cycles",
-        conv.cycles,
-        imp.cycles
-    );
+    println!("{:<30}{:>16}{:>16}", "", "conventional", "impulse remap");
+    println!("{:<30}{:>16}{:>16}", "cycles", conv.cycles, imp.cycles);
     println!(
         "{:<30}{:>16}{:>16}",
         "bus traffic (bytes)", conv.bus.bytes, imp.bus.bytes

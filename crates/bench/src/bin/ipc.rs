@@ -38,7 +38,10 @@ fn main() {
     );
     println!("{:<26}{:>18}{:>20}", "cycles", sw.cycles, imp.cycles);
     println!("{:<26}{:>18}{:>20}", "loads", sw.mem.loads, imp.mem.loads);
-    println!("{:<26}{:>18}{:>20}", "stores", sw.mem.stores, imp.mem.stores);
+    println!(
+        "{:<26}{:>18}{:>20}",
+        "stores", sw.mem.stores, imp.mem.stores
+    );
     println!(
         "{:<26}{:>18}{:>20}",
         "bus traffic (bytes)", sw.bus.bytes, imp.bus.bytes

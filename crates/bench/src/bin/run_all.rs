@@ -1,6 +1,12 @@
 //! Runs every experiment at quick scale and writes one CSV of headline
-//! metrics — the one-command regeneration entry point
-//! (`results.csv` in the current directory, or `out=<path>`).
+//! metrics plus a full JSON report — the one-command regeneration entry
+//! point (`results.csv` and `results/run_all.json` in the current
+//! directory, or `out=<path>` / `json=<path>`).
+//!
+//! The JSON report (schema `impulse-report-v1` per experiment) carries
+//! what the CSV cannot: per-level latency histograms with p50/p90/p99
+//! and the demand-cycle attribution table whose stage totals sum to each
+//! epoch's demand-access cycles.
 //!
 //! For the paper-layout tables with reference values, run the individual
 //! binaries (`table1`, `table2`, `fig1`, ...).
@@ -8,10 +14,11 @@
 use std::io::Write;
 use std::sync::Arc;
 
+use impulse_obs::Json;
 use impulse_sim::{Machine, Report, SystemConfig};
 use impulse_workloads::{
     ChannelFilter, DbScan, DbVariant, Diagonal, DiagonalVariant, IpcGather, IpcVariant, Lu,
-    LuVariant, MediaVariant, Mmp, MmpParams, MmpVariant, SparsePattern, Smvp, SmvpVariant,
+    LuVariant, MediaVariant, Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern,
     TlbStress, TlbVariant, Transpose, TransposeVariant,
 };
 
@@ -113,17 +120,57 @@ fn collect() -> Vec<Report> {
     out
 }
 
+/// Bundles every experiment report into one JSON document, asserting the
+/// attribution invariant for each along the way.
+fn json_document(reports: &[Report]) -> Json {
+    let mut arr = Vec::with_capacity(reports.len());
+    for r in reports {
+        let demand = r.mem.load_cycles + r.mem.store_cycles;
+        assert_eq!(
+            r.attr.total(),
+            demand,
+            "{}: attribution stages sum to {} but demand cycles are {demand}",
+            r.name,
+            r.attr.total(),
+        );
+        arr.push(r.to_json());
+    }
+    let mut root = Json::obj();
+    root.set("schema", Json::Str("impulse-run-all-v1".into()));
+    root.set("reports", Json::Arr(arr));
+    root
+}
+
 fn main() {
-    let path = std::env::args()
-        .skip(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .iter()
         .find_map(|a| a.strip_prefix("out=").map(String::from))
         .unwrap_or_else(|| "results.csv".to_string());
+    let json_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("json=").map(String::from))
+        .unwrap_or_else(|| "results/run_all.json".to_string());
 
     let reports = collect();
+
     let mut f = std::fs::File::create(&path).expect("create results file");
     writeln!(f, "{}", Report::csv_header()).expect("write header");
     for r in &reports {
         writeln!(f, "{}", r.csv_row()).expect("write row");
     }
-    println!("wrote {} experiment rows to {path}", reports.len());
+
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    let doc = json_document(&reports);
+    let mut jf = std::fs::File::create(&json_path).expect("create JSON report");
+    writeln!(jf, "{doc:#}").expect("write JSON report");
+
+    println!(
+        "wrote {} experiment rows to {path} and full reports to {json_path}",
+        reports.len()
+    );
 }

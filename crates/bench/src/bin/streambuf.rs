@@ -21,7 +21,7 @@ use std::sync::Arc;
 use impulse_bench::Args;
 use impulse_sim::{Machine, Report, SystemConfig};
 use impulse_types::geom::PAGE_SIZE;
-use impulse_workloads::{Diagonal, DiagonalVariant, SparsePattern, Smvp, SmvpVariant};
+use impulse_workloads::{Diagonal, DiagonalVariant, Smvp, SmvpVariant, SparsePattern};
 
 /// Diagonal walk with per-page programmed streams (the stream follows
 /// physical addresses, so the program is re-armed at page boundaries —
@@ -48,10 +48,9 @@ fn diagonal_with_streams(n: u64, passes: u64) -> Report {
 }
 
 fn diagonal_plain(n: u64, passes: u64, variant: DiagonalVariant) -> Report {
-    let mut m = Machine::new(&SystemConfig::paint().with_prefetch(
-        variant == DiagonalVariant::Remapped,
-        false,
-    ));
+    let mut m = Machine::new(
+        &SystemConfig::paint().with_prefetch(variant == DiagonalVariant::Remapped, false),
+    );
     let d = Diagonal::setup(&mut m, n, variant).expect("setup");
     m.reset_stats();
     d.run(&mut m, passes);
@@ -110,7 +109,13 @@ fn main() {
 
     println!("\n--- irregular: CG SMVP, n={rows}, ~{nnz} nnz/row ---");
     let pattern = Arc::new(SparsePattern::generate(rows, nnz, 0x5ca1e));
-    let base = smvp(&pattern, SmvpVariant::Conventional, false, false, "conventional");
+    let base = smvp(
+        &pattern,
+        SmvpVariant::Conventional,
+        false,
+        false,
+        "conventional",
+    );
     let with_stream = smvp(
         &pattern,
         SmvpVariant::Conventional,
@@ -129,7 +134,11 @@ fn main() {
         "{:<30}{:>12}{:>10}{:>12}",
         "system", "cycles", "speedup", "stream hits"
     );
-    for (r, hits) in [(&base, 0u64), (&with_stream, with_stream.mem.stream_loads), (&impulse, 0)] {
+    for (r, hits) in [
+        (&base, 0u64),
+        (&with_stream, with_stream.mem.stream_loads),
+        (&impulse, 0),
+    ] {
         println!(
             "{:<30}{:>12}{:>10.2}{:>12}",
             r.name,

@@ -43,7 +43,10 @@ fn main() {
     println!(
         "Superpages via shadow remapping — {regions} regions × {pages} pages, {rounds} sweeps"
     );
-    println!("(working set {} pages vs. a 120-entry TLB)", regions * pages);
+    println!(
+        "(working set {} pages vs. a 120-entry TLB)",
+        regions * pages
+    );
     println!("================================================================");
     println!(
         "{:<26}{:>16}{:>20}{:>20}",

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use impulse_bench::Args;
 use impulse_dram::SchedulePolicy;
 use impulse_sim::{Machine, Report, SystemConfig};
-use impulse_workloads::{Mmp, MmpParams, MmpVariant, SparsePattern, Smvp, SmvpVariant};
+use impulse_workloads::{Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern};
 
 fn run(cfg: &SystemConfig, pattern: &Arc<SparsePattern>) -> Report {
     let mut m = Machine::new(cfg);
@@ -104,8 +104,10 @@ fn main() {
     // tile remapping does not." Sweep the tile size and compare the
     // *overhead* each scheme pays on top of the compute-identical
     // conventional load stream.
-    println!("
---- tile size vs copy/remap overhead (paper §4.2 claim) ---");
+    println!(
+        "
+--- tile size vs copy/remap overhead (paper §4.2 claim) ---"
+    );
     println!(
         "{:<12}{:>16}{:>18}{:>18}",
         "tile", "conv (Mcyc)", "copy ovh (Mcyc)", "remap ovh (Mcyc)"

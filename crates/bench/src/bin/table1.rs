@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use impulse_bench::{print_table, Args, PaperRow, TableSection, PREFETCH_COLUMNS};
 use impulse_sim::{Machine, Report, SystemConfig};
-use impulse_workloads::{CgBenchmark, SparsePattern, Smvp, SmvpVariant};
+use impulse_workloads::{CgBenchmark, Smvp, SmvpVariant, SparsePattern};
 
 fn run_cell(
     pattern: &Arc<SparsePattern>,
@@ -34,24 +34,108 @@ fn run_cell(
 }
 
 const PAPER_CONVENTIONAL: [PaperRow; 4] = [
-    PaperRow { time: 2.81, l1: 64.6, l2: 29.9, mem: 5.5, avg_load: 4.75, speedup: 0.0 },
-    PaperRow { time: 2.69, l1: 64.6, l2: 29.9, mem: 5.5, avg_load: 4.38, speedup: 1.04 },
-    PaperRow { time: 2.51, l1: 67.7, l2: 30.4, mem: 1.9, avg_load: 3.56, speedup: 1.12 },
-    PaperRow { time: 2.49, l1: 67.7, l2: 30.4, mem: 1.9, avg_load: 3.54, speedup: 1.13 },
+    PaperRow {
+        time: 2.81,
+        l1: 64.6,
+        l2: 29.9,
+        mem: 5.5,
+        avg_load: 4.75,
+        speedup: 0.0,
+    },
+    PaperRow {
+        time: 2.69,
+        l1: 64.6,
+        l2: 29.9,
+        mem: 5.5,
+        avg_load: 4.38,
+        speedup: 1.04,
+    },
+    PaperRow {
+        time: 2.51,
+        l1: 67.7,
+        l2: 30.4,
+        mem: 1.9,
+        avg_load: 3.56,
+        speedup: 1.12,
+    },
+    PaperRow {
+        time: 2.49,
+        l1: 67.7,
+        l2: 30.4,
+        mem: 1.9,
+        avg_load: 3.54,
+        speedup: 1.13,
+    },
 ];
 
 const PAPER_SCATTER_GATHER: [PaperRow; 4] = [
-    PaperRow { time: 2.11, l1: 88.0, l2: 4.4, mem: 7.6, avg_load: 5.24, speedup: 1.33 },
-    PaperRow { time: 1.68, l1: 88.0, l2: 4.4, mem: 7.6, avg_load: 3.53, speedup: 1.67 },
-    PaperRow { time: 1.51, l1: 94.7, l2: 4.3, mem: 1.0, avg_load: 2.19, speedup: 1.86 },
-    PaperRow { time: 1.44, l1: 94.7, l2: 4.3, mem: 1.0, avg_load: 2.04, speedup: 1.95 },
+    PaperRow {
+        time: 2.11,
+        l1: 88.0,
+        l2: 4.4,
+        mem: 7.6,
+        avg_load: 5.24,
+        speedup: 1.33,
+    },
+    PaperRow {
+        time: 1.68,
+        l1: 88.0,
+        l2: 4.4,
+        mem: 7.6,
+        avg_load: 3.53,
+        speedup: 1.67,
+    },
+    PaperRow {
+        time: 1.51,
+        l1: 94.7,
+        l2: 4.3,
+        mem: 1.0,
+        avg_load: 2.19,
+        speedup: 1.86,
+    },
+    PaperRow {
+        time: 1.44,
+        l1: 94.7,
+        l2: 4.3,
+        mem: 1.0,
+        avg_load: 2.04,
+        speedup: 1.95,
+    },
 ];
 
 const PAPER_RECOLORING: [PaperRow; 4] = [
-    PaperRow { time: 2.70, l1: 64.7, l2: 30.9, mem: 4.4, avg_load: 4.47, speedup: 1.04 },
-    PaperRow { time: 2.57, l1: 64.7, l2: 31.0, mem: 4.3, avg_load: 4.05, speedup: 1.09 },
-    PaperRow { time: 2.39, l1: 67.7, l2: 31.3, mem: 1.0, avg_load: 3.28, speedup: 1.18 },
-    PaperRow { time: 2.37, l1: 67.7, l2: 31.3, mem: 1.0, avg_load: 3.26, speedup: 1.19 },
+    PaperRow {
+        time: 2.70,
+        l1: 64.7,
+        l2: 30.9,
+        mem: 4.4,
+        avg_load: 4.47,
+        speedup: 1.04,
+    },
+    PaperRow {
+        time: 2.57,
+        l1: 64.7,
+        l2: 31.0,
+        mem: 4.3,
+        avg_load: 4.05,
+        speedup: 1.09,
+    },
+    PaperRow {
+        time: 2.39,
+        l1: 67.7,
+        l2: 31.3,
+        mem: 1.0,
+        avg_load: 3.28,
+        speedup: 1.18,
+    },
+    PaperRow {
+        time: 2.37,
+        l1: 67.7,
+        l2: 31.3,
+        mem: 1.0,
+        avg_load: 3.26,
+        speedup: 1.19,
+    },
 ];
 
 fn main() {
@@ -121,7 +205,11 @@ fn main() {
     print_table(
         &format!(
             "Table 1 — {}{} (n={}, nnz={}, passes={passes})",
-            if mesh > 0 { "Spark98-like mesh SMVP" } else { "NAS conjugate gradient" },
+            if mesh > 0 {
+                "Spark98-like mesh SMVP"
+            } else {
+                "NAS conjugate gradient"
+            },
             if full_cg { " [full CG iterations]" } else { "" },
             pattern.n(),
             pattern.nnz()

@@ -18,24 +18,108 @@ fn run_cell(p: MmpParams, variant: MmpVariant, mc_pf: bool, l1_pf: bool) -> Repo
 }
 
 const PAPER_CONVENTIONAL: [PaperRow; 4] = [
-    PaperRow { time: 2.57, l1: 49.0, l2: 43.0, mem: 8.0, avg_load: 6.37, speedup: 0.0 },
-    PaperRow { time: 2.51, l1: 49.0, l2: 43.0, mem: 8.0, avg_load: 6.18, speedup: 1.02 },
-    PaperRow { time: 2.58, l1: 48.9, l2: 43.4, mem: 7.7, avg_load: 6.44, speedup: 1.00 },
-    PaperRow { time: 2.52, l1: 48.9, l2: 43.5, mem: 7.6, avg_load: 6.22, speedup: 1.02 },
+    PaperRow {
+        time: 2.57,
+        l1: 49.0,
+        l2: 43.0,
+        mem: 8.0,
+        avg_load: 6.37,
+        speedup: 0.0,
+    },
+    PaperRow {
+        time: 2.51,
+        l1: 49.0,
+        l2: 43.0,
+        mem: 8.0,
+        avg_load: 6.18,
+        speedup: 1.02,
+    },
+    PaperRow {
+        time: 2.58,
+        l1: 48.9,
+        l2: 43.4,
+        mem: 7.7,
+        avg_load: 6.44,
+        speedup: 1.00,
+    },
+    PaperRow {
+        time: 2.52,
+        l1: 48.9,
+        l2: 43.5,
+        mem: 7.6,
+        avg_load: 6.22,
+        speedup: 1.02,
+    },
 ];
 
 const PAPER_COPY: [PaperRow; 4] = [
-    PaperRow { time: 1.32, l1: 98.5, l2: 1.3, mem: 0.2, avg_load: 1.09, speedup: 1.95 },
-    PaperRow { time: 1.32, l1: 98.5, l2: 1.3, mem: 0.2, avg_load: 1.08, speedup: 1.95 },
-    PaperRow { time: 1.32, l1: 98.5, l2: 1.4, mem: 0.1, avg_load: 1.06, speedup: 1.95 },
-    PaperRow { time: 1.32, l1: 98.5, l2: 1.4, mem: 0.1, avg_load: 1.06, speedup: 1.95 },
+    PaperRow {
+        time: 1.32,
+        l1: 98.5,
+        l2: 1.3,
+        mem: 0.2,
+        avg_load: 1.09,
+        speedup: 1.95,
+    },
+    PaperRow {
+        time: 1.32,
+        l1: 98.5,
+        l2: 1.3,
+        mem: 0.2,
+        avg_load: 1.08,
+        speedup: 1.95,
+    },
+    PaperRow {
+        time: 1.32,
+        l1: 98.5,
+        l2: 1.4,
+        mem: 0.1,
+        avg_load: 1.06,
+        speedup: 1.95,
+    },
+    PaperRow {
+        time: 1.32,
+        l1: 98.5,
+        l2: 1.4,
+        mem: 0.1,
+        avg_load: 1.06,
+        speedup: 1.95,
+    },
 ];
 
 const PAPER_REMAP: [PaperRow; 4] = [
-    PaperRow { time: 1.30, l1: 99.4, l2: 0.4, mem: 0.2, avg_load: 1.09, speedup: 1.98 },
-    PaperRow { time: 1.29, l1: 99.4, l2: 0.4, mem: 0.2, avg_load: 1.07, speedup: 1.99 },
-    PaperRow { time: 1.30, l1: 99.4, l2: 0.4, mem: 0.2, avg_load: 1.09, speedup: 1.98 },
-    PaperRow { time: 1.28, l1: 99.6, l2: 0.4, mem: 0.0, avg_load: 1.03, speedup: 2.01 },
+    PaperRow {
+        time: 1.30,
+        l1: 99.4,
+        l2: 0.4,
+        mem: 0.2,
+        avg_load: 1.09,
+        speedup: 1.98,
+    },
+    PaperRow {
+        time: 1.29,
+        l1: 99.4,
+        l2: 0.4,
+        mem: 0.2,
+        avg_load: 1.07,
+        speedup: 1.99,
+    },
+    PaperRow {
+        time: 1.30,
+        l1: 99.4,
+        l2: 0.4,
+        mem: 0.2,
+        avg_load: 1.09,
+        speedup: 1.98,
+    },
+    PaperRow {
+        time: 1.28,
+        l1: 99.6,
+        l2: 0.4,
+        mem: 0.0,
+        avg_load: 1.03,
+        speedup: 2.01,
+    },
 ];
 
 fn main() {

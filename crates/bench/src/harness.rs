@@ -1,0 +1,69 @@
+//! Minimal self-timed micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the benchmark targets cannot
+//! pull in an external statistics framework. This harness covers what the
+//! `[[bench]]` targets actually need: warm up, run a measured batch of
+//! iterations against a wall clock, and print per-iteration timings in a
+//! stable, grep-friendly format (`group/name  <median> ns/iter (mean
+//! <mean> ns, <n> iters)`).
+//!
+//! Timings are indicative, not statistically rigorous — the simulator's
+//! own *cycle* counts (what the paper reports) are exactly reproducible
+//! and live in the regular binaries; these benches only guard the
+//! simulator's host-side throughput.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spend per benchmark measurement.
+const TARGET: Duration = Duration::from_millis(300);
+/// Samples taken per benchmark (median over these is reported).
+const SAMPLES: usize = 5;
+
+/// A named group of benchmarks, printed with a `group/name` prefix.
+pub struct Group {
+    name: &'static str,
+}
+
+impl Group {
+    /// Starts a benchmark group.
+    pub fn new(name: &'static str) -> Self {
+        println!("## {name}");
+        Self { name }
+    }
+
+    /// Measures `f`, which performs **one** iteration of interesting work
+    /// and returns a value kept opaque to the optimizer.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: also sizes the measured batch so one sample lands
+        // near TARGET/SAMPLES.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < TARGET / 10 || warm_iters < 3 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let batch =
+            ((TARGET.as_nanos() / SAMPLES as u128) / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let mut samples: Vec<u128> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() / batch as u128);
+        }
+        samples.sort_unstable();
+        let median = samples[SAMPLES / 2];
+        let mean = samples.iter().sum::<u128>() / SAMPLES as u128;
+        println!(
+            "{}/{name}  {median} ns/iter (mean {mean} ns, {} iters x {SAMPLES} samples)",
+            self.name, batch
+        );
+    }
+}

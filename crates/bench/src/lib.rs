@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use impulse_sim::Report;
 
 /// The four prefetch configurations every table sweeps: the paper's
@@ -149,7 +151,8 @@ impl Args {
                 let v = v
                     .parse::<u64>()
                     .unwrap_or_else(|_| panic!("expected integer in `{a}`"));
-                out.overrides.push((k.trim_start_matches('-').to_string(), v));
+                out.overrides
+                    .push((k.trim_start_matches('-').to_string(), v));
             } else {
                 panic!("unrecognized argument `{a}` (use --paper or key=value)");
             }

@@ -1,5 +1,6 @@
 //! Generic set-associative cache model.
 
+use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::{is_pow2, log2};
 use impulse_types::{AccessKind, PAddr, VAddr};
 
@@ -84,7 +85,11 @@ impl CacheConfig {
     ///
     /// Panics if sizes are not powers of two or do not divide evenly.
     fn validate(&self) {
-        assert!(is_pow2(self.line), "{}: line size must be a power of two", self.name);
+        assert!(
+            is_pow2(self.line),
+            "{}: line size must be a power of two",
+            self.name
+        );
         assert!(self.ways > 0, "{}: must have at least one way", self.name);
         assert!(
             self.size.is_multiple_of(self.line * self.ways),
@@ -453,6 +458,23 @@ impl Cache {
     /// Number of valid lines currently cached (for tests/diagnostics).
     pub fn valid_lines(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+impl Observe for Cache {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        let s = self.stats();
+        m.counter("cache.loads", s.loads);
+        m.counter("cache.load_hits", s.load_hits);
+        m.counter("cache.stores", s.stores);
+        m.counter("cache.store_hits", s.store_hits);
+        m.counter("cache.store_bypasses", s.store_bypasses);
+        m.counter("cache.fills", s.fills);
+        m.counter("cache.prefetch_fills", s.prefetch_fills);
+        m.counter("cache.prefetch_useful", s.prefetch_useful);
+        m.counter("cache.writebacks", s.writebacks);
+        m.counter("cache.evictions", s.evictions);
+        m.gauge("cache.load_hit_ratio", s.load_hit_ratio());
     }
 }
 

@@ -111,7 +111,10 @@ impl StreamBuffers {
     /// Panics on zero buffers/depth or depth beyond 4 (the fixed fetch
     /// fan-out of [`StreamOutcome::Miss`]).
     pub fn new(cfg: StreamConfig) -> Self {
-        assert!(cfg.buffers > 0 && cfg.depth > 0, "buffers must be non-empty");
+        assert!(
+            cfg.buffers > 0 && cfg.depth > 0,
+            "buffers must be non-empty"
+        );
         assert!(cfg.depth <= 4, "depth beyond 4 is not modeled");
         Self {
             buffers: vec![

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::is_pow2;
 
 /// TLB geometry.
@@ -234,6 +235,18 @@ impl Tlb {
     /// Number of valid entries.
     pub fn valid_entries(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+impl Observe for Tlb {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        let s = self.stats();
+        m.counter("tlb.lookups", s.lookups);
+        m.counter("tlb.hits", s.hits);
+        m.counter("tlb.misses", s.misses());
+        m.counter("tlb.inserts", s.inserts);
+        m.counter("tlb.evictions", s.evictions);
+        m.gauge("tlb.hit_ratio", s.hit_ratio());
     }
 }
 

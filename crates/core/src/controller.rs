@@ -16,6 +16,7 @@
 use core::fmt;
 
 use impulse_dram::{Dram, SchedulePolicy, Scheduler};
+use impulse_obs::{Histogram, MetricsRegistry, Observe};
 use impulse_types::geom::PAGE_SIZE;
 use impulse_types::{AccessKind, Cycle, MAddr, PAddr, PRange};
 
@@ -132,6 +133,32 @@ pub struct McStats {
     pub shadow_line_writes: u64,
 }
 
+/// Where the cycles of one controller line read went, stage by stage.
+///
+/// Produced by [`MemController::read_line_attributed`]; the four fields
+/// always sum exactly to the read's total latency (`done - now`), so a
+/// caller can fold them into a system-wide cycle-attribution table without
+/// double counting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McBreakdown {
+    /// Fixed controller pipeline overhead.
+    pub frontend: Cycle,
+    /// Prefetch-SRAM / descriptor-buffer access (including waiting out an
+    /// in-flight background fill).
+    pub sram: Cycle,
+    /// Controller page-table translation (TLB-miss walks).
+    pub pgtbl: Cycle,
+    /// DRAM array time (bank wait, row activation, data transfer).
+    pub dram: Cycle,
+}
+
+impl McBreakdown {
+    /// Sum over all stages — equals the read's total latency.
+    pub fn total(&self) -> Cycle {
+        self.frontend + self.sram + self.pgtbl + self.dram
+    }
+}
+
 /// The Impulse memory controller.
 #[derive(Clone, Debug)]
 pub struct MemController {
@@ -145,6 +172,10 @@ pub struct MemController {
     stats: McStats,
     seg_scratch: Vec<Segment>,
     req_scratch: Vec<(MAddr, u64)>,
+    lat_direct: Histogram,
+    lat_pf_hit: Histogram,
+    lat_shadow: Histogram,
+    lat_shadow_hit: Histogram,
 }
 
 impl MemController {
@@ -168,6 +199,10 @@ impl MemController {
             stats: McStats::default(),
             seg_scratch: Vec::with_capacity(32),
             req_scratch: Vec::with_capacity(32),
+            lat_direct: Histogram::new(),
+            lat_pf_hit: Histogram::new(),
+            lat_shadow: Histogram::new(),
+            lat_shadow_hit: Histogram::new(),
             dram,
             cfg,
         }
@@ -204,6 +239,31 @@ impl MemController {
         for d in self.descs.iter_mut().flatten() {
             d.reset_stats();
         }
+        self.lat_direct = Histogram::new();
+        self.lat_pf_hit = Histogram::new();
+        self.lat_shadow = Histogram::new();
+        self.lat_shadow_hit = Histogram::new();
+    }
+
+    /// Latency distribution of non-shadow line reads served from DRAM.
+    pub fn direct_latency(&self) -> &Histogram {
+        &self.lat_direct
+    }
+
+    /// Latency distribution of line reads served from the prefetch SRAM.
+    pub fn pf_hit_latency(&self) -> &Histogram {
+        &self.lat_pf_hit
+    }
+
+    /// Latency distribution of shadow line reads that ran a full gather.
+    pub fn shadow_latency(&self) -> &Histogram {
+        &self.lat_shadow
+    }
+
+    /// Latency distribution of shadow line reads served from a
+    /// descriptor's prefetch buffer.
+    pub fn shadow_hit_latency(&self) -> &Histogram {
+        &self.lat_shadow_hit
     }
 
     /// Controller page-table statistics.
@@ -318,6 +378,17 @@ impl MemController {
     /// on real hardware that is a bus error; in the simulator it is an OS
     /// bug.
     pub fn read_line(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        self.read_line_attributed(p, now).0
+    }
+
+    /// Like [`read_line`](Self::read_line), but also reports where the
+    /// cycles went. The returned breakdown's [`McBreakdown::total`] equals
+    /// the read latency (`returned cycle - now`) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same condition as [`read_line`](Self::read_line).
+    pub fn read_line_attributed(&mut self, p: PAddr, now: Cycle) -> (Cycle, McBreakdown) {
         if self.is_shadow(p) {
             self.read_shadow(p, now)
         } else {
@@ -338,24 +409,35 @@ impl MemController {
 
     // ---- non-shadow path -------------------------------------------------
 
-    fn read_physical(&mut self, p: PAddr, now: Cycle) -> Cycle {
+    fn read_physical(&mut self, p: PAddr, now: Cycle) -> (Cycle, McBreakdown) {
         self.stats.line_reads += 1;
+        let mut bd = McBreakdown {
+            frontend: self.cfg.t_overhead,
+            ..McBreakdown::default()
+        };
         let t = now + self.cfg.t_overhead;
         let line = p.align_down(self.cfg.line_bytes);
         if self.cfg.prefetch_nonshadow {
             if let Some(ready) = self.pf.demand_lookup(line, t) {
                 let data = ready.max(t) + self.cfg.t_sram;
+                bd.sram = data - t;
+                self.lat_pf_hit.record(data - now);
                 self.obl_prefetch(line.add(self.cfg.line_bytes), data);
-                return data;
+                return (data, bd);
             }
         }
-        let done = self
-            .dram
-            .access(MAddr::new(line.raw()), AccessKind::Load, self.cfg.line_bytes, t);
+        let done = self.dram.access(
+            MAddr::new(line.raw()),
+            AccessKind::Load,
+            self.cfg.line_bytes,
+            t,
+        );
+        bd.dram = done - t;
+        self.lat_direct.record(done - now);
         if self.cfg.prefetch_nonshadow {
             self.obl_prefetch(line.add(self.cfg.line_bytes), done);
         }
-        done
+        (done, bd)
     }
 
     fn write_physical(&mut self, p: PAddr, now: Cycle) -> Cycle {
@@ -396,9 +478,13 @@ impl MemController {
             .unwrap_or_else(|| panic!("shadow access to {p:?} matches no descriptor"))
     }
 
-    fn read_shadow(&mut self, p: PAddr, now: Cycle) -> Cycle {
+    fn read_shadow(&mut self, p: PAddr, now: Cycle) -> (Cycle, McBreakdown) {
         self.stats.shadow_line_reads += 1;
         let idx = self.desc_index(p);
+        let mut bd = McBreakdown {
+            frontend: self.cfg.t_overhead,
+            ..McBreakdown::default()
+        };
         let t = now + self.cfg.t_overhead;
         let line = p.align_down(self.cfg.line_bytes);
         let line_bytes = self.cfg.line_bytes;
@@ -409,15 +495,20 @@ impl MemController {
         if self.cfg.prefetch_shadow {
             if let Some(ready) = desc.buffer_lookup(line, t) {
                 let data = ready.max(t) + t_sram;
+                bd.sram = data - t;
+                self.lat_shadow_hit.record(data - now);
                 self.shadow_prefetch(idx, line.add(line_bytes), data);
-                return data;
+                return (data, bd);
             }
         }
-        let done = self.gather(idx, line, AccessKind::Load, t);
+        let (done, gd) = self.gather(idx, line, AccessKind::Load, t);
+        bd.pgtbl = gd.pgtbl;
+        bd.dram = gd.dram;
+        self.lat_shadow.record(done - now);
         if self.cfg.prefetch_shadow {
             self.shadow_prefetch(idx, line.add(line_bytes), done);
         }
-        done
+        (done, bd)
     }
 
     fn write_shadow(&mut self, p: PAddr, now: Cycle) -> Cycle {
@@ -428,6 +519,7 @@ impl MemController {
         desc.note_write();
         desc.buffer_invalidate(line);
         self.gather(idx, line, AccessKind::Store, now + self.cfg.t_overhead)
+            .0
     }
 
     /// Background gather of the next shadow line into the descriptor's
@@ -442,7 +534,7 @@ impl MemController {
         if !self.gather_mapped(idx, line) {
             return;
         }
-        let done = self.gather(idx, line, AccessKind::Load, start);
+        let (done, _) = self.gather(idx, line, AccessKind::Load, start);
         let desc = self.descs[idx].as_mut().expect("descriptor configured");
         desc.buffer_insert(line, done);
     }
@@ -474,8 +566,15 @@ impl MemController {
 
     /// Performs the gather (or scatter) for one shadow line: indirection
     /// vector reads, AddrCalc expansion, PgTbl translation, and a
-    /// scheduled batch of DRAM accesses. Returns the completion cycle.
-    fn gather(&mut self, idx: usize, line: PAddr, kind: AccessKind, t0: Cycle) -> Cycle {
+    /// scheduled batch of DRAM accesses. Returns the completion cycle and
+    /// the split of `done - t0` into page-table vs DRAM time.
+    fn gather(
+        &mut self,
+        idx: usize,
+        line: PAddr,
+        kind: AccessKind,
+        t0: Cycle,
+    ) -> (Cycle, McBreakdown) {
         let Self {
             descs,
             pgtbl,
@@ -492,6 +591,7 @@ impl MemController {
         let len = cfg.line_bytes.min(region.len() - soff);
 
         let mut t = t0;
+        let mut bd = McBreakdown::default();
 
         // 1. Indirection-vector reads (scatter/gather mappings only). The
         // vector is read at the controller in `vector_block_bytes` blocks;
@@ -504,7 +604,9 @@ impl MemController {
             while block.raw() < end {
                 if !desc.vector_block_cached(block) {
                     let (m, ready) = pgtbl.translate(block, dram, t);
+                    bd.pgtbl += ready - t;
                     t = dram.access(m, AccessKind::Load, vb, ready);
+                    bd.dram += t - ready;
                 }
                 block = block.add(vb);
             }
@@ -521,6 +623,7 @@ impl MemController {
             while remaining > 0 {
                 let take = (PAGE_SIZE - pv.page_offset()).min(remaining);
                 let (m, ready) = pgtbl.translate(pv, dram, t);
+                bd.pgtbl += ready.max(t) - t;
                 t = t.max(ready);
                 req_scratch.push((m, take));
                 pv = pv.add(take);
@@ -548,7 +651,32 @@ impl MemController {
         // 4. DRAM scheduler: issue the batch.
         let outcome = sched.run_batch_sized(dram, &merged, kind, t);
         desc.note_gather(merged.len() as u64);
-        outcome.done
+        bd.dram += outcome.done.saturating_sub(t);
+        (outcome.done, bd)
+    }
+}
+
+impl Observe for MemController {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        m.counter("mc.line_reads", self.stats.line_reads);
+        m.counter("mc.line_writes", self.stats.line_writes);
+        m.counter("mc.shadow_line_reads", self.stats.shadow_line_reads);
+        m.counter("mc.shadow_line_writes", self.stats.shadow_line_writes);
+        m.histogram("mc.lat_direct", &self.lat_direct);
+        m.histogram("mc.lat_pf_hit", &self.lat_pf_hit);
+        m.histogram("mc.lat_shadow", &self.lat_shadow);
+        m.histogram("mc.lat_shadow_hit", &self.lat_shadow_hit);
+        let d = self.desc_stats();
+        m.counter("mc.desc.reads", d.reads);
+        m.counter("mc.desc.writes", d.writes);
+        m.counter("mc.desc.buffer_hits", d.buffer_hits);
+        m.counter("mc.desc.gathers", d.gathers);
+        m.counter("mc.desc.dram_requests", d.dram_requests);
+        let mut tmp = MetricsRegistry::new();
+        tmp.observe(&self.pgtbl);
+        tmp.observe(&self.pf);
+        m.absorb("mc", &tmp);
+        self.dram.observe(m);
     }
 }
 
@@ -578,10 +706,7 @@ mod tests {
 
     fn map_identity(mcc: &mut MemController, pv_base: u64, frame_base: u64, pages: u64) {
         for i in 0..pages {
-            mcc.map_page(
-                (pv_base >> 12) + i,
-                MAddr::new(frame_base + i * PAGE_SIZE),
-            );
+            mcc.map_page((pv_base >> 12) + i, MAddr::new(frame_base + i * PAGE_SIZE));
         }
     }
 
@@ -661,7 +786,9 @@ mod tests {
             Err(McError::RegionOverlap(r2))
         );
         m.release_descriptor(id).unwrap();
-        assert!(m.claim_descriptor(r2, RemapFn::direct(PvAddr::new(0))).is_ok());
+        assert!(m
+            .claim_descriptor(r2, RemapFn::direct(PvAddr::new(0)))
+            .is_ok());
         assert_eq!(
             m.release_descriptor(DescId(7)),
             Err(McError::InvalidDescriptor(7))
@@ -731,13 +858,7 @@ mod tests {
         // Elements 40 bytes apart: never two in one 32-byte burst, so no
         // coalescing — one DRAM read per element.
         let indices = Arc::new((0..64u64).map(|i| (i * 5) % 64).collect::<Vec<_>>());
-        let remap = RemapFn::gather(
-            PvAddr::new(0),
-            8,
-            indices,
-            PvAddr::new(0x8000),
-            4,
-        );
+        let remap = RemapFn::gather(PvAddr::new(0), 8, indices, PvAddr::new(0x8000), 4);
         let region = PRange::new(PAddr::new(SHADOW), 512);
         m.claim_descriptor(region, remap).unwrap();
         map_identity(&mut m, 0, 0, 1); // data page
@@ -799,6 +920,80 @@ mod tests {
     fn unmapped_shadow_write_panics() {
         let mut m = mc(false, false);
         m.write_line(PAddr::new(SHADOW + 0x100000), 0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_latency_on_every_read_path() {
+        // Non-shadow: DRAM miss then prefetch-SRAM hit.
+        let mut m = mc(true, false);
+        let (done, bd) = m.read_line_attributed(PAddr::new(0x3000), 0);
+        assert_eq!(bd.total(), done);
+        assert!(bd.dram > 0);
+        let now = done + 500;
+        let (done2, bd2) = m.read_line_attributed(PAddr::new(0x3080), now);
+        assert_eq!(bd2.total(), done2 - now);
+        assert!(bd2.sram > 0, "second streamed line should hit the SRAM");
+        assert_eq!(bd2.dram, 0);
+
+        // Shadow: full gather then descriptor-buffer hit.
+        let mut s = mc(false, true);
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        s.claim_descriptor(region, RemapFn::direct(PvAddr::new(0)))
+            .unwrap();
+        map_identity(&mut s, 0, 0, 1);
+        let (gdone, gbd) = s.read_line_attributed(PAddr::new(SHADOW), 0);
+        assert_eq!(gbd.total(), gdone);
+        assert!(gbd.pgtbl > 0, "first gather pays a page-table walk");
+        assert!(gbd.dram > 0);
+        let now = gdone + 10_000;
+        let (hdone, hbd) = s.read_line_attributed(PAddr::new(SHADOW + 128), now);
+        assert_eq!(hbd.total(), hdone - now);
+        assert!(hbd.sram > 0, "prefetched shadow line should hit the buffer");
+        assert_eq!(hbd.dram, 0);
+    }
+
+    #[test]
+    fn latency_histograms_track_read_paths() {
+        let mut m = mc(true, false);
+        m.read_line(PAddr::new(0x3000), 0); // direct
+        m.read_line(PAddr::new(0x3080), 5_000); // SRAM hit
+        assert_eq!(m.direct_latency().count(), 1);
+        assert_eq!(m.pf_hit_latency().count(), 1);
+        assert!(m.direct_latency().min() > m.pf_hit_latency().max());
+        m.reset_stats();
+        assert_eq!(m.direct_latency().count(), 0);
+        assert_eq!(m.pf_hit_latency().count(), 0);
+    }
+
+    #[test]
+    fn observe_exports_component_namespaces() {
+        let mut m = mc(false, true);
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::direct(PvAddr::new(0)))
+            .unwrap();
+        map_identity(&mut m, 0, 0, 1);
+        m.read_line(PAddr::new(SHADOW), 0);
+        m.read_line(PAddr::new(0x1000), 10_000);
+
+        let mut reg = MetricsRegistry::new();
+        reg.observe(&m);
+        assert_eq!(reg.counter_value("mc.line_reads"), Some(1));
+        assert_eq!(reg.counter_value("mc.shadow_line_reads"), Some(1));
+        assert_eq!(
+            reg.counter_value("mc.pgtbl.walks"),
+            Some(m.pgtbl_stats().walks)
+        );
+        assert_eq!(reg.counter_value("mc.pf.hits"), Some(0));
+        assert_eq!(
+            reg.counter_value("mc.desc.gathers"),
+            Some(m.desc_stats().gathers)
+        );
+        assert_eq!(
+            reg.counter_value("dram.reads"),
+            Some(m.dram().stats().reads)
+        );
+        assert_eq!(reg.histogram_value("mc.lat_shadow").unwrap().count(), 1);
+        assert_eq!(reg.histogram_value("mc.lat_direct").unwrap().count(), 1);
     }
 
     #[test]

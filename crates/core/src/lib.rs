@@ -50,7 +50,7 @@ pub mod pgtbl;
 pub mod prefetch;
 pub mod remap;
 
-pub use controller::{DescId, McConfig, McError, McStats, MemController};
+pub use controller::{DescId, McBreakdown, McConfig, McError, McStats, MemController};
 pub use desc::{DescStats, ShadowDescriptor};
 pub use pgtbl::{PgTbl, PgTblConfig, PgTblStats};
 pub use prefetch::{PrefetchCache, PrefetchStats};

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use impulse_dram::Dram;
+use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
 use impulse_types::{AccessKind, Cycle, MAddr, PvAddr};
 
@@ -65,7 +66,10 @@ impl PgTbl {
     ///
     /// Panics if the TLB would have zero entries.
     pub fn new(cfg: PgTblConfig) -> Self {
-        assert!(cfg.tlb_entries > 0, "controller TLB needs at least one entry");
+        assert!(
+            cfg.tlb_entries > 0,
+            "controller TLB needs at least one entry"
+        );
         Self {
             cfg,
             map: HashMap::new(),
@@ -134,10 +138,9 @@ impl PgTbl {
     pub fn translate(&mut self, pv: PvAddr, dram: &mut Dram, now: Cycle) -> (MAddr, Cycle) {
         self.stats.lookups += 1;
         let pv_page = pv.raw() >> PAGE_SHIFT;
-        let frame = *self
-            .map
-            .get(&pv_page)
-            .unwrap_or_else(|| panic!("controller page table has no mapping for pv page {pv_page:#x}"));
+        let frame = *self.map.get(&pv_page).unwrap_or_else(|| {
+            panic!("controller page table has no mapping for pv page {pv_page:#x}")
+        });
         let maddr = frame.add(pv.page_offset());
 
         self.tick += 1;
@@ -173,6 +176,20 @@ impl PgTbl {
     /// Drops all cached translations (mappings stay installed).
     pub fn flush_tlb(&mut self) {
         self.tlb.clear();
+    }
+}
+
+impl Observe for PgTbl {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        m.counter("pgtbl.lookups", self.stats.lookups);
+        m.counter("pgtbl.tlb_hits", self.stats.tlb_hits);
+        m.counter("pgtbl.walks", self.stats.walks);
+        let hit_ratio = if self.stats.lookups == 0 {
+            0.0
+        } else {
+            self.stats.tlb_hits as f64 / self.stats.lookups as f64
+        };
+        m.gauge("pgtbl.tlb_hit_ratio", hit_ratio);
     }
 }
 

@@ -6,6 +6,7 @@
 //! access arriving before the background fetch completes pays only the
 //! remaining time.
 
+use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::{Cycle, PAddr};
 
 /// Statistics for the prefetch SRAM.
@@ -136,18 +137,14 @@ impl PrefetchCache {
             s.stamp = self.tick;
             return;
         }
-        let victim = self
-            .slots
-            .iter()
-            .position(|s| !s.valid)
-            .unwrap_or_else(|| {
-                self.slots
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.stamp)
-                    .map(|(i, _)| i)
-                    .expect("prefetch SRAM has at least one slot")
-            });
+        let victim = self.slots.iter().position(|s| !s.valid).unwrap_or_else(|| {
+            self.slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("prefetch SRAM has at least one slot")
+        });
         self.slots[victim] = Slot {
             line: base,
             ready_at,
@@ -173,6 +170,16 @@ impl PrefetchCache {
         for s in &mut self.slots {
             s.valid = false;
         }
+    }
+}
+
+impl Observe for PrefetchCache {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        m.counter("pf.hits", self.stats.hits);
+        m.counter("pf.misses", self.stats.misses);
+        m.counter("pf.issued", self.stats.issued);
+        m.counter("pf.late", self.stats.late);
+        m.gauge("pf.hit_ratio", self.stats.hit_ratio());
     }
 }
 

@@ -394,7 +394,10 @@ mod tests {
     #[test]
     fn segments_empty_len_yields_nothing() {
         let f = RemapFn::direct(pv(0));
-        let mut segs = vec![Segment { pv: pv(1), bytes: 1 }];
+        let mut segs = vec![Segment {
+            pv: pv(1),
+            bytes: 1,
+        }];
         f.segments(0, 0, &mut segs);
         assert!(segs.is_empty());
     }

@@ -33,6 +33,7 @@ pub mod sched;
 
 pub use sched::{BatchOutcome, SchedulePolicy, Scheduler};
 
+use impulse_obs::{Histogram, MetricsRegistry, Observe};
 use impulse_types::{AccessKind, Cycle, MAddr};
 
 /// Configuration of the DRAM array and its timing, in CPU cycles.
@@ -136,6 +137,8 @@ pub struct Dram {
     banks: Vec<Bank>,
     data_bus_free: Cycle,
     stats: DramStats,
+    lat_row_hit: Histogram,
+    lat_row_miss: Histogram,
 }
 
 impl Dram {
@@ -153,6 +156,8 @@ impl Dram {
             banks,
             data_bus_free: 0,
             stats: DramStats::default(),
+            lat_row_hit: Histogram::new(),
+            lat_row_miss: Histogram::new(),
         }
     }
 
@@ -169,6 +174,19 @@ impl Dram {
     /// Resets statistics (open-row and timing state are preserved).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        self.lat_row_hit = Histogram::new();
+        self.lat_row_miss = Histogram::new();
+    }
+
+    /// End-to-end latency distribution (bank wait + access + transfer) of
+    /// accesses that hit an open row.
+    pub fn row_hit_latency(&self) -> &Histogram {
+        &self.lat_row_hit
+    }
+
+    /// End-to-end latency distribution of accesses that opened a row.
+    pub fn row_miss_latency(&self) -> &Histogram {
+        &self.lat_row_miss
     }
 
     /// Performs one access of `bytes` bytes starting at `now`; returns the
@@ -188,7 +206,8 @@ impl Dram {
         let start = now.max(bank.busy_until);
         self.stats.bank_wait += start - now;
 
-        let latency = if bank.open_row == Some(row) {
+        let row_hit = bank.open_row == Some(row);
+        let latency = if row_hit {
             self.stats.row_hits += 1;
             self.cfg.t_row_hit
         } else {
@@ -210,6 +229,11 @@ impl Dram {
             AccessKind::Store => self.stats.writes += 1,
         }
         self.stats.bytes += bytes;
+        if row_hit {
+            self.lat_row_hit.record(done - now);
+        } else {
+            self.lat_row_miss.record(done - now);
+        }
         done
     }
 
@@ -218,6 +242,20 @@ impl Dram {
         for bank in &mut self.banks {
             bank.open_row = None;
         }
+    }
+}
+
+impl Observe for Dram {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        m.counter("dram.reads", self.stats.reads);
+        m.counter("dram.writes", self.stats.writes);
+        m.counter("dram.row_hits", self.stats.row_hits);
+        m.counter("dram.row_misses", self.stats.row_misses);
+        m.counter("dram.bytes", self.stats.bytes);
+        m.counter("dram.bank_wait", self.stats.bank_wait);
+        m.gauge("dram.row_hit_ratio", self.stats.row_hit_ratio());
+        m.histogram("dram.lat_row_hit", &self.lat_row_hit);
+        m.histogram("dram.lat_row_miss", &self.lat_row_miss);
     }
 }
 
@@ -319,6 +357,28 @@ mod tests {
     #[test]
     fn row_hit_ratio_handles_empty() {
         assert_eq!(DramStats::default().row_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn latency_histograms_partition_accesses() {
+        let mut d = dram();
+        let mut t = 0;
+        for i in 0..16u64 {
+            t = d.access(MAddr::new(i * 64), AccessKind::Load, 8, t);
+        }
+        let s = d.stats();
+        assert_eq!(d.row_hit_latency().count(), s.row_hits);
+        assert_eq!(d.row_miss_latency().count(), s.row_misses);
+        assert!(d.row_miss_latency().min() > d.row_hit_latency().min());
+        let mut m = MetricsRegistry::new();
+        d.observe(&mut m);
+        assert_eq!(m.counter_value("dram.reads"), Some(16));
+        assert_eq!(
+            m.histogram_value("dram.lat_row_hit").unwrap().count(),
+            s.row_hits
+        );
+        d.reset_stats();
+        assert_eq!(d.row_hit_latency().count(), 0);
     }
 
     #[test]

@@ -203,7 +203,9 @@ mod tests {
         let mut dram = Dram::new(cfg.clone());
         let sched = Scheduler::new(policy);
         let reqs = gather_addrs(&cfg);
-        sched.run_batch(&mut dram, &reqs, AccessKind::Load, 8, 0).done
+        sched
+            .run_batch(&mut dram, &reqs, AccessKind::Load, 8, 0)
+            .done
     }
 
     #[test]
@@ -228,9 +230,13 @@ mod tests {
         let cfg = DramConfig::default();
         let mut dram = Dram::new(cfg.clone());
         let reqs = gather_addrs(&cfg);
-        let out =
-            Scheduler::new(SchedulePolicy::BankParallel)
-                .run_batch(&mut dram, &reqs, AccessKind::Load, 8, 0);
+        let out = Scheduler::new(SchedulePolicy::BankParallel).run_batch(
+            &mut dram,
+            &reqs,
+            AccessKind::Load,
+            8,
+            0,
+        );
         assert_eq!(out.completions.len(), reqs.len());
         assert!(out.completions.iter().all(|&c| c > 0));
         assert_eq!(out.done, *out.completions.iter().max().unwrap());
@@ -253,8 +259,13 @@ mod tests {
         let mut d1 = Dram::new(cfg.clone());
         Scheduler::new(SchedulePolicy::InOrder).run_batch(&mut d1, &reqs, AccessKind::Load, 8, 0);
         let mut d2 = Dram::new(cfg);
-        Scheduler::new(SchedulePolicy::OpenRowFirst)
-            .run_batch(&mut d2, &reqs, AccessKind::Load, 8, 0);
+        Scheduler::new(SchedulePolicy::OpenRowFirst).run_batch(
+            &mut d2,
+            &reqs,
+            AccessKind::Load,
+            8,
+            0,
+        );
 
         assert!(d2.stats().row_hits > d1.stats().row_hits);
     }

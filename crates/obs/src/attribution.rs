@@ -1,0 +1,170 @@
+//! Cycle attribution: decomposing demand-access latency into stage costs.
+//!
+//! Every cycle a demand load or store spends in the memory system is
+//! charged to exactly one [`Stage`], so the per-stage totals in an
+//! [`Attribution`] sum to the memory system's total demand-access cycles.
+//! This is the invariant the `run_all` report checks: `attr.total() ==
+//! mem.load_cycles + mem.store_cycles`.
+//!
+//! Background traffic — writebacks, L1 prefetches, stream-buffer fetch-
+//! ahead, controller prefetches — is deliberately *not* attributed: those
+//! cycles do not stall the CPU and would double-count bus and DRAM time.
+
+/// A pipeline stage a demand access can spend cycles in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// CPU-side MMU: TLB-miss page-walk penalty.
+    Mmu,
+    /// L1 cache hit service time.
+    L1,
+    /// L2 cache lookup/hit service time.
+    L2,
+    /// Stream-buffer (L1 prefetch FIFO) hit service time.
+    Stream,
+    /// System bus: request transmission plus critical-word transfer.
+    Bus,
+    /// Memory-controller front end: fixed overhead plus prefetch-SRAM access.
+    McFrontEnd,
+    /// Controller page table: shadow-address translation (MC TLB + walks).
+    PgTbl,
+    /// DRAM array access: bank wait, row activation, data transfer.
+    Dram,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Mmu,
+        Stage::L1,
+        Stage::L2,
+        Stage::Stream,
+        Stage::Bus,
+        Stage::McFrontEnd,
+        Stage::PgTbl,
+        Stage::Dram,
+    ];
+
+    /// Stable lowercase name, used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Mmu => "mmu",
+            Stage::L1 => "l1",
+            Stage::L2 => "l2",
+            Stage::Stream => "stream",
+            Stage::Bus => "bus",
+            Stage::McFrontEnd => "mc_frontend",
+            Stage::PgTbl => "pgtbl",
+            Stage::Dram => "dram",
+        }
+    }
+}
+
+/// Per-stage cycle totals for demand accesses in one epoch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Attribution {
+    cycles: [u64; 8],
+}
+
+impl Attribution {
+    /// Creates an all-zero attribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `cycles` to `stage`.
+    pub fn charge(&mut self, stage: Stage, cycles: u64) {
+        self.cycles[stage as usize] += cycles;
+    }
+
+    /// Cycles charged to `stage`.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.cycles[stage as usize]
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `(stage, cycles)` pairs in pipeline order, including zero entries.
+    pub fn entries(&self) -> impl Iterator<Item = (Stage, u64)> + '_ {
+        Stage::ALL.iter().map(move |&s| (s, self.get(s)))
+    }
+
+    /// Fraction of the total charged to `stage`, or 0.0 if the total is 0.
+    pub fn share(&self, stage: Stage) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(stage) as f64 / total as f64
+        }
+    }
+
+    /// Cycles accumulated since `earlier` (an older snapshot).
+    pub fn delta_since(&self, earlier: &Attribution) -> Attribution {
+        let mut d = Attribution::new();
+        for i in 0..self.cycles.len() {
+            d.cycles[i] = self.cycles[i].saturating_sub(earlier.cycles[i]);
+        }
+        d
+    }
+
+    /// Adds another attribution into this one.
+    pub fn merge(&mut self, other: &Attribution) {
+        for (c, o) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *c += o;
+        }
+    }
+
+    /// Resets all stages to zero.
+    pub fn reset(&mut self) {
+        self.cycles = [0; 8];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_and_total() {
+        let mut a = Attribution::new();
+        a.charge(Stage::L1, 10);
+        a.charge(Stage::Dram, 90);
+        a.charge(Stage::L1, 5);
+        assert_eq!(a.get(Stage::L1), 15);
+        assert_eq!(a.get(Stage::Dram), 90);
+        assert_eq!(a.get(Stage::Bus), 0);
+        assert_eq!(a.total(), 105);
+    }
+
+    #[test]
+    fn share_is_zero_guarded() {
+        let a = Attribution::new();
+        assert_eq!(a.share(Stage::Dram), 0.0);
+        let mut b = Attribution::new();
+        b.charge(Stage::Bus, 25);
+        b.charge(Stage::Dram, 75);
+        assert!((b.share(Stage::Dram) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_isolates_epoch() {
+        let mut a = Attribution::new();
+        a.charge(Stage::L2, 7);
+        let snap = a.clone();
+        a.charge(Stage::L2, 3);
+        a.charge(Stage::Mmu, 2);
+        let d = a.delta_since(&snap);
+        assert_eq!(d.get(Stage::L2), 3);
+        assert_eq!(d.get(Stage::Mmu), 2);
+        assert_eq!(d.total(), 5);
+    }
+
+    #[test]
+    fn stage_names_are_unique() {
+        let names: std::collections::BTreeSet<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+}

@@ -312,10 +312,7 @@ impl Kernel {
     pub fn note_tlb_miss(&mut self, v: VAddr, threshold: u64) -> Option<VRange> {
         let current = self.current;
         let proc = &mut self.procs[current];
-        let idx = proc
-            .regions
-            .iter()
-            .position(|r| r.contains(v))?;
+        let idx = proc.regions.iter().position(|r| r.contains(v))?;
         proc.tlb_misses[idx] += 1;
         if proc.tlb_misses[idx] != threshold {
             return None;
@@ -455,7 +452,16 @@ impl Kernel {
         index_region: VRange,
         index_bytes: u64,
     ) -> Result<RemapGrant, OsError> {
-        self.remap_gather_aligned(mc, target, elem_size, indices, index_region, index_bytes, 0, 0)
+        self.remap_gather_aligned(
+            mc,
+            target,
+            elem_size,
+            indices,
+            index_region,
+            index_bytes,
+            0,
+            0,
+        )
     }
 
     /// Like [`Kernel::remap_gather`], but places the alias at virtual
@@ -481,7 +487,9 @@ impl Kernel {
         alias_phase: u64,
     ) -> Result<RemapGrant, OsError> {
         if !target.start().is_aligned(elem_size) {
-            return Err(OsError::BadAlignment("gather target must be element-aligned"));
+            return Err(OsError::BadAlignment(
+                "gather target must be element-aligned",
+            ));
         }
         let line = mc.config().line_bytes;
         let image_bytes = round_up(indices.len() as u64 * elem_size, line);
@@ -708,9 +716,7 @@ impl Kernel {
             // Recover each page's frame through the still-configured
             // descriptor, then re-point the virtual page at it.
             if mc.descriptor(grant.desc).is_none() {
-                return Err(OsError::Mc(McError::InvalidDescriptor(
-                    grant.desc.index(),
-                )));
+                return Err(OsError::Mc(McError::InvalidDescriptor(grant.desc.index())));
             }
             for page in grant.alias.blocks(PAGE_SIZE) {
                 if let Some(shadow_p) = self.aspace().try_translate(page) {
@@ -718,7 +724,8 @@ impl Kernel {
                         let frame = mc
                             .resolve_shadow(shadow_p)
                             .ok_or(OsError::TargetNotPhysical(page))?;
-                        self.aspace_mut().remap_page(page, PAddr::new(frame.raw()))?;
+                        self.aspace_mut()
+                            .remap_page(page, PAddr::new(frame.raw()))?;
                     }
                 }
             }
@@ -800,7 +807,10 @@ mod tests {
             capacity: cfg.dram_capacity,
             ..DramConfig::default()
         });
-        (Kernel::new(cfg), MemController::new(dram, McConfig::default()))
+        (
+            Kernel::new(cfg),
+            MemController::new(dram, McConfig::default()),
+        )
     }
 
     #[test]
@@ -829,9 +839,7 @@ mod tests {
         let x = k.alloc_region(1024 * 8, 8).unwrap();
         let col = k.alloc_region(512 * 4, 4).unwrap();
         let indices = Arc::new((0..512u64).map(|i| (i * 7) % 1024).collect::<Vec<_>>());
-        let g = k
-            .remap_gather(&mut mc, x, 8, indices, col, 4)
-            .unwrap();
+        let g = k.remap_gather(&mut mc, x, 8, indices, col, 4).unwrap();
         assert_eq!(g.kind, "gather");
         assert_eq!(g.alias.len(), g.shadow.len());
         // The alias translates into the shadow region.
@@ -965,7 +973,11 @@ mod tests {
         assert!(k.aspace().try_translate(r0.start()).is_none());
         // Its own allocation may reuse the same virtual addresses.
         let r1 = k.alloc_region(PAGE_SIZE, 1).unwrap();
-        assert_eq!(r1.start(), r0.start(), "fresh address space starts at the same base");
+        assert_eq!(
+            r1.start(),
+            r0.start(),
+            "fresh address space starts at the same base"
+        );
         k.switch(Pid::INIT).unwrap();
         // But the frames differ: no aliasing between processes.
         let f0 = k.translate(r0.start());

@@ -101,7 +101,10 @@ impl AddressSpace {
     ///
     /// Panics if either address is not page-aligned.
     pub fn map_page(&mut self, v: VAddr, p: PAddr) -> Result<(), VmError> {
-        assert!(v.is_aligned(PAGE_SIZE), "virtual page must be aligned: {v:?}");
+        assert!(
+            v.is_aligned(PAGE_SIZE),
+            "virtual page must be aligned: {v:?}"
+        );
         assert!(p.is_aligned(PAGE_SIZE), "bus page must be aligned: {p:?}");
         let vpage = v.raw() >> PAGE_SHIFT;
         if self.pages.contains_key(&vpage) {
@@ -194,7 +197,8 @@ mod tests {
     #[test]
     fn map_translate_roundtrip() {
         let mut a = AddressSpace::new();
-        a.map_page(VAddr::new(0x10000), PAddr::new(0x80_0000)).unwrap();
+        a.map_page(VAddr::new(0x10000), PAddr::new(0x80_0000))
+            .unwrap();
         assert_eq!(a.translate(VAddr::new(0x10abc)), PAddr::new(0x80_0abc));
         assert_eq!(a.try_translate(VAddr::new(0x20000)), None);
     }
@@ -213,7 +217,9 @@ mod tests {
     fn remap_returns_old_target() {
         let mut a = AddressSpace::new();
         a.map_page(VAddr::new(0x10000), PAddr::new(0)).unwrap();
-        let old = a.remap_page(VAddr::new(0x10000), PAddr::new(PAGE_SIZE)).unwrap();
+        let old = a
+            .remap_page(VAddr::new(0x10000), PAddr::new(PAGE_SIZE))
+            .unwrap();
         assert_eq!(old, PAddr::new(0));
         assert_eq!(a.translate(VAddr::new(0x10000)), PAddr::new(PAGE_SIZE));
         assert!(a.remap_page(VAddr::new(0x20000), PAddr::new(0)).is_err());

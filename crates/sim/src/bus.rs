@@ -7,6 +7,7 @@
 //! memory system did; the full transfer still occupies the bus and is
 //! charged to bandwidth.
 
+use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::Cycle;
 
 /// Bus timing configuration, in CPU cycles (the Runway and the CPU ran at
@@ -117,6 +118,14 @@ impl Bus {
     }
 }
 
+impl Observe for Bus {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        m.counter("bus.transfers", self.stats.transfers);
+        m.counter("bus.bytes", self.stats.bytes);
+        m.counter("bus.contention", self.stats.contention);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +135,7 @@ mod tests {
         let mut bus = Bus::new(BusConfig::default());
         let crit = bus.demand_transfer(128, 100);
         assert_eq!(crit, 104); // 4-cycle critical word
-        // The bus is busy for the full 16 cycles.
+                               // The bus is busy for the full 16 cycles.
         let crit2 = bus.demand_transfer(128, 100);
         assert_eq!(crit2, 116 + 4);
         assert_eq!(bus.stats().contention, 16);

@@ -457,12 +457,10 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates kernel/controller errors.
-    pub fn sys_recolor(
-        &mut self,
-        target: VRange,
-        colors: &[u64],
-    ) -> Result<RemapGrant, OsError> {
-        let grant = self.kernel.remap_recolor(self.ms.mc_mut(), target, colors)?;
+    pub fn sys_recolor(&mut self, target: VRange, colors: &[u64]) -> Result<RemapGrant, OsError> {
+        let grant = self
+            .kernel
+            .remap_recolor(self.ms.mc_mut(), target, colors)?;
         self.charge_syscall(grant.pages_installed);
         self.flush_region(target);
         Ok(grant)
@@ -567,6 +565,17 @@ impl Machine {
             self.syscall_cycles,
             &self.ms,
         )
+    }
+
+    /// Every metric in the machine, pulled into one registry: the memory
+    /// hierarchy's namespaces (see [`MemorySystem::observe_all`]) plus the
+    /// machine-level `machine.*` counters for the current epoch.
+    pub fn metrics(&self) -> impulse_obs::MetricsRegistry {
+        let mut m = self.ms.observe_all();
+        m.counter("machine.cycles", self.now - self.epoch);
+        m.counter("machine.instructions", self.instructions);
+        m.counter("machine.syscall_cycles", self.syscall_cycles);
+        m
     }
 }
 

@@ -9,6 +9,7 @@ use core::fmt;
 use impulse_cache::{CacheStats, TlbStats};
 use impulse_core::{DescStats, McStats, PgTblStats, PrefetchStats};
 use impulse_dram::DramStats;
+use impulse_obs::{Attribution, Histogram, Json, MetricValue, MetricsRegistry};
 
 use crate::bus::BusStats;
 use crate::system::{MemStats, MemorySystem};
@@ -44,6 +45,12 @@ pub struct Report {
     pub desc: DescStats,
     /// Controller page table counters.
     pub pgtbl: PgTblStats,
+    /// Where every demand-access cycle went, by pipeline stage. The stage
+    /// totals sum to `mem.load_cycles + mem.store_cycles` exactly.
+    pub attr: Attribution,
+    /// Every metric in the hierarchy (counters, gauges, and per-level
+    /// latency histograms) under component-prefixed names.
+    pub metrics: MetricsRegistry,
 }
 
 impl Report {
@@ -70,7 +77,67 @@ impl Report {
             pf: ms.mc().prefetch_stats(),
             desc: ms.mc().desc_stats(),
             pgtbl: ms.mc().pgtbl_stats(),
+            attr: ms.attribution().clone(),
+            metrics: ms.observe_all(),
         }
+    }
+
+    /// Serialises the full report as a JSON value (schema
+    /// `impulse-report-v1`): headline numbers, the demand-cycle
+    /// attribution table, every per-level latency histogram with
+    /// count/sum/min/max/mean and p50/p90/p99, and the flat
+    /// counter/gauge registry.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("schema", Json::Str("impulse-report-v1".into()));
+        root.set("name", Json::Str(self.name.clone()));
+        root.set("cycles", Json::UInt(self.cycles));
+        root.set("instructions", Json::UInt(self.instructions));
+        root.set("syscall_cycles", Json::UInt(self.syscall_cycles));
+
+        let mut mem = Json::obj();
+        mem.set("loads", Json::UInt(self.mem.loads));
+        mem.set("stores", Json::UInt(self.mem.stores));
+        mem.set("load_cycles", Json::UInt(self.mem.load_cycles));
+        mem.set("store_cycles", Json::UInt(self.mem.store_cycles));
+        mem.set("l1_ratio", Json::Float(self.mem.l1_ratio()));
+        mem.set("l2_ratio", Json::Float(self.mem.l2_ratio()));
+        mem.set("mem_ratio", Json::Float(self.mem.mem_ratio()));
+        mem.set("avg_load_time", Json::Float(self.mem.avg_load_time()));
+        mem.set("tlb_penalties", Json::UInt(self.mem.tlb_penalties));
+        root.set("mem", mem);
+
+        let mut attr = Json::obj();
+        for (stage, cycles) in self.attr.entries() {
+            attr.set(stage.name(), Json::UInt(cycles));
+        }
+        attr.set("total", Json::UInt(self.attr.total()));
+        attr.set(
+            "demand_cycles",
+            Json::UInt(self.mem.load_cycles + self.mem.store_cycles),
+        );
+        root.set("attribution", attr);
+
+        let mut hists = Json::obj();
+        let mut counters = Json::obj();
+        let mut gauges = Json::obj();
+        for (name, v) in self.metrics.iter() {
+            match v {
+                MetricValue::Histogram(h) => {
+                    hists.set(name, histogram_json(h));
+                }
+                MetricValue::Counter(c) => {
+                    counters.set(name, Json::UInt(*c));
+                }
+                MetricValue::Gauge(g) => {
+                    gauges.set(name, Json::Float(*g));
+                }
+            }
+        }
+        root.set("histograms", hists);
+        root.set("counters", counters);
+        root.set("gauges", gauges);
+        root
     }
 
     /// Speedup of this configuration relative to `baseline` (the paper's
@@ -137,6 +204,19 @@ impl Report {
             self.syscall_cycles,
         )
     }
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    let mut o = Json::obj();
+    o.set("count", Json::UInt(h.count()));
+    o.set("sum", Json::UInt(h.sum()));
+    o.set("min", Json::UInt(h.min()));
+    o.set("max", Json::UInt(h.max()));
+    o.set("mean", Json::Float(h.mean()));
+    o.set("p50", Json::UInt(h.p50()));
+    o.set("p90", Json::UInt(h.p90()));
+    o.set("p99", Json::UInt(h.p99()));
+    o
 }
 
 impl fmt::Display for Report {
@@ -216,6 +296,104 @@ mod tests {
         r.cycles = 0;
         let base = sample();
         assert_eq!(r.speedup_over(&base), 0.0);
+    }
+
+    #[test]
+    fn empty_epoch_report_is_all_zeros_and_serialisable() {
+        // A report taken immediately after reset: every denominator is
+        // zero, and nothing may divide by it or emit non-finite JSON.
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        let r = m.alloc_region(4096, 8).unwrap();
+        m.load(r.start());
+        m.reset_stats();
+        let rep = m.report("empty");
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.mem.l1_ratio(), 0.0);
+        assert_eq!(rep.mem.l2_ratio(), 0.0);
+        assert_eq!(rep.mem.mem_ratio(), 0.0);
+        assert_eq!(rep.mem.avg_load_time(), 0.0);
+        assert_eq!(rep.speedup_over(&rep), 0.0);
+        assert_eq!(rep.attr.total(), 0);
+        assert_eq!(rep.attr.share(impulse_obs::Stage::Dram), 0.0);
+        let text = format!("{}", rep.to_json());
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+        let parsed = Json::parse(&text).expect("empty report is valid JSON");
+        assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(0));
+        let h = parsed
+            .get("histograms")
+            .and_then(|h| h.get("mem.lat_load"))
+            .expect("histograms present even when empty");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn json_round_trips_component_stats() {
+        let rep = sample();
+        let text = format!("{:#}", rep.to_json());
+        let parsed = Json::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("impulse-report-v1")
+        );
+        assert_eq!(
+            parsed.get("cycles").and_then(Json::as_u64),
+            Some(rep.cycles)
+        );
+        // Counters survive exactly and match the component-local stats
+        // the report was collected from.
+        let counters = parsed.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("l1.cache.loads").and_then(Json::as_u64),
+            Some(rep.l1.loads)
+        );
+        assert_eq!(
+            counters.get("dram.reads").and_then(Json::as_u64),
+            Some(rep.dram.reads)
+        );
+        assert_eq!(
+            counters.get("mem.loads").and_then(Json::as_u64),
+            Some(rep.mem.loads)
+        );
+        // The attribution table sums to the epoch's demand cycles.
+        let attr = parsed.get("attribution").expect("attribution object");
+        assert_eq!(
+            attr.get("total").and_then(Json::as_u64),
+            Some(rep.mem.load_cycles + rep.mem.store_cycles)
+        );
+        assert_eq!(
+            attr.get("total").and_then(Json::as_u64),
+            attr.get("demand_cycles").and_then(Json::as_u64)
+        );
+        // Per-level histograms carry the quantile fields.
+        let hl = parsed
+            .get("histograms")
+            .and_then(|h| h.get("mem.lat_load"))
+            .expect("load latency histogram");
+        assert_eq!(hl.get("count").and_then(Json::as_u64), Some(rep.mem.loads));
+        for q in ["p50", "p90", "p99"] {
+            assert!(hl.get(q).and_then(Json::as_u64).is_some(), "missing {q}");
+        }
+    }
+
+    #[test]
+    fn collect_matches_component_stats() {
+        let mut m = Machine::new(&SystemConfig::paint_small());
+        let r = m.alloc_region(64 * 1024, 8).unwrap();
+        for i in 0..256 {
+            m.load(r.start().add(i * 40));
+        }
+        let rep = m.report("roundtrip");
+        let ms = m.memory();
+        assert_eq!(rep.mem, ms.stats());
+        assert_eq!(rep.l1, ms.l1().stats());
+        assert_eq!(rep.l2, ms.l2().stats());
+        assert_eq!(rep.tlb, ms.tlb().stats());
+        assert_eq!(rep.bus, ms.bus().stats());
+        assert_eq!(rep.dram, ms.mc().dram().stats());
+        assert_eq!(rep.mc, ms.mc().stats());
+        assert_eq!(rep.pgtbl, ms.mc().pgtbl_stats());
+        assert_eq!(&rep.attr, ms.attribution());
+        assert_eq!(rep.metrics, ms.observe_all());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use impulse_cache::{Cache, FlushOutcome, Outcome, StreamBuffers, StreamOutcome, Tlb};
 use impulse_core::MemController;
 use impulse_dram::Dram;
+use impulse_obs::{Attribution, Histogram, MetricsRegistry, Observe, Stage};
 use impulse_types::{AccessKind, Cycle, PAddr, VAddr};
 
 use crate::bus::Bus;
@@ -98,6 +99,18 @@ pub struct MemorySystem {
     l1_line: u64,
     l2_line: u64,
     stats: MemStats,
+    /// Where every demand-access cycle went. Background traffic
+    /// (writebacks, prefetch fills, stream fetches) is deliberately not
+    /// attributed — it never stalls the CPU, so `attr.total()` equals
+    /// `load_cycles + store_cycles` exactly.
+    attr: Attribution,
+    lat_l1_hit: Histogram,
+    lat_l2_hit: Histogram,
+    lat_stream_hit: Histogram,
+    lat_mem: Histogram,
+    lat_tlb_walk: Histogram,
+    lat_load: Histogram,
+    lat_store: Histogram,
 }
 
 impl MemorySystem {
@@ -119,6 +132,14 @@ impl MemorySystem {
             l1_line: cfg.l1.line,
             l2_line: cfg.l2.line,
             stats: MemStats::default(),
+            attr: Attribution::new(),
+            lat_l1_hit: Histogram::new(),
+            lat_l2_hit: Histogram::new(),
+            lat_stream_hit: Histogram::new(),
+            lat_mem: Histogram::new(),
+            lat_tlb_walk: Histogram::new(),
+            lat_load: Histogram::new(),
+            lat_store: Histogram::new(),
         }
     }
 
@@ -167,6 +188,35 @@ impl MemorySystem {
         self.tlb.reset_stats();
         self.bus.reset_stats();
         self.mc.dram_mut().reset_stats();
+        self.attr.reset();
+        self.lat_l1_hit = Histogram::new();
+        self.lat_l2_hit = Histogram::new();
+        self.lat_stream_hit = Histogram::new();
+        self.lat_mem = Histogram::new();
+        self.lat_tlb_walk = Histogram::new();
+        self.lat_load = Histogram::new();
+        self.lat_store = Histogram::new();
+    }
+
+    /// Per-stage breakdown of where demand-access cycles went this epoch.
+    pub fn attribution(&self) -> &Attribution {
+        &self.attr
+    }
+
+    /// Latency distribution of demand loads (end to end, incl. TLB).
+    pub fn load_latency(&self) -> &Histogram {
+        &self.lat_load
+    }
+
+    /// Latency distribution of demand stores (end to end, incl. TLB).
+    pub fn store_latency(&self) -> &Histogram {
+        &self.lat_store
+    }
+
+    /// Latency distribution of loads that went to the memory controller
+    /// (from L2-miss detection to critical word on the bus).
+    pub fn mem_latency(&self) -> &Histogram {
+        &self.lat_mem
     }
 
     /// Performs a demand load of the word at `(v, p)`; `span` is the TLB
@@ -178,6 +228,8 @@ impl MemorySystem {
         let done = match self.l1.access(v, p, AccessKind::Load) {
             Outcome::Hit => {
                 self.stats.l1_load_hits += 1;
+                self.attr.charge(Stage::L1, self.t_l1_hit);
+                self.lat_l1_hit.record(self.t_l1_hit);
                 t + self.t_l1_hit
             }
             Outcome::Miss { writeback } => {
@@ -197,6 +249,7 @@ impl MemorySystem {
             Outcome::Bypass => unreachable!("loads never bypass"),
         };
         self.stats.load_cycles += done - now;
+        self.lat_load.record(done - now);
         done
     }
 
@@ -209,6 +262,8 @@ impl MemorySystem {
             StreamOutcome::Hit { ready, fetch } => {
                 self.stats.stream_loads += 1;
                 let done = ready.max(t) + self.t_stream_hit;
+                self.attr.charge(Stage::Stream, done - t);
+                self.lat_stream_hit.record(done - t);
                 // The demand L1 access already allocated the line (the
                 // cache model fills on miss), so the rest of the line
                 // hits the L1 — Jouppi's transfer-on-hit for free.
@@ -277,6 +332,8 @@ impl MemorySystem {
         let done = match self.l1.access(v, p, AccessKind::Store) {
             Outcome::Hit => {
                 self.stats.store_l1_hits += 1;
+                self.attr.charge(Stage::L1, self.t_l1_hit);
+                self.lat_l1_hit.record(self.t_l1_hit);
                 t + self.t_l1_hit
             }
             // Write-around L1: the store proceeds to the L2.
@@ -291,6 +348,7 @@ impl MemorySystem {
             }
         };
         self.stats.store_cycles += done - now;
+        self.lat_store.record(done - now);
         done
     }
 
@@ -300,6 +358,8 @@ impl MemorySystem {
         } else {
             self.tlb.insert(span.0, span.1);
             self.stats.tlb_penalties += 1;
+            self.attr.charge(Stage::Mmu, self.t_tlb_miss);
+            self.lat_tlb_walk.record(self.t_tlb_miss);
             now + self.t_tlb_miss
         }
     }
@@ -309,13 +369,22 @@ impl MemorySystem {
         match self.l2.access(v, p, AccessKind::Load) {
             Outcome::Hit => {
                 self.stats.l2_load_hits += 1;
+                self.attr.charge(Stage::L2, self.t_l2_hit);
+                self.lat_l2_hit.record(self.t_l2_hit);
                 t + self.t_l2_hit
             }
             Outcome::Miss { writeback } => {
                 self.stats.mem_loads += 1;
+                self.attr.charge(Stage::L2, self.t_l2_hit);
+                self.attr.charge(Stage::Bus, self.bus.request_latency());
                 let request = t + self.t_l2_hit + self.bus.request_latency();
-                let data_ready = self.mc.read_line(p, request);
+                let (data_ready, bd) = self.mc.read_line_attributed(p, request);
+                self.attr.charge(Stage::McFrontEnd, bd.frontend + bd.sram);
+                self.attr.charge(Stage::PgTbl, bd.pgtbl);
+                self.attr.charge(Stage::Dram, bd.dram);
                 let crit = self.bus.demand_transfer(self.l2_line, data_ready);
+                self.attr.charge(Stage::Bus, crit - data_ready);
+                self.lat_mem.record(crit - t);
                 if let Some(wb) = writeback {
                     self.post_writeback_to_mem(wb, crit);
                 }
@@ -328,6 +397,9 @@ impl MemorySystem {
     /// Store that bypassed the write-around L1 and lands in the
     /// write-allocate L2.
     fn store_to_l2(&mut self, v: VAddr, p: PAddr, t: Cycle) -> Cycle {
+        // Every branch retires the store in `t_l2_hit` cycles (write
+        // allocation runs in the background), so the demand cost is L2 time.
+        self.attr.charge(Stage::L2, self.t_l2_hit);
         match self.l2.access(v, p, AccessKind::Store) {
             Outcome::Hit => t + self.t_l2_hit,
             Outcome::Miss { writeback } => {
@@ -434,6 +506,57 @@ impl MemorySystem {
     pub fn tlb_flush(&mut self) {
         self.tlb.flush();
     }
+
+    /// Collects every metric in the hierarchy into one registry: the
+    /// system's own `mem.*`/`attr.*` namespaces, the caches under
+    /// `l1.cache.*`/`l2.cache.*`, and the TLB, bus, controller
+    /// (`mc.*`, `mc.pgtbl.*`, `mc.pf.*`, `mc.desc.*`), and DRAM under
+    /// their component namespaces.
+    pub fn observe_all(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.observe(self);
+        let mut tmp = MetricsRegistry::new();
+        tmp.observe(&self.l1);
+        m.absorb("l1", &tmp);
+        let mut tmp = MetricsRegistry::new();
+        tmp.observe(&self.l2);
+        m.absorb("l2", &tmp);
+        m.observe(&self.tlb);
+        m.observe(&self.bus);
+        m.observe(&self.mc);
+        m
+    }
+}
+
+impl Observe for MemorySystem {
+    fn observe(&self, m: &mut MetricsRegistry) {
+        let s = self.stats;
+        m.counter("mem.loads", s.loads);
+        m.counter("mem.l1_load_hits", s.l1_load_hits);
+        m.counter("mem.l2_load_hits", s.l2_load_hits);
+        m.counter("mem.mem_loads", s.mem_loads);
+        m.counter("mem.load_cycles", s.load_cycles);
+        m.counter("mem.stores", s.stores);
+        m.counter("mem.store_l1_hits", s.store_l1_hits);
+        m.counter("mem.store_mem", s.store_mem);
+        m.counter("mem.store_cycles", s.store_cycles);
+        m.counter("mem.l1_prefetches", s.l1_prefetches);
+        m.counter("mem.stream_loads", s.stream_loads);
+        m.counter("mem.mem_writebacks", s.mem_writebacks);
+        m.counter("mem.tlb_penalties", s.tlb_penalties);
+        m.gauge("mem.avg_load_time", s.avg_load_time());
+        m.histogram("mem.lat_l1_hit", &self.lat_l1_hit);
+        m.histogram("mem.lat_l2_hit", &self.lat_l2_hit);
+        m.histogram("mem.lat_stream_hit", &self.lat_stream_hit);
+        m.histogram("mem.lat_mem", &self.lat_mem);
+        m.histogram("mem.lat_tlb_walk", &self.lat_tlb_walk);
+        m.histogram("mem.lat_load", &self.lat_load);
+        m.histogram("mem.lat_store", &self.lat_store);
+        for (stage, cycles) in self.attr.entries() {
+            m.counter(&format!("attr.{}", stage.name()), cycles);
+        }
+        m.counter("attr.total", self.attr.total());
+    }
 }
 
 #[cfg(test)]
@@ -520,7 +643,10 @@ mod tests {
         // Cold store: L1 bypass, L2 write-allocate in background.
         ms.store(v, pa(0x10000), span_of(v), 0);
         assert_eq!(ms.stats().store_mem, 1);
-        assert!(!ms.l1().probe(v, pa(0x10000)), "write-around must not fill L1");
+        assert!(
+            !ms.l1().probe(v, pa(0x10000)),
+            "write-around must not fill L1"
+        );
         assert!(ms.l2().probe(v, pa(0x10000)), "write-allocate must fill L2");
     }
 
@@ -679,7 +805,11 @@ mod tests {
         };
         let (t_off, _) = run(mk(false));
         let (t_on, s_on) = run(mk(true));
-        assert!(s_on.stream_loads > 50, "streams serve the walk: {}", s_on.stream_loads);
+        assert!(
+            s_on.stream_loads > 50,
+            "streams serve the walk: {}",
+            s_on.stream_loads
+        );
         assert!(t_on < t_off, "{t_on} !< {t_off}");
     }
 
@@ -693,7 +823,11 @@ mod tests {
             let a = (0x100000 + ((lcg >> 16) % (1 << 22))) & !7;
             t = ms.load(va(a), pa(a), (va(a).page_number(), 1), t);
         }
-        assert_eq!(ms.stats().stream_loads, 0, "irregular access gets no stream hits");
+        assert_eq!(
+            ms.stats().stream_loads,
+            0,
+            "irregular access gets no stream hits"
+        );
     }
 
     #[test]
@@ -716,12 +850,148 @@ mod tests {
     fn store_invalidates_streamed_line() {
         let mut ms = MemorySystem::new(&SystemConfig::paint_small().with_stream_buffers());
         // Allocate a stream, then dirty the next line it holds.
-        let t = ms.load(va(0x100000), pa(0x100000), (va(0x100000).page_number(), 1), 0);
-        let t = ms.store(va(0x100020), pa(0x100020), (va(0x100020).page_number(), 1), t + 100);
+        let t = ms.load(
+            va(0x100000),
+            pa(0x100000),
+            (va(0x100000).page_number(), 1),
+            0,
+        );
+        let t = ms.store(
+            va(0x100020),
+            pa(0x100020),
+            (va(0x100020).page_number(), 1),
+            t + 100,
+        );
         // The load of the stored line must NOT come from the (stale) buffer.
         let before = ms.stats().stream_loads;
-        ms.load(va(0x100020), pa(0x100020), (va(0x100020).page_number(), 1), t + 100);
+        ms.load(
+            va(0x100020),
+            pa(0x100020),
+            (va(0x100020).page_number(), 1),
+            t + 100,
+        );
         assert_eq!(ms.stats().stream_loads, before);
+    }
+
+    #[test]
+    fn attribution_totals_equal_demand_cycles() {
+        // Exercise every demand path: cold misses, L1/L2 hits, TLB
+        // penalties, stores, prefetch and stream variants.
+        for (l1pf, mcpf, streams) in [
+            (false, false, false),
+            (true, true, false),
+            (false, false, true),
+        ] {
+            let mut cfg = SystemConfig::paint_small().with_prefetch(mcpf, l1pf);
+            if streams {
+                cfg = cfg.with_stream_buffers();
+            }
+            let mut ms = MemorySystem::new(&cfg);
+            let mut t = 0;
+            for i in 0..600u64 {
+                let a = 0x100000 + (i * 72) % (1 << 20);
+                let v = va(a);
+                if i % 5 == 4 {
+                    t = ms.store(v, pa(a), span_of(v), t);
+                } else {
+                    t = ms.load(v, pa(a), span_of(v), t);
+                }
+            }
+            let s = ms.stats();
+            assert_eq!(
+                ms.attribution().total(),
+                s.load_cycles + s.store_cycles,
+                "stage totals must sum to demand cycles \
+                 (l1pf={l1pf} mcpf={mcpf} streams={streams})"
+            );
+            assert_eq!(ms.load_latency().count(), s.loads);
+            assert_eq!(ms.store_latency().count(), s.stores);
+            // Write allocations are background fills, so only demand load
+            // fills appear in the memory-path latency distribution.
+            assert_eq!(ms.mem_latency().count(), s.mem_loads);
+        }
+    }
+
+    #[test]
+    fn attribution_survives_shadow_gathers() {
+        use impulse_core::RemapFn;
+        use impulse_types::{MAddr, PvAddr};
+
+        let mut ms = system(false, false);
+        let shadow = ms.mc().shadow_base();
+        let region = impulse_types::PRange::new(shadow, 4096);
+        ms.mc_mut()
+            .claim_descriptor(region, RemapFn::strided(PvAddr::new(0), 8, 1024))
+            .unwrap();
+        for page in 0..32u64 {
+            ms.mc_mut().map_page(page, MAddr::new(page * 4096));
+        }
+        let mut t = 0;
+        for i in 0..16u64 {
+            let a = shadow.raw() + i * 32;
+            let v = va(a);
+            t = ms.load(v, PAddr::new(a), span_of(v), t);
+        }
+        let s = ms.stats();
+        assert_eq!(ms.attribution().total(), s.load_cycles + s.store_cycles);
+        assert!(
+            ms.attribution().get(Stage::PgTbl) > 0,
+            "gathers must charge controller page-table time"
+        );
+        assert!(ms.attribution().get(Stage::Dram) > 0);
+    }
+
+    #[test]
+    fn observe_all_collects_every_namespace() {
+        let mut ms = system(false, false);
+        let v = va(0x10000);
+        let t = ms.load(v, pa(0x10000), span_of(v), 0);
+        ms.store(v, pa(0x10000), span_of(v), t);
+
+        let reg = ms.observe_all();
+        let s = ms.stats();
+        assert_eq!(reg.counter_value("mem.loads"), Some(s.loads));
+        assert_eq!(
+            reg.counter_value("l1.cache.loads"),
+            Some(ms.l1().stats().loads)
+        );
+        assert_eq!(
+            reg.counter_value("l2.cache.loads"),
+            Some(ms.l2().stats().loads)
+        );
+        assert_eq!(
+            reg.counter_value("tlb.lookups"),
+            Some(ms.tlb().stats().lookups)
+        );
+        assert_eq!(
+            reg.counter_value("bus.transfers"),
+            Some(ms.bus().stats().transfers)
+        );
+        assert_eq!(
+            reg.counter_value("mc.line_reads"),
+            Some(ms.mc().stats().line_reads)
+        );
+        assert_eq!(
+            reg.counter_value("dram.reads"),
+            Some(ms.mc().dram().stats().reads)
+        );
+        assert_eq!(
+            reg.counter_value("attr.total"),
+            Some(s.load_cycles + s.store_cycles)
+        );
+        assert!(reg.histogram_value("mem.lat_load").unwrap().count() > 0);
+    }
+
+    #[test]
+    fn reset_clears_attribution_and_histograms() {
+        let mut ms = system(false, false);
+        let v = va(0x10000);
+        ms.load(v, pa(0x10000), span_of(v), 0);
+        assert!(ms.attribution().total() > 0);
+        ms.reset_stats();
+        assert_eq!(ms.attribution().total(), 0);
+        assert_eq!(ms.load_latency().count(), 0);
+        assert_eq!(ms.mem_latency().count(), 0);
     }
 
     #[test]

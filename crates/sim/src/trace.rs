@@ -94,10 +94,7 @@ impl Tracer {
     }
 
     /// Events touching the given bus-address range, in issue order.
-    pub fn touching(
-        &self,
-        range: impulse_types::PRange,
-    ) -> impl Iterator<Item = &TraceEvent> + '_ {
+    pub fn touching(&self, range: impulse_types::PRange) -> impl Iterator<Item = &TraceEvent> + '_ {
         self.events.iter().filter(move |e| range.contains(e.paddr))
     }
 
@@ -123,13 +120,53 @@ impl Tracer {
         Ok(())
     }
 
+    /// Writes the trace in Chrome trace-event JSON format, loadable in
+    /// `chrome://tracing` or Perfetto: each access becomes a complete
+    /// (`"ph":"X"`) event with `ts` = issue cycle and `dur` = latency,
+    /// with the addresses in `args`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_chrome_trace<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        use impulse_obs::Json;
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut ev = Json::obj();
+                ev.set("name", Json::Str(e.kind.to_string()));
+                ev.set("cat", Json::Str("mem".into()));
+                ev.set("ph", Json::Str("X".into()));
+                ev.set("ts", Json::UInt(e.at));
+                ev.set("dur", Json::UInt(e.latency));
+                ev.set("pid", Json::UInt(0));
+                ev.set("tid", Json::UInt(0));
+                let mut args = Json::obj();
+                args.set("vaddr", Json::Str(format!("{:#x}", e.vaddr.raw())));
+                args.set("paddr", Json::Str(format!("{:#x}", e.paddr.raw())));
+                ev.set("args", args);
+                ev
+            })
+            .collect();
+        let mut root = Json::obj();
+        root.set("traceEvents", Json::Arr(events));
+        root.set("displayTimeUnit", Json::Str("ns".into()));
+        let mut other = Json::obj();
+        other.set("dropped_events", Json::UInt(self.dropped));
+        root.set("otherData", other);
+        write!(w, "{root}")
+    }
+
     /// Simple reuse-distance summary: for each unique line (of
     /// `line_bytes`), how many times it was touched. Returns
     /// `(unique_lines, total_touches)`.
     pub fn line_touch_summary(&self, line_bytes: u64) -> (usize, u64) {
         let mut seen = std::collections::HashMap::new();
         for e in &self.events {
-            *seen.entry(e.paddr.align_down(line_bytes).raw()).or_insert(0u64) += 1;
+            *seen
+                .entry(e.paddr.align_down(line_bytes).raw())
+                .or_insert(0u64) += 1;
         }
         (seen.len(), self.events.len() as u64)
     }
@@ -189,6 +226,50 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = Tracer::new(0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        use impulse_obs::Json;
+        let mut t = Tracer::new(2);
+        t.record(ev(10, 32));
+        t.record(TraceEvent {
+            at: 20,
+            kind: AccessKind::Store,
+            vaddr: VAddr::new(64),
+            paddr: PAddr::new(64),
+            latency: 7,
+        });
+        t.record(ev(30, 96)); // overflows capacity
+        let mut buf = Vec::new();
+        t.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = Json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::items)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("ts").and_then(Json::as_u64), Some(10));
+        assert_eq!(first.get("dur").and_then(Json::as_u64), Some(1));
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("load"));
+        assert_eq!(
+            first
+                .get("args")
+                .and_then(|a| a.get("paddr"))
+                .and_then(Json::as_str),
+            Some("0x20")
+        );
+        assert_eq!(events[1].get("name").and_then(Json::as_str), Some("store"));
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

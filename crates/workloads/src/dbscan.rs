@@ -99,15 +99,9 @@ impl DbScan {
                 // stride between gatherable elements is the record size,
                 // expressed by scaling the indices to field units.
                 let scale = record_bytes / FIELD;
-                let field_indices: Vec<u64> =
-                    row_ids.iter().map(|&r| r * scale).collect();
-                let grant = m.sys_remap_gather(
-                    table,
-                    FIELD,
-                    Arc::new(field_indices),
-                    id_region,
-                    4,
-                )?;
+                let field_indices: Vec<u64> = row_ids.iter().map(|&r| r * scale).collect();
+                let grant =
+                    m.sys_remap_gather(table, FIELD, Arc::new(field_indices), id_region, 4)?;
                 Some(grant.alias)
             }
         };
@@ -176,7 +170,12 @@ mod tests {
     fn gather_beats_random_record_fetches() {
         let conv = run_variant(DbVariant::Conventional);
         let imp = run_variant(DbVariant::ImpulseGather);
-        assert!(imp.cycles < conv.cycles, "{} !< {}", imp.cycles, conv.cycles);
+        assert!(
+            imp.cycles < conv.cycles,
+            "{} !< {}",
+            imp.cycles,
+            conv.cycles
+        );
         // Half the loads (no row-id reads at the CPU)...
         assert_eq!(imp.mem.loads * 2, conv.mem.loads);
         // ...and far less bus traffic (packed fields, not whole lines).

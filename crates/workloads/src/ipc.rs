@@ -105,8 +105,7 @@ impl IpcGather {
                 // The OS materializes the indirection vector in memory so
                 // the controller can read it.
                 let index_region = m.alloc_region(total_words * 4, 128)?;
-                let grant =
-                    m.sys_remap_gather(target, WORD, Arc::new(indices), index_region, 4)?;
+                let grant = m.sys_remap_gather(target, WORD, Arc::new(indices), index_region, 4)?;
                 grant.alias
             }
         };

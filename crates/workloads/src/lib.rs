@@ -53,9 +53,9 @@ pub mod transpose;
 pub use cg::CgBenchmark;
 pub use dbscan::{DbScan, DbVariant};
 pub use diagonal::{Diagonal, DiagonalVariant};
+pub use ipc::{IpcGather, IpcVariant};
 pub use lu::{Lu, LuVariant};
 pub use media::{ChannelFilter, MediaVariant};
-pub use ipc::{IpcGather, IpcVariant};
 pub use mmp::{Mmp, MmpParams, MmpVariant};
 pub use smvp::{Smvp, SmvpVariant};
 pub use sparse::SparsePattern;

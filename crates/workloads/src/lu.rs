@@ -61,7 +61,10 @@ impl Lu {
     /// Panics if `n` is not a multiple of `tile` or tile rows are not a
     /// power of two bytes.
     pub fn setup(m: &mut Machine, n: u64, tile: u64, variant: LuVariant) -> Result<Self, OsError> {
-        assert!(tile > 0 && n.is_multiple_of(tile), "n must be a multiple of tile");
+        assert!(
+            tile > 0 && n.is_multiple_of(tile),
+            "n must be a multiple of tile"
+        );
         assert!(
             (tile * F64).is_power_of_two(),
             "tile rows must be a power of two bytes"
@@ -73,11 +76,7 @@ impl Lu {
                 let mk = |m: &mut Machine| {
                     m.sys_remap_strided(a.start(), tile * F64, n * F64, tile, PAGE_SIZE)
                 };
-                Some([
-                    (mk(m)?, (0, 0)),
-                    (mk(m)?, (0, 0)),
-                    (mk(m)?, (0, 0)),
-                ])
+                Some([(mk(m)?, (0, 0)), (mk(m)?, (0, 0)), (mk(m)?, (0, 0))])
             }
         };
         Ok(Self {
@@ -251,12 +250,7 @@ impl Lu {
                             let av = self.retarget(m, 0, i, k, false)?;
                             let bv = self.retarget(m, 1, k, j, false)?;
                             let cv = self.retarget(m, 2, i, j, true)?;
-                            self.gemm_tile(
-                                m,
-                                (av, true, 0, 0),
-                                (bv, true, 0, 0),
-                                (cv, true, 0, 0),
-                            );
+                            self.gemm_tile(m, (av, true, 0, 0), (bv, true, 0, 0), (cv, true, 0, 0));
                         }
                     }
                 }

@@ -69,13 +69,8 @@ impl ChannelFilter {
             MediaVariant::Conventional => None,
             MediaVariant::ChannelRemap => {
                 // 1-byte objects, 4-byte stride, starting at the channel.
-                let grant = m.sys_remap_strided(
-                    image.start().add(channel),
-                    1,
-                    PIXEL,
-                    pixels,
-                    4096,
-                )?;
+                let grant =
+                    m.sys_remap_strided(image.start().add(channel), 1, PIXEL, pixels, 4096)?;
                 Some(grant.alias)
             }
         };

@@ -74,7 +74,10 @@ impl MmpParams {
     }
 
     fn validate(&self) {
-        assert!(self.tile > 0 && self.n.is_multiple_of(self.tile), "n must be a multiple of tile");
+        assert!(
+            self.tile > 0 && self.n.is_multiple_of(self.tile),
+            "n must be a multiple of tile"
+        );
         assert!(
             (self.tile * 8).is_power_of_two(),
             "tile rows must be a power of two bytes (Impulse strided-object restriction)"
@@ -150,9 +153,18 @@ impl Mmp {
                 let gb = m.sys_remap_strided(w.b.start(), row_bytes, pitch, p.tile, PAGE_SIZE)?;
                 let gc = m.sys_remap_strided(w.c.start(), row_bytes, pitch, p.tile, PAGE_SIZE)?;
                 w.aliases = Some((
-                    TileAlias { grant: ga, at: (0, 0) },
-                    TileAlias { grant: gb, at: (0, 0) },
-                    TileAlias { grant: gc, at: (0, 0) },
+                    TileAlias {
+                        grant: ga,
+                        at: (0, 0),
+                    },
+                    TileAlias {
+                        grant: gb,
+                        at: (0, 0),
+                    },
+                    TileAlias {
+                        grant: gc,
+                        at: (0, 0),
+                    },
                 ));
             }
         }
@@ -420,6 +432,10 @@ mod tests {
     fn bad_tiling_rejected() {
         let cfg = SystemConfig::paint_small();
         let mut m = Machine::new(&cfg);
-        let _ = Mmp::setup(&mut m, MmpParams { n: 100, tile: 32 }, MmpVariant::Conventional);
+        let _ = Mmp::setup(
+            &mut m,
+            MmpParams { n: 100, tile: 32 },
+            MmpVariant::Conventional,
+        );
     }
 }

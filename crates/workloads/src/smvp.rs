@@ -292,7 +292,12 @@ mod tests {
         let sg = run_pattern(p.clone(), SmvpVariant::ScatterGather, false, false, 1);
         let sg_pf = run_pattern(p, SmvpVariant::ScatterGather, true, false, 1);
         assert!(sg.cycles < conv.cycles, "{} !< {}", sg.cycles, conv.cycles);
-        assert!(sg_pf.cycles < sg.cycles, "{} !< {}", sg_pf.cycles, sg.cycles);
+        assert!(
+            sg_pf.cycles < sg.cycles,
+            "{} !< {}",
+            sg_pf.cycles,
+            sg.cycles
+        );
     }
 
     #[test]

@@ -6,8 +6,30 @@
 //! ≈ 156 per row). Only the *pattern* matters to the memory system — the
 //! simulator models addresses, not values.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG (splitmix64), replacing an external RNG
+/// dependency: the simulator only needs a fixed, seedable pseudo-random
+/// pattern, not cryptographic or statistical-suite quality.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (multiply-shift range reduction).
+    fn next_below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 /// A CSR sparsity pattern.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,7 +50,7 @@ impl SparsePattern {
     pub fn generate(n: u64, nnz_per_row: u64, seed: u64) -> Self {
         assert!(n > 0, "matrix must be non-empty");
         assert!(nnz_per_row > 0, "rows must have at least one non-zero");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut row_ptr = Vec::with_capacity(n as usize + 1);
         let mut cols = Vec::with_capacity((n * nnz_per_row) as usize);
         row_ptr.push(0);
@@ -36,7 +58,7 @@ impl SparsePattern {
         for _ in 0..n {
             scratch.clear();
             for _ in 0..nnz_per_row {
-                scratch.push(rng.gen_range(0..n));
+                scratch.push(rng.next_below(n));
             }
             scratch.sort_unstable();
             scratch.dedup();

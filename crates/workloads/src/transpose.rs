@@ -124,8 +124,16 @@ mod tests {
         let conv = run_variant(TransposeVariant::Conventional, 512);
         let imp = run_variant(TransposeVariant::Remapped, 512);
         assert_eq!(conv.mem.loads, imp.mem.loads);
-        assert!(imp.mem.l1_ratio() > 0.7, "alias walk is dense: {}", imp.mem.l1_ratio());
-        assert!(conv.mem.l1_ratio() < 0.3, "column walk thrashes: {}", conv.mem.l1_ratio());
+        assert!(
+            imp.mem.l1_ratio() > 0.7,
+            "alias walk is dense: {}",
+            imp.mem.l1_ratio()
+        );
+        assert!(
+            conv.mem.l1_ratio() < 0.3,
+            "column walk thrashes: {}",
+            conv.mem.l1_ratio()
+        );
         assert!(imp.cycles < conv.cycles);
         assert!(imp.bus.bytes < conv.bus.bytes);
     }

@@ -19,8 +19,8 @@ fn main() {
     let mut rows = Vec::new();
     for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
         let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
-        let w = IpcGather::setup(&mut m, BUFFERS, BUFFER_BYTES, HEADER_BYTES, variant)
-            .expect("setup");
+        let w =
+            IpcGather::setup(&mut m, BUFFERS, BUFFER_BYTES, HEADER_BYTES, variant).expect("setup");
         m.reset_stats();
         for _ in 0..MESSAGES {
             w.send(&mut m);

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 1..PIECES {
         piece_regions.push(m.alloc_region(PIECE_BYTES, 8)?);
     }
-    let span = piece_regions.last().unwrap().end().offset_from(base.start());
+    let span = piece_regions
+        .last()
+        .unwrap()
+        .end()
+        .offset_from(base.start());
     let target = impulse::types::VRange::new(base.start(), span);
 
     let words: u64 = PIECES * PIECE_BYTES / 8;

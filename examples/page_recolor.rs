@@ -54,7 +54,11 @@ fn run(recolor: bool) -> Report {
         m.reset_stats();
         workload(&mut m, x, s1, s2, 1);
     }
-    m.report(if recolor { "impulse recolored" } else { "conventional" })
+    m.report(if recolor {
+        "impulse recolored"
+    } else {
+        "conventional"
+    })
 }
 
 fn main() {

@@ -40,8 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("walking the {N}-element diagonal of a dense {N}x{N} matrix:");
     println!("  conventional: {conventional:>8} cycles");
-    println!("  impulse:      {impulse:>8} cycles  ({:.1}x faster)",
-        conventional as f64 / impulse as f64);
-    println!("\nfull measurement report:\n{}", machine.report("quickstart"));
+    println!(
+        "  impulse:      {impulse:>8} cycles  ({:.1}x faster)",
+        conventional as f64 / impulse as f64
+    );
+    println!(
+        "\nfull measurement report:\n{}",
+        machine.report("quickstart")
+    );
     Ok(())
 }

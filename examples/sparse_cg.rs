@@ -10,18 +10,21 @@
 use std::sync::Arc;
 
 use impulse::sim::{Machine, Report, SystemConfig};
-use impulse::workloads::{SparsePattern, Smvp, SmvpVariant};
+use impulse::workloads::{Smvp, SmvpVariant, SparsePattern};
 
 fn run(pattern: &Arc<SparsePattern>, variant: SmvpVariant, prefetch: bool) -> Report {
     let cfg = SystemConfig::paint().with_prefetch(prefetch, false);
     let mut machine = Machine::new(&cfg);
-    let workload =
-        Smvp::setup(&mut machine, pattern.clone(), variant).expect("workload setup");
+    let workload = Smvp::setup(&mut machine, pattern.clone(), variant).expect("workload setup");
     workload.run(&mut machine, 1);
     machine.report(format!(
         "{}{}",
         variant.name(),
-        if prefetch { " + controller prefetch" } else { "" }
+        if prefetch {
+            " + controller prefetch"
+        } else {
+            ""
+        }
     ))
 }
 

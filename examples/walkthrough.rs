@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== setup ==============================================================");
     let a = m.alloc_region(N * N * 8, 128)?;
-    println!("matrix A: {N}x{N} f64 at {:?} ({} KB)", a.start(), a.len() / 1024);
+    println!(
+        "matrix A: {N}x{N} f64 at {:?} ({} KB)",
+        a.start(),
+        a.len() / 1024
+    );
 
     let stride = (N + 1) * 8;
     let grant = m.sys_remap_strided(a.start(), 8, stride, N, 4096)?;
@@ -46,9 +50,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("3. descriptor matches; shadow offset {soffset:#x}");
 
     let pv = desc.remap().pv_of(soffset);
-    println!("4. AddrCalc ({}) maps offset -> pseudo-virtual {pv:?}", desc.remap().name());
-    if let RemapFn::Strided { object_size, stride, .. } = desc.remap() {
-        println!("   - object {} of size {object_size}, stride {stride}", soffset / object_size);
+    println!(
+        "4. AddrCalc ({}) maps offset -> pseudo-virtual {pv:?}",
+        desc.remap().name()
+    );
+    if let RemapFn::Strided {
+        object_size,
+        stride,
+        ..
+    } = desc.remap()
+    {
+        println!(
+            "   - object {} of size {object_size}, stride {stride}",
+            soffset / object_size
+        );
     }
 
     let maddr = m.memory().mc().resolve_shadow(p).expect("mapped");
@@ -57,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct = m.translate(a.start().add(5 * stride));
     println!(
         "   cross-check via the ordinary path: A[5][5] = A + 5*{stride} -> {direct:?}  {}",
-        if direct.raw() == maddr.raw() { "(same word ✓)" } else { "(MISMATCH!)" }
+        if direct.raw() == maddr.raw() {
+            "(same word ✓)"
+        } else {
+            "(MISMATCH!)"
+        }
     );
 
     println!("\n== the gather, timed =================================================");

@@ -30,7 +30,10 @@ fn dram_of(m: &Machine, v: VAddr) -> MAddr {
 /// DRAM word the Impulse path reaches for alias address `v`.
 fn dram_via_impulse(m: &Machine, v: VAddr) -> MAddr {
     let p = m.translate(v);
-    assert!(m.memory().mc().is_shadow(p), "alias must map to shadow space");
+    assert!(
+        m.memory().mc().is_shadow(p),
+        "alias must map to shadow space"
+    );
     m.memory()
         .mc()
         .resolve_shadow(p)
@@ -114,7 +117,9 @@ fn recolored_alias_only_uses_requested_colors() {
 fn superpage_preserves_frames_under_new_mapping() {
     let mut m = machine();
     let pages = 32u64;
-    let r = m.alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE).unwrap();
+    let r = m
+        .alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE)
+        .unwrap();
     // Capture the original frames through the MMU before the remap.
     let before: Vec<MAddr> = (0..pages)
         .map(|i| dram_of(&m, r.start().add(i * PAGE_SIZE + 123)))
@@ -158,7 +163,9 @@ fn loads_through_alias_and_original_stay_coherent_with_flushes() {
 fn superpage_release_restores_original_frames() {
     let mut m = machine();
     let pages = 16u64;
-    let r = m.alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE).unwrap();
+    let r = m
+        .alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE)
+        .unwrap();
     let before: Vec<MAddr> = (0..pages)
         .map(|i| dram_of(&m, r.start().add(i * PAGE_SIZE)))
         .collect();

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use impulse::sim::{Machine, Report, SystemConfig};
 use impulse::workloads::{
-    Diagonal, DiagonalVariant, IpcGather, IpcVariant, Mmp, MmpParams, MmpVariant, SparsePattern,
-    Smvp, SmvpVariant, TlbStress, TlbVariant,
+    Diagonal, DiagonalVariant, IpcGather, IpcVariant, Mmp, MmpParams, MmpVariant, Smvp,
+    SmvpVariant, SparsePattern, TlbStress, TlbVariant,
 };
 
 fn smvp_report(pattern: &Arc<SparsePattern>, v: SmvpVariant, mc_pf: bool, l1_pf: bool) -> Report {
@@ -33,7 +33,12 @@ fn table1_shape_reproduces() {
 
     // Paper, Table 1, qualitatively:
     // (1) scatter/gather beats conventional even without prefetching;
-    assert!(sg.cycles < conv.cycles, "sg {} !< conv {}", sg.cycles, conv.cycles);
+    assert!(
+        sg.cycles < conv.cycles,
+        "sg {} !< conv {}",
+        sg.cycles,
+        conv.cycles
+    );
     // (2) controller prefetching makes scatter/gather much faster;
     assert!(sg_pf.cycles < sg.cycles);
     // (3) the best configuration is scatter/gather with both prefetchers;
@@ -179,9 +184,8 @@ fn scatter_gather_cpu_never_touches_the_indirection_vector() {
     // touched between DATA's last page and ROWS' first (i.e. COLUMN), so
     // just check footprints differ by at least COLUMN's size in pages.
     use std::collections::HashSet;
-    let pages = |t: &Tracer| -> HashSet<u64> {
-        t.events().iter().map(|e| e.vaddr.page_number()).collect()
-    };
+    let pages =
+        |t: &Tracer| -> HashSet<u64> { t.events().iter().map(|e| e.vaddr.page_number()).collect() };
     let sg_pages = pages(&trace);
     let conv_pages = pages(&conv);
     let conv_only: Vec<u64> = conv_pages.difference(&sg_pages).copied().collect();
