@@ -1,0 +1,118 @@
+//! Regression guards for the simulator's host-side hot paths: the three
+//! translate layers (OS page table, CPU TLB index, controller PgTbl with
+//! its front cache) and the shadow-line gather's segment/merge pipeline.
+//! These are the paths that run once (or more) per simulated access, so
+//! a regression here slows every experiment in the suite.
+
+use std::hint::black_box;
+
+use impulse_bench::harness::Group;
+use impulse_cache::{Tlb, TlbConfig};
+use impulse_core::{McConfig, MemController, PgTbl, PgTblConfig, RemapFn};
+use impulse_dram::{Dram, DramConfig};
+use impulse_os::AddressSpace;
+use impulse_types::geom::PAGE_SIZE;
+use impulse_types::{MAddr, PAddr, PvAddr, VAddr};
+
+fn bench_pgtbl_translate() {
+    let mut g = Group::new("pgtbl");
+    let mk = || {
+        let mut pt = PgTbl::new(PgTblConfig::default());
+        for page in 0..512u64 {
+            pt.map_page(page, MAddr::new(page * PAGE_SIZE));
+        }
+        (pt, Dram::new(DramConfig::default()))
+    };
+
+    // Same page over and over: the front-cache fast path.
+    let (mut pt, mut dram) = mk();
+    let mut off = 0u64;
+    g.bench("translate_front_hit", || {
+        off = (off + 8) % PAGE_SIZE;
+        pt.translate(PvAddr::new(7 * PAGE_SIZE + off), &mut dram, 0)
+            .0
+    });
+
+    // A working set larger than the on-chip TLB: hit/walk mix with
+    // front-cache conflicts (the shape shadow gathers produce).
+    let (mut pt, mut dram) = mk();
+    let mut i = 0u64;
+    g.bench("translate_512page_sweep", || {
+        i = i.wrapping_add(1);
+        let page = (i * 97) % 512;
+        pt.translate(PvAddr::new(page * PAGE_SIZE + (i % 512) * 8), &mut dram, 0)
+            .0
+    });
+}
+
+fn bench_cpu_tlb() {
+    let mut g = Group::new("cpu_tlb");
+    let mut tlb = Tlb::new(TlbConfig::default());
+    for page in 0..120u64 {
+        tlb.insert(page, 1);
+    }
+    let mut i = 0u64;
+    g.bench("lookup_hit", || {
+        i = i.wrapping_add(1);
+        tlb.lookup((i * 13) % 120)
+    });
+    let mut tlb = Tlb::new(TlbConfig::default());
+    let mut i = 0u64;
+    g.bench("lookup_miss_insert", || {
+        i = i.wrapping_add(1);
+        let page = (i * 13) % 4096;
+        if !tlb.lookup(page) {
+            tlb.insert(page, 1);
+        }
+        page
+    });
+}
+
+fn bench_os_vm() {
+    let mut g = Group::new("os_vm");
+    let mut aspace = AddressSpace::new();
+    let r = aspace.reserve(1024 * PAGE_SIZE, PAGE_SIZE);
+    for i in 0..1024u64 {
+        aspace
+            .map_page(r.start().add(i * PAGE_SIZE), PAddr::new(i * PAGE_SIZE))
+            .unwrap();
+    }
+    let mut i = 0u64;
+    g.bench("translate_1024pages", || {
+        i = i.wrapping_add(1);
+        aspace.translate(VAddr::new(
+            r.start().raw() + (i * 4093 * 8) % (1024 * PAGE_SIZE),
+        ))
+    });
+}
+
+fn bench_gather_merge() {
+    let mut g = Group::new("gather");
+    // Byte-granularity strided gather: 128 segments per shadow line, all
+    // coalescing through the merge scratch — the heaviest merge shape
+    // (the media channel-extraction workload's).
+    let dram = Dram::new(DramConfig::default());
+    let mut mc = MemController::new(dram, McConfig::default());
+    let shadow = mc.shadow_base();
+    let region = impulse_types::PRange::new(shadow, 1 << 20);
+    mc.claim_descriptor(region, RemapFn::strided(PvAddr::new(0), 1, 3))
+        .unwrap();
+    for page in 0..((3 << 20) >> 12) + 1 {
+        mc.map_page(page, MAddr::new(page << 12));
+    }
+    let mut now = 0u64;
+    let mut line = 0u64;
+    g.bench("strided_byte_line", || {
+        let p = PAddr::new(shadow.raw() + (line % 4096) * 128);
+        line += 1;
+        now = mc.read_line(p, now + 100);
+        black_box(now)
+    });
+}
+
+fn main() {
+    bench_pgtbl_translate();
+    bench_cpu_tlb();
+    bench_os_vm();
+    bench_gather_merge();
+}

@@ -13,9 +13,13 @@
 //!   small enough that several requests share a row (reordering recovers
 //!   that locality; bank interleave overlaps the rest).
 //!
-//! Overrides: `words=` (batch size), `batches=`, `streams=`, `seed=`.
+//! Overrides: `words=` (batch size), `batches=`, `streams=`, `seed=`,
+//! `jobs=` (worker threads; default all hardware threads, `jobs=1` for
+//! the serial path). Each (workload, policy) cell simulates its own DRAM,
+//! so the grid fans across a job pool; results print in grid order, so
+//! the output is identical at any `jobs=` value.
 
-use impulse_bench::Args;
+use impulse_bench::{runner, Args};
 use impulse_dram::{Dram, DramConfig, SchedulePolicy, Scheduler};
 use impulse_types::{AccessKind, MAddr};
 
@@ -83,6 +87,7 @@ fn main() {
     let n_batches = args.get("batches", if args.paper { 20_000 } else { 4_000 });
     let streams = args.get("streams", 4);
     let seed = args.get("seed", 42);
+    let jobs = args.get("jobs", runner::default_jobs() as u64).max(1) as usize;
 
     let dram_cfg = DramConfig::default();
     let mut rng = Rng(seed | 1);
@@ -102,15 +107,33 @@ fn main() {
     println!("(the paper's published results use the in-order scheduler; the");
     println!(" reordering policies are its Section 2.2 'designed' scheduler)");
     println!("================================================================");
-    for (name, batches) in &workloads {
+
+    // Fan the (workload × policy) grid across the pool; each cell owns
+    // its DRAM and the batches are shared read-only.
+    let grid: Vec<_> = workloads
+        .iter()
+        .flat_map(|(_, batches)| {
+            SchedulePolicy::ALL
+                .iter()
+                .map(move |&policy| move || run(policy, batches))
+        })
+        .collect();
+    let results = runner::run_ordered(grid, jobs);
+    let mut results = results.chunks_exact(SchedulePolicy::ALL.len());
+
+    for (name, _) in &workloads {
         println!("\n--- {name} ---");
         println!(
             "{:<18}{:>14}{:>12}{:>10}",
             "policy", "total cycles", "row hits", "speedup"
         );
-        let (base_cycles, _) = run(SchedulePolicy::InOrder, batches);
-        for policy in SchedulePolicy::ALL {
-            let (cycles, row_hits) = run(policy, batches);
+        let cells = results.next().expect("one chunk per workload");
+        let in_order = SchedulePolicy::ALL
+            .iter()
+            .position(|&p| p == SchedulePolicy::InOrder)
+            .expect("in-order policy exists");
+        let (base_cycles, _) = cells[in_order];
+        for (policy, &(cycles, row_hits)) in SchedulePolicy::ALL.iter().zip(cells) {
             println!(
                 "{:<18}{:>14}{:>11.1}%{:>10.2}",
                 policy.name(),

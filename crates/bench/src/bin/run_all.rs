@@ -3,6 +3,15 @@
 //! point (`results.csv` and `results/run_all.json` in the current
 //! directory, or `out=<path>` / `json=<path>`).
 //!
+//! Experiments are independent (each builds its own `Machine`), so they
+//! fan across `jobs=<N>` worker threads (default: every hardware
+//! thread; `jobs=1` forces the old serial path). Results are gathered in
+//! submission order, so the CSV and JSON outputs are byte-identical at
+//! any job count — only the wall clock changes. Host-side wall-clock
+//! timings land in `BENCH_run_all.json` (or `bench=<path>`): per
+//! experiment, the serial sum, and the elapsed total, so the perf
+//! trajectory is machine-readable PR over PR.
+//!
 //! The JSON report (schema `impulse-report-v1` per experiment) carries
 //! what the CSV cannot: per-level latency histograms with p50/p90/p99
 //! and the demand-cycle attribution table whose stage totals sum to each
@@ -12,147 +21,43 @@
 //! binaries (`table1`, `table2`, `fig1`, ...).
 
 use std::io::Write;
-use std::sync::Arc;
+use std::time::Instant;
 
+use impulse_bench::experiments::{json_document, run_all_experiments};
+use impulse_bench::runner;
 use impulse_obs::Json;
-use impulse_sim::{Machine, Report, SystemConfig};
-use impulse_workloads::{
-    ChannelFilter, DbScan, DbVariant, Diagonal, DiagonalVariant, IpcGather, IpcVariant, Lu,
-    LuVariant, MediaVariant, Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern,
-    TlbStress, TlbVariant, Transpose, TransposeVariant,
-};
-
-fn collect() -> Vec<Report> {
-    let mut out = Vec::new();
-
-    // Table 1 cells.
-    let pattern = Arc::new(SparsePattern::generate(14_000, 24, 0x00c9_a15e));
-    for (variant, mc_pf, l1_pf) in [
-        (SmvpVariant::Conventional, false, false),
-        (SmvpVariant::Conventional, true, true),
-        (SmvpVariant::ScatterGather, false, false),
-        (SmvpVariant::ScatterGather, true, false),
-        (SmvpVariant::ScatterGather, true, true),
-        (SmvpVariant::Recolored, false, false),
-        (SmvpVariant::Recolored, true, true),
-    ] {
-        let cfg = SystemConfig::paint().with_prefetch(mc_pf, l1_pf);
-        let mut m = Machine::new(&cfg);
-        let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("smvp");
-        w.run(&mut m, 1);
-        out.push(m.report(format!("table1/{}/mc={mc_pf}/l1={l1_pf}", variant.name())));
-        eprintln!("done: {}", out.last().unwrap().name);
-    }
-
-    // Table 2 cells.
-    for variant in MmpVariant::ALL {
-        let mut m = Machine::new(&SystemConfig::paint());
-        let mut w = Mmp::setup(&mut m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
-        w.run(&mut m).expect("mmp run");
-        out.push(m.report(format!("table2/{}", variant.name())));
-        eprintln!("done: {}", out.last().unwrap().name);
-    }
-
-    // Tiled LU decomposition.
-    for variant in [LuVariant::Conventional, LuVariant::TileRemap] {
-        let mut m = Machine::new(&SystemConfig::paint());
-        let mut w = Lu::setup(&mut m, 128, 32, variant).expect("lu");
-        w.run(&mut m).expect("lu run");
-        out.push(m.report(format!("lu/{}", variant.name())));
-    }
-
-    // Figure 1.
-    for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
-        let mut m = Machine::new(&SystemConfig::paint());
-        let d = Diagonal::setup(&mut m, 2048, variant).expect("diag");
-        m.reset_stats();
-        d.run(&mut m, 4);
-        out.push(m.report(format!("fig1/{}", variant.name())));
-    }
-
-    // Transpose.
-    for variant in [TransposeVariant::Conventional, TransposeVariant::Remapped] {
-        let mut m = Machine::new(&SystemConfig::paint());
-        let w = Transpose::setup(&mut m, 512, variant).expect("transpose");
-        m.reset_stats();
-        w.column_reduce(&mut m);
-        out.push(m.report(format!("transpose/{}", variant.name())));
-    }
-
-    // Superpages.
-    for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
-        let mut m = Machine::new(&SystemConfig::paint());
-        let w = TlbStress::setup(&mut m, 8, 64, variant).expect("tlb");
-        m.reset_stats();
-        w.sweep(&mut m, 8);
-        out.push(m.report(format!("superpage/{}", variant.name())));
-    }
-
-    // Database selection scan.
-    for variant in [DbVariant::Conventional, DbVariant::ImpulseGather] {
-        let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
-        let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, 0xdb, variant).expect("db");
-        m.reset_stats();
-        w.fetch(&mut m);
-        out.push(m.report(format!("dbscan/{}", variant.name())));
-    }
-
-    // Multimedia channel extraction.
-    for variant in [MediaVariant::Conventional, MediaVariant::ChannelRemap] {
-        let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
-        let w = ChannelFilter::setup(&mut m, 1 << 20, 3, variant).expect("media");
-        m.reset_stats();
-        w.filter(&mut m);
-        out.push(m.report(format!("media/{}", variant.name())));
-    }
-
-    // IPC.
-    for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
-        let mut m = Machine::new(&SystemConfig::paint());
-        let w = IpcGather::setup(&mut m, 8, 4096, 64, variant).expect("ipc");
-        m.reset_stats();
-        for _ in 0..64 {
-            w.send(&mut m);
-        }
-        out.push(m.report(format!("ipc/{}", variant.name())));
-    }
-
-    out
-}
-
-/// Bundles every experiment report into one JSON document, asserting the
-/// attribution invariant for each along the way.
-fn json_document(reports: &[Report]) -> Json {
-    let mut arr = Vec::with_capacity(reports.len());
-    for r in reports {
-        let demand = r.mem.load_cycles + r.mem.store_cycles;
-        assert_eq!(
-            r.attr.total(),
-            demand,
-            "{}: attribution stages sum to {} but demand cycles are {demand}",
-            r.name,
-            r.attr.total(),
-        );
-        arr.push(r.to_json());
-    }
-    let mut root = Json::obj();
-    root.set("schema", Json::Str("impulse-run-all-v1".into()));
-    root.set("reports", Json::Arr(arr));
-    root
-}
+use impulse_sim::Report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = args
-        .iter()
-        .find_map(|a| a.strip_prefix("out=").map(String::from))
-        .unwrap_or_else(|| "results.csv".to_string());
-    let json_path = args
-        .iter()
-        .find_map(|a| a.strip_prefix("json=").map(String::from))
-        .unwrap_or_else(|| "results/run_all.json".to_string());
+    let arg = |prefix: &str, default: &str| -> String {
+        args.iter()
+            .find_map(|a| a.strip_prefix(prefix).map(String::from))
+            .unwrap_or_else(|| default.to_string())
+    };
+    let path = arg("out=", "results.csv");
+    let json_path = arg("json=", "results/run_all.json");
+    let bench_path = arg("bench=", "BENCH_run_all.json");
+    let jobs = runner::jobs_from_args(&args);
 
-    let reports = collect();
+    let t_total = Instant::now();
+    let experiments = run_all_experiments();
+    let timed = runner::run_ordered_timed(
+        experiments
+            .into_iter()
+            .map(|e| {
+                move || {
+                    let name = e.name().to_string();
+                    let r = e.run();
+                    eprintln!("done: {name}");
+                    r
+                }
+            })
+            .collect(),
+        jobs,
+    );
+    let total_wall = t_total.elapsed();
+    let reports: Vec<Report> = timed.iter().map(|(r, _)| r.clone()).collect();
 
     let mut f = std::fs::File::create(&path).expect("create results file");
     writeln!(f, "{}", Report::csv_header()).expect("write header");
@@ -169,8 +74,39 @@ fn main() {
     let mut jf = std::fs::File::create(&json_path).expect("create JSON report");
     writeln!(jf, "{doc:#}").expect("write JSON report");
 
+    // Host-side perf record: per-experiment wall clock, their serial sum,
+    // and the elapsed (parallel) total. serial_sum / total ≈ the speedup
+    // the job pool delivered on this host.
+    let mut bench = Json::obj();
+    bench.set("schema", Json::Str("impulse-bench-run-all-v1".into()));
+    bench.set("jobs", Json::UInt(jobs as u64));
+    bench.set("experiments_run", Json::UInt(reports.len() as u64));
+    bench.set("total_wall_ns", Json::UInt(total_wall.as_nanos() as u64));
+    bench.set(
+        "serial_sum_wall_ns",
+        Json::UInt(timed.iter().map(|(_, d)| d.as_nanos() as u64).sum()),
+    );
+    bench.set(
+        "experiments",
+        Json::Arr(
+            timed
+                .iter()
+                .map(|(r, d)| {
+                    let mut e = Json::obj();
+                    e.set("name", Json::Str(r.name.clone()));
+                    e.set("wall_ns", Json::UInt(d.as_nanos() as u64));
+                    e
+                })
+                .collect(),
+        ),
+    );
+    let mut bf = std::fs::File::create(&bench_path).expect("create bench record");
+    writeln!(bf, "{bench:#}").expect("write bench record");
+
     println!(
-        "wrote {} experiment rows to {path} and full reports to {json_path}",
-        reports.len()
+        "wrote {} experiment rows to {path} and full reports to {json_path} \
+         ({jobs} jobs, {:.2}s wall, timings in {bench_path})",
+        reports.len(),
+        total_wall.as_secs_f64(),
     );
 }

@@ -7,11 +7,16 @@
 //!
 //! Sweeps: per-descriptor prefetch buffer size, non-shadow prefetch SRAM
 //! size, controller TLB entries, DRAM banks, and the DRAM scheduling
-//! policy. Overrides: `rows=`, `nnz=`, `seed=`.
+//! policy. Overrides: `rows=`, `nnz=`, `seed=`, `jobs=` (worker threads;
+//! default all hardware threads, `jobs=1` for the serial path).
+//!
+//! Every grid point builds its own `Machine`, so the whole grid fans
+//! across a job pool; rows are gathered and printed in grid order, making
+//! the output identical at any `jobs=` value.
 
 use std::sync::Arc;
 
-use impulse_bench::Args;
+use impulse_bench::{runner, Args};
 use impulse_dram::SchedulePolicy;
 use impulse_sim::{Machine, Report, SystemConfig};
 use impulse_workloads::{Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern};
@@ -46,6 +51,7 @@ fn main() {
     let rows = args.get("rows", 14_000);
     let nnz = args.get("nnz", if args.paper { 156 } else { 24 });
     let seed = args.get("seed", 0x5eed);
+    let jobs = args.get("jobs", runner::default_jobs() as u64).max(1) as usize;
     let pattern = Arc::new(SparsePattern::generate(rows, nnz, seed));
 
     println!("================================================================");
@@ -58,45 +64,95 @@ fn main() {
 
     let base = SystemConfig::paint().with_prefetch(true, false);
 
-    header("per-descriptor prefetch buffer (paper: 256 B)");
-    for bytes in [128u64, 256, 512, 1024] {
-        let mut cfg = base.clone();
-        cfg.mc.desc_buffer_bytes = bytes;
-        row(&format!("{bytes} B"), &run(&cfg, &pattern));
-    }
+    // The whole grid, as (section title, rows of (label, config)). Each
+    // point is an independent simulation; the pool runs them all and the
+    // printout below walks the grid in order.
+    let mut sections: Vec<(&str, Vec<(String, SystemConfig)>)> = Vec::new();
 
-    header("non-shadow prefetch SRAM (paper: 2 KB)");
-    for bytes in [512u64, 2048, 8192] {
-        let mut cfg = base.clone();
-        cfg.mc.prefetch_sram_bytes = bytes;
-        row(&format!("{bytes} B"), &run(&cfg, &pattern));
-    }
+    sections.push((
+        "per-descriptor prefetch buffer (paper: 256 B)",
+        [128u64, 256, 512, 1024]
+            .iter()
+            .map(|&bytes| {
+                let mut cfg = base.clone();
+                cfg.mc.desc_buffer_bytes = bytes;
+                (format!("{bytes} B"), cfg)
+            })
+            .collect(),
+    ));
 
-    header("controller PgTbl TLB entries (ours: 64)");
-    for entries in [8usize, 16, 64, 256] {
-        let mut cfg = base.clone();
-        cfg.mc.pgtbl.tlb_entries = entries;
-        row(&format!("{entries} entries"), &run(&cfg, &pattern));
-    }
+    sections.push((
+        "non-shadow prefetch SRAM (paper: 2 KB)",
+        [512u64, 2048, 8192]
+            .iter()
+            .map(|&bytes| {
+                let mut cfg = base.clone();
+                cfg.mc.prefetch_sram_bytes = bytes;
+                (format!("{bytes} B"), cfg)
+            })
+            .collect(),
+    ));
 
-    header("DRAM banks (ours: 16)");
-    for banks in [4u64, 8, 16, 32] {
-        let mut cfg = base.clone();
-        cfg.dram.banks = banks;
-        row(&format!("{banks} banks"), &run(&cfg, &pattern));
-    }
+    sections.push((
+        "controller PgTbl TLB entries (ours: 64)",
+        [8usize, 16, 64, 256]
+            .iter()
+            .map(|&entries| {
+                let mut cfg = base.clone();
+                cfg.mc.pgtbl.tlb_entries = entries;
+                (format!("{entries} entries"), cfg)
+            })
+            .collect(),
+    ));
 
-    header("outstanding load misses (MSHRs; Paint's L1 was non-blocking)");
-    for mshr in [1usize, 2, 4, 8] {
-        let cfg = base.clone().with_mshr(mshr);
-        row(&format!("{mshr} outstanding"), &run(&cfg, &pattern));
-    }
+    sections.push((
+        "DRAM banks (ours: 16)",
+        [4u64, 8, 16, 32]
+            .iter()
+            .map(|&banks| {
+                let mut cfg = base.clone();
+                cfg.dram.banks = banks;
+                (format!("{banks} banks"), cfg)
+            })
+            .collect(),
+    ));
 
-    header("DRAM scheduling policy (paper's results: in-order)");
-    for policy in SchedulePolicy::ALL {
-        let mut cfg = base.clone();
-        cfg.mc.sched = policy;
-        row(policy.name(), &run(&cfg, &pattern));
+    sections.push((
+        "outstanding load misses (MSHRs; Paint's L1 was non-blocking)",
+        [1usize, 2, 4, 8]
+            .iter()
+            .map(|&mshr| (format!("{mshr} outstanding"), base.clone().with_mshr(mshr)))
+            .collect(),
+    ));
+
+    sections.push((
+        "DRAM scheduling policy (paper's results: in-order)",
+        SchedulePolicy::ALL
+            .iter()
+            .map(|&policy| {
+                let mut cfg = base.clone();
+                cfg.mc.sched = policy;
+                (policy.name().to_string(), cfg)
+            })
+            .collect(),
+    ));
+
+    let grid_jobs: Vec<_> = sections
+        .iter()
+        .flat_map(|(_, rows)| rows.iter())
+        .map(|(_, cfg)| {
+            let cfg = cfg.clone();
+            let pattern = pattern.clone();
+            move || run(&cfg, &pattern)
+        })
+        .collect();
+    let mut reports = runner::run_ordered(grid_jobs, jobs).into_iter();
+
+    for (title, rows) in &sections {
+        header(title);
+        for (label, _) in rows {
+            row(label, &reports.next().expect("one report per grid point"));
+        }
     }
 
     // Section 4.2's forward-looking claim: "as caches (and therefore
@@ -112,15 +168,23 @@ fn main() {
         "{:<12}{:>16}{:>18}{:>18}",
         "tile", "conv (Mcyc)", "copy ovh (Mcyc)", "remap ovh (Mcyc)"
     );
-    for tile in [16u64, 32, 64] {
-        let n = 256;
-        let mut cycles = [0u64; 3];
-        for (i, variant) in MmpVariant::ALL.iter().enumerate() {
-            let mut m = Machine::new(&SystemConfig::paint());
-            let mut w = Mmp::setup(&mut m, MmpParams { n, tile }, *variant).expect("mmp");
-            w.run(&mut m).expect("mmp run");
-            cycles[i] = m.report("t").cycles;
-        }
+    let tiles = [16u64, 32, 64];
+    let mmp_jobs: Vec<_> = tiles
+        .iter()
+        .flat_map(|&tile| MmpVariant::ALL.iter().map(move |&variant| (tile, variant)))
+        .map(|(tile, variant)| {
+            move || {
+                let n = 256;
+                let mut m = Machine::new(&SystemConfig::paint());
+                let mut w = Mmp::setup(&mut m, MmpParams { n, tile }, variant).expect("mmp");
+                w.run(&mut m).expect("mmp run");
+                m.report("t").cycles
+            }
+        })
+        .collect();
+    let mmp_cycles = runner::run_ordered(mmp_jobs, jobs);
+    for (t, &tile) in tiles.iter().enumerate() {
+        let cycles = &mmp_cycles[t * MmpVariant::ALL.len()..(t + 1) * MmpVariant::ALL.len()];
         // Overhead = extra instructions + syscalls relative to the pure
         // kernel, measured as time above the (fast, conflict-free) remap
         // compute floor. Copy overhead grows with tile²; remap overhead

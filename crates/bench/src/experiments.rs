@@ -1,0 +1,214 @@
+//! The `run_all` experiment catalog as self-contained jobs.
+//!
+//! Each experiment owns everything it needs (configs, shared read-only
+//! pattern data behind `Arc`) and builds its own
+//! [`Machine`](impulse_sim::Machine), so the jobs are independent and
+//! safe to fan across threads with [`crate::runner`]. The *simulated*
+//! cycle counts are a pure function of each experiment's own inputs;
+//! host-side scheduling cannot perturb them, which is what lets
+//! `results.csv` and `results/run_all.json` stay byte-identical between
+//! serial and parallel runs (asserted by `tests/determinism.rs`).
+
+use std::sync::Arc;
+
+use impulse_obs::Json;
+use impulse_sim::{Machine, Report, SystemConfig};
+use impulse_workloads::{
+    ChannelFilter, DbScan, DbVariant, Diagonal, DiagonalVariant, IpcGather, IpcVariant, Lu,
+    LuVariant, MediaVariant, Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern,
+    TlbStress, TlbVariant, Transpose, TransposeVariant,
+};
+
+/// One independent experiment: a name and a job producing its report.
+pub struct Experiment {
+    name: String,
+    job: Box<dyn FnOnce() -> Report + Send>,
+}
+
+impl Experiment {
+    fn new(name: String, job: impl FnOnce() -> Report + Send + 'static) -> Self {
+        Self {
+            name,
+            job: Box::new(job),
+        }
+    }
+
+    /// The experiment's report name (`table1/...`, `fig1/...`, ...),
+    /// known before the run for labels and filtering.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(self) -> Report {
+        (self.job)()
+    }
+}
+
+/// Builds the full `run_all` experiment list (24 experiments at quick
+/// scale), in the canonical CSV/JSON row order.
+pub fn run_all_experiments() -> Vec<Experiment> {
+    let mut out = Vec::new();
+
+    // Table 1 cells.
+    let pattern = Arc::new(SparsePattern::generate(14_000, 24, 0x00c9_a15e));
+    for (variant, mc_pf, l1_pf) in [
+        (SmvpVariant::Conventional, false, false),
+        (SmvpVariant::Conventional, true, true),
+        (SmvpVariant::ScatterGather, false, false),
+        (SmvpVariant::ScatterGather, true, false),
+        (SmvpVariant::ScatterGather, true, true),
+        (SmvpVariant::Recolored, false, false),
+        (SmvpVariant::Recolored, true, true),
+    ] {
+        let pattern = pattern.clone();
+        let name = format!("table1/{}/mc={mc_pf}/l1={l1_pf}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let cfg = SystemConfig::paint().with_prefetch(mc_pf, l1_pf);
+            let mut m = Machine::new(&cfg);
+            let w = Smvp::setup(&mut m, pattern, variant).expect("smvp");
+            w.run(&mut m, 1);
+            m.report(name)
+        }));
+    }
+
+    // Table 2 cells.
+    for variant in MmpVariant::ALL {
+        let name = format!("table2/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let mut w = Mmp::setup(&mut m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
+            w.run(&mut m).expect("mmp run");
+            m.report(name)
+        }));
+    }
+
+    // Tiled LU decomposition.
+    for variant in [LuVariant::Conventional, LuVariant::TileRemap] {
+        let name = format!("lu/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let mut w = Lu::setup(&mut m, 128, 32, variant).expect("lu");
+            w.run(&mut m).expect("lu run");
+            m.report(name)
+        }));
+    }
+
+    // Figure 1.
+    for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
+        let name = format!("fig1/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let d = Diagonal::setup(&mut m, 2048, variant).expect("diag");
+            m.reset_stats();
+            d.run(&mut m, 4);
+            m.report(name)
+        }));
+    }
+
+    // Transpose.
+    for variant in [TransposeVariant::Conventional, TransposeVariant::Remapped] {
+        let name = format!("transpose/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let w = Transpose::setup(&mut m, 512, variant).expect("transpose");
+            m.reset_stats();
+            w.column_reduce(&mut m);
+            m.report(name)
+        }));
+    }
+
+    // Superpages.
+    for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
+        let name = format!("superpage/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let w = TlbStress::setup(&mut m, 8, 64, variant).expect("tlb");
+            m.reset_stats();
+            w.sweep(&mut m, 8);
+            m.report(name)
+        }));
+    }
+
+    // Database selection scan.
+    for variant in [DbVariant::Conventional, DbVariant::ImpulseGather] {
+        let name = format!("dbscan/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+            let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, 0xdb, variant).expect("db");
+            m.reset_stats();
+            w.fetch(&mut m);
+            m.report(name)
+        }));
+    }
+
+    // Multimedia channel extraction.
+    for variant in [MediaVariant::Conventional, MediaVariant::ChannelRemap] {
+        let name = format!("media/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+            let w = ChannelFilter::setup(&mut m, 1 << 20, 3, variant).expect("media");
+            m.reset_stats();
+            w.filter(&mut m);
+            m.report(name)
+        }));
+    }
+
+    // IPC.
+    for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
+        let name = format!("ipc/{}", variant.name());
+        out.push(Experiment::new(name.clone(), move || {
+            let mut m = Machine::new(&SystemConfig::paint());
+            let w = IpcGather::setup(&mut m, 8, 4096, 64, variant).expect("ipc");
+            m.reset_stats();
+            for _ in 0..64 {
+                w.send(&mut m);
+            }
+            m.report(name)
+        }));
+    }
+
+    out
+}
+
+/// Bundles experiment reports into one JSON document (schema
+/// `impulse-run-all-v1`), asserting the attribution invariant for each
+/// along the way.
+///
+/// # Panics
+///
+/// Panics if any report's attribution stages do not sum to its demand
+/// cycles.
+pub fn json_document(reports: &[Report]) -> Json {
+    let mut arr = Vec::with_capacity(reports.len());
+    for r in reports {
+        let demand = r.mem.load_cycles + r.mem.store_cycles;
+        assert_eq!(
+            r.attr.total(),
+            demand,
+            "{}: attribution stages sum to {} but demand cycles are {demand}",
+            r.name,
+            r.attr.total(),
+        );
+        arr.push(r.to_json());
+    }
+    let mut root = Json::obj();
+    root.set("schema", Json::Str("impulse-run-all-v1".into()));
+    root.set("reports", Json::Arr(arr));
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_stable() {
+        let exps = run_all_experiments();
+        assert_eq!(exps.len(), 24);
+        let names: std::collections::HashSet<&str> = exps.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), exps.len(), "duplicate experiment names");
+        assert_eq!(exps[0].name(), "table1/conventional/mc=false/l1=false");
+        assert_eq!(exps[23].name(), "ipc/impulse no-copy gather");
+    }
+}

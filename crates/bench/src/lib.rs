@@ -17,7 +17,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod harness;
+pub mod runner;
 
 use impulse_sim::Report;
 

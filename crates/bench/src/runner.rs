@@ -1,0 +1,185 @@
+//! A dependency-free job pool for fanning independent experiments across
+//! cores.
+//!
+//! Every experiment in the regenerator binaries builds its own
+//! [`Machine`](impulse_sim::Machine), so runs share no mutable state and
+//! the *simulated* cycle counts are identical however the host schedules
+//! them. The pool exploits that: jobs are claimed from a shared cursor by
+//! `std::thread::scope` workers, and results land in per-job slots so the
+//! returned `Vec` is always in **submission order** — callers that print
+//! tables or write CSV/JSON see byte-identical output at any worker
+//! count, only faster.
+//!
+//! `jobs=1` (or a single-core host) short-circuits to a plain serial
+//! loop on the calling thread, preserving the pre-pool execution path
+//! exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use impulse_bench::runner;
+//!
+//! let jobs: Vec<_> = (0..8u64).map(|i| move || i * i).collect();
+//! let squares = runner::run_ordered(jobs, 4);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default worker count: every hardware thread the host offers.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses a `jobs=N` argument out of raw command-line arguments,
+/// defaulting to [`default_jobs`]. `jobs=0` is rejected.
+///
+/// # Panics
+///
+/// Panics with a usage message if the value is not a positive integer.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    let Some(v) = args.iter().find_map(|a| a.strip_prefix("jobs=")) else {
+        return default_jobs();
+    };
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => panic!("jobs= wants a positive integer, got `{v}`"),
+    }
+}
+
+/// Runs `jobs` on up to `workers` threads, returning results in
+/// submission order. `workers <= 1` runs everything serially on the
+/// calling thread.
+///
+/// A panic in any job propagates to the caller once all workers have
+/// stopped (no result is silently dropped).
+pub fn run_ordered<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+
+    // Each job and each result slot gets its own mutex; contention is
+    // only on the claim cursor, and each lock is taken exactly once.
+    let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i]
+                    .lock()
+                    .expect("job queue poisoned")
+                    .take()
+                    .expect("each job is claimed once");
+                let out = job();
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+/// Like [`run_ordered`], but wraps each result with the wall-clock time
+/// its job took (for `BENCH_*.json` trajectories).
+pub fn run_ordered_timed<T, F>(jobs: Vec<F>, workers: usize) -> Vec<(T, Duration)>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_ordered(
+        jobs.into_iter()
+            .map(|f| {
+                move || {
+                    let t0 = Instant::now();
+                    let out = f();
+                    (out, t0.elapsed())
+                }
+            })
+            .collect(),
+        workers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        // Jobs deliberately finish out of order (later jobs are cheaper).
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_micros((32 - i) * 50));
+                    i
+                }
+            })
+            .collect();
+        let out = run_ordered(jobs, 8);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || (0..16u64).map(|i| move || i * 3 + 1).collect::<Vec<_>>();
+        assert_eq!(run_ordered(mk(), 1), run_ordered(mk(), 4));
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u64> = run_ordered(Vec::<fn() -> u64>::new(), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_workers_are_clamped() {
+        let jobs: Vec<_> = (0..3u64).map(|i| move || i).collect();
+        assert_eq!(run_ordered(jobs, 64), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timed_results_carry_durations() {
+        let jobs: Vec<_> = (0..4u64).map(|i| move || i).collect();
+        let out = run_ordered_timed(jobs, 2);
+        assert_eq!(
+            out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn jobs_arg_parsing() {
+        assert_eq!(jobs_from_args(&["jobs=3".into()]), 3);
+        assert_eq!(jobs_from_args(&[]), default_jobs());
+        assert_eq!(jobs_from_args(&["out=x.csv".into()]), default_jobs());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_jobs_rejected() {
+        jobs_from_args(&["jobs=0".into()]);
+    }
+}

@@ -6,10 +6,9 @@
 //! from non-contiguous physical pages, Swanson et al. ISCA '98, recapped in
 //! Section 6) can be reproduced.
 
-use std::collections::HashMap;
-
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::is_pow2;
+use impulse_types::FxHashMap;
 
 /// TLB geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,7 +98,7 @@ impl Entry {
 pub struct Tlb {
     entries: Vec<Entry>,
     /// vpage → slot, for span-1 entries only.
-    index: HashMap<u64, usize>,
+    index: FxHashMap<u64, usize>,
     /// Slots holding superpage entries (span > 1).
     super_slots: Vec<usize>,
     stats: TlbStats,
@@ -115,7 +114,7 @@ impl Tlb {
         assert!(cfg.entries > 0, "TLB must have at least one entry");
         Self {
             entries: vec![Entry::INVALID; cfg.entries],
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             super_slots: Vec::new(),
             stats: TlbStats::default(),
         }

@@ -172,6 +172,7 @@ pub struct MemController {
     stats: McStats,
     seg_scratch: Vec<Segment>,
     req_scratch: Vec<(MAddr, u64)>,
+    merge_scratch: Vec<(MAddr, u64)>,
     lat_direct: Histogram,
     lat_pf_hit: Histogram,
     lat_shadow: Histogram,
@@ -199,6 +200,7 @@ impl MemController {
             stats: McStats::default(),
             seg_scratch: Vec::with_capacity(32),
             req_scratch: Vec::with_capacity(32),
+            merge_scratch: Vec::with_capacity(32),
             lat_direct: Histogram::new(),
             lat_pf_hit: Histogram::new(),
             lat_shadow: Histogram::new(),
@@ -582,6 +584,7 @@ impl MemController {
             sched,
             seg_scratch,
             req_scratch,
+            merge_scratch,
             cfg,
             ..
         } = self;
@@ -633,11 +636,13 @@ impl MemController {
 
         // 3.5 Burst coalescing: consecutive requests landing in the same
         // aligned DRAM burst are one access (the DRAM returns whole
-        // bursts anyway; the descriptor extracts the useful bytes).
+        // bursts anyway; the descriptor extracts the useful bytes). The
+        // merge buffer is a reused scratch field: gathers run once per
+        // shadow line, and a fresh allocation here dominated the profile.
         let granule = cfg.coalesce_bytes;
-        let mut merged: Vec<(MAddr, u64)> = Vec::with_capacity(req_scratch.len());
+        merge_scratch.clear();
         for &(addr, bytes) in req_scratch.iter() {
-            if let Some(last) = merged.last_mut() {
+            if let Some(last) = merge_scratch.last_mut() {
                 let block = last.0.align_down(granule);
                 if addr.raw() >= block.raw() && addr.raw() < block.raw() + granule {
                     let end = (addr.raw() + bytes).max(last.0.raw() + last.1);
@@ -645,12 +650,12 @@ impl MemController {
                     continue;
                 }
             }
-            merged.push((addr, bytes));
+            merge_scratch.push((addr, bytes));
         }
 
         // 4. DRAM scheduler: issue the batch.
-        let outcome = sched.run_batch_sized(dram, &merged, kind, t);
-        desc.note_gather(merged.len() as u64);
+        let outcome = sched.run_batch_sized(dram, merge_scratch, kind, t);
+        desc.note_gather(merge_scratch.len() as u64);
         bd.dram += outcome.done.saturating_sub(t);
         (outcome.done, bd)
     }

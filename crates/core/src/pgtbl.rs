@@ -7,12 +7,10 @@
 //! unit translates them to real DRAM addresses. Translations that miss the
 //! on-chip TLB cost a DRAM read of the memory-resident table.
 
-use std::collections::HashMap;
-
 use impulse_dram::Dram;
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
-use impulse_types::{AccessKind, Cycle, MAddr, PvAddr};
+use impulse_types::{AccessKind, Cycle, FxHashMap, MAddr, PvAddr};
 
 /// Configuration of the controller page table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,15 +46,27 @@ pub struct PgTblStats {
     pub walks: u64,
 }
 
+/// Slots in the direct-mapped front cache over the on-chip TLB (a host
+/// optimization mirroring `Machine::xlat`, not an architectural
+/// structure: front hits behave exactly like TLB hits).
+const FRONT_SLOTS: usize = 32;
+/// Tag marking an empty front-cache slot.
+const FRONT_EMPTY: u64 = u64::MAX;
+
 /// Controller page table with an on-chip TLB.
 #[derive(Clone, Debug)]
 pub struct PgTbl {
     cfg: PgTblConfig,
-    map: HashMap<u64, MAddr>,
+    map: FxHashMap<u64, MAddr>,
     /// Fully-associative LRU TLB over pv pages (small; linear scan).
     tlb: Vec<(u64, u64)>, // (pv page, stamp)
     tick: u64,
     stats: PgTblStats,
+    /// Direct-mapped memo of recent TLB hits: (pv page, frame base, TLB
+    /// slot). A hit must still bump the slot's LRU stamp, so the slot
+    /// index is cached and re-validated against the TLB on use; any
+    /// mismatch (eviction, unmap, flush) falls through to the full path.
+    front: [(u64, u64, usize); FRONT_SLOTS],
 }
 
 impl PgTbl {
@@ -72,10 +82,21 @@ impl PgTbl {
         );
         Self {
             cfg,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             tlb: Vec::new(),
             tick: 0,
             stats: PgTblStats::default(),
+            front: [(FRONT_EMPTY, 0, 0); FRONT_SLOTS],
+        }
+    }
+
+    /// Drops any front-cache memo for one pv page (mapping or TLB slot
+    /// contents changed).
+    #[inline]
+    fn front_invalidate(&mut self, pv_page: u64) {
+        let slot = &mut self.front[(pv_page as usize) & (FRONT_SLOTS - 1)];
+        if slot.0 == pv_page {
+            slot.0 = FRONT_EMPTY;
         }
     }
 
@@ -100,6 +121,8 @@ impl PgTbl {
             "page frames must be page-aligned: {frame:?}"
         );
         self.map.insert(pv_page, frame);
+        // A replaced mapping may still have a (now stale) frame memoized.
+        self.front_invalidate(pv_page);
     }
 
     /// Removes the mapping for a pseudo-virtual page and drops any cached
@@ -107,6 +130,10 @@ impl PgTbl {
     pub fn unmap_page(&mut self, pv_page: u64) {
         self.map.remove(&pv_page);
         self.tlb.retain(|&(p, _)| p != pv_page);
+        // `retain` shifts TLB slots, so every memoized slot index is now
+        // suspect; the per-use revalidation catches survivors that moved,
+        // but the unmapped page itself must go now.
+        self.front_invalidate(pv_page);
     }
 
     /// Number of installed page mappings.
@@ -138,15 +165,40 @@ impl PgTbl {
     pub fn translate(&mut self, pv: PvAddr, dram: &mut Dram, now: Cycle) -> (MAddr, Cycle) {
         self.stats.lookups += 1;
         let pv_page = pv.raw() >> PAGE_SHIFT;
+
+        // Front cache: a validated hit is a TLB hit without the map
+        // lookup or the linear scan. Stats and the LRU stamp advance
+        // exactly as on the full path, so cycle-level behavior (and thus
+        // every simulated result) is unchanged.
+        let fslot = (pv_page as usize) & (FRONT_SLOTS - 1);
+        let (tag, frame_base, tslot) = self.front[fslot];
+        if tag == pv_page {
+            if let Some(entry) = self.tlb.get_mut(tslot) {
+                if entry.0 == pv_page {
+                    self.tick += 1;
+                    entry.1 = self.tick;
+                    self.stats.tlb_hits += 1;
+                    return (MAddr::new(frame_base).add(pv.page_offset()), now);
+                }
+            }
+            self.front[fslot].0 = FRONT_EMPTY;
+        }
+
         let frame = *self.map.get(&pv_page).unwrap_or_else(|| {
             panic!("controller page table has no mapping for pv page {pv_page:#x}")
         });
         let maddr = frame.add(pv.page_offset());
 
         self.tick += 1;
-        if let Some(entry) = self.tlb.iter_mut().find(|(p, _)| *p == pv_page) {
+        if let Some((slot, entry)) = self
+            .tlb
+            .iter_mut()
+            .enumerate()
+            .find(|(_, (p, _))| *p == pv_page)
+        {
             entry.1 = self.tick;
             self.stats.tlb_hits += 1;
+            self.front[fslot] = (pv_page, frame.raw(), slot);
             return (maddr, now);
         }
 
@@ -158,8 +210,9 @@ impl PgTbl {
             .add((pv_page % (1 << 17)) * self.cfg.walk_bytes);
         let ready = dram.access(entry_addr, AccessKind::Load, self.cfg.walk_bytes, now);
 
-        if self.tlb.len() < self.cfg.tlb_entries {
+        let slot = if self.tlb.len() < self.cfg.tlb_entries {
             self.tlb.push((pv_page, self.tick));
+            self.tlb.len() - 1
         } else {
             let victim = self
                 .tlb
@@ -169,13 +222,16 @@ impl PgTbl {
                 .map(|(i, _)| i)
                 .expect("TLB is non-empty when full");
             self.tlb[victim] = (pv_page, self.tick);
-        }
+            victim
+        };
+        self.front[fslot] = (pv_page, frame.raw(), slot);
         (maddr, ready)
     }
 
     /// Drops all cached translations (mappings stay installed).
     pub fn flush_tlb(&mut self) {
         self.tlb.clear();
+        self.front = [(FRONT_EMPTY, 0, 0); FRONT_SLOTS];
     }
 }
 
@@ -257,6 +313,49 @@ mod tests {
         pt.flush_tlb();
         pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
         assert_eq!(pt.stats().walks, 2);
+    }
+
+    #[test]
+    fn remap_while_tlb_resident_serves_new_frame() {
+        // The front cache memoizes (page, frame); replacing the mapping
+        // must not let a memoized translation serve the old frame.
+        let (mut pt, mut dram) = setup();
+        pt.map_page(3, MAddr::new(0x8000));
+        pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0); // walk, memoize
+        pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0); // front hit
+        pt.map_page(3, MAddr::new(0xa000));
+        let (m, _) = pt.translate(PvAddr::new(3 * PAGE_SIZE + 4), &mut dram, 0);
+        assert_eq!(m, MAddr::new(0xa004));
+    }
+
+    #[test]
+    fn unmap_then_remap_other_page_keeps_front_consistent() {
+        // unmap_page shifts TLB slots via retain; stale memoized slot
+        // indices must revalidate instead of serving wrong entries.
+        let (mut pt, mut dram) = setup();
+        pt.map_page(1, MAddr::new(0x1000));
+        pt.map_page(2, MAddr::new(0x2000));
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        pt.translate(PvAddr::new(2 * PAGE_SIZE), &mut dram, 0);
+        pt.unmap_page(1); // page 2 shifts from slot 1 to slot 0
+        let (m, _) = pt.translate(PvAddr::new(2 * PAGE_SIZE + 8), &mut dram, 0);
+        assert_eq!(m, MAddr::new(0x2008));
+        assert_eq!(pt.stats().walks, 2, "page 2 is still TLB-resident");
+    }
+
+    #[test]
+    fn front_hits_match_full_path_stats() {
+        let (mut pt, mut dram) = setup();
+        pt.map_page(9, MAddr::new(0x9000));
+        pt.translate(PvAddr::new(9 * PAGE_SIZE), &mut dram, 0); // walk
+        for i in 0..10u64 {
+            let (m, ready) = pt.translate(PvAddr::new(9 * PAGE_SIZE + i), &mut dram, 5);
+            assert_eq!(m, MAddr::new(0x9000 + i));
+            assert_eq!(ready, 5, "front hits are free, like TLB hits");
+        }
+        assert_eq!(pt.stats().lookups, 11);
+        assert_eq!(pt.stats().tlb_hits, 10);
+        assert_eq!(pt.stats().walks, 1);
     }
 
     #[test]

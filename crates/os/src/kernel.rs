@@ -205,7 +205,7 @@ pub struct Kernel {
     current: usize,
     shadow_next: u64,
     /// Descriptor slot → owning process.
-    desc_owner: std::collections::HashMap<usize, usize>,
+    desc_owner: impulse_types::FxHashMap<usize, usize>,
     stats: KernelStats,
 }
 
@@ -217,7 +217,7 @@ impl Kernel {
             procs: vec![Process::default()],
             current: 0,
             shadow_next: cfg.dram_capacity,
-            desc_owner: std::collections::HashMap::new(),
+            desc_owner: impulse_types::FxHashMap::default(),
             stats: KernelStats::default(),
             cfg,
         }

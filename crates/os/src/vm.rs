@@ -1,9 +1,7 @@
 //! A process address space: virtual page table and region bookkeeping.
 
-use std::collections::HashMap;
-
 use impulse_types::geom::{round_up, PAGE_SHIFT, PAGE_SIZE};
-use impulse_types::{PAddr, VAddr, VRange};
+use impulse_types::{FxHashMap, PAddr, VAddr, VRange};
 
 /// Errors from address-space operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,7 +30,7 @@ impl std::error::Error for VmError {}
 /// are carved from a bump allocator with guard gaps.
 #[derive(Clone, Debug)]
 pub struct AddressSpace {
-    pages: HashMap<u64, PAddr>,
+    pages: FxHashMap<u64, PAddr>,
     next_va: u64,
 }
 
@@ -52,7 +50,7 @@ impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
         Self {
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             next_va: VA_BASE,
         }
     }

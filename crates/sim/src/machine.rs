@@ -790,6 +790,103 @@ mod tests {
         assert!(m.take_tracer().is_none());
     }
 
+    /// The bus address the most recent access actually used (recorded by
+    /// the tracer, i.e. downstream of the xlat memo).
+    fn last_paddr(m: &mut Machine) -> PAddr {
+        let t = m.take_tracer().expect("tracer attached");
+        let p = t.events().last().expect("at least one access").paddr;
+        m.attach_tracer(crate::trace::Tracer::new(64));
+        p
+    }
+
+    #[test]
+    fn xlat_memo_invalidated_by_superpage_remap_and_release() {
+        let mut m = machine();
+        let pages = 16u64;
+        let r = m
+            .alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE)
+            .unwrap();
+        m.attach_tracer(crate::trace::Tracer::new(64));
+
+        m.load(r.start()); // memoize the original translation
+        let original = last_paddr(&mut m);
+        assert_eq!(original, m.translate(r.start()));
+        assert!(!m.memory().mc().is_shadow(original));
+
+        // Remap: the region's pages now translate into shadow space. A
+        // stale memo entry would keep issuing the old bus address.
+        let grant = m.sys_superpage(r).unwrap();
+        m.load(r.start());
+        let remapped = last_paddr(&mut m);
+        assert_eq!(
+            remapped,
+            m.translate(r.start()),
+            "memo served a stale translation"
+        );
+        assert!(m.memory().mc().is_shadow(remapped));
+        assert_ne!(remapped, original);
+
+        // Release: the original mappings are restored (plus a TLB
+        // shootdown); again the memo must follow.
+        m.sys_release(&grant).unwrap();
+        m.load(r.start());
+        let restored = last_paddr(&mut m);
+        assert_eq!(restored, m.translate(r.start()));
+        assert!(!m.memory().mc().is_shadow(restored));
+    }
+
+    #[test]
+    fn xlat_memo_invalidated_by_online_promotion() {
+        // The online superpage promotion fires *inside* a load loop (not
+        // from an explicit user syscall), remapping pages whose
+        // translations are hot in the memo. Every access after the
+        // promotion must use the new shadow addresses.
+        let mut m = machine();
+        let pages = 64u64;
+        let r = m
+            .alloc_region(pages * PAGE_SIZE, pages * PAGE_SIZE)
+            .unwrap();
+        m.enable_auto_promotion(8);
+        m.attach_tracer(crate::trace::Tracer::new(1024));
+        for round in 0..3u64 {
+            for i in 0..pages {
+                m.load(r.start().add(i * PAGE_SIZE + round * 8));
+            }
+        }
+        assert!(
+            m.memory().mc().is_shadow(m.translate(r.start())),
+            "promotion should have rebuilt the region as a superpage"
+        );
+        let t = m.take_tracer().unwrap();
+        let last = t.events().last().unwrap();
+        assert_eq!(
+            last.paddr,
+            m.translate(last.vaddr),
+            "stale memo after promotion"
+        );
+        assert!(m.memory().mc().is_shadow(last.paddr));
+    }
+
+    #[test]
+    fn xlat_memo_invalidated_by_process_switch() {
+        let mut m = machine();
+        // Both processes' bump allocators start at the same virtual base,
+        // so the same VA maps to different frames in each.
+        let r1 = m.alloc_region(PAGE_SIZE, 1).unwrap();
+        m.load(r1.start()); // memoize p1's translation of the shared VA
+        let p1 = m.translate(r1.start());
+
+        let pid2 = m.sys_spawn();
+        m.sys_switch(pid2).unwrap();
+        let r2 = m.alloc_region(PAGE_SIZE, 1).unwrap();
+        assert_eq!(r1.start(), r2.start(), "same VA in both address spaces");
+        m.attach_tracer(crate::trace::Tracer::new(64));
+        m.load(r2.start());
+        let used = last_paddr(&mut m);
+        assert_eq!(used, m.translate(r2.start()));
+        assert_ne!(used, p1, "p2 must not read through p1's memoized frame");
+    }
+
     #[test]
     fn release_then_reuse_descriptor() {
         let mut m = machine();

@@ -36,10 +36,12 @@
 pub mod access;
 pub mod addr;
 pub mod geom;
+pub mod hash;
 pub mod range;
 
 pub use access::{Access, AccessKind};
 pub use addr::{MAddr, PAddr, PvAddr, VAddr};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use range::{PRange, VRange};
 
 /// Simulation time, measured in CPU cycles.
