@@ -30,6 +30,7 @@ fn bench_pgtbl_translate() {
     g.bench("translate_front_hit", || {
         off = (off + 8) % PAGE_SIZE;
         pt.translate(PvAddr::new(7 * PAGE_SIZE + off), &mut dram, 0)
+            .expect("mapped page")
             .0
     });
 
@@ -41,6 +42,7 @@ fn bench_pgtbl_translate() {
         i = i.wrapping_add(1);
         let page = (i * 97) % 512;
         pt.translate(PvAddr::new(page * PAGE_SIZE + (i % 512) * 8), &mut dram, 0)
+            .expect("mapped page")
             .0
     });
 }

@@ -2,7 +2,7 @@
 //!
 //! Each experiment owns everything it needs (configs, shared read-only
 //! pattern data behind `Arc`) and builds its own
-//! [`Machine`](impulse_sim::Machine), so the jobs are independent and
+//! [`Machine`], so the jobs are independent and
 //! safe to fan across threads with [`crate::runner`]. The *simulated*
 //! cycle counts are a pure function of each experiment's own inputs;
 //! host-side scheduling cannot perturb them, which is what lets

@@ -16,11 +16,12 @@
 use core::fmt;
 
 use impulse_dram::{Dram, SchedulePolicy, Scheduler};
+use impulse_fault::{EccConfig, EccStats, FaultConfig};
 use impulse_obs::{Histogram, MetricsRegistry, Observe};
 use impulse_types::geom::PAGE_SIZE;
 use impulse_types::{AccessKind, Cycle, MAddr, PAddr, PRange};
 
-use crate::desc::{DescStats, ShadowDescriptor};
+use crate::desc::{DescError, DescStats, ShadowDescriptor};
 use crate::pgtbl::{PgTbl, PgTblConfig, PgTblStats};
 use crate::prefetch::{PrefetchCache, PrefetchStats};
 use crate::remap::{RemapFn, Segment};
@@ -36,7 +37,7 @@ impl DescId {
     }
 }
 
-/// Errors from descriptor management.
+/// Errors from descriptor management and the remapped datapath.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum McError {
     /// All descriptor slots are configured.
@@ -47,6 +48,14 @@ pub enum McError {
     RegionNotShadow(PRange),
     /// The region overlaps an already-configured descriptor.
     RegionOverlap(PRange),
+    /// The remapping parameters are malformed (see the inner error).
+    BadDescriptor(DescError),
+    /// A shadow access matched no configured descriptor — a bus error on
+    /// real hardware; the infallible entry points NACK it instead.
+    NoDescriptor(PAddr),
+    /// A gather touched a pseudo-virtual page with no mapping downloaded
+    /// to the controller page table.
+    PvUnmapped(u64),
 }
 
 impl fmt::Display for McError {
@@ -59,6 +68,16 @@ impl fmt::Display for McError {
             }
             McError::RegionOverlap(r) => {
                 write!(f, "region {r:?} overlaps a configured shadow region")
+            }
+            McError::BadDescriptor(e) => write!(f, "malformed shadow descriptor: {e}"),
+            McError::NoDescriptor(p) => {
+                write!(f, "shadow access to {p:?} matches no descriptor")
+            }
+            McError::PvUnmapped(page) => {
+                write!(
+                    f,
+                    "pseudo-virtual page {page:#x} is not mapped in the controller"
+                )
             }
         }
     }
@@ -131,6 +150,12 @@ pub struct McStats {
     pub shadow_line_reads: u64,
     /// Shadow line writes (scatters) served.
     pub shadow_line_writes: u64,
+    /// Reads NACKed by the infallible entry points (no descriptor, or a
+    /// pseudo-virtual page with no mapping): the caller falls back to
+    /// non-remapped access.
+    pub rejected_reads: u64,
+    /// Writes NACKed by the infallible entry points.
+    pub rejected_writes: u64,
 }
 
 /// Where the cycles of one controller line read went, stage by stage.
@@ -177,6 +202,20 @@ pub struct MemController {
     lat_pf_hit: Histogram,
     lat_shadow: Histogram,
     lat_shadow_hit: Histogram,
+    ecc: EccConfig,
+    ecc_stats: EccStats,
+}
+
+/// Drains pending injected bit flips from the DRAM array and runs them
+/// through the controller's ECC logic. Returns the total latency penalty
+/// to charge on the current return path.
+fn scrub_flips(dram: &mut Dram, ecc: &EccConfig, stats: &mut EccStats) -> Cycle {
+    let mut penalty = 0;
+    for (addr, flip) in dram.take_flips() {
+        let (outcome, t) = ecc.check(flip);
+        penalty += stats.absorb(outcome, t, addr);
+    }
+    penalty
 }
 
 impl MemController {
@@ -205,9 +244,36 @@ impl MemController {
             lat_pf_hit: Histogram::new(),
             lat_shadow: Histogram::new(),
             lat_shadow_hit: Histogram::new(),
+            ecc: EccConfig::default(),
+            ecc_stats: EccStats::default(),
             dram,
             cfg,
         }
+    }
+
+    /// Attaches deterministic fault injection: DRAM bit flips (checked by
+    /// the controller's ECC on the return path) and MC-TLB/page-table
+    /// entry corruption. Bus-level faults live in the bus model, not
+    /// here. With [`FaultConfig::none`] this is a no-op.
+    pub fn set_faults(&mut self, faults: &FaultConfig) {
+        self.ecc = faults.ecc;
+        if let Some(inj) = faults.flip_injector() {
+            self.dram.set_fault_injector(inj);
+        }
+        if let Some(inj) = faults.pgtbl_injector() {
+            self.pgtbl.set_fault_injector(inj);
+        }
+    }
+
+    /// ECC bookkeeping: corrections, detected doubles, silent corruption
+    /// signature, and recovery-cycle attribution.
+    pub fn ecc_stats(&self) -> EccStats {
+        self.ecc_stats
+    }
+
+    /// Page-table corruption/reload counters.
+    pub fn pgtbl_fault_stats(&self) -> impulse_fault::PgTblFaultStats {
+        self.pgtbl.fault_stats()
     }
 
     /// The controller configuration.
@@ -245,6 +311,7 @@ impl MemController {
         self.lat_pf_hit = Histogram::new();
         self.lat_shadow = Histogram::new();
         self.lat_shadow_hit = Histogram::new();
+        self.ecc_stats = EccStats::default();
     }
 
     /// Latency distribution of non-shadow line reads served from DRAM.
@@ -313,7 +380,8 @@ impl MemController {
     /// # Errors
     ///
     /// Returns an error if no slot is free, the region is not entirely in
-    /// shadow space, or it overlaps an already-configured region.
+    /// shadow space, it overlaps an already-configured region, or the
+    /// remapping parameters are malformed ([`McError::BadDescriptor`]).
     pub fn claim_descriptor(&mut self, region: PRange, remap: RemapFn) -> Result<DescId, McError> {
         if region.start().raw() < self.shadow_base {
             return Err(McError::RegionNotShadow(region));
@@ -331,12 +399,14 @@ impl MemController {
             .iter()
             .position(Option::is_none)
             .ok_or(McError::NoFreeDescriptor)?;
-        self.descs[slot] = Some(ShadowDescriptor::new(
+        let desc = ShadowDescriptor::new(
             region,
             remap,
             self.cfg.line_bytes,
             self.cfg.desc_buffer_bytes,
-        ));
+        )
+        .map_err(McError::BadDescriptor)?;
+        self.descs[slot] = Some(desc);
         Ok(DescId(slot))
     }
 
@@ -374,39 +444,88 @@ impl MemController {
     /// Reads the memory line containing `p`; returns the cycle at which
     /// the line's data is at the controller, ready for the bus.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is a shadow address with no configured descriptor —
-    /// on real hardware that is a bus error; in the simulator it is an OS
-    /// bug.
+    /// A shadow access with no configured descriptor or an unmapped
+    /// pseudo-virtual page — a bus error on real hardware — is NACKed:
+    /// the controller charges its frontend overhead, counts the rejection
+    /// in [`McStats::rejected_reads`], and returns. Callers that need the
+    /// cause use [`try_read_line_attributed`](Self::try_read_line_attributed).
     pub fn read_line(&mut self, p: PAddr, now: Cycle) -> Cycle {
         self.read_line_attributed(p, now).0
     }
 
     /// Like [`read_line`](Self::read_line), but also reports where the
     /// cycles went. The returned breakdown's [`McBreakdown::total`] equals
-    /// the read latency (`returned cycle - now`) exactly.
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same condition as [`read_line`](Self::read_line).
+    /// the read latency (`returned cycle - now`) exactly — including on
+    /// the NACK path.
     pub fn read_line_attributed(&mut self, p: PAddr, now: Cycle) -> (Cycle, McBreakdown) {
+        match self.try_read_line_attributed(p, now) {
+            Ok(r) => r,
+            Err(_) => {
+                self.stats.rejected_reads += 1;
+                self.nack(now)
+            }
+        }
+    }
+
+    /// Fallible line read: the typed cause of a remapped-access failure
+    /// instead of a NACK, so the memory system above can degrade the
+    /// access (fall back to the non-remapped path) and account for it.
+    ///
+    /// # Errors
+    ///
+    /// [`McError::NoDescriptor`] when a shadow address matches no
+    /// configured descriptor; [`McError::PvUnmapped`] when a gather
+    /// touches a pseudo-virtual page with no downloaded mapping.
+    pub fn try_read_line_attributed(
+        &mut self,
+        p: PAddr,
+        now: Cycle,
+    ) -> Result<(Cycle, McBreakdown), McError> {
         if self.is_shadow(p) {
             self.read_shadow(p, now)
         } else {
-            self.read_physical(p, now)
+            Ok(self.read_physical(p, now))
         }
     }
 
     /// Writes the memory line containing `p` (an L2 writeback); returns
     /// the completion cycle. Writes are posted — callers need not stall on
-    /// the result — but they do occupy the DRAM.
+    /// the result — but they do occupy the DRAM. Malformed shadow writes
+    /// are NACKed and counted like [`read_line`](Self::read_line)
+    /// rejections.
     pub fn write_line(&mut self, p: PAddr, now: Cycle) -> Cycle {
+        match self.try_write_line(p, now) {
+            Ok(done) => done,
+            Err(_) => {
+                self.stats.rejected_writes += 1;
+                now + self.cfg.t_overhead
+            }
+        }
+    }
+
+    /// Fallible line write; see
+    /// [`try_read_line_attributed`](Self::try_read_line_attributed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`try_read_line_attributed`](Self::try_read_line_attributed).
+    pub fn try_write_line(&mut self, p: PAddr, now: Cycle) -> Result<Cycle, McError> {
         if self.is_shadow(p) {
             self.write_shadow(p, now)
         } else {
-            self.write_physical(p, now)
+            Ok(self.write_physical(p, now))
         }
+    }
+
+    /// The timing of a rejected request: the frontend decodes, finds no
+    /// descriptor (or no mapping), and NACKs.
+    fn nack(&self, now: Cycle) -> (Cycle, McBreakdown) {
+        let bd = McBreakdown {
+            frontend: self.cfg.t_overhead,
+            ..McBreakdown::default()
+        };
+        (now + self.cfg.t_overhead, bd)
     }
 
     // ---- non-shadow path -------------------------------------------------
@@ -428,13 +547,18 @@ impl MemController {
                 return (data, bd);
             }
         }
-        let done = self.dram.access(
+        let raw_done = self.dram.access(
             MAddr::new(line.raw()),
             AccessKind::Load,
             self.cfg.line_bytes,
             t,
         );
-        bd.dram = done - t;
+        bd.dram = raw_done - t;
+        // ECC sits on the controller's return path: flips that occurred
+        // in the array are corrected (or flagged) here, delaying the data.
+        let penalty = scrub_flips(&mut self.dram, &self.ecc, &mut self.ecc_stats);
+        bd.frontend += penalty;
+        let done = raw_done + penalty;
         self.lat_direct.record(done - now);
         if self.cfg.prefetch_nonshadow {
             self.obl_prefetch(line.add(self.cfg.line_bytes), done);
@@ -446,12 +570,13 @@ impl MemController {
         self.stats.line_writes += 1;
         let line = p.align_down(self.cfg.line_bytes);
         self.pf.invalidate(line);
-        self.dram.access(
+        let done = self.dram.access(
             MAddr::new(line.raw()),
             AccessKind::Store,
             self.cfg.line_bytes,
             now + self.cfg.t_overhead,
-        )
+        );
+        done + scrub_flips(&mut self.dram, &self.ecc, &mut self.ecc_stats)
     }
 
     /// One-block-lookahead prefetch into the 2 KB SRAM.
@@ -468,21 +593,21 @@ impl MemController {
             self.cfg.line_bytes,
             start,
         );
+        let done = done + scrub_flips(&mut self.dram, &self.ecc, &mut self.ecc_stats);
         self.pf.insert(line, done);
     }
 
     // ---- shadow path -----------------------------------------------------
 
-    fn desc_index(&self, p: PAddr) -> usize {
+    fn desc_index(&self, p: PAddr) -> Option<usize> {
         self.descs
             .iter()
             .position(|d| d.as_ref().is_some_and(|d| d.matches(p)))
-            .unwrap_or_else(|| panic!("shadow access to {p:?} matches no descriptor"))
     }
 
-    fn read_shadow(&mut self, p: PAddr, now: Cycle) -> (Cycle, McBreakdown) {
+    fn read_shadow(&mut self, p: PAddr, now: Cycle) -> Result<(Cycle, McBreakdown), McError> {
+        let idx = self.desc_index(p).ok_or(McError::NoDescriptor(p))?;
         self.stats.shadow_line_reads += 1;
-        let idx = self.desc_index(p);
         let mut bd = McBreakdown {
             frontend: self.cfg.t_overhead,
             ..McBreakdown::default()
@@ -492,7 +617,9 @@ impl MemController {
         let line_bytes = self.cfg.line_bytes;
         let t_sram = self.cfg.t_sram;
 
-        let desc = self.descs[idx].as_mut().expect("descriptor just matched");
+        let Some(desc) = self.descs[idx].as_mut() else {
+            return Err(McError::InvalidDescriptor(idx));
+        };
         desc.note_read();
         if self.cfg.prefetch_shadow {
             if let Some(ready) = desc.buffer_lookup(line, t) {
@@ -500,28 +627,32 @@ impl MemController {
                 bd.sram = data - t;
                 self.lat_shadow_hit.record(data - now);
                 self.shadow_prefetch(idx, line.add(line_bytes), data);
-                return (data, bd);
+                return Ok((data, bd));
             }
         }
-        let (done, gd) = self.gather(idx, line, AccessKind::Load, t);
+        let (done, gd) = self.gather(idx, line, AccessKind::Load, t)?;
+        bd.frontend += gd.frontend;
         bd.pgtbl = gd.pgtbl;
         bd.dram = gd.dram;
         self.lat_shadow.record(done - now);
         if self.cfg.prefetch_shadow {
             self.shadow_prefetch(idx, line.add(line_bytes), done);
         }
-        (done, bd)
+        Ok((done, bd))
     }
 
-    fn write_shadow(&mut self, p: PAddr, now: Cycle) -> Cycle {
+    fn write_shadow(&mut self, p: PAddr, now: Cycle) -> Result<Cycle, McError> {
+        let idx = self.desc_index(p).ok_or(McError::NoDescriptor(p))?;
         self.stats.shadow_line_writes += 1;
-        let idx = self.desc_index(p);
         let line = p.align_down(self.cfg.line_bytes);
-        let desc = self.descs[idx].as_mut().expect("descriptor just matched");
+        let Some(desc) = self.descs[idx].as_mut() else {
+            return Err(McError::InvalidDescriptor(idx));
+        };
         desc.note_write();
         desc.buffer_invalidate(line);
-        self.gather(idx, line, AccessKind::Store, now + self.cfg.t_overhead)
-            .0
+        Ok(self
+            .gather(idx, line, AccessKind::Store, now + self.cfg.t_overhead)?
+            .0)
     }
 
     /// Background gather of the next shadow line into the descriptor's
@@ -529,15 +660,21 @@ impl MemController {
     /// pseudo-virtual pages are not all mapped (e.g. the color-excluded
     /// holes of a recolored region).
     fn shadow_prefetch(&mut self, idx: usize, line: PAddr, start: Cycle) {
-        let desc = self.descs[idx].as_ref().expect("descriptor configured");
+        let Some(desc) = self.descs.get(idx).and_then(Option::as_ref) else {
+            return;
+        };
         if !desc.matches(line) || desc.buffer_contains(line) {
             return;
         }
         if !self.gather_mapped(idx, line) {
             return;
         }
-        let (done, _) = self.gather(idx, line, AccessKind::Load, start);
-        let desc = self.descs[idx].as_mut().expect("descriptor configured");
+        let Ok((done, _)) = self.gather(idx, line, AccessKind::Load, start) else {
+            return; // speculative: silently abandoned
+        };
+        let Some(desc) = self.descs.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
         desc.buffer_insert(line, done);
     }
 
@@ -551,7 +688,9 @@ impl MemController {
             cfg,
             ..
         } = self;
-        let desc = descs[idx].as_ref().expect("descriptor configured");
+        let Some(desc) = descs.get(idx).and_then(Option::as_ref) else {
+            return false;
+        };
         let region = desc.region();
         let soff = desc.offset_of(line);
         let len = cfg.line_bytes.min(region.len() - soff);
@@ -569,14 +708,15 @@ impl MemController {
     /// Performs the gather (or scatter) for one shadow line: indirection
     /// vector reads, AddrCalc expansion, PgTbl translation, and a
     /// scheduled batch of DRAM accesses. Returns the completion cycle and
-    /// the split of `done - t0` into page-table vs DRAM time.
+    /// the split of `done - t0` into stage times (ECC penalties land in
+    /// `frontend`); the breakdown's total equals `done - t0` exactly.
     fn gather(
         &mut self,
         idx: usize,
         line: PAddr,
         kind: AccessKind,
         t0: Cycle,
-    ) -> (Cycle, McBreakdown) {
+    ) -> Result<(Cycle, McBreakdown), McError> {
         let Self {
             descs,
             pgtbl,
@@ -586,9 +726,13 @@ impl MemController {
             req_scratch,
             merge_scratch,
             cfg,
+            ecc,
+            ecc_stats,
             ..
         } = self;
-        let desc = descs[idx].as_mut().expect("descriptor configured");
+        let Some(desc) = descs.get_mut(idx).and_then(Option::as_mut) else {
+            return Err(McError::InvalidDescriptor(idx));
+        };
         let region = desc.region();
         let soff = desc.offset_of(line);
         let len = cfg.line_bytes.min(region.len() - soff);
@@ -606,7 +750,7 @@ impl MemController {
             let mut block = first;
             while block.raw() < end {
                 if !desc.vector_block_cached(block) {
-                    let (m, ready) = pgtbl.translate(block, dram, t);
+                    let (m, ready) = pgtbl.translate(block, dram, t)?;
                     bd.pgtbl += ready - t;
                     t = dram.access(m, AccessKind::Load, vb, ready);
                     bd.dram += t - ready;
@@ -625,7 +769,7 @@ impl MemController {
             let mut remaining = seg.bytes;
             while remaining > 0 {
                 let take = (PAGE_SIZE - pv.page_offset()).min(remaining);
-                let (m, ready) = pgtbl.translate(pv, dram, t);
+                let (m, ready) = pgtbl.translate(pv, dram, t)?;
                 bd.pgtbl += ready.max(t) - t;
                 t = t.max(ready);
                 req_scratch.push((m, take));
@@ -657,7 +801,11 @@ impl MemController {
         let outcome = sched.run_batch_sized(dram, merge_scratch, kind, t);
         desc.note_gather(merge_scratch.len() as u64);
         bd.dram += outcome.done.saturating_sub(t);
-        (outcome.done, bd)
+        // One ECC drain covers every DRAM access this gather made (vector
+        // reads, page-table walks, and the batch itself).
+        let penalty = scrub_flips(dram, ecc, ecc_stats);
+        bd.frontend += penalty;
+        Ok((outcome.done + penalty, bd))
     }
 }
 
@@ -667,6 +815,14 @@ impl Observe for MemController {
         m.counter("mc.line_writes", self.stats.line_writes);
         m.counter("mc.shadow_line_reads", self.stats.shadow_line_reads);
         m.counter("mc.shadow_line_writes", self.stats.shadow_line_writes);
+        m.counter("mc.rejected_reads", self.stats.rejected_reads);
+        m.counter("mc.rejected_writes", self.stats.rejected_writes);
+        let e = self.ecc_stats;
+        m.counter("mc.ecc.corrected", e.corrected);
+        m.counter("mc.ecc.detected_double", e.detected_double);
+        m.counter("mc.ecc.silent", e.silent);
+        m.counter("mc.ecc.corrupt_sig", e.corrupt_sig);
+        m.counter("mc.ecc.recovery_cycles", e.recovery_cycles);
         m.histogram("mc.lat_direct", &self.lat_direct);
         m.histogram("mc.lat_pf_hit", &self.lat_pf_hit);
         m.histogram("mc.lat_shadow", &self.lat_shadow);
@@ -914,17 +1070,157 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matches no descriptor")]
-    fn unmapped_shadow_access_panics() {
+    fn unmapped_shadow_access_degrades_to_nack() {
         let mut m = mc(false, false);
-        m.read_line(PAddr::new(SHADOW + 0x100000), 0);
+        let p = PAddr::new(SHADOW + 0x100000);
+        assert_eq!(
+            m.try_read_line_attributed(p, 100),
+            Err(McError::NoDescriptor(p))
+        );
+        // The infallible entry point NACKs: frontend overhead only, no
+        // DRAM traffic, rejection counted.
+        let (done, bd) = m.read_line_attributed(p, 100);
+        assert_eq!(done, 100 + m.config().t_overhead);
+        assert_eq!(bd.total(), done - 100);
+        assert_eq!(m.stats().rejected_reads, 1);
+        assert_eq!(m.stats().shadow_line_reads, 0);
+        assert_eq!(m.dram().stats().reads, 0);
     }
 
     #[test]
-    #[should_panic(expected = "matches no descriptor")]
-    fn unmapped_shadow_write_panics() {
+    fn unmapped_shadow_write_degrades_to_nack() {
         let mut m = mc(false, false);
-        m.write_line(PAddr::new(SHADOW + 0x100000), 0);
+        let p = PAddr::new(SHADOW + 0x100000);
+        assert_eq!(m.try_write_line(p, 7), Err(McError::NoDescriptor(p)));
+        let done = m.write_line(p, 7);
+        assert_eq!(done, 7 + m.config().t_overhead);
+        assert_eq!(m.stats().rejected_writes, 1);
+        assert_eq!(m.dram().stats().writes, 0);
+    }
+
+    #[test]
+    fn unmapped_pv_page_is_reported_not_fatal() {
+        // Descriptor configured, but the OS never downloaded the page
+        // mappings: the gather fails with a typed error and the
+        // infallible path NACKs instead of aborting the simulation.
+        let mut m = mc(false, false);
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::direct(PvAddr::new(0x10_0000)))
+            .unwrap();
+        let p = PAddr::new(SHADOW + 128);
+        assert_eq!(
+            m.try_read_line_attributed(p, 0),
+            Err(McError::PvUnmapped(0x100))
+        );
+        let done = m.read_line(p, 0);
+        assert_eq!(done, m.config().t_overhead);
+        assert_eq!(m.stats().rejected_reads, 1);
+    }
+
+    #[test]
+    fn claim_rejects_malformed_descriptor_params() {
+        let mut m = mc(false, false);
+        let misaligned = PRange::new(PAddr::new(SHADOW + 3), 4096);
+        assert!(matches!(
+            m.claim_descriptor(misaligned, RemapFn::direct(PvAddr::new(0))),
+            Err(McError::BadDescriptor(DescError::MisalignedRegion(_)))
+        ));
+        // The failed claim must not leak its slot: all eight remain free.
+        for i in 0..8u64 {
+            let r = PRange::new(PAddr::new(SHADOW + i * 4096), 4096);
+            m.claim_descriptor(r, RemapFn::direct(PvAddr::new(0)))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_singles_are_corrected_with_zero_data_diff() {
+        use impulse_fault::{FaultConfig, Trigger};
+        let mut clean = mc(false, false);
+        let mut faulty = mc(false, false);
+        faulty.set_faults(&FaultConfig {
+            seed: 42,
+            dram_flip: Trigger::EveryN { every: 1, phase: 0 },
+            ..FaultConfig::none()
+        });
+        let mut t_clean = 0;
+        let mut t_faulty = 0;
+        for i in 0..8u64 {
+            let p = PAddr::new(0x4000 + i * 128);
+            t_clean = clean.read_line(p, t_clean + 10);
+            t_faulty = faulty.read_line(p, t_faulty + 10);
+        }
+        let e = faulty.ecc_stats();
+        assert_eq!(e.corrected, 8, "every injected single is corrected");
+        assert_eq!(e.detected_double, 0);
+        assert_eq!(e.corrupt_sig, 0, "SECDED correction leaves no data diff");
+        assert!(e.recovery_cycles > 0);
+        assert_eq!(clean.ecc_stats().corrected, 0);
+        assert!(t_faulty > t_clean, "correction shows up as latency");
+    }
+
+    #[test]
+    fn double_bit_flips_are_detected_but_corrupt() {
+        use impulse_fault::{FaultConfig, Trigger};
+        let mut m = mc(false, false);
+        m.set_faults(&FaultConfig {
+            seed: 7,
+            dram_flip: Trigger::EveryN { every: 1, phase: 0 },
+            dram_double_permille: 1000,
+            ..FaultConfig::none()
+        });
+        m.read_line(PAddr::new(0x8000), 0);
+        let e = m.ecc_stats();
+        assert_eq!(e.detected_double, 1);
+        assert_eq!(e.corrected, 0);
+        assert_ne!(e.corrupt_sig, 0, "uncorrectable flips dirty the data");
+    }
+
+    #[test]
+    fn no_ecc_passes_flips_silently() {
+        use impulse_fault::{EccMode, FaultConfig, Trigger};
+        let mut m = mc(false, false);
+        m.set_faults(&FaultConfig {
+            seed: 7,
+            dram_flip: Trigger::EveryN { every: 1, phase: 0 },
+            ecc: EccConfig {
+                mode: EccMode::None,
+                ..EccConfig::default()
+            },
+            ..FaultConfig::none()
+        });
+        let done = m.read_line(PAddr::new(0x8000), 0);
+        let e = m.ecc_stats();
+        assert_eq!(e.silent, 1);
+        assert_ne!(e.corrupt_sig, 0);
+        assert_eq!(e.recovery_cycles, 0, "no ECC datapath, no penalty");
+        // Same timing as a fault-free read: the corruption is invisible.
+        let mut clean = mc(false, false);
+        assert_eq!(clean.read_line(PAddr::new(0x8000), 0), done);
+    }
+
+    #[test]
+    fn breakdown_sums_to_latency_under_ecc_faults() {
+        use impulse_fault::{FaultConfig, Trigger};
+        let mut m = mc(false, false);
+        m.set_faults(&FaultConfig {
+            seed: 3,
+            dram_flip: Trigger::EveryN { every: 1, phase: 0 },
+            ..FaultConfig::none()
+        });
+        let (done, bd) = m.read_line_attributed(PAddr::new(0x3000), 0);
+        assert_eq!(bd.total(), done);
+        assert!(
+            bd.frontend > m.config().t_overhead,
+            "ECC penalty attributed"
+        );
+
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        m.claim_descriptor(region, RemapFn::direct(PvAddr::new(0)))
+            .unwrap();
+        map_identity(&mut m, 0, 0, 1);
+        let (sdone, sbd) = m.read_line_attributed(PAddr::new(SHADOW), done + 10);
+        assert_eq!(sbd.total(), sdone - (done + 10));
     }
 
     #[test]

@@ -43,6 +43,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Syscall paths must return typed errors, not panic: unwrap/expect are
+// confined to #[cfg(test)] code (enforced by CI clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod controller;
 pub mod desc;
@@ -51,7 +54,7 @@ pub mod prefetch;
 pub mod remap;
 
 pub use controller::{DescId, McBreakdown, McConfig, McError, McStats, MemController};
-pub use desc::{DescStats, ShadowDescriptor};
+pub use desc::{DescError, DescStats, ShadowDescriptor};
 pub use pgtbl::{PgTbl, PgTblConfig, PgTblStats};
 pub use prefetch::{PrefetchCache, PrefetchStats};
 pub use remap::{RemapFn, Segment};

@@ -8,9 +8,12 @@
 //! on-chip TLB cost a DRAM read of the memory-resident table.
 
 use impulse_dram::Dram;
+use impulse_fault::{PgTblFaultStats, PgTblInjector};
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
 use impulse_types::{AccessKind, Cycle, FxHashMap, MAddr, PvAddr};
+
+use crate::controller::McError;
 
 /// Configuration of the controller page table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,19 +70,19 @@ pub struct PgTbl {
     /// index is cached and re-validated against the TLB on use; any
     /// mismatch (eviction, unmap, flush) falls through to the full path.
     front: [(u64, u64, usize); FRONT_SLOTS],
+    /// Optional deterministic corruption of cached entries.
+    faults: Option<PgTblInjector>,
 }
 
 impl PgTbl {
-    /// Builds an empty controller page table.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the TLB would have zero entries.
+    /// Builds an empty controller page table. A zero-entry TLB request
+    /// is clamped to one entry (the hardware minimum) rather than
+    /// rejected.
     pub fn new(cfg: PgTblConfig) -> Self {
-        assert!(
-            cfg.tlb_entries > 0,
-            "controller TLB needs at least one entry"
-        );
+        let cfg = PgTblConfig {
+            tlb_entries: cfg.tlb_entries.max(1),
+            ..cfg
+        };
         Self {
             cfg,
             map: FxHashMap::default(),
@@ -87,7 +90,23 @@ impl PgTbl {
             tick: 0,
             stats: PgTblStats::default(),
             front: [(FRONT_EMPTY, 0, 0); FRONT_SLOTS],
+            faults: None,
         }
+    }
+
+    /// Attaches a deterministic MC-TLB/page-table corruption injector.
+    /// Corrupted cached entries are detected at use (parity) and
+    /// recovered by re-walking the backing memory-resident table.
+    pub fn set_fault_injector(&mut self, injector: PgTblInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Corruption/reload counters (zeros when no injector is attached).
+    pub fn fault_stats(&self) -> PgTblFaultStats {
+        self.faults
+            .as_ref()
+            .map(PgTblInjector::stats)
+            .unwrap_or_default()
     }
 
     /// Drops any front-cache memo for one pv page (mapping or TLB slot
@@ -112,11 +131,10 @@ impl PgTbl {
 
     /// Installs (or replaces) the mapping for one pseudo-virtual page.
     ///
-    /// # Panics
-    ///
-    /// Panics if `frame` is not page-aligned.
+    /// `frame` must be page-aligned; the OS allocator only produces
+    /// aligned frames, so this is an internal invariant (debug-checked).
     pub fn map_page(&mut self, pv_page: u64, frame: MAddr) {
-        assert!(
+        debug_assert!(
             frame.raw().is_multiple_of(PAGE_SIZE),
             "page frames must be page-aligned: {frame:?}"
         );
@@ -158,13 +176,31 @@ impl PgTbl {
     /// the cycle at which the translation is available (TLB misses pay a
     /// DRAM walk).
     ///
-    /// # Panics
-    ///
-    /// Panics if the page was never mapped — the OS must download mappings
-    /// before the CPU touches the corresponding shadow addresses.
-    pub fn translate(&mut self, pv: PvAddr, dram: &mut Dram, now: Cycle) -> (MAddr, Cycle) {
+    /// Returns [`McError::PvUnmapped`] if the page was never mapped —
+    /// the OS must download mappings before the CPU touches the
+    /// corresponding shadow addresses.
+    pub fn translate(
+        &mut self,
+        pv: PvAddr,
+        dram: &mut Dram,
+        now: Cycle,
+    ) -> Result<(MAddr, Cycle), McError> {
         self.stats.lookups += 1;
         let pv_page = pv.raw() >> PAGE_SHIFT;
+
+        // Fault injection: flip bits in the cached copy of this page's
+        // entry. The parity check detects it at use; the entry is
+        // discarded and reloaded below from the memory-resident table
+        // (the authoritative copy), charging the walk as recovery.
+        let mut reloading_corrupt_entry = false;
+        if let Some(f) = &mut self.faults {
+            if f.corrupts(now) && self.tlb.iter().any(|&(p, _)| p == pv_page) {
+                f.note_corruption();
+                self.tlb.retain(|&(p, _)| p != pv_page);
+                self.front_invalidate(pv_page);
+                reloading_corrupt_entry = true;
+            }
+        }
 
         // Front cache: a validated hit is a TLB hit without the map
         // lookup or the linear scan. Stats and the LRU stamp advance
@@ -178,15 +214,15 @@ impl PgTbl {
                     self.tick += 1;
                     entry.1 = self.tick;
                     self.stats.tlb_hits += 1;
-                    return (MAddr::new(frame_base).add(pv.page_offset()), now);
+                    return Ok((MAddr::new(frame_base).add(pv.page_offset()), now));
                 }
             }
             self.front[fslot].0 = FRONT_EMPTY;
         }
 
-        let frame = *self.map.get(&pv_page).unwrap_or_else(|| {
-            panic!("controller page table has no mapping for pv page {pv_page:#x}")
-        });
+        let Some(&frame) = self.map.get(&pv_page) else {
+            return Err(McError::PvUnmapped(pv_page));
+        };
         let maddr = frame.add(pv.page_offset());
 
         self.tick += 1;
@@ -199,7 +235,7 @@ impl PgTbl {
             entry.1 = self.tick;
             self.stats.tlb_hits += 1;
             self.front[fslot] = (pv_page, frame.raw(), slot);
-            return (maddr, now);
+            return Ok((maddr, now));
         }
 
         // TLB miss: read the memory-resident table entry.
@@ -209,23 +245,29 @@ impl PgTbl {
             .table_base
             .add((pv_page % (1 << 17)) * self.cfg.walk_bytes);
         let ready = dram.access(entry_addr, AccessKind::Load, self.cfg.walk_bytes, now);
+        if reloading_corrupt_entry {
+            if let Some(f) = &mut self.faults {
+                f.note_reload(ready - now);
+            }
+        }
 
         let slot = if self.tlb.len() < self.cfg.tlb_entries {
             self.tlb.push((pv_page, self.tick));
             self.tlb.len() - 1
         } else {
+            // The TLB is full (≥ 1 entry), so a minimum always exists.
             let victim = self
                 .tlb
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &(_, stamp))| stamp)
                 .map(|(i, _)| i)
-                .expect("TLB is non-empty when full");
+                .unwrap_or(0);
             self.tlb[victim] = (pv_page, self.tick);
             victim
         };
         self.front[fslot] = (pv_page, frame.raw(), slot);
-        (maddr, ready)
+        Ok((maddr, ready))
     }
 
     /// Drops all cached translations (mappings stay installed).
@@ -246,6 +288,12 @@ impl Observe for PgTbl {
             self.stats.tlb_hits as f64 / self.stats.lookups as f64
         };
         m.gauge("pgtbl.tlb_hit_ratio", hit_ratio);
+        if self.faults.is_some() {
+            let f = self.fault_stats();
+            m.counter("pgtbl.fault.corruptions", f.corruptions);
+            m.counter("pgtbl.fault.reloads", f.reloads);
+            m.counter("pgtbl.fault.recovery_cycles", f.recovery_cycles);
+        }
     }
 }
 
@@ -267,7 +315,9 @@ mod tests {
     fn translate_applies_page_offset() {
         let (mut pt, mut dram) = setup();
         pt.map_page(5, MAddr::new(0x8000));
-        let (m, _) = pt.translate(PvAddr::new(5 * PAGE_SIZE + 0x123), &mut dram, 0);
+        let (m, _) = pt
+            .translate(PvAddr::new(5 * PAGE_SIZE + 0x123), &mut dram, 0)
+            .unwrap();
         assert_eq!(m, MAddr::new(0x8123));
     }
 
@@ -275,9 +325,11 @@ mod tests {
     fn first_translation_walks_then_hits() {
         let (mut pt, mut dram) = setup();
         pt.map_page(1, MAddr::new(0));
-        let (_, t1) = pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        let (_, t1) = pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap();
         assert!(t1 > 0, "miss should pay a walk");
-        let (_, t2) = pt.translate(PvAddr::new(PAGE_SIZE + 8), &mut dram, t1);
+        let (_, t2) = pt
+            .translate(PvAddr::new(PAGE_SIZE + 8), &mut dram, t1)
+            .unwrap();
         assert_eq!(t2, t1, "hit should be free");
         assert_eq!(pt.stats().walks, 1);
         assert_eq!(pt.stats().tlb_hits, 1);
@@ -289,10 +341,11 @@ mod tests {
         for p in 0..3 {
             pt.map_page(p, MAddr::new(p * PAGE_SIZE));
         }
-        pt.translate(PvAddr::new(0), &mut dram, 0); // walk 0
-        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0); // walk 1
-        pt.translate(PvAddr::new(2 * PAGE_SIZE), &mut dram, 0); // walk 2, evict 0
-        pt.translate(PvAddr::new(0), &mut dram, 0); // walk again
+        pt.translate(PvAddr::new(0), &mut dram, 0).unwrap(); // walk 0
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap(); // walk 1
+        pt.translate(PvAddr::new(2 * PAGE_SIZE), &mut dram, 0)
+            .unwrap(); // walk 2, evict 0
+        pt.translate(PvAddr::new(0), &mut dram, 0).unwrap(); // walk again
         assert_eq!(pt.stats().walks, 4);
     }
 
@@ -300,7 +353,7 @@ mod tests {
     fn unmap_page_forgets_translation() {
         let (mut pt, mut dram) = setup();
         pt.map_page(1, MAddr::new(0));
-        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap();
         pt.unmap_page(1);
         assert_eq!(pt.mapped_pages(), 0);
     }
@@ -309,9 +362,9 @@ mod tests {
     fn flush_tlb_forces_rewalk() {
         let (mut pt, mut dram) = setup();
         pt.map_page(1, MAddr::new(0));
-        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap();
         pt.flush_tlb();
-        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap();
         assert_eq!(pt.stats().walks, 2);
     }
 
@@ -321,10 +374,14 @@ mod tests {
         // must not let a memoized translation serve the old frame.
         let (mut pt, mut dram) = setup();
         pt.map_page(3, MAddr::new(0x8000));
-        pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0); // walk, memoize
-        pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0); // front hit
+        pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0)
+            .unwrap(); // walk, memoize
+        pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0)
+            .unwrap(); // front hit
         pt.map_page(3, MAddr::new(0xa000));
-        let (m, _) = pt.translate(PvAddr::new(3 * PAGE_SIZE + 4), &mut dram, 0);
+        let (m, _) = pt
+            .translate(PvAddr::new(3 * PAGE_SIZE + 4), &mut dram, 0)
+            .unwrap();
         assert_eq!(m, MAddr::new(0xa004));
     }
 
@@ -335,10 +392,13 @@ mod tests {
         let (mut pt, mut dram) = setup();
         pt.map_page(1, MAddr::new(0x1000));
         pt.map_page(2, MAddr::new(0x2000));
-        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0);
-        pt.translate(PvAddr::new(2 * PAGE_SIZE), &mut dram, 0);
+        pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap();
+        pt.translate(PvAddr::new(2 * PAGE_SIZE), &mut dram, 0)
+            .unwrap();
         pt.unmap_page(1); // page 2 shifts from slot 1 to slot 0
-        let (m, _) = pt.translate(PvAddr::new(2 * PAGE_SIZE + 8), &mut dram, 0);
+        let (m, _) = pt
+            .translate(PvAddr::new(2 * PAGE_SIZE + 8), &mut dram, 0)
+            .unwrap();
         assert_eq!(m, MAddr::new(0x2008));
         assert_eq!(pt.stats().walks, 2, "page 2 is still TLB-resident");
     }
@@ -347,9 +407,12 @@ mod tests {
     fn front_hits_match_full_path_stats() {
         let (mut pt, mut dram) = setup();
         pt.map_page(9, MAddr::new(0x9000));
-        pt.translate(PvAddr::new(9 * PAGE_SIZE), &mut dram, 0); // walk
+        pt.translate(PvAddr::new(9 * PAGE_SIZE), &mut dram, 0)
+            .unwrap(); // walk
         for i in 0..10u64 {
-            let (m, ready) = pt.translate(PvAddr::new(9 * PAGE_SIZE + i), &mut dram, 5);
+            let (m, ready) = pt
+                .translate(PvAddr::new(9 * PAGE_SIZE + i), &mut dram, 5)
+                .unwrap();
             assert_eq!(m, MAddr::new(0x9000 + i));
             assert_eq!(ready, 5, "front hits are free, like TLB hits");
         }
@@ -359,14 +422,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no mapping")]
-    fn unmapped_page_panics() {
+    fn unmapped_page_is_a_typed_error() {
         let (mut pt, mut dram) = setup();
-        let _ = pt.translate(PvAddr::new(0), &mut dram, 0);
+        assert_eq!(
+            pt.translate(PvAddr::new(3 * PAGE_SIZE), &mut dram, 0),
+            Err(McError::PvUnmapped(3))
+        );
+        // The failed lookup is counted but caches nothing.
+        assert_eq!(pt.stats().lookups, 1);
+        assert_eq!(pt.stats().walks, 0);
+    }
+
+    #[test]
+    fn corrupted_tlb_entry_is_detected_and_reloaded() {
+        use impulse_fault::{FaultPlan, PgTblInjector, Trigger};
+        let (mut pt, mut dram) = setup();
+        pt.map_page(1, MAddr::new(0x1000));
+        // Fire on every translation; only cached entries can corrupt.
+        pt.set_fault_injector(PgTblInjector::new(FaultPlan::new(
+            Trigger::EveryN { every: 1, phase: 0 },
+            7,
+        )));
+        // First translation: nothing cached yet, ordinary walk.
+        let (_, t1) = pt.translate(PvAddr::new(PAGE_SIZE), &mut dram, 0).unwrap();
+        assert_eq!(pt.fault_stats().corruptions, 0);
+        // Second: the cached entry is corrupted, detected, and reloaded
+        // from the backing table — correct frame, walk charged.
+        let (m, t2) = pt
+            .translate(PvAddr::new(PAGE_SIZE + 8), &mut dram, t1)
+            .unwrap();
+        assert_eq!(m, MAddr::new(0x1008), "reload restores the true frame");
+        assert!(t2 > t1, "recovery pays a walk");
+        let f = pt.fault_stats();
+        assert_eq!(f.corruptions, 1);
+        assert_eq!(f.reloads, 1);
+        assert_eq!(f.recovery_cycles, t2 - t1);
+        assert_eq!(pt.stats().walks, 2);
     }
 
     #[test]
     #[should_panic(expected = "page-aligned")]
+    #[cfg(debug_assertions)]
     fn misaligned_frame_rejected() {
         let (mut pt, _) = setup();
         pt.map_page(0, MAddr::new(12));

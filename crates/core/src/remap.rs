@@ -95,17 +95,18 @@ impl RemapFn {
 
     /// Creates a strided remapping.
     ///
-    /// # Panics
-    ///
-    /// Panics if `object_size` is not a power of two (the paper's
-    /// no-divider restriction) or `stride < object_size` (objects would
-    /// overlap).
+    /// Parameter validity (`object_size` a power of two — the paper's
+    /// no-divider restriction — and `stride >= object_size`) is enforced
+    /// with a typed error when the function is installed into a
+    /// descriptor ([`ShadowDescriptor::new`](crate::ShadowDescriptor::new));
+    /// debug builds additionally assert here so direct misuse is caught
+    /// at the construction site.
     pub fn strided(pv_base: PvAddr, object_size: u64, stride: u64) -> Self {
-        assert!(
+        debug_assert!(
             is_pow2(object_size),
             "strided object size must be a power of two (got {object_size})"
         );
-        assert!(
+        debug_assert!(
             stride >= object_size,
             "stride ({stride}) must be at least the object size ({object_size})"
         );
@@ -118,9 +119,10 @@ impl RemapFn {
 
     /// Creates a scatter/gather remapping through `indices`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `elem_size` is not a power of two or `indices` is empty.
+    /// As with [`RemapFn::strided`], parameter validity (`elem_size` a
+    /// power of two, non-empty `indices`, non-zero `index_bytes`) is
+    /// enforced with a typed error at descriptor-creation time; debug
+    /// builds additionally assert here.
     pub fn gather(
         pv_base: PvAddr,
         elem_size: u64,
@@ -128,12 +130,12 @@ impl RemapFn {
         vec_pv_base: PvAddr,
         index_bytes: u64,
     ) -> Self {
-        assert!(
+        debug_assert!(
             is_pow2(elem_size),
             "gather element size must be a power of two (got {elem_size})"
         );
-        assert!(!indices.is_empty(), "gather indirection vector is empty");
-        assert!(index_bytes > 0, "indirection entries must be non-empty");
+        debug_assert!(!indices.is_empty(), "gather indirection vector is empty");
+        debug_assert!(index_bytes > 0, "indirection entries must be non-empty");
         RemapFn::Gather {
             pv_base,
             elem_size,
@@ -166,9 +168,11 @@ impl RemapFn {
 
     /// Maps a single shadow offset to its pseudo-virtual address.
     ///
-    /// # Panics
-    ///
-    /// Panics if a gather offset addresses past the indirection vector.
+    /// Gather offsets past the indirection vector clamp to the last
+    /// element — the same line-padding rule [`RemapFn::segments`]
+    /// applies — with a `debug_assert!` flagging the overshoot in debug
+    /// builds (descriptor creation bounds the region, so reaching this
+    /// in release indicates an internal inconsistency, not user input).
     pub fn pv_of(&self, soffset: u64) -> PvAddr {
         match self {
             RemapFn::Direct { pv_base } => pv_base.add(soffset),
@@ -189,11 +193,14 @@ impl RemapFn {
             } => {
                 let elem = (soffset / elem_size) as usize;
                 let within = soffset % elem_size;
-                assert!(
+                debug_assert!(
                     elem < indices.len(),
                     "gather offset {soffset} beyond indirection vector"
                 );
-                pv_base.add(indices[elem] * elem_size + within)
+                let Some(last) = indices.len().checked_sub(1) else {
+                    return *pv_base;
+                };
+                pv_base.add(indices[elem.min(last)] * elem_size + within)
             }
         }
     }
@@ -237,7 +244,9 @@ impl RemapFn {
                 indices,
                 ..
             } => {
-                let last = indices.len() as u64 - 1;
+                let Some(last) = (indices.len() as u64).checked_sub(1) else {
+                    return; // empty vector: nothing addressable
+                };
                 let mut off = soffset;
                 let end = soffset + len;
                 while off < end {
@@ -266,7 +275,7 @@ impl RemapFn {
                 index_bytes,
                 ..
             } => {
-                let last = indices.len() as u64 - 1;
+                let last = (indices.len() as u64).checked_sub(1)?;
                 let first_elem = (soffset / elem_size).min(last);
                 let last_elem = ((soffset + len - 1) / elem_size).min(last);
                 Some(Segment {

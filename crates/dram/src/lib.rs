@@ -33,6 +33,7 @@ pub mod sched;
 
 pub use sched::{BatchOutcome, SchedulePolicy, Scheduler};
 
+use impulse_fault::{BitFlip, FlipInjector, FlipStats};
 use impulse_obs::{Histogram, MetricsRegistry, Observe};
 use impulse_types::{AccessKind, Cycle, MAddr};
 
@@ -139,6 +140,7 @@ pub struct Dram {
     stats: DramStats,
     lat_row_hit: Histogram,
     lat_row_miss: Histogram,
+    faults: Option<FlipInjector>,
 }
 
 impl Dram {
@@ -158,7 +160,32 @@ impl Dram {
             stats: DramStats::default(),
             lat_row_hit: Histogram::new(),
             lat_row_miss: Histogram::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a deterministic bit-flip injector. Flips are recorded
+    /// as accesses touch the array; the memory controller drains them
+    /// with [`Dram::take_flips`] and runs them through its ECC model.
+    pub fn set_fault_injector(&mut self, injector: FlipInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Drains bit flips injected since the last call (empty, with no
+    /// allocation, in the fault-free common case).
+    pub fn take_flips(&mut self) -> Vec<(u64, BitFlip)> {
+        match &mut self.faults {
+            Some(f) => f.take(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Bit-flip injection counters (zeros when no injector is attached).
+    pub fn flip_stats(&self) -> FlipStats {
+        self.faults
+            .as_ref()
+            .map(FlipInjector::stats)
+            .unwrap_or_default()
     }
 
     /// The configuration this array was built with.
@@ -199,6 +226,9 @@ impl Dram {
             addr.raw() < self.cfg.capacity,
             "DRAM access beyond installed capacity: {addr:?}"
         );
+        if let Some(f) = &mut self.faults {
+            f.on_access(addr.raw(), now);
+        }
         let bank_idx = self.cfg.bank_of(addr) as usize;
         let row = self.cfg.row_of(addr);
         let bank = &mut self.banks[bank_idx];
@@ -256,6 +286,11 @@ impl Observe for Dram {
         m.gauge("dram.row_hit_ratio", self.stats.row_hit_ratio());
         m.histogram("dram.lat_row_hit", &self.lat_row_hit);
         m.histogram("dram.lat_row_miss", &self.lat_row_miss);
+        if self.faults.is_some() {
+            let f = self.flip_stats();
+            m.counter("dram.fault.injected_single", f.injected_single);
+            m.counter("dram.fault.injected_double", f.injected_double);
+        }
     }
 }
 
@@ -379,6 +414,32 @@ mod tests {
         );
         d.reset_stats();
         assert_eq!(d.row_hit_latency().count(), 0);
+    }
+
+    #[test]
+    fn fault_injector_flips_are_drained_by_the_controller_side() {
+        use impulse_fault::{FaultPlan, Trigger};
+        let mut d = dram();
+        d.set_fault_injector(FlipInjector::new(
+            FaultPlan::new(Trigger::EveryN { every: 2, phase: 0 }, 1),
+            0,
+        ));
+        let mut t = 0;
+        for i in 0..4u64 {
+            t = d.access(MAddr::new(i * 64), AccessKind::Load, 8, t);
+        }
+        assert_eq!(d.flip_stats().injected_single, 2);
+        let flips = d.take_flips();
+        assert_eq!(flips.len(), 2);
+        assert!(d.take_flips().is_empty(), "drain is destructive");
+        // Timing is unaffected by injection itself (ECC charges happen
+        // at the controller).
+        let mut clean = dram();
+        let mut tc = 0;
+        for i in 0..4u64 {
+            tc = clean.access(MAddr::new(i * 64), AccessKind::Load, 8, tc);
+        }
+        assert_eq!(t, tc);
     }
 
     #[test]

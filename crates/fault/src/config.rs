@@ -1,0 +1,137 @@
+//! The user-facing fault configuration a full-system config carries.
+
+use impulse_types::Cycle;
+
+use crate::ecc::EccConfig;
+use crate::inject::{FlipInjector, PgTblInjector, TimeoutInjector};
+use crate::plan::{FaultPlan, Trigger};
+
+// Per-site seed salts: each injection site derives an independent
+// xorshift stream from the master seed, so enabling one fault class
+// never perturbs another's schedule.
+const SALT_DRAM: u64 = 0xD12A_0001;
+const SALT_BUS: u64 = 0xB005_0002;
+const SALT_PGTBL: u64 = 0x967B_0003;
+
+/// Everything needed to generate a deterministic fault schedule for one
+/// simulated machine. The default is fault-free ([`FaultConfig::none`]),
+/// which costs nothing on the hot paths (components skip consulting
+/// absent injectors entirely).
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Master seed; each injection site derives its own salted stream.
+    pub seed: u64,
+    /// When DRAM bit flips fire (per DRAM data access).
+    pub dram_flip: Trigger,
+    /// Fraction (‰) of fired flips that are double-bit, i.e.
+    /// uncorrectable under SECDED. The rest are single-bit.
+    pub dram_double_permille: u32,
+    /// The controller's ECC model.
+    pub ecc: EccConfig,
+    /// When bus request timeouts fire (per demand transfer).
+    pub bus_timeout: Trigger,
+    /// Retry bound per timed-out request (≥ 1; recovery is guaranteed
+    /// on the attempt after the last retry).
+    pub bus_max_retries: u32,
+    /// Base backoff in cycles; attempt `i` waits `backoff << i`.
+    pub bus_backoff: Cycle,
+    /// When MC-TLB/page-table entry corruption fires (per translation).
+    pub pgtbl_corrupt: Trigger,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration (the default).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            dram_flip: Trigger::Never,
+            dram_double_permille: 0,
+            ecc: EccConfig::default(),
+            bus_timeout: Trigger::Never,
+            bus_max_retries: 3,
+            bus_backoff: 16,
+            pgtbl_corrupt: Trigger::Never,
+        }
+    }
+
+    /// True when no fault class can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.dram_flip.is_never() && self.bus_timeout.is_never() && self.pgtbl_corrupt.is_never()
+    }
+
+    /// The DRAM bit-flip injector, or `None` when the class is off.
+    pub fn flip_injector(&self) -> Option<FlipInjector> {
+        (!self.dram_flip.is_never()).then(|| {
+            FlipInjector::new(
+                FaultPlan::new(self.dram_flip, self.seed ^ SALT_DRAM),
+                self.dram_double_permille,
+            )
+        })
+    }
+
+    /// The bus-timeout injector, or `None` when the class is off.
+    pub fn timeout_injector(&self) -> Option<TimeoutInjector> {
+        (!self.bus_timeout.is_never()).then(|| {
+            TimeoutInjector::new(
+                FaultPlan::new(self.bus_timeout, self.seed ^ SALT_BUS),
+                self.bus_max_retries,
+                self.bus_backoff,
+            )
+        })
+    }
+
+    /// The page-table corruption injector, or `None` when the class is
+    /// off.
+    pub fn pgtbl_injector(&self) -> Option<PgTblInjector> {
+        (!self.pgtbl_corrupt.is_never())
+            .then(|| PgTblInjector::new(FaultPlan::new(self.pgtbl_corrupt, self.seed ^ SALT_PGTBL)))
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fault_free() {
+        let c = FaultConfig::default();
+        assert!(c.is_none());
+        assert!(c.flip_injector().is_none());
+        assert!(c.timeout_injector().is_none());
+        assert!(c.pgtbl_injector().is_none());
+    }
+
+    #[test]
+    fn enabling_one_class_builds_only_that_injector() {
+        let c = FaultConfig {
+            bus_timeout: Trigger::EveryN { every: 8, phase: 0 },
+            ..FaultConfig::none()
+        };
+        assert!(!c.is_none());
+        assert!(c.flip_injector().is_none());
+        assert!(c.timeout_injector().is_some());
+        assert!(c.pgtbl_injector().is_none());
+    }
+
+    #[test]
+    fn sites_draw_from_independent_streams() {
+        // Same master seed, but the DRAM and bus streams differ.
+        let c = FaultConfig {
+            seed: 99,
+            dram_flip: Trigger::Permille(500),
+            bus_timeout: Trigger::Permille(500),
+            ..FaultConfig::none()
+        };
+        let mut d = FaultPlan::new(c.dram_flip, c.seed ^ SALT_DRAM);
+        let mut b = FaultPlan::new(c.bus_timeout, c.seed ^ SALT_BUS);
+        let ds: Vec<bool> = (0..64).map(|t| d.fires(t)).collect();
+        let bs: Vec<bool> = (0..64).map(|t| b.fires(t)).collect();
+        assert_ne!(ds, bs);
+    }
+}

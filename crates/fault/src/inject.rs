@@ -1,0 +1,267 @@
+//! Site-specific injectors: owned by a component, consulted at its
+//! access points. Each injector wraps its own [`FaultPlan`] stream and
+//! keeps its own counters, so components stay decoupled and the
+//! schedule stays deterministic.
+
+use impulse_types::Cycle;
+
+use crate::ecc::BitFlip;
+use crate::plan::FaultPlan;
+
+/// Counters for the DRAM bit-flip site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlipStats {
+    /// Single-bit flips injected into the array.
+    pub injected_single: u64,
+    /// Double-bit flips injected into the array.
+    pub injected_double: u64,
+}
+
+/// Injects single/double bit flips on DRAM accesses. The DRAM model
+/// owns one and records flips as they happen; the controller drains
+/// them on the return path and runs them through its ECC model.
+#[derive(Clone, Debug)]
+pub struct FlipInjector {
+    plan: FaultPlan,
+    double_permille: u32,
+    pending: Vec<(u64, BitFlip)>,
+    stats: FlipStats,
+}
+
+impl FlipInjector {
+    /// Creates an injector; `double_permille` of fired flips are
+    /// double-bit (uncorrectable under SECDED), the rest single-bit.
+    pub fn new(plan: FaultPlan, double_permille: u32) -> Self {
+        Self {
+            plan,
+            double_permille,
+            pending: Vec::new(),
+            stats: FlipStats::default(),
+        }
+    }
+
+    /// Called by the DRAM model on each data access. Queues a flip at
+    /// `addr` when the plan fires.
+    pub fn on_access(&mut self, addr: u64, now: Cycle) {
+        if !self.plan.fires(now) {
+            return;
+        }
+        let flip = if self.plan.rng().permille(self.double_permille) {
+            self.stats.injected_double += 1;
+            BitFlip::Double
+        } else {
+            self.stats.injected_single += 1;
+            BitFlip::Single
+        };
+        self.pending.push((addr, flip));
+    }
+
+    /// Drains the flips queued since the last call (allocation-free
+    /// when none are pending — the common case).
+    pub fn take(&mut self) -> Vec<(u64, BitFlip)> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FlipStats {
+        self.stats
+    }
+}
+
+/// Counters for the bus-timeout site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BusFaultStats {
+    /// Requests that hit at least one timeout.
+    pub timeouts: u64,
+    /// Individual retry attempts issued (bounded by
+    /// `timeouts * max_retries` — the chaos harness asserts this).
+    pub retries: u64,
+    /// Total extra delay cycles spent waiting out timeouts and backoff.
+    pub recovery_cycles: u64,
+}
+
+/// Injects request timeouts at the bus, recovered by bounded retry with
+/// exponential backoff: attempt `i` waits `backoff << i` cycles before
+/// re-arbitrating, and a request is retried at most `max_retries` times
+/// before the (guaranteed) successful attempt.
+#[derive(Clone, Debug)]
+pub struct TimeoutInjector {
+    plan: FaultPlan,
+    max_retries: u32,
+    backoff: Cycle,
+    stats: BusFaultStats,
+}
+
+impl TimeoutInjector {
+    /// Creates an injector with the given retry bound and base backoff.
+    pub fn new(plan: FaultPlan, max_retries: u32, backoff: Cycle) -> Self {
+        Self {
+            plan,
+            max_retries: max_retries.max(1),
+            backoff,
+            stats: BusFaultStats::default(),
+        }
+    }
+
+    /// Consulted once per bus request. Returns the extra delay (0 for a
+    /// clean request) the requester spends timing out and backing off.
+    pub fn delay(&mut self, now: Cycle) -> Cycle {
+        if !self.plan.fires(now) {
+            return 0;
+        }
+        self.stats.timeouts += 1;
+        // The fault burst spans 1..=max_retries consecutive timeouts;
+        // the next attempt succeeds, so recovery is always bounded.
+        let attempts = 1 + self.plan.rng().below(u64::from(self.max_retries));
+        let mut delay = 0;
+        for i in 0..attempts {
+            self.stats.retries += 1;
+            delay += self.backoff << i.min(16);
+        }
+        self.stats.recovery_cycles += delay;
+        delay
+    }
+
+    /// The configured retry bound.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Timeout/retry counters so far.
+    pub fn stats(&self) -> BusFaultStats {
+        self.stats
+    }
+}
+
+/// Counters for the MC-TLB/page-table corruption site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PgTblFaultStats {
+    /// Cached translation entries corrupted.
+    pub corruptions: u64,
+    /// Entries recovered by reloading from the backing memory table.
+    pub reloads: u64,
+    /// Total extra cycles spent detecting and reloading.
+    pub recovery_cycles: u64,
+}
+
+/// Injects corruption into the controller's cached translation state
+/// (MC-TLB and its front cache). The page table detects the corruption
+/// at use (parity), discards the entry, and reloads from the backing
+/// in-memory table — the authoritative copy — charging the walk.
+#[derive(Clone, Debug)]
+pub struct PgTblInjector {
+    plan: FaultPlan,
+    stats: PgTblFaultStats,
+}
+
+impl PgTblInjector {
+    /// Creates an injector driven by `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            stats: PgTblFaultStats::default(),
+        }
+    }
+
+    /// Consulted once per translation. True when the entry consulted by
+    /// this translation should be treated as corrupted.
+    pub fn corrupts(&mut self, now: Cycle) -> bool {
+        self.plan.fires(now)
+    }
+
+    /// Records one detected corruption of a cached entry.
+    pub fn note_corruption(&mut self) {
+        self.stats.corruptions += 1;
+    }
+
+    /// Records the reload walk that recovered a corrupted entry.
+    pub fn note_reload(&mut self, cycles: Cycle) {
+        self.stats.reloads += 1;
+        self.stats.recovery_cycles += cycles;
+    }
+
+    /// Corruption/reload counters so far.
+    pub fn stats(&self) -> PgTblFaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Trigger;
+
+    #[test]
+    fn flip_injector_queues_and_drains() {
+        let plan = FaultPlan::new(Trigger::EveryN { every: 2, phase: 0 }, 3);
+        let mut inj = FlipInjector::new(plan, 0);
+        inj.on_access(0x100, 0);
+        inj.on_access(0x200, 1);
+        inj.on_access(0x300, 2);
+        let flips = inj.take();
+        assert_eq!(flips.len(), 2);
+        assert!(flips.iter().all(|&(_, f)| f == BitFlip::Single));
+        assert!(inj.take().is_empty());
+        assert_eq!(inj.stats().injected_single, 2);
+        assert_eq!(inj.stats().injected_double, 0);
+    }
+
+    #[test]
+    fn flip_injector_mixes_doubles_deterministically() {
+        let mk = || {
+            let plan = FaultPlan::new(Trigger::EveryN { every: 1, phase: 0 }, 11);
+            let mut inj = FlipInjector::new(plan, 500);
+            for a in 0..100 {
+                inj.on_access(a * 64, a);
+            }
+            (inj.stats().injected_single, inj.stats().injected_double)
+        };
+        let (s, d) = mk();
+        assert_eq!(s + d, 100);
+        assert!(d > 0, "some doubles at 500 permille");
+        assert_eq!(mk(), (s, d), "same seed, same mix");
+    }
+
+    #[test]
+    fn timeout_delay_is_bounded_by_retry_budget() {
+        let plan = FaultPlan::new(Trigger::EveryN { every: 1, phase: 0 }, 5);
+        let mut inj = TimeoutInjector::new(plan, 3, 8);
+        let mut worst = 0;
+        for t in 0..50 {
+            worst = worst.max(inj.delay(t));
+        }
+        let s = inj.stats();
+        assert_eq!(s.timeouts, 50);
+        assert!(
+            s.retries >= s.timeouts,
+            "every timeout retries at least once"
+        );
+        assert!(
+            s.retries <= s.timeouts * 3,
+            "retries {} exceed bound {}",
+            s.retries,
+            s.timeouts * 3
+        );
+        // Worst case: 3 attempts of 8, 16, 32 cycles.
+        assert!(worst <= 8 + 16 + 32);
+    }
+
+    #[test]
+    fn clean_requests_cost_nothing() {
+        let mut inj = TimeoutInjector::new(FaultPlan::never(), 3, 8);
+        assert_eq!(inj.delay(0), 0);
+        assert_eq!(inj.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn pgtbl_injector_tracks_recovery() {
+        let plan = FaultPlan::new(Trigger::EveryN { every: 2, phase: 0 }, 1);
+        let mut inj = PgTblInjector::new(plan);
+        assert!(inj.corrupts(0));
+        inj.note_corruption();
+        inj.note_reload(30);
+        assert!(!inj.corrupts(1));
+        let s = inj.stats();
+        assert_eq!((s.corruptions, s.reloads, s.recovery_cycles), (1, 1, 30));
+    }
+}

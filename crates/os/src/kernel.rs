@@ -44,9 +44,15 @@ impl core::fmt::Display for Pid {
     }
 }
 
-/// Errors surfaced by kernel operations.
+/// The typed error hierarchy every fallible Impulse operation surfaces.
+///
+/// Syscall-level misuse (overlapping shadow ranges, zero or overflowing
+/// strides, out-of-bounds indirection vectors, shadow-space exhaustion)
+/// comes back as a value of this type instead of aborting the simulated
+/// machine; callers degrade gracefully (e.g. fall back to non-remapped
+/// access) and account for the failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum OsError {
+pub enum ImpulseError {
     /// Physical frame allocation failed.
     Phys(PhysError),
     /// Virtual memory operation failed.
@@ -55,6 +61,25 @@ pub enum OsError {
     Mc(McError),
     /// A request violated an alignment requirement.
     BadAlignment(&'static str),
+    /// A syscall argument is malformed (zero stride, overflowing span,
+    /// empty vector, …).
+    InvalidArg(&'static str),
+    /// An indirection-vector entry points past the end of the gather
+    /// target.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: u64,
+        /// Number of elements the target actually holds.
+        limit: u64,
+    },
+    /// The shadow address space is exhausted (the configured
+    /// [`KernelConfig::shadow_span`] is fully allocated).
+    ShadowExhausted {
+        /// Bytes the request needed.
+        requested: u64,
+        /// Bytes still unallocated.
+        available: u64,
+    },
     /// The remap target contains shadow pages already (double remap).
     TargetNotPhysical(VAddr),
     /// The calling process does not own the resource (inter-process
@@ -64,13 +89,29 @@ pub enum OsError {
     NoSuchProcess(Pid),
 }
 
-impl core::fmt::Display for OsError {
+/// Historical name for [`ImpulseError`], kept so existing call sites and
+/// signatures keep compiling; variants resolve through the alias.
+pub type OsError = ImpulseError;
+
+impl core::fmt::Display for ImpulseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             OsError::Phys(e) => write!(f, "physical allocation failed: {e}"),
             OsError::Vm(e) => write!(f, "virtual memory error: {e}"),
             OsError::Mc(e) => write!(f, "memory controller error: {e}"),
             OsError::BadAlignment(what) => write!(f, "bad alignment: {what}"),
+            OsError::InvalidArg(what) => write!(f, "invalid argument: {what}"),
+            OsError::IndexOutOfBounds { index, limit } => write!(
+                f,
+                "indirection index {index} is out of bounds for a {limit}-element target"
+            ),
+            OsError::ShadowExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "shadow address space exhausted: {requested} bytes requested, {available} available"
+            ),
             OsError::TargetNotPhysical(v) => {
                 write!(f, "remap target {v:?} is not backed by physical memory")
             }
@@ -82,19 +123,19 @@ impl core::fmt::Display for OsError {
     }
 }
 
-impl std::error::Error for OsError {}
+impl std::error::Error for ImpulseError {}
 
-impl From<PhysError> for OsError {
+impl From<PhysError> for ImpulseError {
     fn from(e: PhysError) -> Self {
         OsError::Phys(e)
     }
 }
-impl From<VmError> for OsError {
+impl From<VmError> for ImpulseError {
     fn from(e: VmError) -> Self {
         OsError::Vm(e)
     }
 }
-impl From<McError> for OsError {
+impl From<McError> for ImpulseError {
     fn from(e: McError) -> Self {
         OsError::Mc(e)
     }
@@ -136,6 +177,11 @@ pub struct KernelConfig {
     /// Number of page colors in the physically-indexed L2
     /// (`l2_size / ways / page_size`; 32 for the Paint L2).
     pub l2_colors: u64,
+    /// Bytes of shadow address space above DRAM the kernel may hand out
+    /// (the paper's shadow space is the unused physical address range,
+    /// which is vast but finite). Exhaustion surfaces as
+    /// [`ImpulseError::ShadowExhausted`].
+    pub shadow_span: u64,
     /// System call cost model.
     pub costs: SyscallCosts,
 }
@@ -147,6 +193,7 @@ impl Default for KernelConfig {
             reserved_top: 1 << 20,
             policy: AllocPolicy::Sequential,
             l2_colors: 32,
+            shadow_span: 1 << 36,
             costs: SyscallCosts::default(),
         }
     }
@@ -278,12 +325,13 @@ impl Kernel {
 
     /// Translates a virtual address (MMU behaviour).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unmapped addresses.
+    /// Returns [`VmError::NotMapped`] (wrapped) for unmapped addresses —
+    /// a page fault with no handler, i.e. a segfault at the CPU model.
     #[inline]
-    pub fn translate(&self, v: VAddr) -> PAddr {
-        self.aspace().translate(v)
+    pub fn translate(&self, v: VAddr) -> Result<PAddr, OsError> {
+        Ok(self.aspace().translate(v)?)
     }
 
     /// Allocates and maps an ordinary region of `bytes`, returning its
@@ -293,6 +341,7 @@ impl Kernel {
     ///
     /// Fails when physical memory is exhausted.
     pub fn alloc_region(&mut self, bytes: u64, align: u64) -> Result<VRange, OsError> {
+        check_alignment(align)?;
         let range = self.aspace_mut().reserve(bytes, align);
         for block in range.blocks(PAGE_SIZE) {
             let frame = self.phys.alloc()?;
@@ -345,6 +394,7 @@ impl Kernel {
         align: u64,
         colors: &[u64],
     ) -> Result<VRange, OsError> {
+        check_alignment(align)?;
         let range = self.aspace_mut().reserve(bytes, align);
         for block in range.blocks(PAGE_SIZE) {
             let frame = self.phys.alloc_colored(colors, self.cfg.l2_colors)?;
@@ -354,17 +404,43 @@ impl Kernel {
     }
 
     /// Allocates a shadow range (bus addresses with no DRAM behind them).
-    fn alloc_shadow(&mut self, bytes: u64, align: u64) -> PRange {
-        let start = round_up(self.shadow_next, align.max(PAGE_SIZE));
-        let len = round_up(bytes.max(1), PAGE_SIZE);
-        self.shadow_next = start + len;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImpulseError::ShadowExhausted`] when the configured
+    /// shadow span above DRAM cannot hold the request.
+    fn alloc_shadow(&mut self, bytes: u64, align: u64) -> Result<PRange, OsError> {
+        let align = align.max(PAGE_SIZE);
+        let limit = self.cfg.dram_capacity.saturating_add(self.cfg.shadow_span);
+        let exhausted = |requested: u64, start: u64| OsError::ShadowExhausted {
+            requested,
+            available: limit.saturating_sub(start),
+        };
+        let len = bytes
+            .max(1)
+            .checked_add(PAGE_SIZE - 1)
+            .map(|b| b & !(PAGE_SIZE - 1))
+            .ok_or(OsError::InvalidArg("shadow region size overflows"))?;
+        let start = self
+            .shadow_next
+            .checked_add(align - 1)
+            .map(|s| s / align * align)
+            .ok_or_else(|| exhausted(len, self.shadow_next))?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= limit)
+            .ok_or_else(|| exhausted(len, start))?;
+        self.shadow_next = end;
         self.stats.shadow_bytes += len;
-        PRange::new(PAddr::new(start), len)
+        Ok(PRange::new(PAddr::new(start), len))
     }
 
     /// Real DRAM frame backing a mapped virtual page.
     fn frame_of(&self, v: VAddr) -> Result<MAddr, OsError> {
-        let p = self.aspace().translate(v.page_base());
+        let p = self
+            .aspace()
+            .try_translate(v.page_base())
+            .ok_or(OsError::TargetNotPhysical(v))?;
         if p.raw() >= self.cfg.dram_capacity {
             return Err(OsError::TargetNotPhysical(v));
         }
@@ -403,6 +479,13 @@ impl Kernel {
     /// Maps a fresh virtual alias 1:1 onto a shadow region, with the
     /// requested virtual alignment and phase (cache-placement control).
     fn map_alias(&mut self, shadow: PRange, align: u64, phase: u64) -> Result<VRange, OsError> {
+        check_alignment(align)?;
+        let eff_align = align.max(PAGE_SIZE);
+        if phase >= eff_align || !phase.is_multiple_of(PAGE_SIZE) {
+            return Err(OsError::BadAlignment(
+                "alias phase must be a page-aligned offset below the alignment",
+            ));
+        }
         let alias = self.aspace_mut().reserve_phased(shadow.len(), align, phase);
         let mut s = shadow.start();
         for page in alias.blocks(PAGE_SIZE) {
@@ -435,7 +518,7 @@ impl Kernel {
     /// let indices = Arc::new((0..512u64).map(|i| (i * 7) % 1024).collect::<Vec<_>>());
     /// let grant = kernel.remap_gather(&mut mc, x, 8, indices, column, 4)?;
     /// // The alias is backed by shadow addresses the controller serves.
-    /// assert!(mc.is_shadow(kernel.translate(grant.alias.start())));
+    /// assert!(mc.is_shadow(kernel.translate(grant.alias.start())?));
     /// # Ok::<(), impulse_os::OsError>(())
     /// ```
     ///
@@ -486,14 +569,34 @@ impl Kernel {
         alias_align: u64,
         alias_phase: u64,
     ) -> Result<RemapGrant, OsError> {
+        if elem_size == 0 {
+            return Err(OsError::InvalidArg("gather element size must be non-zero"));
+        }
+        if indices.is_empty() {
+            return Err(OsError::InvalidArg("gather indirection vector is empty"));
+        }
+        if index_bytes == 0 {
+            return Err(OsError::InvalidArg(
+                "gather index entries must be non-empty",
+            ));
+        }
         if !target.start().is_aligned(elem_size) {
             return Err(OsError::BadAlignment(
                 "gather target must be element-aligned",
             ));
         }
+        // Every indirection entry must land inside the target: a stray
+        // index would make the controller gather unrelated memory.
+        let limit = target.len() / elem_size;
+        if let Some(&bad) = indices.iter().find(|&&i| i >= limit) {
+            return Err(OsError::IndexOutOfBounds { index: bad, limit });
+        }
         let line = mc.config().line_bytes;
-        let image_bytes = round_up(indices.len() as u64 * elem_size, line);
-        let shadow = self.alloc_shadow(image_bytes, PAGE_SIZE);
+        let image_bytes = (indices.len() as u64)
+            .checked_mul(elem_size)
+            .map(|b| round_up(b, line))
+            .ok_or(OsError::InvalidArg("gather image size overflows"))?;
+        let shadow = self.alloc_shadow(image_bytes, PAGE_SIZE)?;
 
         let remap = RemapFn::gather(
             PvAddr::new(target.start().raw()),
@@ -525,7 +628,8 @@ impl Kernel {
     ///
     /// # Errors
     ///
-    /// Fails on exhausted descriptors or unbacked target pages.
+    /// Fails on zero or overflowing stride parameters, exhausted
+    /// descriptors or shadow space, or unbacked target pages.
     pub fn remap_strided(
         &mut self,
         mc: &mut MemController,
@@ -535,14 +639,17 @@ impl Kernel {
         count: u64,
         alias_align: u64,
     ) -> Result<RemapGrant, OsError> {
+        let span = strided_span(object_size, stride, count)?;
         let line = mc.config().line_bytes;
-        let image_bytes = round_up(count * object_size, line);
-        let shadow = self.alloc_shadow(image_bytes, PAGE_SIZE);
+        let image_bytes = count
+            .checked_mul(object_size)
+            .map(|b| round_up(b, line))
+            .ok_or(OsError::InvalidArg("strided image size overflows"))?;
+        let shadow = self.alloc_shadow(image_bytes, PAGE_SIZE)?;
 
         let remap = RemapFn::strided(PvAddr::new(base.raw()), object_size, stride);
         let desc = mc.claim_descriptor(shadow, remap)?;
         self.desc_owner.insert(desc.index(), self.current);
-        let span = (count - 1) * stride + object_size;
         let mut pages = self.download_target_pages(mc, base, span)?;
         let alias = self.map_alias(shadow, alias_align, 0)?;
         pages += alias.page_count();
@@ -576,12 +683,12 @@ impl Kernel {
         count: u64,
     ) -> Result<u64, OsError> {
         self.check_owner(grant.desc)?;
+        let span = strided_span(object_size, stride, count)?;
         mc.release_descriptor(grant.desc)?;
         self.desc_owner.remove(&grant.desc.index());
         let remap = RemapFn::strided(PvAddr::new(new_base.raw()), object_size, stride);
         grant.desc = mc.claim_descriptor(grant.shadow, remap)?;
         self.desc_owner.insert(grant.desc.index(), self.current);
-        let span = (count - 1) * stride + object_size;
         let pages = self.download_target_pages(mc, new_base, span)?;
         self.stats.remap_syscalls += 1;
         Ok(pages)
@@ -611,10 +718,13 @@ impl Kernel {
         }
         let n = target.page_count();
         let cycles = n.div_ceil(colors.len() as u64);
-        let region_pages = cycles * nc;
+        let region_bytes = cycles
+            .checked_mul(nc)
+            .and_then(|p| p.checked_mul(PAGE_SIZE))
+            .ok_or(OsError::InvalidArg("recolor region size overflows"))?;
         // Align the shadow region to a full color cycle so that page k of
         // the region has color k mod l2_colors.
-        let shadow = self.alloc_shadow(region_pages * PAGE_SIZE, nc * PAGE_SIZE);
+        let shadow = self.alloc_shadow(region_bytes, nc * PAGE_SIZE)?;
 
         let pv_base = PvAddr::new(shadow.start().raw());
         let desc = mc.claim_descriptor(shadow, RemapFn::direct(pv_base))?;
@@ -670,7 +780,10 @@ impl Kernel {
                 "superpage target must be aligned to its span",
             ));
         }
-        let shadow = self.alloc_shadow(span * PAGE_SIZE, span * PAGE_SIZE);
+        let span_bytes = span
+            .checked_mul(PAGE_SIZE)
+            .ok_or(OsError::InvalidArg("superpage span overflows"))?;
+        let shadow = self.alloc_shadow(span_bytes, span_bytes)?;
         let pv_base = PvAddr::new(shadow.start().raw());
         let desc = mc.claim_descriptor(shadow, RemapFn::direct(pv_base))?;
         self.desc_owner.insert(desc.index(), self.current);
@@ -791,6 +904,39 @@ impl Kernel {
     }
 }
 
+/// Validates a user-supplied alignment: values at or below the page size
+/// round up to it; larger values must be powers of two.
+fn check_alignment(align: u64) -> Result<(), OsError> {
+    if align.max(PAGE_SIZE).is_power_of_two() {
+        Ok(())
+    } else {
+        Err(OsError::BadAlignment("alignment must be a power of two"))
+    }
+}
+
+/// Validates strided-remap parameters and computes the bytes the stride
+/// pattern spans in the target (`(count - 1) * stride + object_size`),
+/// with every arithmetic step checked.
+fn strided_span(object_size: u64, stride: u64, count: u64) -> Result<u64, OsError> {
+    if count == 0 {
+        return Err(OsError::InvalidArg(
+            "strided remap needs at least one object",
+        ));
+    }
+    if object_size == 0 {
+        return Err(OsError::InvalidArg("strided object size must be non-zero"));
+    }
+    if stride == 0 {
+        return Err(OsError::InvalidArg("strided stride must be non-zero"));
+    }
+    (count - 1)
+        .checked_mul(stride)
+        .and_then(|s| s.checked_add(object_size))
+        .ok_or(OsError::InvalidArg(
+            "strided span overflows the address space",
+        ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -828,7 +974,7 @@ mod tests {
         let (mut k, _) = small_setup();
         let r = k.alloc_region_colored(4 * PAGE_SIZE, 1, &[2, 9]).unwrap();
         for page in r.blocks(PAGE_SIZE) {
-            let color = k.translate(page).page_number() % 32;
+            let color = k.translate(page).unwrap().page_number() % 32;
             assert!(color == 2 || color == 9, "got color {color}");
         }
     }
@@ -843,7 +989,7 @@ mod tests {
         assert_eq!(g.kind, "gather");
         assert_eq!(g.alias.len(), g.shadow.len());
         // The alias translates into the shadow region.
-        let p = k.translate(g.alias.start());
+        let p = k.translate(g.alias.start()).unwrap();
         assert!(g.shadow.contains(p));
         assert!(mc.is_shadow(p));
         // Reading through the alias reaches DRAM.
@@ -861,7 +1007,7 @@ mod tests {
             .remap_strided(&mut mc, m.start(), 64, 512, 8, PAGE_SIZE)
             .unwrap();
         assert_eq!(g.kind, "strided");
-        let p = k.translate(g.alias.start());
+        let p = k.translate(g.alias.start()).unwrap();
         assert!(mc.is_shadow(p));
         mc.read_line(p, 0);
         assert_eq!(mc.desc_stats().gathers, 1);
@@ -882,7 +1028,7 @@ mod tests {
             .unwrap();
         assert!(pages > 0);
         let _ = desc_before; // slot may be reused; behaviour checked below
-        let p = k.translate(g.alias.start());
+        let p = k.translate(g.alias.start()).unwrap();
         mc.read_line(p, 0);
         assert!(mc.descriptor(g.desc).is_some());
     }
@@ -895,13 +1041,13 @@ mod tests {
         let g = k.remap_recolor(&mut mc, x, &colors).unwrap();
         assert_eq!(g.alias.page_count(), 28);
         for page in g.alias.blocks(PAGE_SIZE) {
-            let bus = k.translate(page);
+            let bus = k.translate(page).unwrap();
             assert!(mc.is_shadow(bus));
             let color = bus.page_number() % 32;
             assert!(color < 16, "alias page landed on color {color}");
         }
         // Data is reachable through the recolored alias.
-        let done = mc.read_line(k.translate(g.alias.start()), 0);
+        let done = mc.read_line(k.translate(g.alias.start()).unwrap(), 0);
         assert!(done > 0);
     }
 
@@ -924,16 +1070,16 @@ mod tests {
         let (mut k, mut mc) = small_setup();
         // 8 pages, aligned to 8 pages.
         let r = k.alloc_region(8 * PAGE_SIZE, 8 * PAGE_SIZE).unwrap();
-        let before = k.translate(r.start());
+        let before = k.translate(r.start()).unwrap();
         let g = k.build_superpage(&mut mc, r).unwrap();
-        let after = k.translate(r.start());
+        let after = k.translate(r.start()).unwrap();
         assert_ne!(before, after, "pages must now point into shadow space");
         assert!(g.shadow.contains(after));
         let (base, span) = k.tlb_span(r.start().raw() >> PAGE_SHIFT);
         assert_eq!(span, 8);
         assert_eq!(base, r.start().raw() >> PAGE_SHIFT);
         // Addresses within the region remain readable.
-        mc.read_line(k.translate(r.start().add(5 * PAGE_SIZE)), 0);
+        mc.read_line(k.translate(r.start().add(5 * PAGE_SIZE)).unwrap(), 0);
     }
 
     #[test]
@@ -980,9 +1126,9 @@ mod tests {
         );
         k.switch(Pid::INIT).unwrap();
         // But the frames differ: no aliasing between processes.
-        let f0 = k.translate(r0.start());
+        let f0 = k.translate(r0.start()).unwrap();
         k.switch(child).unwrap();
-        let f1 = k.translate(r1.start());
+        let f1 = k.translate(r1.start()).unwrap();
         assert_ne!(f0, f1);
     }
 
@@ -1016,9 +1162,9 @@ mod tests {
         let rx_alias = k.share_remap(&grant, receiver).unwrap();
 
         // Sender view and receiver view reach the same shadow addresses.
-        let tx_p = k.translate(grant.alias.start());
+        let tx_p = k.translate(grant.alias.start()).unwrap();
         k.switch(receiver).unwrap();
-        let rx_p = k.translate(rx_alias.start());
+        let rx_p = k.translate(rx_alias.start()).unwrap();
         assert_eq!(tx_p, rx_p, "both views land on the same shadow page");
         assert!(mc.is_shadow(rx_p));
     }
@@ -1064,15 +1210,116 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_shadow_regions_are_rejected() {
+        let (mut k, mut mc) = small_setup();
+        // Squat on the start of shadow space directly at the controller —
+        // the kernel's next shadow allocation must collide with it.
+        let squat = PRange::new(PAddr::new(1 << 24), 64 * PAGE_SIZE);
+        mc.claim_descriptor(squat, RemapFn::strided(PvAddr::new(0), 8, 1024))
+            .unwrap();
+        let x = k.alloc_region(PAGE_SIZE, 1).unwrap();
+        let res = k.remap_recolor(&mut mc, x, &[0]);
+        assert!(
+            matches!(res, Err(OsError::Mc(McError::RegionOverlap(_)))),
+            "expected a RegionOverlap error, got {res:?}"
+        );
+    }
+
+    #[test]
+    fn shadow_space_exhaustion_is_a_typed_error() {
+        let cfg = KernelConfig {
+            dram_capacity: 1 << 24,
+            reserved_top: 1 << 20,
+            shadow_span: 2 * PAGE_SIZE, // a nearly-empty shadow pool
+            ..KernelConfig::default()
+        };
+        let dram = Dram::new(DramConfig {
+            capacity: cfg.dram_capacity,
+            ..DramConfig::default()
+        });
+        let mut k = Kernel::new(cfg);
+        let mut mc = MemController::new(dram, McConfig::default());
+        let r = k.alloc_region(8 * PAGE_SIZE, 8 * PAGE_SIZE).unwrap();
+        match k.build_superpage(&mut mc, r) {
+            Err(OsError::ShadowExhausted {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 8 * PAGE_SIZE);
+                assert_eq!(available, 2 * PAGE_SIZE);
+            }
+            other => panic!("expected ShadowExhausted, got {other:?}"),
+        }
+        // The failed call must not leak shadow space or descriptors.
+        assert_eq!(k.stats().shadow_bytes, 0);
+        // A request that fits the remaining pool still succeeds.
+        let small = k.alloc_region(2 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        k.build_superpage(&mut mc, small).unwrap();
+        assert_eq!(k.stats().shadow_bytes, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn gather_index_out_of_bounds_is_rejected() {
+        let (mut k, mut mc) = small_setup();
+        // 128 elements of 8 bytes; index 128 is one past the end.
+        let x = k.alloc_region(128 * 8, 8).unwrap();
+        let col = k.alloc_region(512, 4).unwrap();
+        let target = VRange::new(x.start(), 128 * 8);
+        let indices = Arc::new(vec![0u64, 5, 128]);
+        let res = k.remap_gather(&mut mc, target, 8, indices, col, 4);
+        assert_eq!(
+            res.err(),
+            Some(OsError::IndexOutOfBounds {
+                index: 128,
+                limit: 128
+            })
+        );
+    }
+
+    #[test]
+    fn strided_misuse_is_invalid_arg() {
+        let (mut k, mut mc) = small_setup();
+        let m = k.alloc_region(64 * 64 * 8, 8).unwrap();
+        for (object_size, stride, count) in [(64, 512, 0), (64, 0, 8), (0, 512, 8)] {
+            let res = k.remap_strided(&mut mc, m.start(), object_size, stride, count, PAGE_SIZE);
+            assert!(
+                matches!(res, Err(OsError::InvalidArg(_))),
+                "({object_size},{stride},{count}) should be InvalidArg, got {res:?}"
+            );
+        }
+        // An overflowing span is caught rather than wrapping.
+        let res = k.remap_strided(&mut mc, m.start(), 64, u64::MAX / 2, 8, PAGE_SIZE);
+        assert!(matches!(res, Err(OsError::InvalidArg(_))));
+        // Misuse must not consume descriptor slots: a valid remap still works.
+        k.remap_strided(&mut mc, m.start(), 64, 512, 8, PAGE_SIZE)
+            .unwrap();
+    }
+
+    #[test]
+    fn retarget_misuse_keeps_grant_alive() {
+        let (mut k, mut mc) = small_setup();
+        let m = k.alloc_region(64 * 64 * 8, 8).unwrap();
+        let mut g = k
+            .remap_strided(&mut mc, m.start(), 64, 512, 8, PAGE_SIZE)
+            .unwrap();
+        // Invalid retarget parameters are rejected *before* the old
+        // descriptor is released, so the working grant survives.
+        let res = k.retarget_strided(&mut mc, &mut g, m.start(), 64, 0, 8);
+        assert!(matches!(res, Err(OsError::InvalidArg(_))));
+        assert!(mc.descriptor(g.desc).is_some());
+        mc.read_line(k.translate(g.alias.start()).unwrap(), 0);
+    }
+
+    #[test]
     fn superpage_release_restores_mappings() {
         let (mut k, mut mc) = small_setup();
         let r = k.alloc_region(8 * PAGE_SIZE, 8 * PAGE_SIZE).unwrap();
-        let before = k.translate(r.start());
+        let before = k.translate(r.start()).unwrap();
         let g = k.build_superpage(&mut mc, r).unwrap();
         assert_eq!(g.kind, "superpage");
-        assert_ne!(k.translate(r.start()), before);
+        assert_ne!(k.translate(r.start()).unwrap(), before);
         k.release_remap(&mut mc, &g).unwrap();
-        assert_eq!(k.translate(r.start()), before);
+        assert_eq!(k.translate(r.start()).unwrap(), before);
         assert_eq!(k.tlb_span(r.start().raw() >> 12).1, 1);
     }
 }

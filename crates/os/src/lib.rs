@@ -34,11 +34,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Syscall paths must return typed errors, not panic: unwrap/expect are
+// confined to #[cfg(test)] code (enforced by CI clippy with -D warnings).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod kernel;
 pub mod phys;
 pub mod vm;
 
-pub use kernel::{Kernel, KernelConfig, KernelStats, OsError, Pid, RemapGrant, SyscallCosts};
+pub use kernel::{
+    ImpulseError, Kernel, KernelConfig, KernelStats, OsError, Pid, RemapGrant, SyscallCosts,
+};
 pub use phys::{AllocPolicy, PhysError, PhysMem};
 pub use vm::{AddressSpace, VmError};

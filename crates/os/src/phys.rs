@@ -63,15 +63,15 @@ impl PhysMem {
     /// `reserved_top` bytes out of the pool (the controller page table
     /// lives there).
     ///
-    /// # Panics
+    /// A reservation at or beyond the capacity leaves an empty pool: the
+    /// machine boots with no allocatable frames and every [`alloc`]
+    /// returns [`PhysError::OutOfMemory`], rather than aborting
+    /// construction.
     ///
-    /// Panics if the reservation leaves no allocatable frames.
+    /// [`alloc`]: Self::alloc
     pub fn new(capacity: u64, reserved_top: u64, policy: AllocPolicy) -> Self {
-        let usable = capacity
-            .checked_sub(reserved_top)
-            .expect("reservation exceeds capacity");
+        let usable = capacity.saturating_sub(reserved_top);
         let frames = usable / PAGE_SIZE;
-        assert!(frames > 0, "no allocatable frames");
         let mut free: Vec<u64> = (0..frames).rev().collect();
         if let AllocPolicy::Random(seed) = policy {
             shuffle(&mut free, seed);
@@ -125,16 +125,15 @@ impl PhysMem {
 
     /// Returns a frame to the pool.
     ///
-    /// # Panics
-    ///
-    /// Panics if `frame` is not page-aligned.
+    /// The allocator only hands out page-aligned frames, so an unaligned
+    /// `frame` is an internal invariant violation (debug-checked).
     pub fn free(&mut self, frame: MAddr) {
-        assert!(
+        debug_assert!(
             frame.raw().is_multiple_of(PAGE_SIZE),
             "freeing a non-page-aligned frame: {frame:?}"
         );
         self.free.push(frame.raw() >> PAGE_SHIFT);
-        self.allocated -= 1;
+        self.allocated = self.allocated.saturating_sub(1);
     }
 }
 
@@ -221,8 +220,18 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "page-aligned")]
+    #[cfg(debug_assertions)]
     fn free_rejects_unaligned() {
         let mut p = PhysMem::new(2 * PAGE_SIZE, 0, AllocPolicy::Sequential);
         p.free(MAddr::new(1));
+    }
+
+    #[test]
+    fn over_reservation_degrades_to_empty_pool() {
+        // Reserving more than the capacity no longer aborts construction:
+        // the machine simply has nothing to allocate.
+        let mut p = PhysMem::new(4 * PAGE_SIZE, 8 * PAGE_SIZE, AllocPolicy::Sequential);
+        assert_eq!(p.free_frames(), 0);
+        assert_eq!(p.alloc(), Err(PhysError::OutOfMemory));
     }
 }

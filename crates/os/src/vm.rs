@@ -67,14 +67,14 @@ impl AddressSpace {
     /// applications request so that a new alias does not conflict with an
     /// existing stream in a virtually-indexed cache.
     ///
-    /// # Panics
-    ///
-    /// Panics if `align` is not a power of two or `phase` is not
-    /// page-aligned and below `align`.
+    /// `align` must be a power of two and `phase` a page-aligned offset
+    /// below it; the kernel syscall layer validates user-supplied values
+    /// and returns typed errors, so this is an internal invariant
+    /// (debug-checked).
     pub fn reserve_phased(&mut self, bytes: u64, align: u64, phase: u64) -> VRange {
         let align = align.max(PAGE_SIZE);
-        assert!(align.is_power_of_two(), "alignment must be a power of two");
-        assert!(
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        debug_assert!(
             phase < align && phase.is_multiple_of(PAGE_SIZE),
             "phase must be a page-aligned offset below the alignment"
         );
@@ -95,15 +95,14 @@ impl AddressSpace {
     ///
     /// Fails if the virtual page is already mapped.
     ///
-    /// # Panics
-    ///
-    /// Panics if either address is not page-aligned.
+    /// Both addresses must be page-aligned — the kernel only produces
+    /// aligned pages, so this is an internal invariant (debug-checked).
     pub fn map_page(&mut self, v: VAddr, p: PAddr) -> Result<(), VmError> {
-        assert!(
+        debug_assert!(
             v.is_aligned(PAGE_SIZE),
             "virtual page must be aligned: {v:?}"
         );
-        assert!(p.is_aligned(PAGE_SIZE), "bus page must be aligned: {p:?}");
+        debug_assert!(p.is_aligned(PAGE_SIZE), "bus page must be aligned: {p:?}");
         let vpage = v.raw() >> PAGE_SHIFT;
         if self.pages.contains_key(&vpage) {
             return Err(VmError::AlreadyMapped(vpage));
@@ -142,21 +141,21 @@ impl AddressSpace {
 
     /// Translates a virtual address to a bus address.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unmapped address — the simulator equivalent of a
-    /// segmentation fault.
+    /// Returns [`VmError::NotMapped`] for an unmapped address — what a
+    /// real MMU reports as a page fault. Callers modeling a CPU access
+    /// with no handler installed treat it as a segfault.
     #[inline]
-    pub fn translate(&self, v: VAddr) -> PAddr {
+    pub fn translate(&self, v: VAddr) -> Result<PAddr, VmError> {
         let vpage = v.raw() >> PAGE_SHIFT;
-        let base = self
-            .pages
+        self.pages
             .get(&vpage)
-            .unwrap_or_else(|| panic!("segfault: {v:?} is not mapped"));
-        base.add(v.page_offset())
+            .map(|base| base.add(v.page_offset()))
+            .ok_or(VmError::NotMapped(vpage))
     }
 
-    /// Translates, returning `None` instead of panicking.
+    /// Translates, returning `None` for an unmapped address.
     #[inline]
     pub fn try_translate(&self, v: VAddr) -> Option<PAddr> {
         let vpage = v.raw() >> PAGE_SHIFT;
@@ -197,7 +196,7 @@ mod tests {
         let mut a = AddressSpace::new();
         a.map_page(VAddr::new(0x10000), PAddr::new(0x80_0000))
             .unwrap();
-        assert_eq!(a.translate(VAddr::new(0x10abc)), PAddr::new(0x80_0abc));
+        assert_eq!(a.translate(VAddr::new(0x10abc)), Ok(PAddr::new(0x80_0abc)));
         assert_eq!(a.try_translate(VAddr::new(0x20000)), None);
     }
 
@@ -219,7 +218,7 @@ mod tests {
             .remap_page(VAddr::new(0x10000), PAddr::new(PAGE_SIZE))
             .unwrap();
         assert_eq!(old, PAddr::new(0));
-        assert_eq!(a.translate(VAddr::new(0x10000)), PAddr::new(PAGE_SIZE));
+        assert_eq!(a.translate(VAddr::new(0x10000)), Ok(PAddr::new(PAGE_SIZE)));
         assert!(a.remap_page(VAddr::new(0x20000), PAddr::new(0)).is_err());
     }
 
@@ -233,9 +232,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "segfault")]
-    fn translate_unmapped_panics() {
-        AddressSpace::new().translate(VAddr::new(0x1234));
+    fn translate_unmapped_is_a_typed_error() {
+        assert_eq!(
+            AddressSpace::new().translate(VAddr::new(0x1234)),
+            Err(VmError::NotMapped(0x1))
+        );
     }
 
     #[test]

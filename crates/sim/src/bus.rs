@@ -7,6 +7,7 @@
 //! memory system did; the full transfer still occupies the bus and is
 //! charged to bandwidth.
 
+use impulse_fault::{BusFaultStats, TimeoutInjector};
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::Cycle;
 
@@ -61,6 +62,7 @@ pub struct Bus {
     cfg: BusConfig,
     busy_until: Cycle,
     stats: BusStats,
+    faults: Option<TimeoutInjector>,
 }
 
 impl Bus {
@@ -70,7 +72,22 @@ impl Bus {
             cfg,
             busy_until: 0,
             stats: BusStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a request-timeout injector: demand transfers consult it
+    /// and absorb the bounded retry/backoff delay before arbitration.
+    pub fn set_fault_injector(&mut self, inj: TimeoutInjector) {
+        self.faults = Some(inj);
+    }
+
+    /// Timeout/retry counters (zero when no injector is attached).
+    pub fn fault_stats(&self) -> BusFaultStats {
+        self.faults
+            .as_ref()
+            .map(TimeoutInjector::stats)
+            .unwrap_or_default()
     }
 
     /// The configuration.
@@ -97,6 +114,13 @@ impl Bus {
     /// controller at `data_ready`; returns the cycle the *critical word*
     /// reaches the CPU. The bus stays occupied for the full transfer.
     pub fn demand_transfer(&mut self, bytes: u64, data_ready: Cycle) -> Cycle {
+        // A timed-out request burns its retry/backoff budget before it
+        // can win arbitration; the delay is bounded by the injector's
+        // retry cap, so forward progress is guaranteed.
+        let data_ready = match self.faults.as_mut() {
+            Some(inj) => data_ready + inj.delay(data_ready),
+            None => data_ready,
+        };
         let start = data_ready.max(self.busy_until);
         self.stats.contention += start - data_ready;
         let full = start + bytes.div_ceil(self.cfg.bytes_per_cycle);
@@ -123,6 +147,12 @@ impl Observe for Bus {
         m.counter("bus.transfers", self.stats.transfers);
         m.counter("bus.bytes", self.stats.bytes);
         m.counter("bus.contention", self.stats.contention);
+        if self.faults.is_some() {
+            let f = self.fault_stats();
+            m.counter("bus.fault.timeouts", f.timeouts);
+            m.counter("bus.fault.retries", f.retries);
+            m.counter("bus.fault.recovery_cycles", f.recovery_cycles);
+        }
     }
 }
 
@@ -156,6 +186,31 @@ mod tests {
         assert_eq!(done, 16);
         assert_eq!(bus.stats().bytes, 128);
         assert_eq!(bus.stats().transfers, 1);
+    }
+
+    #[test]
+    fn injected_timeouts_delay_demand_with_bounded_retries() {
+        use impulse_fault::{FaultPlan, Trigger};
+        let mut bus = Bus::new(BusConfig::default());
+        let mut clean = Bus::new(BusConfig::default());
+        bus.set_fault_injector(TimeoutInjector::new(
+            FaultPlan::new(Trigger::EveryN { every: 1, phase: 0 }, 7),
+            3,
+            8,
+        ));
+        for t in 0..20 {
+            let faulty = bus.demand_transfer(128, t * 1000);
+            let base = clean.demand_transfer(128, t * 1000);
+            assert!(faulty > base, "every request times out here");
+            // Worst case: 3 attempts of 8, 16, 32 cycles of backoff.
+            assert!(faulty - base <= 8 + 16 + 32);
+        }
+        let f = bus.fault_stats();
+        assert_eq!(f.timeouts, 20);
+        assert!(f.retries <= f.timeouts * 3, "retry bound holds");
+        assert!(f.recovery_cycles > 0);
+        // Fault-free buses report zeros without an injector.
+        assert_eq!(clean.fault_stats().timeouts, 0);
     }
 
     #[test]

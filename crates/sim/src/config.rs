@@ -3,6 +3,7 @@
 use impulse_cache::{CacheConfig, StreamConfig, TlbConfig};
 use impulse_core::McConfig;
 use impulse_dram::DramConfig;
+use impulse_fault::FaultConfig;
 use impulse_os::KernelConfig;
 use impulse_types::Cycle;
 
@@ -41,6 +42,8 @@ pub struct SystemConfig {
     /// Optional CPU-side stream buffers (the Jouppi/McKee related-work
     /// baseline of the paper's Section 5). `None` = absent.
     pub stream: Option<StreamConfig>,
+    /// Fault-injection schedule (default: fault-free, zero overhead).
+    pub faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -93,6 +96,7 @@ impl SystemConfig {
             l1_prefetch: false,
             mshr: 1,
             stream: None,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -125,6 +129,15 @@ impl SystemConfig {
     pub fn with_mshr(mut self, mshr: usize) -> Self {
         assert!(mshr >= 1, "at least one outstanding load is required");
         self.mshr = mshr;
+        self
+    }
+
+    /// Returns this configuration with a fault-injection schedule
+    /// attached; the machine distributes per-site injectors at build
+    /// time.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

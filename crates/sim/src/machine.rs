@@ -35,6 +35,7 @@ pub struct Machine {
     now: Cycle,
     epoch: Cycle,
     syscall_cycles: u64,
+    syscall_failures: u64,
     instructions: u64,
     xlat: [(u64, u64); XLAT_SLOTS], // (vpage, page base bus address)
     tracer: Option<Tracer>,
@@ -64,6 +65,7 @@ impl Machine {
             now: 0,
             epoch: 0,
             syscall_cycles: 0,
+            syscall_failures: 0,
             instructions: 0,
             xlat: [(u64::MAX, 0); XLAT_SLOTS],
             tracer: None,
@@ -148,7 +150,10 @@ impl Machine {
         if tag == vpage {
             return PAddr::new(base + v.page_offset());
         }
-        let p = self.kernel.translate(v);
+        let p = self
+            .kernel
+            .translate(v)
+            .unwrap_or_else(|e| panic!("segfault: demand access to {v:?}: {e}"));
         self.xlat[slot] = (vpage, p.page_base().raw());
         p
     }
@@ -228,8 +233,15 @@ impl Machine {
     }
 
     /// Translates without timing (for assertions and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unmapped address — a workload touching memory it
+    /// never mapped is a simulated segfault, not a recoverable error.
     pub fn translate(&self, v: VAddr) -> PAddr {
-        self.kernel.translate(v)
+        self.kernel
+            .translate(v)
+            .unwrap_or_else(|e| panic!("segfault: access to {v:?}: {e}"))
     }
 
     /// Programs a stream buffer with an explicit stride starting at the
@@ -255,13 +267,34 @@ impl Machine {
         self.invalidate_xlat();
     }
 
+    /// A failed system call still traps into the kernel and back: charge
+    /// the trap cost, count the failure, and surface the typed error to
+    /// the workload, which keeps running un-remapped.
+    fn fail_syscall(&mut self, e: OsError) -> OsError {
+        self.drain_loads();
+        let cost = self.kernel.config().costs.t_trap;
+        self.now += cost;
+        self.syscall_cycles += cost;
+        self.syscall_failures += 1;
+        e
+    }
+
+    /// System calls that returned a typed error this epoch (the machine
+    /// keeps running; each failure still paid the trap cost).
+    pub fn syscall_failures(&self) -> u64 {
+        self.syscall_failures
+    }
+
     /// Allocates and maps an ordinary data region.
     ///
     /// # Errors
     ///
     /// Propagates kernel allocation failures.
     pub fn alloc_region(&mut self, bytes: u64, align: u64) -> Result<VRange, OsError> {
-        let r = self.kernel.alloc_region(bytes, align)?;
+        let r = self
+            .kernel
+            .alloc_region(bytes, align)
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(r.page_count());
         Ok(r)
     }
@@ -278,7 +311,10 @@ impl Machine {
         align: u64,
         colors: &[u64],
     ) -> Result<VRange, OsError> {
-        let r = self.kernel.alloc_region_colored(bytes, align, colors)?;
+        let r = self
+            .kernel
+            .alloc_region_colored(bytes, align, colors)
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(r.page_count());
         Ok(r)
     }
@@ -331,14 +367,17 @@ impl Machine {
         index_region: VRange,
         index_bytes: u64,
     ) -> Result<RemapGrant, OsError> {
-        let grant = self.kernel.remap_gather(
-            self.ms.mc_mut(),
-            target,
-            elem_size,
-            indices,
-            index_region,
-            index_bytes,
-        )?;
+        let grant = self
+            .kernel
+            .remap_gather(
+                self.ms.mc_mut(),
+                target,
+                elem_size,
+                indices,
+                index_region,
+                index_bytes,
+            )
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(grant.pages_installed);
         self.flush_region(target);
         Ok(grant)
@@ -365,16 +404,19 @@ impl Machine {
     ) -> Result<RemapGrant, OsError> {
         let l1 = self.ms.l1().config().size;
         let phase = ((partner.raw() + l1 / 2) % l1) & !(PAGE_SIZE - 1);
-        let grant = self.kernel.remap_gather_aligned(
-            self.ms.mc_mut(),
-            target,
-            elem_size,
-            indices,
-            index_region,
-            index_bytes,
-            l1,
-            phase,
-        )?;
+        let grant = self
+            .kernel
+            .remap_gather_aligned(
+                self.ms.mc_mut(),
+                target,
+                elem_size,
+                indices,
+                index_region,
+                index_bytes,
+                l1,
+                phase,
+            )
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(grant.pages_installed);
         self.flush_region(target);
         Ok(grant)
@@ -393,14 +435,17 @@ impl Machine {
         count: u64,
         alias_align: u64,
     ) -> Result<RemapGrant, OsError> {
-        let grant = self.kernel.remap_strided(
-            self.ms.mc_mut(),
-            base,
-            object_size,
-            stride,
-            count,
-            alias_align,
-        )?;
+        let grant = self
+            .kernel
+            .remap_strided(
+                self.ms.mc_mut(),
+                base,
+                object_size,
+                stride,
+                count,
+                alias_align,
+            )
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(grant.pages_installed);
         // Only the strided objects themselves need flushing — not the
         // (possibly huge) span between them.
@@ -425,14 +470,17 @@ impl Machine {
         stride: u64,
         count: u64,
     ) -> Result<(), OsError> {
-        let pages = self.kernel.retarget_strided(
-            self.ms.mc_mut(),
-            grant,
-            new_base,
-            object_size,
-            stride,
-            count,
-        )?;
+        let pages = self
+            .kernel
+            .retarget_strided(
+                self.ms.mc_mut(),
+                grant,
+                new_base,
+                object_size,
+                stride,
+                count,
+            )
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(pages);
         Ok(())
     }
@@ -460,7 +508,8 @@ impl Machine {
     pub fn sys_recolor(&mut self, target: VRange, colors: &[u64]) -> Result<RemapGrant, OsError> {
         let grant = self
             .kernel
-            .remap_recolor(self.ms.mc_mut(), target, colors)?;
+            .remap_recolor(self.ms.mc_mut(), target, colors)
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(grant.pages_installed);
         self.flush_region(target);
         Ok(grant)
@@ -481,7 +530,10 @@ impl Machine {
         for page in target.blocks(PAGE_SIZE) {
             self.ms.tlb_shootdown(page);
         }
-        let grant = self.kernel.build_superpage(self.ms.mc_mut(), target)?;
+        let grant = self
+            .kernel
+            .build_superpage(self.ms.mc_mut(), target)
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(grant.pages_installed);
         Ok(grant)
     }
@@ -501,7 +553,7 @@ impl Machine {
     ///
     /// Fails if the process does not exist.
     pub fn sys_switch(&mut self, pid: Pid) -> Result<(), OsError> {
-        self.kernel.switch(pid)?;
+        self.kernel.switch(pid).map_err(|e| self.fail_syscall(e))?;
         self.ms.tlb_flush();
         self.charge_syscall(1);
         Ok(())
@@ -515,7 +567,10 @@ impl Machine {
     ///
     /// Fails unless the calling process owns the grant.
     pub fn sys_share(&mut self, grant: &RemapGrant, with: Pid) -> Result<VRange, OsError> {
-        let alias = self.kernel.share_remap(grant, with)?;
+        let alias = self
+            .kernel
+            .share_remap(grant, with)
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(alias.page_count());
         Ok(alias)
     }
@@ -533,7 +588,9 @@ impl Machine {
         for page in grant.alias.blocks(PAGE_SIZE) {
             self.ms.tlb_shootdown(page);
         }
-        self.kernel.release_remap(self.ms.mc_mut(), grant)?;
+        self.kernel
+            .release_remap(self.ms.mc_mut(), grant)
+            .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(grant.alias.page_count());
         Ok(())
     }
@@ -546,6 +603,7 @@ impl Machine {
         self.drain_loads();
         self.epoch = self.now;
         self.syscall_cycles = 0;
+        self.syscall_failures = 0;
         self.instructions = 0;
         self.ms.reset_stats();
         self.ms.mc_mut().reset_stats();
@@ -575,6 +633,7 @@ impl Machine {
         m.counter("machine.cycles", self.now - self.epoch);
         m.counter("machine.instructions", self.instructions);
         m.counter("machine.syscall_cycles", self.syscall_cycles);
+        m.counter("machine.syscall_failures", self.syscall_failures);
         m
     }
 }
@@ -885,6 +944,34 @@ mod tests {
         let used = last_paddr(&mut m);
         assert_eq!(used, m.translate(r2.start()));
         assert_ne!(used, p1, "p2 must not read through p1's memoized frame");
+    }
+
+    #[test]
+    fn failed_syscalls_charge_trap_and_count() {
+        let mut m = machine();
+        let x = m.alloc_region(64 * 64 * 8, 8).unwrap();
+        let before = m.now();
+        // Zero stride is syscall misuse: a typed error, not a panic.
+        let res = m.sys_remap_strided(x.start(), 64, 0, 8, PAGE_SIZE);
+        assert!(matches!(res, Err(OsError::InvalidArg(_))));
+        assert_eq!(m.syscall_failures(), 1);
+        let trap = m.kernel().config().costs.t_trap;
+        assert_eq!(
+            m.now() - before,
+            trap,
+            "a failed trap still costs entry/exit"
+        );
+        assert_eq!(
+            m.metrics().counter_value("machine.syscall_failures"),
+            Some(1)
+        );
+        // The machine keeps running: the same region remaps fine next try.
+        let g = m
+            .sys_remap_strided(x.start(), 64, 512, 8, PAGE_SIZE)
+            .unwrap();
+        m.load(g.alias.start());
+        m.reset_stats();
+        assert_eq!(m.syscall_failures(), 0, "epoch reset clears the counter");
     }
 
     #[test]

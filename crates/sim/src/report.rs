@@ -105,6 +105,7 @@ impl Report {
         mem.set("mem_ratio", Json::Float(self.mem.mem_ratio()));
         mem.set("avg_load_time", Json::Float(self.mem.avg_load_time()));
         mem.set("tlb_penalties", Json::UInt(self.mem.tlb_penalties));
+        mem.set("remap_faults", Json::UInt(self.mem.remap_faults));
         root.set("mem", mem);
 
         let mut attr = Json::obj();

@@ -46,6 +46,9 @@ pub struct MemStats {
     pub mem_writebacks: u64,
     /// TLB miss penalties taken.
     pub tlb_penalties: u64,
+    /// Demand loads whose remapped (shadow) access was rejected by the
+    /// controller and fell back to a NACK-degraded non-remapped access.
+    pub remap_faults: u64,
 }
 
 impl MemStats {
@@ -117,12 +120,22 @@ impl MemorySystem {
     /// Assembles the hierarchy from a configuration.
     pub fn new(cfg: &SystemConfig) -> Self {
         let dram = Dram::new(cfg.dram.clone());
+        let mut mc = MemController::new(dram, cfg.mc.clone());
+        let mut bus = Bus::new(cfg.bus);
+        if !cfg.faults.is_none() {
+            // Distribute per-site injectors: DRAM flips + ECC and pgtbl
+            // corruption live behind the controller, timeouts at the bus.
+            mc.set_faults(&cfg.faults);
+            if let Some(inj) = cfg.faults.timeout_injector() {
+                bus.set_fault_injector(inj);
+            }
+        }
         Self {
             l1: Cache::new(cfg.l1.clone()),
             l2: Cache::new(cfg.l2.clone()),
             tlb: Tlb::new(cfg.tlb),
-            bus: Bus::new(cfg.bus),
-            mc: MemController::new(dram, cfg.mc.clone()),
+            bus,
+            mc,
             streams: cfg.stream.map(StreamBuffers::new),
             t_stream_hit: 2,
             t_l1_hit: cfg.t_l1_hit,
@@ -378,7 +391,17 @@ impl MemorySystem {
                 self.attr.charge(Stage::L2, self.t_l2_hit);
                 self.attr.charge(Stage::Bus, self.bus.request_latency());
                 let request = t + self.t_l2_hit + self.bus.request_latency();
-                let (data_ready, bd) = self.mc.read_line_attributed(p, request);
+                let (data_ready, bd) = match self.mc.try_read_line_attributed(p, request) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // A misconfigured or torn-down remapping degrades
+                        // to a NACKed access instead of aborting the
+                        // machine; the controller counts the rejection and
+                        // the infallible path charges the bounce.
+                        self.stats.remap_faults += 1;
+                        self.mc.read_line_attributed(p, request)
+                    }
+                };
                 self.attr.charge(Stage::McFrontEnd, bd.frontend + bd.sram);
                 self.attr.charge(Stage::PgTbl, bd.pgtbl);
                 self.attr.charge(Stage::Dram, bd.dram);
@@ -544,6 +567,7 @@ impl Observe for MemorySystem {
         m.counter("mem.stream_loads", s.stream_loads);
         m.counter("mem.mem_writebacks", s.mem_writebacks);
         m.counter("mem.tlb_penalties", s.tlb_penalties);
+        m.counter("mem.remap_faults", s.remap_faults);
         m.gauge("mem.avg_load_time", s.avg_load_time());
         m.histogram("mem.lat_l1_hit", &self.lat_l1_hit);
         m.histogram("mem.lat_l2_hit", &self.lat_l2_hit);
@@ -992,6 +1016,115 @@ mod tests {
         assert_eq!(ms.attribution().total(), 0);
         assert_eq!(ms.load_latency().count(), 0);
         assert_eq!(ms.mem_latency().count(), 0);
+    }
+
+    #[test]
+    fn ecc_corrects_injected_singles_with_zero_data_diff() {
+        use impulse_fault::{EccConfig, EccMode, FaultConfig, Trigger};
+        let run = |faults: FaultConfig| {
+            let cfg = SystemConfig::paint_small().with_faults(faults);
+            let mut ms = MemorySystem::new(&cfg);
+            let mut t = 0;
+            for i in 0..256u64 {
+                let a = 0x100000 + i * 136;
+                t = ms.load(va(a), pa(a), (va(a).page_number(), 1), t);
+            }
+            t
+        };
+        let clean = run(FaultConfig::none());
+        let faults = FaultConfig {
+            seed: 1999,
+            dram_flip: Trigger::EveryN { every: 4, phase: 0 },
+            ecc: EccConfig {
+                mode: EccMode::Secded,
+                ..EccConfig::default()
+            },
+            ..FaultConfig::none()
+        };
+        let cfg = SystemConfig::paint_small().with_faults(faults);
+        let mut ms = MemorySystem::new(&cfg);
+        let mut t = 0;
+        for i in 0..256u64 {
+            let a = 0x100000 + i * 136;
+            t = ms.load(va(a), pa(a), (va(a).page_number(), 1), t);
+        }
+        let ecc = ms.mc().ecc_stats();
+        assert!(ecc.corrected > 0, "flips must reach the ECC stage");
+        assert_eq!(ecc.detected_double, 0);
+        assert_eq!(
+            ecc.corrupt_sig, 0,
+            "SECDED corrects every single: no data diff"
+        );
+        assert!(t > clean, "correction penalties must cost cycles");
+        // The demand attribution invariant survives fault injection.
+        let s = ms.stats();
+        assert_eq!(ms.attribution().total(), s.load_cycles + s.store_cycles);
+    }
+
+    #[test]
+    fn bus_timeouts_slow_the_system_but_stay_bounded() {
+        use impulse_fault::{FaultConfig, Trigger};
+        let run = |faults: FaultConfig| {
+            let cfg = SystemConfig::paint_small().with_faults(faults);
+            let mut ms = MemorySystem::new(&cfg);
+            let mut t = 0;
+            for i in 0..256u64 {
+                let a = 0x100000 + i * 136;
+                t = ms.load(va(a), pa(a), (va(a).page_number(), 1), t);
+            }
+            (t, ms.bus().fault_stats())
+        };
+        let (clean, none) = run(FaultConfig::none());
+        assert_eq!(none.timeouts, 0);
+        let (faulty, f) = run(FaultConfig {
+            seed: 7,
+            bus_timeout: Trigger::Permille(200),
+            ..FaultConfig::none()
+        });
+        assert!(f.timeouts > 0);
+        assert!(f.retries <= f.timeouts * 3, "retry bound holds end to end");
+        assert!(faulty > clean);
+        assert_eq!(
+            faulty - clean,
+            f.recovery_cycles,
+            "slowdown is exactly the recovery time"
+        );
+    }
+
+    #[test]
+    fn torn_down_remap_degrades_and_counts() {
+        use impulse_core::RemapFn;
+        use impulse_types::{MAddr, PvAddr};
+
+        let mut ms = system(false, false);
+        let shadow = ms.mc().shadow_base();
+        let region = impulse_types::PRange::new(shadow, 4096);
+        let desc = ms
+            .mc_mut()
+            .claim_descriptor(region, RemapFn::strided(PvAddr::new(0), 8, 1024))
+            .unwrap();
+        for page in 0..32u64 {
+            ms.mc_mut().map_page(page, MAddr::new(page * 4096));
+        }
+        let v = va(shadow.raw());
+        let p = PAddr::new(shadow.raw());
+        let t = ms.load(v, p, span_of(v), 0);
+        assert_eq!(ms.stats().remap_faults, 0);
+
+        // Tear the descriptor down behind the running workload (a
+        // misbehaving process, or a chaos schedule): subsequent shadow
+        // loads degrade to NACKs instead of aborting the machine.
+        ms.mc_mut().release_descriptor(desc).unwrap();
+        let v2 = va(shadow.raw() + 4 * 128); // different L2 line
+        let done = ms.load(v2, PAddr::new(v2.raw()), span_of(v2), t);
+        assert!(done > t, "the NACKed access still costs time");
+        assert_eq!(ms.stats().remap_faults, 1);
+        assert_eq!(ms.mc().stats().rejected_reads, 1);
+        // Accounting parity: attribution still sums to demand cycles.
+        let s = ms.stats();
+        assert_eq!(ms.attribution().total(), s.load_cycles + s.store_cycles);
+        let reg = ms.observe_all();
+        assert_eq!(reg.counter_value("mem.remap_faults"), Some(1));
     }
 
     #[test]

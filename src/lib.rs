@@ -9,6 +9,7 @@
 pub use impulse_cache as cache;
 pub use impulse_core as core;
 pub use impulse_dram as dram;
+pub use impulse_fault as fault;
 pub use impulse_obs as obs;
 pub use impulse_os as os;
 pub use impulse_sim as sim;
