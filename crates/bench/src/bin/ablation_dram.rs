@@ -81,13 +81,19 @@ fn run(policy: SchedulePolicy, batches: &[Vec<MAddr>]) -> (u64, f64) {
     (now, dram.stats().row_hit_ratio())
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = Args::parse();
     let words = args.get("words", 64);
     let n_batches = args.get("batches", if args.paper { 20_000 } else { 4_000 });
     let streams = args.get("streams", 4);
     let seed = args.get("seed", 42);
-    let jobs = args.get("jobs", runner::default_jobs() as u64).max(1) as usize;
+    let jobs = match args.jobs() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: ablation_dram [--paper] [words=N] [batches=N] [streams=N] [seed=N] [jobs=N]");
+            return std::process::ExitCode::from(2);
+        }
+    };
 
     let dram_cfg = DramConfig::default();
     let mut rng = Rng(seed | 1);
@@ -144,4 +150,5 @@ fn main() {
         }
     }
     println!();
+    std::process::ExitCode::SUCCESS
 }

@@ -2,18 +2,28 @@
 //! generated fault schedules, asserts the robustness invariants, and
 //! writes `results/chaos.json` (schema `impulse-chaos-v1`).
 //!
-//! Usage: `chaos [seed=<N>] [jobs=<N>] [out=<path>]`
+//! Usage: `chaos [seed=<N>] [jobs=<N>] [out=<path>]
+//! [journal=<path>] [timeout_ms=<N>] [attempts=<K>] [--resume]`
 //!
 //! Cases fan across `jobs=<N>` worker threads; results are gathered in
 //! submission order and every fault is drawn from a seeded per-site
 //! stream, so the JSON output is byte-identical for a fixed seed at any
-//! worker count. Exits nonzero if any invariant was violated.
+//! worker count. Completed cases are journaled (fsync'd) as they finish;
+//! after a crash, `--resume` reruns only what is missing and emits the
+//! same bytes as an uninterrupted run. Exits nonzero if any invariant
+//! was violated or any case failed to run.
 
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use impulse_bench::chaos::{chaos_document, chaos_jobs, cross_case_violations};
-use impulse_bench::runner;
+use impulse_bench::chaos::{chaos_document, chaos_jobs, cross_case_violations, ChaosOutcome};
+use impulse_bench::journal::{self, RunArtifacts};
+use impulse_bench::runner::{self, SuperviseOpts};
+
+const USAGE: &str = "usage: chaos [seed=N] [jobs=N] [out=results/chaos.json] \
+[journal=results/chaos-journal.jsonl] [timeout_ms=N] [attempts=K] [--resume]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,13 +32,63 @@ fn main() -> ExitCode {
             .find_map(|a| a.strip_prefix(prefix).map(String::from))
             .unwrap_or_else(|| default.to_string())
     };
-    let seed: u64 = arg("seed=", "1999")
-        .parse()
-        .expect("seed= wants an integer");
     let path = arg("out=", "results/chaos.json");
-    let jobs = runner::jobs_from_args(&args);
+    let journal_path = arg("journal=", "results/chaos-journal.jsonl");
+    let resume = args.iter().any(|a| a == "--resume");
 
-    let outcomes = runner::run_ordered(chaos_jobs(seed), jobs);
+    let typed = || -> Result<(usize, u64, u64, u64), runner::ArgError> {
+        Ok((
+            runner::jobs_from_args(&args)?,
+            runner::u64_from_args(&args, "seed", 1999)?,
+            runner::u64_from_args(&args, "timeout_ms", 0)?,
+            runner::u64_from_args(&args, "attempts", 2)?,
+        ))
+    };
+    let (jobs, seed, timeout_ms, attempts) = match typed() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = SuperviseOpts {
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
+    };
+
+    let results = match journal::run_resumable(
+        chaos_jobs(seed),
+        seed,
+        jobs,
+        &opts,
+        Path::new(&journal_path),
+        resume,
+        &|o: &ChaosOutcome| RunArtifacts {
+            csv: String::new(),
+            json: o.to_json(),
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: journal I/O failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Rebuild the outcome list (submission order) from the artifacts;
+    // journaled and freshly-run cases are indistinguishable here, which
+    // is what keeps resumed chaos.json byte-identical.
+    let mut outcomes: Vec<ChaosOutcome> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for (id, res) in &results {
+        match res {
+            Ok(a) => match ChaosOutcome::from_json(&a.json) {
+                Some(o) => outcomes.push(o),
+                None => failures.push((id.clone(), "journaled case failed to decode".into())),
+            },
+            Err(e) => failures.push((id.clone(), e.clone())),
+        }
+    }
 
     println!(
         "{:<14} {:<12} {:>12} {:>10} {:>9} {:>9} {:>9}",
@@ -60,14 +120,28 @@ fn main() -> ExitCode {
         .flat_map(|o| o.violations.iter().cloned())
         .chain(cross_case_violations(&outcomes))
         .collect();
+
+    let mut failed = false;
+    if !failures.is_empty() {
+        failed = true;
+        eprintln!("{} case(s) failed to run:", failures.len());
+        for (id, e) in &failures {
+            eprintln!("  {id}: {e}");
+        }
+        eprintln!("(recorded in {journal_path}; rerun with --resume)");
+    }
     if violations.is_empty() {
         println!("all invariants held");
-        ExitCode::SUCCESS
     } else {
+        failed = true;
         eprintln!("{} invariant violation(s):", violations.len());
         for v in &violations {
             eprintln!("  {v}");
         }
+    }
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

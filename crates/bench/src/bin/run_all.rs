@@ -12,6 +12,15 @@
 //! experiment, the serial sum, and the elapsed total, so the perf
 //! trajectory is machine-readable PR over PR.
 //!
+//! The run is **crash-safe and self-healing**: every completed
+//! experiment is appended (and fsync'd) to `results/journal.jsonl`
+//! (`journal=<path>`) as it finishes, a panicking experiment is isolated
+//! to a typed `Err` record while the rest of the grid completes, and
+//! `timeout_ms=<N>` arms a per-attempt watchdog with `attempts=<K>`
+//! retries before quarantine. After a crash or `SIGKILL`, rerunning with
+//! `--resume` replays the journal, reruns only what is missing or
+//! failed, and emits byte-identical final CSV/JSON.
+//!
 //! The JSON report (schema `impulse-report-v1` per experiment) carries
 //! what the CSV cannot: per-level latency histograms with p50/p90/p99
 //! and the demand-cycle attribution table whose stage totals sum to each
@@ -21,14 +30,25 @@
 //! binaries (`table1`, `table2`, `fig1`, ...).
 
 use std::io::Write;
-use std::time::Instant;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use impulse_bench::experiments::{json_document, run_all_experiments};
-use impulse_bench::runner;
+use impulse_bench::experiments::{
+    csv_from_outcomes, document_from_outcomes, report_artifacts, run_all_experiments, Experiment,
+    DEFAULT_SEED,
+};
+use impulse_bench::journal;
+use impulse_bench::runner::{self, SharedJob, SuperviseOpts};
 use impulse_obs::Json;
 use impulse_sim::Report;
 
-fn main() {
+const USAGE: &str = "usage: run_all [out=results.csv] [json=results/run_all.json] \
+[bench=BENCH_run_all.json] [journal=results/journal.jsonl] [jobs=N] [seed=N] \
+[timeout_ms=N] [attempts=K] [--resume]";
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let arg = |prefix: &str, default: &str| -> String {
         args.iter()
@@ -38,63 +58,117 @@ fn main() {
     let path = arg("out=", "results.csv");
     let json_path = arg("json=", "results/run_all.json");
     let bench_path = arg("bench=", "BENCH_run_all.json");
-    let jobs = runner::jobs_from_args(&args);
+    let journal_path = arg("journal=", "results/journal.jsonl");
+    let resume = args.iter().any(|a| a == "--resume");
+
+    let typed = || -> Result<(usize, u64, u64, u64), runner::ArgError> {
+        Ok((
+            runner::jobs_from_args(&args)?,
+            runner::u64_from_args(&args, "seed", DEFAULT_SEED)?,
+            runner::u64_from_args(&args, "timeout_ms", 0)?,
+            runner::u64_from_args(&args, "attempts", 2)?,
+        ))
+    };
+    let (jobs, seed, timeout_ms, attempts) = match typed() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = SuperviseOpts {
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
+    };
+
+    // Wrap each job to record its wall time as it runs; resumed
+    // (journal-reused) experiments never execute, so they are absent
+    // from the BENCH record by construction.
+    let timings: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let catalog: Vec<(String, SharedJob<Report>)> = run_all_experiments(seed)
+        .into_iter()
+        .map(Experiment::into_job)
+        .map(|(id, job)| {
+            let timings = timings.clone();
+            let name = id.clone();
+            let wrapped: SharedJob<Report> = Arc::new(move || {
+                let t0 = Instant::now();
+                let r = job();
+                timings
+                    .lock()
+                    .expect("timings lock")
+                    .push((name.clone(), t0.elapsed().as_nanos() as u64));
+                r
+            });
+            (id, wrapped)
+        })
+        .collect();
 
     let t_total = Instant::now();
-    let experiments = run_all_experiments();
-    let timed = runner::run_ordered_timed(
-        experiments
-            .into_iter()
-            .map(|e| {
-                move || {
-                    let name = e.name().to_string();
-                    let r = e.run();
-                    eprintln!("done: {name}");
-                    r
-                }
-            })
-            .collect(),
+    let outcomes = match journal::run_resumable(
+        catalog,
+        seed,
         jobs,
-    );
+        &opts,
+        Path::new(&journal_path),
+        resume,
+        &report_artifacts,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: journal I/O failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let total_wall = t_total.elapsed();
-    let reports: Vec<Report> = timed.iter().map(|(r, _)| r.clone()).collect();
 
+    let ok_count = outcomes.iter().filter(|(_, o)| o.is_ok()).count();
     let mut f = std::fs::File::create(&path).expect("create results file");
-    writeln!(f, "{}", Report::csv_header()).expect("write header");
-    for r in &reports {
-        writeln!(f, "{}", r.csv_row()).expect("write row");
-    }
+    f.write_all(csv_from_outcomes(&outcomes).as_bytes())
+        .expect("write CSV");
 
     if let Some(dir) = std::path::Path::new(&json_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create results directory");
         }
     }
-    let doc = json_document(&reports);
+    let doc = document_from_outcomes(seed, &outcomes);
     let mut jf = std::fs::File::create(&json_path).expect("create JSON report");
     writeln!(jf, "{doc:#}").expect("write JSON report");
 
     // Host-side perf record: per-experiment wall clock, their serial sum,
     // and the elapsed (parallel) total. serial_sum / total ≈ the speedup
-    // the job pool delivered on this host.
+    // the job pool delivered on this host. Only freshly-executed
+    // experiments appear (a resumed run times just what it reran).
+    let mut timings = Arc::try_unwrap(timings)
+        .expect("workers exited")
+        .into_inner()
+        .expect("timings lock");
+    let position: std::collections::HashMap<&str, usize> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, (id, _))| (id.as_str(), i))
+        .collect();
+    timings.sort_by_key(|(name, _)| position.get(name.as_str()).copied().unwrap_or(usize::MAX));
     let mut bench = Json::obj();
     bench.set("schema", Json::Str("impulse-bench-run-all-v1".into()));
     bench.set("jobs", Json::UInt(jobs as u64));
-    bench.set("experiments_run", Json::UInt(reports.len() as u64));
+    bench.set("seed", Json::UInt(seed));
+    bench.set("experiments_run", Json::UInt(timings.len() as u64));
     bench.set("total_wall_ns", Json::UInt(total_wall.as_nanos() as u64));
     bench.set(
         "serial_sum_wall_ns",
-        Json::UInt(timed.iter().map(|(_, d)| d.as_nanos() as u64).sum()),
+        Json::UInt(timings.iter().map(|(_, ns)| ns).sum()),
     );
     bench.set(
         "experiments",
         Json::Arr(
-            timed
+            timings
                 .iter()
-                .map(|(r, d)| {
+                .map(|(name, ns)| {
                     let mut e = Json::obj();
-                    e.set("name", Json::Str(r.name.clone()));
-                    e.set("wall_ns", Json::UInt(d.as_nanos() as u64));
+                    e.set("name", Json::Str(name.clone()));
+                    e.set("wall_ns", Json::UInt(*ns));
                     e
                 })
                 .collect(),
@@ -104,9 +178,26 @@ fn main() {
     writeln!(bf, "{bench:#}").expect("write bench record");
 
     println!(
-        "wrote {} experiment rows to {path} and full reports to {json_path} \
+        "wrote {ok_count} experiment rows to {path} and full reports to {json_path} \
          ({jobs} jobs, {:.2}s wall, timings in {bench_path})",
-        reports.len(),
         total_wall.as_secs_f64(),
     );
+
+    let failures: Vec<&(String, Result<journal::RunArtifacts, String>)> =
+        outcomes.iter().filter(|(_, o)| o.is_err()).collect();
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (id, o) in &failures {
+            if let Err(e) = o {
+                eprintln!("FAILED: {id}: {e}");
+            }
+        }
+        eprintln!(
+            "{} of {} experiments failed (recorded in {journal_path}; rerun with --resume)",
+            failures.len(),
+            outcomes.len()
+        );
+        ExitCode::FAILURE
+    }
 }

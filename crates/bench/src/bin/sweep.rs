@@ -8,18 +8,33 @@
 //! Sweeps: per-descriptor prefetch buffer size, non-shadow prefetch SRAM
 //! size, controller TLB entries, DRAM banks, and the DRAM scheduling
 //! policy. Overrides: `rows=`, `nnz=`, `seed=`, `jobs=` (worker threads;
-//! default all hardware threads, `jobs=1` for the serial path).
+//! default all hardware threads, `jobs=1` for the serial path), plus the
+//! crash-recovery knobs `journal=`, `timeout_ms=`, `attempts=`, and
+//! `--resume`.
 //!
 //! Every grid point builds its own `Machine`, so the whole grid fans
 //! across a job pool; rows are gathered and printed in grid order, making
-//! the output identical at any `jobs=` value.
+//! the output identical at any `jobs=` value. Finished points are
+//! journaled (fsync'd) as they complete: each sweep row stores its fully
+//! rendered table line, each tile-sweep point its raw cycle count (the
+//! tile lines need cross-point math), so `--resume` after a crash reruns
+//! only the missing points and prints identical tables.
 
+use std::path::Path;
+use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use impulse_bench::{runner, Args};
+use impulse_bench::journal::{self, RunArtifacts};
+use impulse_bench::runner::{SharedJob, SuperviseOpts};
+use impulse_bench::Args;
 use impulse_dram::SchedulePolicy;
+use impulse_obs::Json;
 use impulse_sim::{Machine, Report, SystemConfig};
 use impulse_workloads::{Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern};
+
+const USAGE: &str = "usage: sweep [--paper] [rows=N] [nnz=N] [seed=N] [jobs=N] \
+[journal=results/sweep-journal.jsonl] [timeout_ms=N] [attempts=K] [--resume]";
 
 fn run(cfg: &SystemConfig, pattern: &Arc<SparsePattern>) -> Report {
     let mut m = Machine::new(cfg);
@@ -36,22 +51,40 @@ fn header(title: &str) {
     );
 }
 
-fn row(label: &str, r: &Report) {
-    println!(
+/// One fully rendered sweep-table line — exactly what the journal stores,
+/// so resumed output is byte-identical (no float re-rounding).
+fn render_row(label: &str, r: &Report) -> String {
+    format!(
         "{:<22}{:>14}{:>12.2}{:>14}",
         label,
         r.cycles,
         r.mem.avg_load_time(),
         r.desc.buffer_hits
-    );
+    )
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let rows = args.get("rows", 14_000);
     let nnz = args.get("nnz", if args.paper { 156 } else { 24 });
     let seed = args.get("seed", 0x5eed);
-    let jobs = args.get("jobs", runner::default_jobs() as u64).max(1) as usize;
+    let jobs = match args.jobs() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let timeout_ms = args.get("timeout_ms", 0);
+    let attempts = args.get("attempts", 2);
+    let journal_path = args
+        .journal
+        .clone()
+        .unwrap_or_else(|| "results/sweep-journal.jsonl".to_string());
+    let opts = SuperviseOpts {
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
+    };
     let pattern = Arc::new(SparsePattern::generate(rows, nnz, seed));
 
     println!("================================================================");
@@ -137,21 +170,79 @@ fn main() {
             .collect(),
     ));
 
-    let grid_jobs: Vec<_> = sections
-        .iter()
-        .flat_map(|(_, rows)| rows.iter())
-        .map(|(_, cfg)| {
+    // One catalog for the whole binary: the sweep grid followed by the
+    // tile-size points, each under a stable journal id.
+    let mut catalog: Vec<(String, SharedJob<RunArtifacts>)> = Vec::new();
+    for (si, (_, rows)) in sections.iter().enumerate() {
+        for (label, cfg) in rows {
+            let id = format!("sweep/{si}/{label}");
             let cfg = cfg.clone();
             let pattern = pattern.clone();
-            move || run(&cfg, &pattern)
-        })
-        .collect();
-    let mut reports = runner::run_ordered(grid_jobs, jobs).into_iter();
+            let label = label.clone();
+            catalog.push((
+                id,
+                Arc::new(move || {
+                    let r = run(&cfg, &pattern);
+                    RunArtifacts {
+                        csv: render_row(&label, &r),
+                        json: Json::Null,
+                    }
+                }),
+            ));
+        }
+    }
+    let tiles = [16u64, 32, 64];
+    for &tile in &tiles {
+        for &variant in MmpVariant::ALL.iter() {
+            let id = format!("mmp/{tile}/{}", variant.name());
+            catalog.push((
+                id,
+                Arc::new(move || {
+                    let n = 256;
+                    let mut m = Machine::new(&SystemConfig::paint());
+                    let mut w = Mmp::setup(&mut m, MmpParams { n, tile }, variant).expect("mmp");
+                    w.run(&mut m).expect("mmp run");
+                    let mut j = Json::obj();
+                    j.set("cycles", Json::UInt(m.report("t").cycles));
+                    RunArtifacts {
+                        csv: String::new(),
+                        json: j,
+                    }
+                }),
+            ));
+        }
+    }
+    let grid_points: usize = sections.iter().map(|(_, rows)| rows.len()).sum();
+
+    let results = match journal::run_resumable(
+        catalog,
+        seed,
+        jobs,
+        &opts,
+        Path::new(&journal_path),
+        args.resume,
+        &|a: &RunArtifacts| a.clone(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: journal I/O failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let mut outcomes = results.iter();
 
     for (title, rows) in &sections {
         header(title);
         for (label, _) in rows {
-            row(label, &reports.next().expect("one report per grid point"));
+            let (id, outcome) = outcomes.next().expect("one outcome per grid point");
+            match outcome {
+                Ok(a) => println!("{}", a.csv),
+                Err(e) => {
+                    println!("{label:<22}  [FAILED]");
+                    failures.push((id.clone(), e.clone()));
+                }
+            }
         }
     }
 
@@ -168,23 +259,27 @@ fn main() {
         "{:<12}{:>16}{:>18}{:>18}",
         "tile", "conv (Mcyc)", "copy ovh (Mcyc)", "remap ovh (Mcyc)"
     );
-    let tiles = [16u64, 32, 64];
-    let mmp_jobs: Vec<_> = tiles
-        .iter()
-        .flat_map(|&tile| MmpVariant::ALL.iter().map(move |&variant| (tile, variant)))
-        .map(|(tile, variant)| {
-            move || {
-                let n = 256;
-                let mut m = Machine::new(&SystemConfig::paint());
-                let mut w = Mmp::setup(&mut m, MmpParams { n, tile }, variant).expect("mmp");
-                w.run(&mut m).expect("mmp run");
-                m.report("t").cycles
-            }
-        })
-        .collect();
-    let mmp_cycles = runner::run_ordered(mmp_jobs, jobs);
+    let mmp_outcomes = &results[grid_points..];
     for (t, &tile) in tiles.iter().enumerate() {
-        let cycles = &mmp_cycles[t * MmpVariant::ALL.len()..(t + 1) * MmpVariant::ALL.len()];
+        let per_tile = &mmp_outcomes[t * MmpVariant::ALL.len()..(t + 1) * MmpVariant::ALL.len()];
+        let cycles: Option<Vec<u64>> = per_tile
+            .iter()
+            .map(|(_, o)| {
+                o.as_ref()
+                    .ok()
+                    .and_then(|a| a.json.get("cycles"))
+                    .and_then(Json::as_u64)
+            })
+            .collect();
+        for (id, o) in per_tile {
+            if let Err(e) = o {
+                failures.push((id.clone(), e.clone()));
+            }
+        }
+        let Some(cycles) = cycles else {
+            println!("{:<12}  [FAILED]", format!("{tile}x{tile}"));
+            continue;
+        };
         // Overhead = extra instructions + syscalls relative to the pure
         // kernel, measured as time above the (fast, conflict-free) remap
         // compute floor. Copy overhead grows with tile²; remap overhead
@@ -199,4 +294,15 @@ fn main() {
         );
     }
     println!();
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} grid point(s) failed:", failures.len());
+        for (id, e) in &failures {
+            eprintln!("  {id}: {e}");
+        }
+        eprintln!("(recorded in {journal_path}; rerun with --resume)");
+        ExitCode::FAILURE
+    }
 }

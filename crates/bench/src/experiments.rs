@@ -11,6 +11,9 @@
 
 use std::sync::Arc;
 
+use crate::journal::RunArtifacts;
+use crate::runner::SharedJob;
+
 use impulse_obs::Json;
 use impulse_sim::{Machine, Report, SystemConfig};
 use impulse_workloads::{
@@ -20,16 +23,18 @@ use impulse_workloads::{
 };
 
 /// One independent experiment: a name and a job producing its report.
+/// The job is shared (`Fn`, not `FnOnce`) so the supervised runner can
+/// retry it after a panic or timeout.
 pub struct Experiment {
     name: String,
-    job: Box<dyn FnOnce() -> Report + Send>,
+    job: SharedJob<Report>,
 }
 
 impl Experiment {
-    fn new(name: String, job: impl FnOnce() -> Report + Send + 'static) -> Self {
+    fn new(name: String, job: impl Fn() -> Report + Send + Sync + 'static) -> Self {
         Self {
             name,
-            job: Box::new(job),
+            job: Arc::new(job),
         }
     }
 
@@ -40,18 +45,30 @@ impl Experiment {
     }
 
     /// Runs the experiment to completion.
-    pub fn run(self) -> Report {
+    pub fn run(&self) -> Report {
         (self.job)()
+    }
+
+    /// Decomposes into the (id, shared job) pair the resumable grid
+    /// driver consumes.
+    pub fn into_job(self) -> (String, SharedJob<Report>) {
+        (self.name, self.job)
     }
 }
 
+/// The default master seed for the `run_all` catalog (kept equal to the
+/// historical sparse-pattern seed so default outputs are unchanged).
+pub const DEFAULT_SEED: u64 = 0x00c9_a15e;
+
 /// Builds the full `run_all` experiment list (24 experiments at quick
-/// scale), in the canonical CSV/JSON row order.
-pub fn run_all_experiments() -> Vec<Experiment> {
+/// scale), in the canonical CSV/JSON row order. `seed` feeds every
+/// seeded input: the table-1 sparse pattern directly and the database
+/// scan's key salt via XOR.
+pub fn run_all_experiments(seed: u64) -> Vec<Experiment> {
     let mut out = Vec::new();
 
     // Table 1 cells.
-    let pattern = Arc::new(SparsePattern::generate(14_000, 24, 0x00c9_a15e));
+    let pattern = Arc::new(SparsePattern::generate(14_000, 24, seed));
     for (variant, mc_pf, l1_pf) in [
         (SmvpVariant::Conventional, false, false),
         (SmvpVariant::Conventional, true, true),
@@ -66,9 +83,9 @@ pub fn run_all_experiments() -> Vec<Experiment> {
         out.push(Experiment::new(name.clone(), move || {
             let cfg = SystemConfig::paint().with_prefetch(mc_pf, l1_pf);
             let mut m = Machine::new(&cfg);
-            let w = Smvp::setup(&mut m, pattern, variant).expect("smvp");
+            let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("smvp");
             w.run(&mut m, 1);
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -79,7 +96,7 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             let mut m = Machine::new(&SystemConfig::paint());
             let mut w = Mmp::setup(&mut m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
             w.run(&mut m).expect("mmp run");
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -90,7 +107,7 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             let mut m = Machine::new(&SystemConfig::paint());
             let mut w = Lu::setup(&mut m, 128, 32, variant).expect("lu");
             w.run(&mut m).expect("lu run");
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -102,7 +119,7 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             let d = Diagonal::setup(&mut m, 2048, variant).expect("diag");
             m.reset_stats();
             d.run(&mut m, 4);
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -114,7 +131,7 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             let w = Transpose::setup(&mut m, 512, variant).expect("transpose");
             m.reset_stats();
             w.column_reduce(&mut m);
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -126,7 +143,7 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             let w = TlbStress::setup(&mut m, 8, 64, variant).expect("tlb");
             m.reset_stats();
             w.sweep(&mut m, 8);
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -135,10 +152,10 @@ pub fn run_all_experiments() -> Vec<Experiment> {
         let name = format!("dbscan/{}", variant.name());
         out.push(Experiment::new(name.clone(), move || {
             let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
-            let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, 0xdb, variant).expect("db");
+            let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, seed ^ 0xdb, variant).expect("db");
             m.reset_stats();
             w.fetch(&mut m);
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -150,7 +167,7 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             let w = ChannelFilter::setup(&mut m, 1 << 20, 3, variant).expect("media");
             m.reset_stats();
             w.filter(&mut m);
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
@@ -164,38 +181,95 @@ pub fn run_all_experiments() -> Vec<Experiment> {
             for _ in 0..64 {
                 w.send(&mut m);
             }
-            m.report(name)
+            m.report(name.clone())
         }));
     }
 
     out
 }
 
+/// The journal artifacts for one report: its exact CSV row and compact
+/// JSON fragment — precisely the strings the final documents are
+/// assembled from, so resumed and uninterrupted runs emit identical
+/// bytes. Asserts the attribution invariant before anything is recorded.
+///
+/// # Panics
+///
+/// Panics if the report's attribution stages do not sum to its demand
+/// cycles.
+pub fn report_artifacts(r: &Report) -> RunArtifacts {
+    let demand = r.mem.load_cycles + r.mem.store_cycles;
+    assert_eq!(
+        r.attr.total(),
+        demand,
+        "{}: attribution stages sum to {} but demand cycles are {demand}",
+        r.name,
+        r.attr.total(),
+    );
+    RunArtifacts {
+        csv: r.csv_row(),
+        json: r.to_json(),
+    }
+}
+
+/// Assembles the final CSV text (header plus one row per successful
+/// experiment, in catalog order) from resumable-run outcomes. Failed
+/// experiments contribute no row.
+pub fn csv_from_outcomes(outcomes: &[(String, Result<RunArtifacts, String>)]) -> String {
+    let mut csv = String::from(Report::csv_header());
+    csv.push('\n');
+    for (_, outcome) in outcomes {
+        if let Ok(a) = outcome {
+            csv.push_str(&a.csv);
+            csv.push('\n');
+        }
+    }
+    csv
+}
+
+/// Assembles the `impulse-run-all-v1` JSON document from resumable-run
+/// outcomes: report fragments in catalog order, the master seed, and a
+/// `failed` array of `{name, error}` for experiments that produced no
+/// report.
+pub fn document_from_outcomes(
+    seed: u64,
+    outcomes: &[(String, Result<RunArtifacts, String>)],
+) -> Json {
+    let mut reports = Vec::with_capacity(outcomes.len());
+    let mut failed = Vec::new();
+    for (id, outcome) in outcomes {
+        match outcome {
+            Ok(a) => reports.push(a.json.clone()),
+            Err(e) => {
+                let mut f = Json::obj();
+                f.set("name", Json::Str(id.clone()));
+                f.set("error", Json::Str(e.clone()));
+                failed.push(f);
+            }
+        }
+    }
+    let mut root = Json::obj();
+    root.set("schema", Json::Str("impulse-run-all-v1".into()));
+    root.set("seed", Json::UInt(seed));
+    root.set("reports", Json::Arr(reports));
+    root.set("failed", Json::Arr(failed));
+    root
+}
+
 /// Bundles experiment reports into one JSON document (schema
-/// `impulse-run-all-v1`), asserting the attribution invariant for each
-/// along the way.
+/// `impulse-run-all-v1`) stamped with the master seed — the
+/// all-successful special case of [`document_from_outcomes`].
 ///
 /// # Panics
 ///
 /// Panics if any report's attribution stages do not sum to its demand
 /// cycles.
-pub fn json_document(reports: &[Report]) -> Json {
-    let mut arr = Vec::with_capacity(reports.len());
-    for r in reports {
-        let demand = r.mem.load_cycles + r.mem.store_cycles;
-        assert_eq!(
-            r.attr.total(),
-            demand,
-            "{}: attribution stages sum to {} but demand cycles are {demand}",
-            r.name,
-            r.attr.total(),
-        );
-        arr.push(r.to_json());
-    }
-    let mut root = Json::obj();
-    root.set("schema", Json::Str("impulse-run-all-v1".into()));
-    root.set("reports", Json::Arr(arr));
-    root
+pub fn json_document(seed: u64, reports: &[Report]) -> Json {
+    let outcomes: Vec<(String, Result<RunArtifacts, String>)> = reports
+        .iter()
+        .map(|r| (r.name.clone(), Ok(report_artifacts(r))))
+        .collect();
+    document_from_outcomes(seed, &outcomes)
 }
 
 #[cfg(test)]
@@ -204,7 +278,7 @@ mod tests {
 
     #[test]
     fn catalog_names_are_unique_and_stable() {
-        let exps = run_all_experiments();
+        let exps = run_all_experiments(DEFAULT_SEED);
         assert_eq!(exps.len(), 24);
         let names: std::collections::HashSet<&str> = exps.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), exps.len(), "duplicate experiment names");

@@ -20,6 +20,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod harness;
+pub mod journal;
 pub mod runner;
 
 use impulse_sim::Report;
@@ -130,13 +131,20 @@ pub fn print_table(title: &str, sections: &[TableSection], baseline: &Report) {
 }
 
 /// Minimal command-line handling shared by the regenerator binaries:
-/// recognizes `--paper` and `key=value` overrides.
+/// recognizes `--paper`, `--resume`, `journal=<path>`, and integer
+/// `key=value` overrides.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     /// Run the paper's full problem size.
     pub paper: bool,
+    /// Resume from the run journal instead of starting fresh.
+    pub resume: bool,
+    /// `journal=<path>` override for the run journal location.
+    pub journal: Option<String>,
     /// `key=value` overrides.
     pub overrides: Vec<(String, u64)>,
+    /// Raw `jobs=` value; validated (typed) by [`Args::jobs`].
+    jobs_raw: Option<String>,
 }
 
 impl Args {
@@ -150,6 +158,12 @@ impl Args {
         for a in std::env::args().skip(1) {
             if a == "--paper" {
                 out.paper = true;
+            } else if a == "--resume" {
+                out.resume = true;
+            } else if let Some(v) = a.strip_prefix("journal=") {
+                out.journal = Some(v.to_string());
+            } else if let Some(v) = a.strip_prefix("jobs=") {
+                out.jobs_raw = Some(v.to_string());
             } else if let Some((k, v)) = a.split_once('=') {
                 let v = v
                     .parse::<u64>()
@@ -157,7 +171,7 @@ impl Args {
                 out.overrides
                     .push((k.trim_start_matches('-').to_string(), v));
             } else {
-                panic!("unrecognized argument `{a}` (use --paper or key=value)");
+                panic!("unrecognized argument `{a}` (use --paper, --resume, or key=value)");
             }
         }
         out
@@ -171,6 +185,19 @@ impl Args {
             .find(|(k, _)| k == key)
             .map(|&(_, v)| v)
             .unwrap_or(default)
+    }
+
+    /// The validated worker count.
+    ///
+    /// # Errors
+    ///
+    /// `jobs=0` and non-numeric values come back as a typed
+    /// [`runner::ArgError`] — never a silent fallback to the default.
+    pub fn jobs(&self) -> Result<usize, runner::ArgError> {
+        match &self.jobs_raw {
+            None => Ok(runner::default_jobs()),
+            Some(v) => runner::parse_jobs(v),
+        }
     }
 }
 
@@ -188,10 +215,33 @@ mod tests {
     #[test]
     fn args_defaults_and_overrides() {
         let a = Args {
-            paper: false,
             overrides: vec![("rows".into(), 100), ("rows".into(), 200)],
+            ..Args::default()
         };
         assert_eq!(a.get("rows", 5), 200, "last override wins");
         assert_eq!(a.get("cols", 7), 7);
+    }
+
+    #[test]
+    fn args_jobs_is_typed() {
+        assert_eq!(
+            Args::default().jobs().expect("default is valid"),
+            runner::default_jobs()
+        );
+        let zero = Args {
+            jobs_raw: Some("0".into()),
+            ..Args::default()
+        };
+        assert!(zero.jobs().is_err(), "jobs=0 must not silently become 1");
+        let garbage = Args {
+            jobs_raw: Some("four".into()),
+            ..Args::default()
+        };
+        assert!(garbage.jobs().is_err());
+        let four = Args {
+            jobs_raw: Some("4".into()),
+            ..Args::default()
+        };
+        assert_eq!(four.jobs().expect("valid"), 4);
     }
 }

@@ -4,7 +4,7 @@
 //! lets `results.csv` / `results/run_all.json` regenerate reproducibly
 //! on any host at any worker count.
 
-use impulse_bench::experiments::{json_document, run_all_experiments};
+use impulse_bench::experiments::{json_document, run_all_experiments, DEFAULT_SEED};
 use impulse_bench::runner;
 use impulse_sim::Report;
 
@@ -16,14 +16,14 @@ fn serialize(reports: &[Report]) -> (String, String) {
         csv.push_str(&r.csv_row());
         csv.push('\n');
     }
-    let json = format!("{:#}\n", json_document(reports));
+    let json = format!("{:#}\n", json_document(DEFAULT_SEED, reports));
     (csv, json)
 }
 
 /// A reduced experiment list (the quick half of the catalog) run at
 /// `workers` threads.
 fn collect(workers: usize) -> (String, String) {
-    let exps: Vec<_> = run_all_experiments()
+    let exps: Vec<_> = run_all_experiments(DEFAULT_SEED)
         .into_iter()
         .filter(|e| {
             ["fig1/", "transpose/", "superpage/", "ipc/"]

@@ -1,0 +1,95 @@
+//! Every [`ImpulseError`]/`OsError` variant has a **stable** `Display`
+//! string, and that string round-trips through the run journal's typed
+//! error record unchanged. The journal stores failures as `Display`
+//! text, so these strings are a compatibility surface: changing one
+//! breaks `--resume` runs that compare against journaled failures.
+
+use impulse_bench::journal::JournalRecord;
+use impulse_core::McError;
+use impulse_os::{ImpulseError, OsError, PhysError, Pid, VmError};
+use impulse_types::VAddr;
+
+/// Exactly one exemplar of each variant, paired with its frozen
+/// rendering.
+fn exemplars() -> Vec<(ImpulseError, &'static str)> {
+    vec![
+        (
+            ImpulseError::Phys(PhysError::OutOfMemory),
+            "physical allocation failed: out of physical memory",
+        ),
+        (
+            ImpulseError::Vm(VmError::NotMapped(0x2a)),
+            "virtual memory error: virtual page 0x2a is not mapped",
+        ),
+        (
+            ImpulseError::Vm(VmError::AlreadyMapped(0x2a)),
+            "virtual memory error: virtual page 0x2a is already mapped",
+        ),
+        (
+            ImpulseError::Mc(McError::NoFreeDescriptor),
+            "memory controller error: all shadow descriptors are in use",
+        ),
+        (
+            ImpulseError::BadAlignment("stride not line-aligned"),
+            "bad alignment: stride not line-aligned",
+        ),
+        (
+            ImpulseError::InvalidArg("zero stride"),
+            "invalid argument: zero stride",
+        ),
+        (
+            ImpulseError::IndexOutOfBounds { index: 9, limit: 4 },
+            "indirection index 9 is out of bounds for a 4-element target",
+        ),
+        (
+            ImpulseError::ShadowExhausted {
+                requested: 100,
+                available: 64,
+            },
+            "shadow address space exhausted: 100 bytes requested, 64 available",
+        ),
+        (
+            ImpulseError::TargetNotPhysical(VAddr::new(0x1000)),
+            "remap target v:0x1000 is not backed by physical memory",
+        ),
+        (
+            ImpulseError::NotOwner(Pid::INIT),
+            "resource is owned by another process (pid0)",
+        ),
+        (
+            ImpulseError::NoSuchProcess(Pid::INIT),
+            "no such process: pid0",
+        ),
+    ]
+}
+
+#[test]
+fn every_variant_has_a_stable_display_string() {
+    let cases = exemplars();
+    // One exemplar per variant (Vm gets both of its inner shapes).
+    assert_eq!(cases.len(), 11);
+    for (err, expected) in &cases {
+        assert_eq!(&err.to_string(), expected, "{err:?} rendering drifted");
+        // The alias renders identically, of course — it IS the type.
+        let aliased: &OsError = err;
+        assert_eq!(&aliased.to_string(), expected);
+    }
+}
+
+#[test]
+fn every_variant_round_trips_through_a_journal_error_record() {
+    for (i, (err, expected)) in exemplars().into_iter().enumerate() {
+        let rec = JournalRecord {
+            id: format!("exp/{i}"),
+            seed: 7,
+            outcome: Err(err.to_string()),
+        };
+        let back = JournalRecord::from_json(&rec.to_json()).expect("record decodes");
+        assert_eq!(back, rec);
+        assert_eq!(
+            back.outcome.unwrap_err(),
+            expected,
+            "journaled error text drifted for {err:?}"
+        );
+    }
+}

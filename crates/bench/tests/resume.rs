@@ -1,0 +1,148 @@
+//! End-to-end crash/resume contract: a run interrupted at an arbitrary
+//! journal position — including a torn final record — and completed with
+//! `--resume` must emit **byte-identical** final CSV/JSON to an
+//! uninterrupted run, and a deliberately panicking experiment must be
+//! isolated to a typed error record while the rest of the grid finishes.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use impulse_bench::experiments::{
+    csv_from_outcomes, document_from_outcomes, report_artifacts, run_all_experiments, Experiment,
+    DEFAULT_SEED,
+};
+use impulse_bench::journal::{self, RunArtifacts};
+use impulse_bench::runner::{SharedJob, SuperviseOpts};
+use impulse_sim::Report;
+
+fn temp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "impulse-resume-test-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    p
+}
+
+/// The quick quarter of the catalog — enough to exercise multiple
+/// journal records without making the test slow.
+fn reduced_catalog() -> Vec<(String, SharedJob<Report>)> {
+    run_all_experiments(DEFAULT_SEED)
+        .into_iter()
+        .filter(|e| ["fig1/", "ipc/"].iter().any(|p| e.name().starts_with(p)))
+        .map(Experiment::into_job)
+        .collect()
+}
+
+fn render(outcomes: &[(String, Result<RunArtifacts, String>)]) -> (String, String) {
+    (
+        csv_from_outcomes(outcomes),
+        format!("{:#}\n", document_from_outcomes(DEFAULT_SEED, outcomes)),
+    )
+}
+
+#[test]
+fn interrupted_run_resumes_byte_identically() {
+    let catalog = reduced_catalog();
+    assert_eq!(catalog.len(), 4, "reduced catalog covers two pairs");
+    let opts = SuperviseOpts::default();
+
+    // Reference: one uninterrupted run.
+    let ref_path = temp_journal("reference");
+    let _ = std::fs::remove_file(&ref_path);
+    let reference = journal::run_resumable(
+        catalog.clone(),
+        DEFAULT_SEED,
+        2,
+        &opts,
+        &ref_path,
+        false,
+        &report_artifacts,
+    )
+    .expect("reference run");
+    let (ref_csv, ref_json) = render(&reference);
+    assert!(reference.iter().all(|(_, o)| o.is_ok()));
+
+    // Simulate a SIGKILL after every prefix of the journal, with the
+    // next record torn in half — the on-disk states a crash can leave.
+    let text = std::fs::read_to_string(&ref_path).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    for keep in 0..lines.len() {
+        let crash_path = temp_journal(&format!("crash-{keep}"));
+        let mut partial: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        partial.push_str(&lines[keep][..lines[keep].len() / 2]); // torn record
+        std::fs::write(&crash_path, &partial).expect("write crashed journal");
+
+        let resumed = journal::run_resumable(
+            catalog.clone(),
+            DEFAULT_SEED,
+            2,
+            &opts,
+            &crash_path,
+            true,
+            &report_artifacts,
+        )
+        .expect("resumed run");
+        let (csv, json) = render(&resumed);
+        assert_eq!(csv, ref_csv, "CSV diverged resuming after {keep} records");
+        assert_eq!(
+            json, ref_json,
+            "JSON diverged resuming after {keep} records"
+        );
+        std::fs::remove_file(&crash_path).expect("cleanup");
+    }
+    std::fs::remove_file(&ref_path).expect("cleanup");
+}
+
+#[test]
+fn panicking_experiment_is_isolated_and_journaled() {
+    let mut catalog = reduced_catalog();
+    let poison: SharedJob<Report> = Arc::new(|| panic!("deliberately poisoned experiment"));
+    catalog.insert(1, ("poison/always-panics".to_string(), poison));
+    let opts = SuperviseOpts {
+        timeout: None,
+        max_attempts: 1,
+    };
+
+    let path = temp_journal("poison");
+    let _ = std::fs::remove_file(&path);
+    let outcomes = journal::run_resumable(
+        catalog,
+        DEFAULT_SEED,
+        2,
+        &opts,
+        &path,
+        false,
+        &report_artifacts,
+    )
+    .expect("run completes despite the poisoned job");
+
+    // The grid completed around the poisoned experiment...
+    assert_eq!(outcomes.len(), 5);
+    assert_eq!(outcomes.iter().filter(|(_, o)| o.is_ok()).count(), 4);
+    let (_, poisoned) = outcomes
+        .iter()
+        .find(|(id, _)| id == "poison/always-panics")
+        .expect("poisoned outcome present");
+    let err = poisoned.as_ref().expect_err("poisoned job failed");
+    assert_eq!(err, "job panicked: deliberately poisoned experiment");
+
+    // ...and its failure is a typed Err record in the journal.
+    let recovered = journal::load(&path).expect("journal loads");
+    let latest = recovered.latest_for_seed(DEFAULT_SEED);
+    assert_eq!(
+        latest
+            .get("poison/always-panics")
+            .expect("journaled")
+            .outcome
+            .as_ref()
+            .unwrap_err(),
+        "job panicked: deliberately poisoned experiment"
+    );
+
+    // The final document names the failure without losing the grid.
+    let doc = format!("{:#}", document_from_outcomes(DEFAULT_SEED, &outcomes));
+    assert!(doc.contains("poison/always-panics"));
+    assert!(doc.contains("job panicked: deliberately poisoned experiment"));
+    std::fs::remove_file(&path).expect("cleanup");
+}

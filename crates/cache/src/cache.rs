@@ -2,7 +2,11 @@
 
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::{is_pow2, log2};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, PAddr, VAddr};
+
+/// Snapshot section tag for [`Cache`] (`"CACH"`).
+const TAG_CACHE: u32 = 0x4341_4348;
 
 /// Which address space selects the cache set.
 ///
@@ -458,6 +462,70 @@ impl Cache {
     /// Number of valid lines currently cached (for tests/diagnostics).
     pub fn valid_lines(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Serializes the cache contents (every line verbatim), replacement
+    /// tick, and statistics. Geometry is configuration and is rebuilt.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_CACHE);
+        w.usize(self.lines.len());
+        for l in &self.lines {
+            w.bool(l.valid);
+            w.bool(l.dirty);
+            w.u64(l.ptag);
+            w.u64(l.stamp);
+            w.bool(l.prefetched);
+        }
+        w.u64(self.tick);
+        let s = &self.stats;
+        for v in [
+            s.loads,
+            s.load_hits,
+            s.stores,
+            s.store_hits,
+            s.store_bypasses,
+            s.fills,
+            s.prefetch_fills,
+            s.prefetch_useful,
+            s.writebacks,
+            s.evictions,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restores the state saved by [`Cache::snap_save`] into a cache
+    /// freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_CACHE)?;
+        let n = r.usize()?;
+        if n != self.lines.len() {
+            return Err(SnapError::Geometry("cache line count"));
+        }
+        for l in &mut self.lines {
+            l.valid = r.bool()?;
+            l.dirty = r.bool()?;
+            l.ptag = r.u64()?;
+            l.stamp = r.u64()?;
+            l.prefetched = r.bool()?;
+        }
+        self.tick = r.u64()?;
+        let s = &mut self.stats;
+        for v in [
+            &mut s.loads,
+            &mut s.load_hits,
+            &mut s.stores,
+            &mut s.store_hits,
+            &mut s.store_bypasses,
+            &mut s.fills,
+            &mut s.prefetch_fills,
+            &mut s.prefetch_useful,
+            &mut s.writebacks,
+            &mut s.evictions,
+        ] {
+            *v = r.u64()?;
+        }
+        Ok(())
     }
 }
 

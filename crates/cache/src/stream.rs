@@ -13,7 +13,11 @@
 //! timing is charged by the memory system, which owns the path to the L2
 //! and the controller.
 
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{Cycle, PAddr};
+
+/// Snapshot section tag for [`StreamBuffers`] (`"STRM"`).
+const TAG_STREAM: u32 = 0x5354_524D;
 
 /// Stream buffer geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -250,6 +254,62 @@ impl StreamBuffers {
             *slot = self.advance(i);
         }
         out
+    }
+
+    /// Serializes every buffer verbatim — FIFO contents front-to-back
+    /// (including `Cycle::MAX` in-flight markers), next-fetch cursor,
+    /// stride, LRU stamp — plus the allocation tick and statistics.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_STREAM);
+        w.usize(self.buffers.len());
+        for buf in &self.buffers {
+            w.usize(buf.fifo.len());
+            for &(a, ready) in &buf.fifo {
+                w.u64(a.raw());
+                w.u64(ready);
+            }
+            w.u64(buf.next.raw());
+            w.u64(buf.stride as u64);
+            w.u64(buf.stamp);
+            w.bool(buf.valid);
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.lookups);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.allocations);
+        w.u64(self.stats.fetches);
+    }
+
+    /// Restores the state saved by [`StreamBuffers::snap_save`] into a
+    /// buffer set freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_STREAM)?;
+        let n = r.usize()?;
+        if n != self.buffers.len() {
+            return Err(SnapError::Geometry("stream buffer count"));
+        }
+        for buf in &mut self.buffers {
+            let depth = r.usize()?;
+            if depth > self.cfg.depth {
+                return Err(SnapError::Geometry("stream buffer depth"));
+            }
+            buf.fifo.clear();
+            for _ in 0..depth {
+                let a = r.u64()?;
+                let ready = r.u64()?;
+                buf.fifo.push_back((PAddr::new(a), ready));
+            }
+            buf.next = PAddr::new(r.u64()?);
+            buf.stride = r.u64()? as i64;
+            buf.stamp = r.u64()?;
+            buf.valid = r.bool()?;
+        }
+        self.tick = r.u64()?;
+        self.stats.lookups = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.allocations = r.u64()?;
+        self.stats.fetches = r.u64()?;
+        Ok(())
     }
 }
 

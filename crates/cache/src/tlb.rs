@@ -8,7 +8,11 @@
 
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::is_pow2;
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::FxHashMap;
+
+/// Snapshot section tag for [`Tlb`] (`"TLB "`).
+const TAG_TLB: u32 = 0x544C_4220;
 
 /// TLB geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -234,6 +238,64 @@ impl Tlb {
     /// Number of valid entries.
     pub fn valid_entries(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Serializes the entry array verbatim (slot order is NRU-relevant
+    /// state), the superpage side list, and statistics. The single-page
+    /// index is derivable and rebuilt on load.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_TLB);
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u64(e.base_vpage);
+            w.u64(e.span);
+            w.bool(e.referenced);
+        }
+        w.usize(self.super_slots.len());
+        for &s in &self.super_slots {
+            w.usize(s);
+        }
+        w.u64(self.stats.lookups);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.inserts);
+        w.u64(self.stats.evictions);
+    }
+
+    /// Restores the state saved by [`Tlb::snap_save`] into a TLB freshly
+    /// built from the same configuration, rebuilding the lookup index.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_TLB)?;
+        let n = r.usize()?;
+        if n != self.entries.len() {
+            return Err(SnapError::Geometry("TLB entry count"));
+        }
+        for e in &mut self.entries {
+            e.valid = r.bool()?;
+            e.base_vpage = r.u64()?;
+            e.span = r.u64()?;
+            e.referenced = r.bool()?;
+        }
+        let supers = r.usize()?;
+        self.super_slots.clear();
+        for _ in 0..supers {
+            let s = r.usize()?;
+            if s >= n {
+                return Err(SnapError::Geometry("TLB superpage slot out of range"));
+            }
+            self.super_slots.push(s);
+        }
+        self.index.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.valid && e.span == 1 {
+                self.index.insert(e.base_vpage, i);
+            }
+        }
+        self.stats.lookups = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.inserts = r.u64()?;
+        self.stats.evictions = r.u64()?;
+        Ok(())
     }
 }
 

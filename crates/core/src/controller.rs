@@ -19,6 +19,7 @@ use impulse_dram::{Dram, SchedulePolicy, Scheduler};
 use impulse_fault::{EccConfig, EccStats, FaultConfig};
 use impulse_obs::{Histogram, MetricsRegistry, Observe};
 use impulse_types::geom::PAGE_SIZE;
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, Cycle, MAddr, PAddr, PRange};
 
 use crate::desc::{DescError, DescStats, ShadowDescriptor};
@@ -183,6 +184,9 @@ impl McBreakdown {
         self.frontend + self.sram + self.pgtbl + self.dram
     }
 }
+
+/// Snapshot section tag for [`MemController`] (`"MCTL"`).
+const TAG_MC: u32 = 0x4D43_544C;
 
 /// The Impulse memory controller.
 #[derive(Clone, Debug)]
@@ -806,6 +810,90 @@ impl MemController {
         let penalty = scrub_flips(dram, ecc, ecc_stats);
         bd.frontend += penalty;
         Ok((outcome.done + penalty, bd))
+    }
+
+    /// Serializes the controller's mutable state: the DRAM array, the
+    /// controller page table, the prefetch SRAM, every configured shadow
+    /// descriptor, top-level statistics, latency histograms, and ECC
+    /// bookkeeping. Configuration (`McConfig`, scheduler policy, ECC mode,
+    /// shadow base) is not written — restore rebuilds it from the same
+    /// config the snapshot was taken under.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_MC);
+        self.dram.snap_save(w);
+        self.pgtbl.snap_save(w);
+        self.pf.snap_save(w);
+        w.usize(self.descs.len());
+        for slot in &self.descs {
+            match slot {
+                Some(d) => {
+                    w.bool(true);
+                    d.snap_save(w);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.stats.line_reads);
+        w.u64(self.stats.line_writes);
+        w.u64(self.stats.shadow_line_reads);
+        w.u64(self.stats.shadow_line_writes);
+        w.u64(self.stats.rejected_reads);
+        w.u64(self.stats.rejected_writes);
+        w.u64_slice(&self.lat_direct.state_words());
+        w.u64_slice(&self.lat_pf_hit.state_words());
+        w.u64_slice(&self.lat_shadow.state_words());
+        w.u64_slice(&self.lat_shadow_hit.state_words());
+        w.u64(self.ecc_stats.corrected);
+        w.u64(self.ecc_stats.detected_double);
+        w.u64(self.ecc_stats.silent);
+        w.u64(self.ecc_stats.corrupt_sig);
+        w.u64(self.ecc_stats.recovery_cycles);
+    }
+
+    /// Restores the state saved by [`MemController::snap_save`] into a
+    /// controller freshly built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is malformed or was taken
+    /// under a different controller geometry.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_MC)?;
+        self.dram.snap_load(r)?;
+        self.pgtbl.snap_load(r)?;
+        self.pf.snap_load(r)?;
+        let n = r.usize()?;
+        if n != self.descs.len() {
+            return Err(SnapError::Geometry("shadow descriptor slot count"));
+        }
+        for slot in &mut self.descs {
+            *slot = if r.bool()? {
+                Some(ShadowDescriptor::snap_load(r)?)
+            } else {
+                None
+            };
+        }
+        self.stats.line_reads = r.u64()?;
+        self.stats.line_writes = r.u64()?;
+        self.stats.shadow_line_reads = r.u64()?;
+        self.stats.shadow_line_writes = r.u64()?;
+        self.stats.rejected_reads = r.u64()?;
+        self.stats.rejected_writes = r.u64()?;
+        for h in [
+            &mut self.lat_direct,
+            &mut self.lat_pf_hit,
+            &mut self.lat_shadow,
+            &mut self.lat_shadow_hit,
+        ] {
+            *h = Histogram::from_state_words(&r.u64_vec()?)
+                .ok_or(SnapError::Geometry("controller latency histogram"))?;
+        }
+        self.ecc_stats.corrected = r.u64()?;
+        self.ecc_stats.detected_double = r.u64()?;
+        self.ecc_stats.silent = r.u64()?;
+        self.ecc_stats.corrupt_sig = r.u64()?;
+        self.ecc_stats.recovery_cycles = r.u64()?;
+        Ok(())
     }
 }
 

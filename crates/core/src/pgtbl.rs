@@ -11,9 +11,13 @@ use impulse_dram::Dram;
 use impulse_fault::{PgTblFaultStats, PgTblInjector};
 use impulse_obs::{MetricsRegistry, Observe};
 use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, Cycle, FxHashMap, MAddr, PvAddr};
 
 use crate::controller::McError;
+
+/// Snapshot section tag for [`PgTbl`] (`"PGTB"`).
+const TAG_PGTBL: u32 = 0x5047_5442;
 
 /// Configuration of the controller page table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -274,6 +278,78 @@ impl PgTbl {
     pub fn flush_tlb(&mut self) {
         self.tlb.clear();
         self.front = [(FRONT_EMPTY, 0, 0); FRONT_SLOTS];
+    }
+
+    /// Serializes installed mappings (sorted by page for determinism),
+    /// the on-chip TLB verbatim (slot order carries front-cache memoized
+    /// indices), the LRU tick, the front cache, statistics, and any
+    /// fault-injector dynamic state.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_PGTBL);
+        let mut pages: Vec<(u64, u64)> = self.map.iter().map(|(&p, m)| (p, m.raw())).collect();
+        pages.sort_unstable();
+        w.usize(pages.len());
+        for (p, m) in pages {
+            w.u64(p);
+            w.u64(m);
+        }
+        w.usize(self.tlb.len());
+        for &(p, stamp) in &self.tlb {
+            w.u64(p);
+            w.u64(stamp);
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.lookups);
+        w.u64(self.stats.tlb_hits);
+        w.u64(self.stats.walks);
+        for &(tag, frame, slot) in &self.front {
+            w.u64(tag);
+            w.u64(frame);
+            w.usize(slot);
+        }
+        w.bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.snap_save(w);
+        }
+    }
+
+    /// Restores the state saved by [`PgTbl::snap_save`] into a page table
+    /// freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_PGTBL)?;
+        let n = r.usize()?;
+        self.map.clear();
+        for _ in 0..n {
+            let p = r.u64()?;
+            let m = r.u64()?;
+            self.map.insert(p, MAddr::new(m));
+        }
+        let tlb_len = r.usize()?;
+        if tlb_len > self.cfg.tlb_entries {
+            return Err(SnapError::Geometry("MC-TLB entry count"));
+        }
+        self.tlb.clear();
+        for _ in 0..tlb_len {
+            let p = r.u64()?;
+            let stamp = r.u64()?;
+            self.tlb.push((p, stamp));
+        }
+        self.tick = r.u64()?;
+        self.stats.lookups = r.u64()?;
+        self.stats.tlb_hits = r.u64()?;
+        self.stats.walks = r.u64()?;
+        for slot in &mut self.front {
+            slot.0 = r.u64()?;
+            slot.1 = r.u64()?;
+            slot.2 = r.usize()?;
+        }
+        let had_faults = r.bool()?;
+        match (&mut self.faults, had_faults) {
+            (Some(f), true) => f.snap_load(r)?,
+            (None, false) => {}
+            _ => return Err(SnapError::Geometry("pgtbl fault injector presence")),
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,11 @@
 //! remaining time.
 
 use impulse_obs::{MetricsRegistry, Observe};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{Cycle, PAddr};
+
+/// Snapshot section tag for [`PrefetchCache`] (`"PFCH"`).
+const TAG_PF: u32 = 0x5046_4348;
 
 /// Statistics for the prefetch SRAM.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -81,6 +85,11 @@ impl PrefetchCache {
     /// Number of line slots.
     pub fn capacity_lines(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Line size this SRAM holds, in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
     }
 
     /// Accumulated statistics.
@@ -170,6 +179,45 @@ impl PrefetchCache {
         for s in &mut self.slots {
             s.valid = false;
         }
+    }
+
+    /// Serializes every slot verbatim plus the LRU tick and statistics.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_PF);
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            w.u64(s.line.raw());
+            w.u64(s.ready_at);
+            w.u64(s.stamp);
+            w.bool(s.valid);
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.issued);
+        w.u64(self.stats.late);
+    }
+
+    /// Restores the state saved by [`PrefetchCache::snap_save`] into a
+    /// cache freshly built with the same geometry.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_PF)?;
+        let n = r.usize()?;
+        if n != self.slots.len() {
+            return Err(SnapError::Geometry("prefetch SRAM slot count"));
+        }
+        for s in &mut self.slots {
+            s.line = PAddr::new(r.u64()?);
+            s.ready_at = r.u64()?;
+            s.stamp = r.u64()?;
+            s.valid = r.bool()?;
+        }
+        self.tick = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.issued = r.u64()?;
+        self.stats.late = r.u64()?;
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use impulse_types::geom::is_pow2;
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::PvAddr;
 
 /// A contiguous pseudo-virtual read/write segment produced by remapping.
@@ -260,6 +261,65 @@ impl RemapFn {
                     off += take;
                 }
             }
+        }
+    }
+
+    /// Serializes the full remapping function, including a gather's
+    /// indirection vector (descriptors are created by syscalls at run
+    /// time, so unlike fixed hardware geometry they cannot be rebuilt
+    /// from the system configuration).
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        match self {
+            RemapFn::Direct { pv_base } => {
+                w.u8(0);
+                w.u64(pv_base.raw());
+            }
+            RemapFn::Strided {
+                pv_base,
+                object_size,
+                stride,
+            } => {
+                w.u8(1);
+                w.u64(pv_base.raw());
+                w.u64(*object_size);
+                w.u64(*stride);
+            }
+            RemapFn::Gather {
+                pv_base,
+                elem_size,
+                indices,
+                vec_pv_base,
+                index_bytes,
+            } => {
+                w.u8(2);
+                w.u64(pv_base.raw());
+                w.u64(*elem_size);
+                w.u64_slice(indices);
+                w.u64(vec_pv_base.raw());
+                w.u64(*index_bytes);
+            }
+        }
+    }
+
+    /// Reconstructs a remapping function saved by [`RemapFn::snap_save`].
+    pub fn snap_load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(RemapFn::Direct {
+                pv_base: PvAddr::new(r.u64()?),
+            }),
+            1 => Ok(RemapFn::Strided {
+                pv_base: PvAddr::new(r.u64()?),
+                object_size: r.u64()?,
+                stride: r.u64()?,
+            }),
+            2 => Ok(RemapFn::Gather {
+                pv_base: PvAddr::new(r.u64()?),
+                elem_size: r.u64()?,
+                indices: Arc::new(r.u64_vec()?),
+                vec_pv_base: PvAddr::new(r.u64()?),
+                index_bytes: r.u64()?,
+            }),
+            _ => Err(SnapError::Geometry("remap function kind")),
         }
     }
 

@@ -35,7 +35,11 @@ pub use sched::{BatchOutcome, SchedulePolicy, Scheduler};
 
 use impulse_fault::{BitFlip, FlipInjector, FlipStats};
 use impulse_obs::{Histogram, MetricsRegistry, Observe};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, Cycle, MAddr};
+
+/// Snapshot section tag for [`Dram`] (`"DRAM"`).
+const TAG_DRAM: u32 = 0x4452_414D;
 
 /// Configuration of the DRAM array and its timing, in CPU cycles.
 ///
@@ -272,6 +276,77 @@ impl Dram {
         for bank in &mut self.banks {
             bank.open_row = None;
         }
+    }
+
+    /// Serializes bank open-row/timing state, data-bus occupancy,
+    /// statistics, latency histograms, and (when fault injection is
+    /// configured) the injector's dynamic state.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_DRAM);
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            w.bool(b.open_row.is_some());
+            w.u64(b.open_row.unwrap_or(0));
+            w.u64(b.busy_until);
+        }
+        w.u64(self.data_bus_free);
+        let s = &self.stats;
+        for v in [
+            s.reads,
+            s.writes,
+            s.row_hits,
+            s.row_misses,
+            s.bytes,
+            s.bank_wait,
+        ] {
+            w.u64(v);
+        }
+        w.u64_slice(&self.lat_row_hit.state_words());
+        w.u64_slice(&self.lat_row_miss.state_words());
+        w.bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.snap_save(w);
+        }
+    }
+
+    /// Restores the state saved by [`Dram::snap_save`] into an array
+    /// freshly built from the same configuration (including any attached
+    /// injector).
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_DRAM)?;
+        let n = r.usize()?;
+        if n != self.banks.len() {
+            return Err(SnapError::Geometry("DRAM bank count"));
+        }
+        for b in &mut self.banks {
+            let open = r.bool()?;
+            let row = r.u64()?;
+            b.open_row = open.then_some(row);
+            b.busy_until = r.u64()?;
+        }
+        self.data_bus_free = r.u64()?;
+        let s = &mut self.stats;
+        for v in [
+            &mut s.reads,
+            &mut s.writes,
+            &mut s.row_hits,
+            &mut s.row_misses,
+            &mut s.bytes,
+            &mut s.bank_wait,
+        ] {
+            *v = r.u64()?;
+        }
+        self.lat_row_hit = Histogram::from_state_words(&r.u64_vec()?)
+            .ok_or(SnapError::Geometry("DRAM row-hit histogram"))?;
+        self.lat_row_miss = Histogram::from_state_words(&r.u64_vec()?)
+            .ok_or(SnapError::Geometry("DRAM row-miss histogram"))?;
+        let had_faults = r.bool()?;
+        match (&mut self.faults, had_faults) {
+            (Some(f), true) => f.snap_load(r)?,
+            (None, false) => {}
+            _ => return Err(SnapError::Geometry("DRAM fault injector presence")),
+        }
+        Ok(())
     }
 }
 

@@ -3,10 +3,16 @@
 //! keeps its own counters, so components stay decoupled and the
 //! schedule stays deterministic.
 
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::Cycle;
 
 use crate::ecc::BitFlip;
 use crate::plan::FaultPlan;
+
+/// Snapshot section tags for the three injector types.
+const TAG_FLIP: u32 = 0x464C_4950; // "FLIP"
+const TAG_BUS: u32 = 0x4255_5346; // "BUSF"
+const TAG_PGT: u32 = 0x5047_5446; // "PGTF"
 
 /// Counters for the DRAM bit-flip site.
 #[derive(Clone, Copy, Debug, Default)]
@@ -65,6 +71,45 @@ impl FlipInjector {
     /// Injection counters so far.
     pub fn stats(&self) -> FlipStats {
         self.stats
+    }
+
+    /// Serializes the injector's dynamic state: plan position, pending
+    /// (undrained) flips, and counters. The trigger/ratio configuration
+    /// is rebuilt, not stored.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_FLIP);
+        self.plan.snap_save(w);
+        w.usize(self.pending.len());
+        for &(addr, flip) in &self.pending {
+            w.u64(addr);
+            w.u8(match flip {
+                BitFlip::Single => 0,
+                BitFlip::Double => 1,
+            });
+        }
+        w.u64(self.stats.injected_single);
+        w.u64(self.stats.injected_double);
+    }
+
+    /// Restores the dynamic state saved by [`FlipInjector::snap_save`]
+    /// into an injector freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_FLIP)?;
+        self.plan.snap_load(r)?;
+        let n = r.usize()?;
+        self.pending.clear();
+        for _ in 0..n {
+            let addr = r.u64()?;
+            let flip = match r.u8()? {
+                0 => BitFlip::Single,
+                1 => BitFlip::Double,
+                _ => return Err(SnapError::Geometry("bit-flip kind out of range")),
+            };
+            self.pending.push((addr, flip));
+        }
+        self.stats.injected_single = r.u64()?;
+        self.stats.injected_double = r.u64()?;
+        Ok(())
     }
 }
 
@@ -131,6 +176,27 @@ impl TimeoutInjector {
     pub fn stats(&self) -> BusFaultStats {
         self.stats
     }
+
+    /// Serializes the injector's dynamic state (plan position and
+    /// counters); retry bound and backoff are configuration.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_BUS);
+        self.plan.snap_save(w);
+        w.u64(self.stats.timeouts);
+        w.u64(self.stats.retries);
+        w.u64(self.stats.recovery_cycles);
+    }
+
+    /// Restores the dynamic state saved by [`TimeoutInjector::snap_save`]
+    /// into an injector freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_BUS)?;
+        self.plan.snap_load(r)?;
+        self.stats.timeouts = r.u64()?;
+        self.stats.retries = r.u64()?;
+        self.stats.recovery_cycles = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Counters for the MC-TLB/page-table corruption site.
@@ -183,6 +249,27 @@ impl PgTblInjector {
     /// Corruption/reload counters so far.
     pub fn stats(&self) -> PgTblFaultStats {
         self.stats
+    }
+
+    /// Serializes the injector's dynamic state (plan position and
+    /// counters).
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_PGT);
+        self.plan.snap_save(w);
+        w.u64(self.stats.corruptions);
+        w.u64(self.stats.reloads);
+        w.u64(self.stats.recovery_cycles);
+    }
+
+    /// Restores the dynamic state saved by [`PgTblInjector::snap_save`]
+    /// into an injector freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_PGT)?;
+        self.plan.snap_load(r)?;
+        self.stats.corruptions = r.u64()?;
+        self.stats.reloads = r.u64()?;
+        self.stats.recovery_cycles = r.u64()?;
+        Ok(())
     }
 }
 

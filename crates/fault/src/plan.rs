@@ -1,8 +1,12 @@
 //! When faults fire: triggers and the per-site fault plan.
 
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::Cycle;
 
 use crate::rng::XorShift64;
+
+/// Snapshot section tag for [`FaultPlan`] (`"PLAN"`).
+const TAG_PLAN: u32 = 0x504C_414E;
 
 /// Deterministic firing rule for one fault class at one injection site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +119,28 @@ impl FaultPlan {
     /// vs. double bit flip), from the plan's private stream.
     pub fn rng(&mut self) -> &mut XorShift64 {
         &mut self.rng
+    }
+
+    /// Serializes the plan's dynamic state (RNG stream position, access
+    /// counter, next cycle-trigger deadline, fire count). The trigger
+    /// itself is configuration and is rebuilt, not stored.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_PLAN);
+        self.rng.snap_save(w);
+        w.u64(self.accesses);
+        w.u64(self.next_due);
+        w.u64(self.fired);
+    }
+
+    /// Restores the dynamic state saved by [`FaultPlan::snap_save`] into
+    /// a plan freshly built with the same trigger and seed.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_PLAN)?;
+        self.rng.snap_load(r)?;
+        self.accesses = r.u64()?;
+        self.next_due = r.u64()?;
+        self.fired = r.u64()?;
+        Ok(())
     }
 }
 

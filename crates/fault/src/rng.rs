@@ -1,5 +1,7 @@
 //! Seedable in-tree xorshift generator (no external dependencies).
 
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
+
 /// A 64-bit xorshift generator, the same recurrence the allocator's
 /// `Random` placement policy uses. Deterministic for a fixed seed;
 /// never yields the all-zero state (the seed is odd-mixed on entry).
@@ -38,6 +40,17 @@ impl XorShift64 {
             return false;
         }
         self.below(1000) < u64::from(permille)
+    }
+
+    /// Serializes the generator state (one word).
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.u64(self.state);
+    }
+
+    /// Restores the generator state saved by [`XorShift64::snap_save`].
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = r.u64()?;
+        Ok(())
     }
 }
 

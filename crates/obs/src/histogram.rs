@@ -166,6 +166,35 @@ impl Histogram {
         d
     }
 
+    /// Dumps the complete internal state as a flat word vector: the 65
+    /// bucket counts followed by `count`, `sum`, raw `min`, and `max`.
+    /// The inverse is [`Histogram::from_state_words`]; together they let a
+    /// caller persist a histogram bit-exactly without this crate knowing
+    /// anything about serialization formats.
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(BUCKETS + 4);
+        words.extend_from_slice(&self.buckets);
+        words.extend_from_slice(&[self.count, self.sum, self.min, self.max]);
+        words
+    }
+
+    /// Rebuilds a histogram from [`Histogram::state_words`] output.
+    /// Returns `None` if `words` has the wrong length.
+    pub fn from_state_words(words: &[u64]) -> Option<Self> {
+        if words.len() != BUCKETS + 4 {
+            return None;
+        }
+        let mut buckets = [0u64; BUCKETS];
+        buckets.copy_from_slice(&words[..BUCKETS]);
+        Some(Self {
+            buckets,
+            count: words[BUCKETS],
+            sum: words[BUCKETS + 1],
+            min: words[BUCKETS + 2],
+            max: words[BUCKETS + 3],
+        })
+    }
+
     /// Non-empty buckets as `(upper_bound, count)` pairs, in order.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -262,6 +291,30 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    #[test]
+    fn state_words_round_trip_bit_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 40, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let words = h.state_words();
+        assert_eq!(words.len(), BUCKETS + 4);
+        let back = Histogram::from_state_words(&words).unwrap();
+        assert_eq!(back, h);
+
+        // An empty histogram round-trips too (raw min is the u64::MAX
+        // sentinel).
+        let empty = Histogram::new();
+        assert_eq!(
+            Histogram::from_state_words(&empty.state_words()).unwrap(),
+            empty
+        );
+
+        // Wrong lengths are rejected.
+        assert!(Histogram::from_state_words(&words[..BUCKETS]).is_none());
+        assert!(Histogram::from_state_words(&[]).is_none());
     }
 
     #[test]

@@ -19,7 +19,11 @@ use std::sync::Arc;
 
 use impulse_core::{DescId, McError, MemController, RemapFn};
 use impulse_types::geom::{round_up, PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{Cycle, MAddr, PAddr, PRange, PvAddr, VAddr, VRange};
+
+/// Snapshot section tag for [`Kernel`] (`"KERN"`).
+const TAG_KERN: u32 = 0x4B45_524E;
 
 use crate::phys::{AllocPolicy, PhysError, PhysMem};
 use crate::vm::{AddressSpace, VmError};
@@ -901,6 +905,104 @@ impl Kernel {
             }
         }
         (vpage, 1)
+    }
+
+    /// Serializes the frame allocator, every process (address space,
+    /// superpage registrations, region bookkeeping), the shadow-space bump
+    /// pointer, descriptor ownership (in sorted slot order), and
+    /// statistics. The configuration is not written — restore rebuilds it
+    /// from the same config the snapshot was taken under.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_KERN);
+        self.phys.snap_save(w);
+        w.usize(self.procs.len());
+        for p in &self.procs {
+            p.aspace.snap_save(w);
+            w.usize(p.superpages.len());
+            for &(base, span) in &p.superpages {
+                w.u64(base);
+                w.u64(span);
+            }
+            w.usize(p.regions.len());
+            for r in &p.regions {
+                w.u64(r.start().raw());
+                w.u64(r.len());
+            }
+            w.u64_slice(&p.tlb_misses);
+        }
+        w.usize(self.current);
+        w.u64(self.shadow_next);
+        let mut owners: Vec<(u64, u64)> = self
+            .desc_owner
+            .iter()
+            .map(|(&d, &o)| (d as u64, o as u64))
+            .collect();
+        owners.sort_unstable();
+        w.usize(owners.len());
+        for (d, o) in owners {
+            w.u64(d);
+            w.u64(o);
+        }
+        w.u64(self.stats.remap_syscalls);
+        w.u64(self.stats.controller_pages);
+        w.u64(self.stats.shadow_bytes);
+    }
+
+    /// Restores the state saved by [`Kernel::snap_save`] into a kernel
+    /// freshly booted with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is malformed or the machine
+    /// geometry disagrees.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_KERN)?;
+        self.phys.snap_load(r)?;
+        let nprocs = r.usize()?;
+        if nprocs == 0 {
+            return Err(SnapError::Geometry("kernel process table is empty"));
+        }
+        self.procs = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let mut p = Process::default();
+            p.aspace.snap_load(r)?;
+            let nsup = r.usize()?;
+            p.superpages = Vec::with_capacity(nsup);
+            for _ in 0..nsup {
+                let base = r.u64()?;
+                let span = r.u64()?;
+                p.superpages.push((base, span));
+            }
+            let nreg = r.usize()?;
+            p.regions = Vec::with_capacity(nreg);
+            for _ in 0..nreg {
+                let start = r.u64()?;
+                let len = r.u64()?;
+                p.regions.push(VRange::new(VAddr::new(start), len));
+            }
+            p.tlb_misses = r.u64_vec()?;
+            if p.tlb_misses.len() != p.regions.len() {
+                return Err(SnapError::Geometry("region TLB-miss table length"));
+            }
+            self.procs.push(p);
+        }
+        let current = r.usize()?;
+        if current >= self.procs.len() {
+            return Err(SnapError::Geometry("current process index"));
+        }
+        self.current = current;
+        self.shadow_next = r.u64()?;
+        let nown = r.usize()?;
+        self.desc_owner = impulse_types::FxHashMap::default();
+        for _ in 0..nown {
+            let d = r.usize()?;
+            let o = r.usize()?;
+            self.desc_owner.insert(d, o);
+        }
+        self.stats.remap_syscalls = r.u64()?;
+        self.stats.controller_pages = r.u64()?;
+        self.stats.shadow_bytes = r.u64()?;
+        Ok(())
     }
 }
 

@@ -8,7 +8,11 @@
 //! software-copying baselines.
 
 use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::MAddr;
+
+/// Snapshot section tag for [`PhysMem`] (`"PHYS"`).
+const TAG_PHYS: u32 = 0x5048_5953;
 
 /// Frame placement policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +138,32 @@ impl PhysMem {
         );
         self.free.push(frame.raw() >> PAGE_SHIFT);
         self.allocated = self.allocated.saturating_sub(1);
+    }
+
+    /// Serializes the free list verbatim (its order is the allocation
+    /// order, so it must survive bit-exactly) plus the frame counters.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_PHYS);
+        w.u64(self.total_frames);
+        w.u64(self.allocated);
+        w.u64_slice(&self.free);
+    }
+
+    /// Restores the state saved by [`PhysMem::snap_save`] into an
+    /// allocator built over the same capacity and reservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is malformed or the frame
+    /// pool sizes disagree.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_PHYS)?;
+        if r.u64()? != self.total_frames {
+            return Err(SnapError::Geometry("physical frame pool size"));
+        }
+        self.allocated = r.u64()?;
+        self.free = r.u64_vec()?;
+        Ok(())
     }
 }
 

@@ -1,7 +1,11 @@
 //! A process address space: virtual page table and region bookkeeping.
 
 use impulse_types::geom::{round_up, PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{FxHashMap, PAddr, VAddr, VRange};
+
+/// Snapshot section tag for [`AddressSpace`] (`"ASPC"`).
+const TAG_ASPC: u32 = 0x4153_5043;
 
 /// Errors from address-space operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -165,6 +169,39 @@ impl AddressSpace {
     /// Number of mapped pages.
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Serializes the page table (in sorted page order, so the image is
+    /// independent of hash-map iteration order) and the bump pointer.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_ASPC);
+        let mut pages: Vec<(u64, u64)> = self.pages.iter().map(|(&v, p)| (v, p.raw())).collect();
+        pages.sort_unstable();
+        w.usize(pages.len());
+        for (v, p) in pages {
+            w.u64(v);
+            w.u64(p);
+        }
+        w.u64(self.next_va);
+    }
+
+    /// Restores the state saved by [`AddressSpace::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is malformed.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_ASPC)?;
+        let n = r.usize()?;
+        self.pages = FxHashMap::default();
+        self.pages.reserve(n);
+        for _ in 0..n {
+            let v = r.u64()?;
+            let p = r.u64()?;
+            self.pages.insert(v, PAddr::new(p));
+        }
+        self.next_va = r.u64()?;
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use impulse_os::{Kernel, OsError, Pid, RemapGrant};
 use impulse_types::geom::PAGE_SIZE;
+use impulse_types::snap::{fnv64, open, seal, SnapError, SnapReader, SnapWriter};
 use impulse_types::{Cycle, PAddr, VAddr, VRange};
 
 use crate::config::SystemConfig;
@@ -26,6 +27,9 @@ use crate::trace::{TraceEvent, Tracer};
 /// architectural structure — the architectural TLB lives in the memory
 /// system; this only avoids HashMap lookups on the simulator hot path).
 const XLAT_SLOTS: usize = 16;
+
+/// Snapshot section tag for [`Machine`] (`"MACH"`).
+const TAG_MACH: u32 = 0x4D41_4348;
 
 /// A simulated machine: CPU clock + memory system + OS.
 #[derive(Clone, Debug)]
@@ -635,6 +639,80 @@ impl Machine {
         m.counter("machine.syscall_cycles", self.syscall_cycles);
         m.counter("machine.syscall_failures", self.syscall_failures);
         m
+    }
+
+    // ---- checkpoint/restore ---------------------------------------------
+
+    /// The configuration fingerprint stamped into snapshot headers — a
+    /// hash of the full `SystemConfig`, so an image can never be restored
+    /// into a machine with different geometry or timing.
+    pub fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+        fnv64(format!("{cfg:?}").as_bytes())
+    }
+
+    /// Serializes the complete machine state into a versioned, checksummed
+    /// `impulse-snap-v1` image: the CPU clock and counters, every cache
+    /// and TLB, the bus, the memory controller (DRAM, page table, shadow
+    /// descriptors, prefetch buffers), the OS, and any active fault-plan
+    /// RNG streams. An attached [`Tracer`] is *not* captured — reattach
+    /// one after [`Machine::restore`] if tracing should continue.
+    ///
+    /// The golden invariant: `run(N); snapshot; restore; run(M)` is
+    /// bit-identical to `run(N + M)` in every statistic and cycle count.
+    pub fn snapshot(&self, cfg: &SystemConfig) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.tag(TAG_MACH);
+        w.u64(self.now);
+        w.u64(self.epoch);
+        w.u64(self.syscall_cycles);
+        w.u64(self.syscall_failures);
+        w.u64(self.instructions);
+        w.u64(self.promote_threshold);
+        w.usize(self.inflight.len());
+        for &c in &self.inflight {
+            w.u64(c);
+        }
+        self.kernel.snap_save(&mut w);
+        self.ms.snap_save(&mut w);
+        seal(Self::config_fingerprint(cfg), w.finish())
+    }
+
+    /// Rebuilds a machine from a snapshot image taken under the same
+    /// configuration.
+    ///
+    /// The translation memo is reset (it refills on demand) and no tracer
+    /// is attached; everything architecturally or statistically visible
+    /// resumes bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is corrupt, truncated, from a
+    /// different snapshot version, or was taken under a different
+    /// configuration ([`SnapError::ConfigMismatch`]).
+    pub fn restore(cfg: &SystemConfig, image: &[u8]) -> Result<Self, SnapError> {
+        let payload = open(image, Self::config_fingerprint(cfg))?;
+        let mut machine = Self::new(cfg);
+        let mut r = SnapReader::new(payload);
+        r.tag(TAG_MACH)?;
+        machine.now = r.u64()?;
+        machine.epoch = r.u64()?;
+        machine.syscall_cycles = r.u64()?;
+        machine.syscall_failures = r.u64()?;
+        machine.instructions = r.u64()?;
+        machine.promote_threshold = r.u64()?;
+        let n = r.usize()?;
+        if n > machine.mshr {
+            return Err(SnapError::Geometry("in-flight miss count exceeds MSHRs"));
+        }
+        machine.inflight.clear();
+        for _ in 0..n {
+            let c = r.u64()?;
+            machine.inflight.push_back(c);
+        }
+        machine.kernel.snap_load(&mut r)?;
+        machine.ms.snap_load(&mut r)?;
+        r.finish()?;
+        Ok(machine)
     }
 }
 

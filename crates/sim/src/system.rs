@@ -11,10 +11,14 @@ use impulse_cache::{Cache, FlushOutcome, Outcome, StreamBuffers, StreamOutcome, 
 use impulse_core::MemController;
 use impulse_dram::Dram;
 use impulse_obs::{Attribution, Histogram, MetricsRegistry, Observe, Stage};
+use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, Cycle, PAddr, VAddr};
 
 use crate::bus::Bus;
 use crate::config::SystemConfig;
+
+/// Snapshot section tag for [`MemorySystem`] (`"MSYS"`).
+const TAG_MSYS: u32 = 0x4D53_5953;
 
 /// Demand-access counters, kept separately from per-cache statistics so
 /// the paper's load-based ratios are unambiguous.
@@ -548,6 +552,113 @@ impl MemorySystem {
         m.observe(&self.bus);
         m.observe(&self.mc);
         m
+    }
+
+    /// Serializes the whole hierarchy: caches, TLB, stream buffers, bus,
+    /// controller (with DRAM, page table, and descriptors), demand
+    /// statistics, cycle attribution, and every latency histogram.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_MSYS);
+        self.l1.snap_save(w);
+        self.l2.snap_save(w);
+        self.tlb.snap_save(w);
+        self.bus.snap_save(w);
+        self.mc.snap_save(w);
+        w.bool(self.streams.is_some());
+        if let Some(s) = &self.streams {
+            s.snap_save(w);
+        }
+        let s = &self.stats;
+        for v in [
+            s.loads,
+            s.l1_load_hits,
+            s.l2_load_hits,
+            s.mem_loads,
+            s.load_cycles,
+            s.stores,
+            s.store_l1_hits,
+            s.store_mem,
+            s.store_cycles,
+            s.l1_prefetches,
+            s.stream_loads,
+            s.mem_writebacks,
+            s.tlb_penalties,
+            s.remap_faults,
+        ] {
+            w.u64(v);
+        }
+        for stage in Stage::ALL {
+            w.u64(self.attr.get(stage));
+        }
+        for h in [
+            &self.lat_l1_hit,
+            &self.lat_l2_hit,
+            &self.lat_stream_hit,
+            &self.lat_mem,
+            &self.lat_tlb_walk,
+            &self.lat_load,
+            &self.lat_store,
+        ] {
+            w.u64_slice(&h.state_words());
+        }
+    }
+
+    /// Restores the state saved by [`MemorySystem::snap_save`] into a
+    /// system freshly assembled from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is malformed or the hierarchy
+    /// geometry disagrees.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_MSYS)?;
+        self.l1.snap_load(r)?;
+        self.l2.snap_load(r)?;
+        self.tlb.snap_load(r)?;
+        self.bus.snap_load(r)?;
+        self.mc.snap_load(r)?;
+        let had_streams = r.bool()?;
+        match (&mut self.streams, had_streams) {
+            (Some(s), true) => s.snap_load(r)?,
+            (None, false) => {}
+            _ => return Err(SnapError::Geometry("stream buffer presence")),
+        }
+        let s = &mut self.stats;
+        for v in [
+            &mut s.loads,
+            &mut s.l1_load_hits,
+            &mut s.l2_load_hits,
+            &mut s.mem_loads,
+            &mut s.load_cycles,
+            &mut s.stores,
+            &mut s.store_l1_hits,
+            &mut s.store_mem,
+            &mut s.store_cycles,
+            &mut s.l1_prefetches,
+            &mut s.stream_loads,
+            &mut s.mem_writebacks,
+            &mut s.tlb_penalties,
+            &mut s.remap_faults,
+        ] {
+            *v = r.u64()?;
+        }
+        self.attr = Attribution::new();
+        for stage in Stage::ALL {
+            self.attr.charge(stage, r.u64()?);
+        }
+        for h in [
+            &mut self.lat_l1_hit,
+            &mut self.lat_l2_hit,
+            &mut self.lat_stream_hit,
+            &mut self.lat_mem,
+            &mut self.lat_tlb_walk,
+            &mut self.lat_load,
+            &mut self.lat_store,
+        ] {
+            *h = Histogram::from_state_words(&r.u64_vec()?)
+                .ok_or(SnapError::Geometry("memory-system latency histogram"))?;
+        }
+        Ok(())
     }
 }
 

@@ -38,6 +38,7 @@ pub mod addr;
 pub mod geom;
 pub mod hash;
 pub mod range;
+pub mod snap;
 
 pub use access::{Access, AccessKind};
 pub use addr::{MAddr, PAddr, PvAddr, VAddr};
