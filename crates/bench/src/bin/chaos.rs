@@ -114,6 +114,7 @@ fn main() -> ExitCode {
     let mut f = std::fs::File::create(&path).expect("create chaos.json");
     writeln!(f, "{doc:#}").expect("write chaos.json");
     println!("wrote {path} (seed={seed}, {} cases)", outcomes.len());
+    impulse_bench::print_artifacts(&[&path, &journal_path]);
 
     let violations: Vec<String> = outcomes
         .iter()

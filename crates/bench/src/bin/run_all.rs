@@ -26,8 +26,18 @@
 //! and the demand-cycle attribution table whose stage totals sum to each
 //! epoch's demand-access cycles.
 //!
+//! `profile=1` turns on the host self-profiler for every experiment:
+//! each job's thread measures its component spans (`mc.translate`,
+//! `mc.gather`, `mc.prefetch`, `dram.access`) and the merged aggregates
+//! land in the BENCH record, so "where does host time go" is answered
+//! next to "how long did it take". Every run also appends one fsync'd
+//! rollup line (`impulse-bench-history-v1`, with the git revision and
+//! seed) to `BENCH_history.jsonl` (`history=<path>`) — the committed
+//! PR-over-PR perf trajectory.
+//!
 //! For the paper-layout tables with reference values, run the individual
-//! binaries (`table1`, `table2`, `fig1`, ...).
+//! binaries (`table1`, `table2`, `fig1`, ...). For flight-recorder
+//! captures and heatmaps of this same catalog, run `trace record`.
 
 use std::io::Write;
 use std::path::Path;
@@ -41,11 +51,12 @@ use impulse_bench::experiments::{
 };
 use impulse_bench::journal;
 use impulse_bench::runner::{self, SharedJob, SuperviseOpts};
-use impulse_obs::Json;
+use impulse_obs::{prof, Json};
 use impulse_sim::Report;
 
 const USAGE: &str = "usage: run_all [out=results.csv] [json=results/run_all.json] \
-[bench=BENCH_run_all.json] [journal=results/journal.jsonl] [jobs=N] [seed=N] \
+[bench=BENCH_run_all.json] [history=BENCH_history.jsonl] \
+[journal=results/journal.jsonl] [jobs=N] [seed=N] [profile=0|1] \
 [timeout_ms=N] [attempts=K] [--resume]";
 
 fn main() -> ExitCode {
@@ -58,24 +69,27 @@ fn main() -> ExitCode {
     let path = arg("out=", "results.csv");
     let json_path = arg("json=", "results/run_all.json");
     let bench_path = arg("bench=", "BENCH_run_all.json");
+    let history_path = arg("history=", "BENCH_history.jsonl");
     let journal_path = arg("journal=", "results/journal.jsonl");
     let resume = args.iter().any(|a| a == "--resume");
 
-    let typed = || -> Result<(usize, u64, u64, u64), runner::ArgError> {
+    let typed = || -> Result<(usize, u64, u64, u64, u64), runner::ArgError> {
         Ok((
             runner::jobs_from_args(&args)?,
             runner::u64_from_args(&args, "seed", DEFAULT_SEED)?,
             runner::u64_from_args(&args, "timeout_ms", 0)?,
             runner::u64_from_args(&args, "attempts", 2)?,
+            runner::u64_from_args(&args, "profile", 0)?,
         ))
     };
-    let (jobs, seed, timeout_ms, attempts) = match typed() {
+    let (jobs, seed, timeout_ms, attempts, profile) = match typed() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
+    let profile = profile != 0;
     let opts = SuperviseOpts {
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
@@ -83,21 +97,39 @@ fn main() -> ExitCode {
 
     // Wrap each job to record its wall time as it runs; resumed
     // (journal-reused) experiments never execute, so they are absent
-    // from the BENCH record by construction.
+    // from the BENCH record by construction. With `profile=1` each job's
+    // thread also runs the component self-profiler, and the per-label
+    // span aggregates merge into one map across all workers.
     let timings: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    type SpanMap = std::collections::BTreeMap<&'static str, (u64, u64, u64)>;
+    let spans: Arc<Mutex<SpanMap>> = Arc::new(Mutex::new(SpanMap::new()));
     let catalog: Vec<(String, SharedJob<Report>)> = run_all_experiments(seed)
         .into_iter()
         .map(Experiment::into_job)
         .map(|(id, job)| {
             let timings = timings.clone();
+            let spans = spans.clone();
             let name = id.clone();
             let wrapped: SharedJob<Report> = Arc::new(move || {
+                if profile {
+                    prof::enable();
+                }
                 let t0 = Instant::now();
                 let r = job();
+                let wall = t0.elapsed().as_nanos() as u64;
+                if profile {
+                    let mut merged = spans.lock().expect("spans lock");
+                    for t in prof::take() {
+                        let e = merged.entry(t.label).or_insert((0, 0, 0));
+                        e.0 += t.count;
+                        e.1 = e.1.saturating_add(t.total_ns);
+                        e.2 = e.2.max(t.max_ns);
+                    }
+                }
                 timings
                     .lock()
                     .expect("timings lock")
-                    .push((name.clone(), t0.elapsed().as_nanos() as u64));
+                    .push((name.clone(), wall));
                 r
             });
             (id, wrapped)
@@ -174,14 +206,47 @@ fn main() -> ExitCode {
                 .collect(),
         ),
     );
+    if profile {
+        let merged = spans.lock().expect("spans lock");
+        bench.set(
+            "profile",
+            Json::Arr(
+                merged
+                    .iter()
+                    .map(|(label, &(count, total_ns, max_ns))| {
+                        let mut s = Json::obj();
+                        s.set("span", Json::Str((*label).to_string()));
+                        s.set("count", Json::UInt(count));
+                        s.set("total_ns", Json::UInt(total_ns));
+                        s.set("max_ns", Json::UInt(max_ns));
+                        s
+                    })
+                    .collect(),
+            ),
+        );
+    }
     let mut bf = std::fs::File::create(&bench_path).expect("create bench record");
     writeln!(bf, "{bench:#}").expect("write bench record");
+
+    let failed_count = (outcomes.len() - ok_count) as u64;
+    let serial_sum: u64 = timings.iter().map(|(_, ns)| ns).sum();
+    let hist = impulse_bench::history_record(
+        &impulse_bench::git_describe(),
+        seed,
+        jobs,
+        timings.len() as u64,
+        failed_count,
+        total_wall.as_nanos() as u64,
+        serial_sum,
+    );
+    impulse_bench::append_history(Path::new(&history_path), &hist).expect("append history rollup");
 
     println!(
         "wrote {ok_count} experiment rows to {path} and full reports to {json_path} \
          ({jobs} jobs, {:.2}s wall, timings in {bench_path})",
         total_wall.as_secs_f64(),
     );
+    impulse_bench::print_artifacts(&[&path, &json_path, &bench_path, &history_path, &journal_path]);
 
     let failures: Vec<&(String, Result<journal::RunArtifacts, String>)> =
         outcomes.iter().filter(|(_, o)| o.is_err()).collect();

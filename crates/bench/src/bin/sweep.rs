@@ -294,6 +294,7 @@ fn main() -> ExitCode {
         );
     }
     println!();
+    impulse_bench::print_artifacts(&[&journal_path]);
 
     if failures.is_empty() {
         ExitCode::SUCCESS

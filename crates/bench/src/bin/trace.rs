@@ -1,0 +1,431 @@
+//! Flight-recorder capture tooling over the `run_all` catalog.
+//!
+//! `trace record` reruns the full 24-experiment catalog with the MC
+//! flight recorder and hotness sketch enabled, writes one
+//! `impulse-trace-v1` capture per experiment plus a summary document and
+//! combined heatmap export, and round-trip-verifies every capture
+//! (decode → re-encode must be bit-exact) before it is accepted. The
+//! grid fans over `jobs=N` workers and is journaled/`--resume`-aware
+//! like `run_all`; none of the written artifacts contain wall-clock
+//! times, so they are byte-identical at any job count and across
+//! resumed runs.
+//!
+//! The other subcommands work on capture files offline:
+//!
+//! * `trace dump <file>` — header plus a decoded event table
+//! * `trace diff <a> <b>` — first divergence between two captures
+//! * `trace top <file>` — exact per-line access counts, hottest first
+//!
+//! Usage:
+//!
+//! ```text
+//! trace record [dir=results/trace] [seed=N] [jobs=N] [flight=N] [top=N]
+//!              [timeout_ms=N] [attempts=K] [--resume]
+//! trace dump <capture.trace> [limit=N]
+//! trace diff <a.trace> <b.trace>
+//! trace top <capture.trace> [k=N]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use impulse_bench::experiments::{run_all_experiments_obs, ObsSpec, DEFAULT_SEED};
+use impulse_bench::journal::{self, RunArtifacts};
+use impulse_bench::runner::{self, SharedJob, SuperviseOpts};
+use impulse_core::flight::{self, Capture};
+use impulse_obs::{Json, SketchConfig};
+
+const USAGE: &str = "usage: trace record [dir=results/trace] [seed=N] [jobs=N] [flight=N] \
+[top=N] [timeout_ms=N] [attempts=K] [--resume]\n\
+       trace dump <capture.trace> [limit=N]\n\
+       trace diff <a.trace> <b.trace>\n\
+       trace top <capture.trace> [k=N]";
+
+/// Summary document schema identifier.
+const SUMMARY_SCHEMA: &str = "impulse-trace-summary-v1";
+/// Combined heatmap document schema identifier.
+const HEATMAPS_SCHEMA: &str = "impulse-trace-heatmaps-v1";
+
+/// Catalog names contain `/`, spaces, and `=`; flatten them to safe
+/// single-segment file stems (stable, collision-free for the catalog).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn load_capture(path: &str) -> Result<Capture, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    flight::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Exact per-line access counts from a capture's events, hottest first
+/// (count desc, line asc — the same order the sketch's `top` uses).
+fn exact_top(cap: &Capture) -> Vec<(u64, u64)> {
+    let mut counts = std::collections::HashMap::new();
+    for e in &cap.events {
+        *counts.entry(e.line).or_insert(0u64) += 1;
+    }
+    let mut out: Vec<(u64, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+fn cmd_record(args: &[String]) -> ExitCode {
+    let arg = |prefix: &str, default: &str| -> String {
+        args.iter()
+            .find_map(|a| a.strip_prefix(prefix).map(String::from))
+            .unwrap_or_else(|| default.to_string())
+    };
+    let dir = arg("dir=", "results/trace");
+    let resume = args.iter().any(|a| a == "--resume");
+    let typed = || -> Result<(usize, u64, u64, u64, u64, u64), runner::ArgError> {
+        Ok((
+            runner::jobs_from_args(args)?,
+            runner::u64_from_args(args, "seed", DEFAULT_SEED)?,
+            runner::u64_from_args(args, "flight", 1 << 20)?,
+            runner::u64_from_args(args, "top", 32)?,
+            runner::u64_from_args(args, "timeout_ms", 0)?,
+            runner::u64_from_args(args, "attempts", 2)?,
+        ))
+    };
+    let (jobs, seed, flight_cap, top_k, timeout_ms, attempts) = match typed() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if flight_cap == 0 {
+        eprintln!("error: flight=0 records nothing; pick a ring capacity\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let opts = SuperviseOpts {
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
+    };
+    let sketch = SketchConfig::default();
+    let obs = ObsSpec::recording(flight_cap as usize, sketch, top_k as usize);
+    std::fs::create_dir_all(&dir).expect("create trace directory");
+
+    // Each job writes its own capture file *before* the outcome is
+    // journaled, so a resumed run either reuses a file that is already
+    // on disk or rewrites it with identical bytes — never neither.
+    let catalog: Vec<(String, SharedJob<RunArtifacts>)> = run_all_experiments_obs(seed, obs)
+        .into_iter()
+        .map(|t| {
+            let (id, job) = t.into_job();
+            let file: PathBuf = Path::new(&dir).join(format!("{}.trace", sanitize(&id)));
+            let name = id.clone();
+            let wrapped: SharedJob<RunArtifacts> = Arc::new(move || {
+                let out = job();
+                let cap = flight::decode(&out.capture).expect("own capture decodes");
+                assert_eq!(
+                    cap.encode(),
+                    out.capture,
+                    "{name}: capture round-trip must be bit-exact"
+                );
+                std::fs::write(&file, &out.capture).expect("write capture");
+                let mut j = Json::obj();
+                j.set("name", Json::Str(name.clone()));
+                j.set("file", Json::Str(file.display().to_string()));
+                j.set("bytes", Json::UInt(out.capture.len() as u64));
+                j.set("events", Json::UInt(cap.events.len() as u64));
+                j.set("recorded", Json::UInt(cap.recorded));
+                j.set("overwritten", Json::UInt(cap.overwritten));
+                j.set("digest", Json::UInt(flight::digest(&out.capture)));
+                j.set("heatmap", out.heatmap.clone());
+                RunArtifacts {
+                    csv: String::new(),
+                    json: j,
+                }
+            });
+            (id, wrapped)
+        })
+        .collect();
+
+    let journal_path = Path::new(&dir).join("journal.jsonl");
+    let outcomes = match journal::run_resumable(
+        catalog,
+        seed,
+        jobs,
+        &opts,
+        &journal_path,
+        resume,
+        &|a: &RunArtifacts| a.clone(),
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: journal I/O failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Assemble the two documents in catalog order. Neither contains a
+    // wall-clock time, so bytes match at any jobs= value.
+    let mut entries = Vec::new();
+    let mut heatmaps = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let mut artifact_paths: Vec<String> = Vec::new();
+    for (id, outcome) in &outcomes {
+        match outcome {
+            Ok(a) => {
+                // Rebuild the entry without its heatmap (heatmaps get
+                // their own document; `Json::set` appends, so stripping
+                // a field means copying the ones we keep).
+                let mut entry = Json::obj();
+                for key in [
+                    "name",
+                    "file",
+                    "bytes",
+                    "events",
+                    "recorded",
+                    "overwritten",
+                    "digest",
+                ] {
+                    if let Some(v) = a.json.get(key) {
+                        entry.set(key, v.clone());
+                    }
+                }
+                let heat = a.json.get("heatmap").cloned().unwrap_or(Json::Null);
+                entries.push(entry);
+                let mut h = Json::obj();
+                h.set("name", Json::Str(id.clone()));
+                h.set("heatmap", heat);
+                heatmaps.push(h);
+                if let Some(f) = a.json.get("file").and_then(Json::as_str) {
+                    artifact_paths.push(f.to_string());
+                }
+            }
+            Err(e) => failures.push((id.clone(), e.clone())),
+        }
+    }
+
+    let mut summary = Json::obj();
+    summary.set("schema", Json::Str(SUMMARY_SCHEMA.into()));
+    summary.set("seed", Json::UInt(seed));
+    summary.set("flight_capacity", Json::UInt(flight_cap));
+    let mut sk = Json::obj();
+    sk.set("width_log2", Json::UInt(sketch.width_log2 as u64));
+    sk.set("depth", Json::UInt(sketch.depth as u64));
+    sk.set("candidates", Json::UInt(sketch.candidates as u64));
+    sk.set("epoch_ops", Json::UInt(sketch.epoch_ops));
+    summary.set("sketch", sk);
+    summary.set("top_k", Json::UInt(top_k));
+    summary.set("captures", Json::Arr(entries));
+    summary.set(
+        "failed",
+        Json::Arr(
+            failures
+                .iter()
+                .map(|(id, e)| {
+                    let mut f = Json::obj();
+                    f.set("name", Json::Str(id.clone()));
+                    f.set("error", Json::Str(e.clone()));
+                    f
+                })
+                .collect(),
+        ),
+    );
+    let summary_path = Path::new(&dir).join("summary.json");
+    std::fs::write(&summary_path, format!("{summary:#}\n")).expect("write summary");
+
+    let mut heat_doc = Json::obj();
+    heat_doc.set("schema", Json::Str(HEATMAPS_SCHEMA.into()));
+    heat_doc.set("seed", Json::UInt(seed));
+    heat_doc.set("experiments", Json::Arr(heatmaps));
+    let heatmap_path = Path::new(&dir).join("heatmap.json");
+    std::fs::write(&heatmap_path, format!("{heat_doc:#}\n")).expect("write heatmap");
+
+    println!(
+        "recorded {} of {} captures to {dir} (seed={seed:#x}, flight={flight_cap}, {jobs} jobs)",
+        outcomes.len() - failures.len(),
+        outcomes.len(),
+    );
+    let mut all: Vec<&str> = artifact_paths.iter().map(String::as_str).collect();
+    let summary_s = summary_path.display().to_string();
+    let heatmap_s = heatmap_path.display().to_string();
+    let journal_s = journal_path.display().to_string();
+    all.push(&summary_s);
+    all.push(&heatmap_s);
+    all.push(&journal_s);
+    impulse_bench::print_artifacts(&all);
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (id, e) in &failures {
+            eprintln!("FAILED: {id}: {e}");
+        }
+        eprintln!(
+            "{} of {} experiments failed (rerun with --resume)",
+            failures.len(),
+            outcomes.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_dump(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.contains('=')) else {
+        eprintln!("error: dump needs a capture file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let limit = args
+        .iter()
+        .find_map(|a| a.strip_prefix("limit="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32);
+    let cap = match load_capture(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = std::fs::read(path).expect("file read once already");
+    println!("capture {path}");
+    println!(
+        "  geometry: line={} B, banks={}, row={} B",
+        cap.geom.line_bytes, cap.geom.banks, cap.geom.row_bytes
+    );
+    println!(
+        "  events: {} held, {} recorded, {} overwritten",
+        cap.events.len(),
+        cap.recorded,
+        cap.overwritten
+    );
+    println!("  digest: {:#018x}", flight::digest(&bytes));
+    println!(
+        "\n{:>12}  {:>14}  {:>5}  {:>8}  {:<16}  {:>4}",
+        "cycle", "line", "bank", "row", "class", "desc"
+    );
+    for e in cap.events.iter().take(limit) {
+        println!(
+            "{:>12}  {:>#14x}  {:>5}  {:>8}  {:<16}  {:>4}",
+            e.cycle,
+            e.line,
+            e.bank,
+            e.row,
+            e.class.name(),
+            e.desc.map_or("-".to_string(), |d| d.to_string()),
+        );
+    }
+    if cap.events.len() > limit {
+        println!("... {} more (limit={limit})", cap.events.len() - limit);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let files: Vec<&String> = args.iter().filter(|a| !a.contains('=')).collect();
+    let [a_path, b_path] = files.as_slice() else {
+        eprintln!("error: diff needs exactly two capture files\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (a, b) = match (load_capture(a_path), load_capture(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut diffs = Vec::new();
+    if a.geom != b.geom {
+        diffs.push(format!("geometry: {:?} vs {:?}", a.geom, b.geom));
+    }
+    if (a.recorded, a.overwritten) != (b.recorded, b.overwritten) {
+        diffs.push(format!(
+            "counters: recorded {} vs {}, overwritten {} vs {}",
+            a.recorded, b.recorded, a.overwritten, b.overwritten
+        ));
+    }
+    if let Some(i) = (0..a.events.len().min(b.events.len())).find(|&i| a.events[i] != b.events[i]) {
+        diffs.push(format!(
+            "first divergent event at index {i}: {:?} vs {:?}",
+            a.events[i], b.events[i]
+        ));
+    } else if a.events.len() != b.events.len() {
+        diffs.push(format!(
+            "event counts: {} vs {} (shared prefix identical)",
+            a.events.len(),
+            b.events.len()
+        ));
+    }
+    if diffs.is_empty() {
+        println!(
+            "identical: {} events, digest {:#018x}",
+            a.events.len(),
+            flight::digest(&a.encode())
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("captures differ:");
+        for d in &diffs {
+            println!("  {d}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.contains('=')) else {
+        eprintln!("error: top needs a capture file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let k = args
+        .iter()
+        .find_map(|a| a.strip_prefix("k="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16);
+    let cap = match load_capture(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top = exact_top(&cap);
+    println!(
+        "top {} of {} unique lines ({} events held)",
+        k.min(top.len()),
+        top.len(),
+        cap.events.len()
+    );
+    println!(
+        "{:>14}  {:>8}  {:>5}  {:>8}",
+        "line", "count", "bank", "row"
+    );
+    for &(line, count) in top.iter().take(k) {
+        println!(
+            "{:>#14x}  {:>8}  {:>5}  {:>8}",
+            line,
+            count,
+            cap.geom.bank_of(line),
+            cap.geom.row_of(line)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

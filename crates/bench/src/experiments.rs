@@ -14,7 +14,7 @@ use std::sync::Arc;
 use crate::journal::RunArtifacts;
 use crate::runner::SharedJob;
 
-use impulse_obs::Json;
+use impulse_obs::{Json, SketchConfig};
 use impulse_sim::{Machine, Report, SystemConfig};
 use impulse_workloads::{
     ChannelFilter, DbScan, DbVariant, Diagonal, DiagonalVariant, IpcGather, IpcVariant, Lu,
@@ -60,11 +60,145 @@ impl Experiment {
 /// historical sparse-pattern seed so default outputs are unchanged).
 pub const DEFAULT_SEED: u64 = 0x00c9_a15e;
 
+/// Observability switches applied uniformly to every catalog
+/// experiment: the MC flight-recorder capacity, the optional hotness
+/// sketch, and how many hottest lines each heatmap export carries.
+///
+/// [`ObsSpec::off`] is the zero-cost default used by the plain
+/// [`run_all_experiments`] catalog; the `trace` binary turns recording
+/// on with [`ObsSpec::recording`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsSpec {
+    /// Flight-recorder ring capacity in events (0 disables recording).
+    pub flight_capacity: usize,
+    /// Hotness-sketch configuration (`None` disables the sketch).
+    pub sketch: Option<SketchConfig>,
+    /// Entries per heatmap `hot.entries` export.
+    pub top_k: usize,
+}
+
+impl ObsSpec {
+    /// All observability disabled — the configuration the headline
+    /// benchmarks run with.
+    pub fn off() -> Self {
+        Self {
+            flight_capacity: 0,
+            sketch: None,
+            top_k: 32,
+        }
+    }
+
+    /// Flight recording plus hotness telemetry enabled.
+    pub fn recording(flight_capacity: usize, sketch: SketchConfig, top_k: usize) -> Self {
+        Self {
+            flight_capacity,
+            sketch: Some(sketch),
+            top_k,
+        }
+    }
+
+    /// Whether any recording is on (controls whether jobs export
+    /// captures and heatmaps).
+    pub fn enabled(&self) -> bool {
+        self.flight_capacity > 0 || self.sketch.is_some()
+    }
+
+    fn apply(self, cfg: SystemConfig) -> SystemConfig {
+        let cfg = cfg.with_flight(self.flight_capacity);
+        match self.sketch {
+            Some(s) => cfg.with_hotness(s),
+            None => cfg,
+        }
+    }
+}
+
+/// Everything one observed experiment produces: the usual [`Report`]
+/// plus the encoded `impulse-trace-v1` capture and the
+/// `impulse-heatmap-v1` export (both empty/null when the job ran with
+/// [`ObsSpec::off`]).
+#[derive(Clone, Debug)]
+pub struct TraceOutcome {
+    /// The experiment's report, exactly as the plain catalog produces.
+    pub report: Report,
+    /// Encoded flight capture (empty when recording was disabled).
+    pub capture: Vec<u8>,
+    /// Heatmap document (`Json::Null` when recording was disabled).
+    pub heatmap: Json,
+}
+
+/// One catalog experiment whose job also exports observability
+/// artifacts. The plain [`Experiment`] catalog is a thin projection of
+/// this (dropping capture and heatmap).
+pub struct TracedExperiment {
+    name: String,
+    job: SharedJob<TraceOutcome>,
+}
+
+impl TracedExperiment {
+    fn new(name: String, job: impl Fn() -> TraceOutcome + Send + Sync + 'static) -> Self {
+        Self {
+            name,
+            job: Arc::new(job),
+        }
+    }
+
+    /// The experiment's report name, known before the run.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(&self) -> TraceOutcome {
+        (self.job)()
+    }
+
+    /// Decomposes into the (id, shared job) pair the resumable grid
+    /// driver consumes.
+    pub fn into_job(self) -> (String, SharedJob<TraceOutcome>) {
+        (self.name, self.job)
+    }
+}
+
+/// Collects the machine's report and (when `obs` is recording) its
+/// flight capture and heatmap into a [`TraceOutcome`].
+fn finish(m: &Machine, name: &str, obs: ObsSpec) -> TraceOutcome {
+    let report = m.report(name.to_string());
+    if !obs.enabled() {
+        return TraceOutcome {
+            report,
+            capture: Vec::new(),
+            heatmap: Json::Null,
+        };
+    }
+    let mc = m.memory().mc();
+    TraceOutcome {
+        report,
+        capture: mc.flight().map(|f| f.encode()).unwrap_or_default(),
+        heatmap: mc.heatmap_json(obs.top_k),
+    }
+}
+
 /// Builds the full `run_all` experiment list (24 experiments at quick
 /// scale), in the canonical CSV/JSON row order. `seed` feeds every
 /// seeded input: the table-1 sparse pattern directly and the database
 /// scan's key salt via XOR.
 pub fn run_all_experiments(seed: u64) -> Vec<Experiment> {
+    run_all_experiments_obs(seed, ObsSpec::off())
+        .into_iter()
+        .map(|t| {
+            let (name, job) = t.into_job();
+            Experiment::new(name, move || job().report)
+        })
+        .collect()
+}
+
+/// The same 24-experiment catalog with observability applied to every
+/// machine: each job's [`SystemConfig`] goes through `obs` before the
+/// machine is built, and the job returns the capture and heatmap next
+/// to the report. With [`ObsSpec::off`] the simulated results are
+/// identical to [`run_all_experiments`] — recording never perturbs
+/// simulated time.
+pub fn run_all_experiments_obs(seed: u64, obs: ObsSpec) -> Vec<TracedExperiment> {
     let mut out = Vec::new();
 
     // Table 1 cells.
@@ -80,108 +214,110 @@ pub fn run_all_experiments(seed: u64) -> Vec<Experiment> {
     ] {
         let pattern = pattern.clone();
         let name = format!("table1/{}/mc={mc_pf}/l1={l1_pf}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let cfg = SystemConfig::paint().with_prefetch(mc_pf, l1_pf);
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let cfg = obs.apply(SystemConfig::paint().with_prefetch(mc_pf, l1_pf));
             let mut m = Machine::new(&cfg);
             let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("smvp");
             w.run(&mut m, 1);
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Table 2 cells.
     for variant in MmpVariant::ALL {
         let name = format!("table2/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint());
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
             let mut w = Mmp::setup(&mut m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
             w.run(&mut m).expect("mmp run");
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Tiled LU decomposition.
     for variant in [LuVariant::Conventional, LuVariant::TileRemap] {
         let name = format!("lu/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint());
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
             let mut w = Lu::setup(&mut m, 128, 32, variant).expect("lu");
             w.run(&mut m).expect("lu run");
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Figure 1.
     for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
         let name = format!("fig1/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint());
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
             let d = Diagonal::setup(&mut m, 2048, variant).expect("diag");
             m.reset_stats();
             d.run(&mut m, 4);
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Transpose.
     for variant in [TransposeVariant::Conventional, TransposeVariant::Remapped] {
         let name = format!("transpose/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint());
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
             let w = Transpose::setup(&mut m, 512, variant).expect("transpose");
             m.reset_stats();
             w.column_reduce(&mut m);
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Superpages.
     for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
         let name = format!("superpage/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint());
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
             let w = TlbStress::setup(&mut m, 8, 64, variant).expect("tlb");
             m.reset_stats();
             w.sweep(&mut m, 8);
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Database selection scan.
     for variant in [DbVariant::Conventional, DbVariant::ImpulseGather] {
         let name = format!("dbscan/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let cfg = obs.apply(SystemConfig::paint().with_prefetch(true, false));
+            let mut m = Machine::new(&cfg);
             let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, seed ^ 0xdb, variant).expect("db");
             m.reset_stats();
             w.fetch(&mut m);
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // Multimedia channel extraction.
     for variant in [MediaVariant::Conventional, MediaVariant::ChannelRemap] {
         let name = format!("media/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint().with_prefetch(true, false));
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let cfg = obs.apply(SystemConfig::paint().with_prefetch(true, false));
+            let mut m = Machine::new(&cfg);
             let w = ChannelFilter::setup(&mut m, 1 << 20, 3, variant).expect("media");
             m.reset_stats();
             w.filter(&mut m);
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
     // IPC.
     for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
         let name = format!("ipc/{}", variant.name());
-        out.push(Experiment::new(name.clone(), move || {
-            let mut m = Machine::new(&SystemConfig::paint());
+        out.push(TracedExperiment::new(name.clone(), move || {
+            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
             let w = IpcGather::setup(&mut m, 8, 4096, 64, variant).expect("ipc");
             m.reset_stats();
             for _ in 0..64 {
                 w.send(&mut m);
             }
-            m.report(name.clone())
+            finish(&m, &name, obs)
         }));
     }
 
@@ -284,5 +420,32 @@ mod tests {
         assert_eq!(names.len(), exps.len(), "duplicate experiment names");
         assert_eq!(exps[0].name(), "table1/conventional/mc=false/l1=false");
         assert_eq!(exps[23].name(), "ipc/impulse no-copy gather");
+    }
+
+    #[test]
+    fn observed_catalog_mirrors_the_plain_one() {
+        let plain = run_all_experiments(DEFAULT_SEED);
+        let traced = run_all_experiments_obs(DEFAULT_SEED, ObsSpec::off());
+        assert_eq!(plain.len(), traced.len());
+        for (p, t) in plain.iter().zip(&traced) {
+            assert_eq!(p.name(), t.name());
+        }
+        assert!(!ObsSpec::off().enabled());
+        assert!(ObsSpec::recording(1 << 16, SketchConfig::default(), 32).enabled());
+    }
+
+    #[test]
+    fn disabled_obs_jobs_export_no_artifacts() {
+        // Run the cheapest catalog entry end to end with ObsSpec::off and
+        // check the outcome carries no capture or heatmap.
+        let traced = run_all_experiments_obs(DEFAULT_SEED, ObsSpec::off());
+        let ipc = traced
+            .iter()
+            .find(|t| t.name().starts_with("ipc/"))
+            .expect("ipc experiment present");
+        let out = ipc.run();
+        assert!(out.capture.is_empty());
+        assert_eq!(out.heatmap, Json::Null);
+        assert_eq!(out.report.name, ipc.name());
     }
 }

@@ -17,12 +17,13 @@ use core::fmt;
 
 use impulse_dram::{Dram, SchedulePolicy, Scheduler};
 use impulse_fault::{EccConfig, EccStats, FaultConfig};
-use impulse_obs::{Histogram, MetricsRegistry, Observe};
+use impulse_obs::{prof, Histogram, HotSketch, Json, MetricsRegistry, Observe, SketchConfig};
 use impulse_types::geom::PAGE_SIZE;
 use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, Cycle, MAddr, PAddr, PRange};
 
 use crate::desc::{DescError, DescStats, ShadowDescriptor};
+use crate::flight::{FlightGeom, FlightRecorder, HitClass};
 use crate::pgtbl::{PgTbl, PgTblConfig, PgTblStats};
 use crate::prefetch::{PrefetchCache, PrefetchStats};
 use crate::remap::{RemapFn, Segment};
@@ -118,6 +119,13 @@ pub struct McConfig {
     /// sub-burst objects — e.g. byte-granularity channel extraction —
     /// cost one access per burst, not one per object).
     pub coalesce_bytes: u64,
+    /// Capacity of the MC transaction flight recorder, in events; `0`
+    /// (the default) disables recording entirely — no ring is allocated
+    /// and the per-access cost is one `Option` check.
+    pub flight_capacity: usize,
+    /// Hotness-sketch configuration; `None` (the default) disables line
+    /// hotness telemetry.
+    pub hotness: Option<SketchConfig>,
 }
 
 impl Default for McConfig {
@@ -135,6 +143,8 @@ impl Default for McConfig {
             prefetch_shadow: false,
             vector_block_bytes: 32,
             coalesce_bytes: 32,
+            flight_capacity: 0,
+            hotness: None,
         }
     }
 }
@@ -208,11 +218,22 @@ pub struct MemController {
     lat_shadow_hit: Histogram,
     ecc: EccConfig,
     ecc_stats: EccStats,
+    /// Boxed so the (large, rarely enabled) observability state costs the
+    /// common path one pointer each.
+    flight: Option<Box<FlightRecorder>>,
+    hot: Option<Box<HotSketch>>,
 }
 
 /// Drains pending injected bit flips from the DRAM array and runs them
 /// through the controller's ECC logic. Returns the total latency penalty
 /// to charge on the current return path.
+/// A descriptor slot index as a flight-recorder nibble. Slots at or
+/// above 15 are unrepresentable in the codec and collapse to 14; the
+/// paper's controller has eight slots, so this never fires in practice.
+fn desc_nibble(idx: usize) -> Option<u8> {
+    Some(u8::try_from(idx).map_or(14, |v| v.min(14)))
+}
+
 fn scrub_flips(dram: &mut Dram, ecc: &EccConfig, stats: &mut EccStats) -> Cycle {
     let mut penalty = 0;
     for (addr, flip) in dram.take_flips() {
@@ -250,8 +271,31 @@ impl MemController {
             lat_shadow_hit: Histogram::new(),
             ecc: EccConfig::default(),
             ecc_stats: EccStats::default(),
+            flight: (cfg.flight_capacity > 0).then(|| {
+                Box::new(FlightRecorder::new(
+                    cfg.flight_capacity,
+                    FlightGeom {
+                        line_bytes: cfg.line_bytes,
+                        banks: dram.config().banks,
+                        row_bytes: dram.config().row_bytes,
+                    },
+                ))
+            }),
+            hot: cfg.hotness.map(|s| Box::new(HotSketch::new(s))),
             dram,
             cfg,
+        }
+    }
+
+    /// Feeds one classified transaction to the flight recorder and the
+    /// hotness sketch (both optional; both see the line-aligned address).
+    #[inline]
+    fn note_access(&mut self, at: Cycle, addr: u64, class: HitClass, desc: Option<u8>) {
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.record(at, addr, class, desc);
+        }
+        if let Some(h) = self.hot.as_deref_mut() {
+            h.observe(addr - addr % self.cfg.line_bytes);
         }
     }
 
@@ -316,6 +360,71 @@ impl MemController {
         self.lat_shadow = Histogram::new();
         self.lat_shadow_hit = Histogram::new();
         self.ecc_stats = EccStats::default();
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.clear();
+        }
+        if let Some(h) = self.hot.as_deref_mut() {
+            h.clear();
+        }
+    }
+
+    /// The MC transaction flight recorder, when
+    /// [`McConfig::flight_capacity`] is non-zero.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_deref()
+    }
+
+    /// The line-hotness sketch, when [`McConfig::hotness`] is configured.
+    pub fn hot(&self) -> Option<&HotSketch> {
+        self.hot.as_deref()
+    }
+
+    /// Exports the controller's heat picture as an `impulse-heatmap-v1`
+    /// document: per-bank row-buffer hit/miss/conflict counters plus (when
+    /// hotness telemetry is enabled; `"hot"` is `null` otherwise) the
+    /// sketch's current top-`k` hottest lines.
+    pub fn heatmap_json(&self, k: usize) -> Json {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("impulse-heatmap-v1".into()));
+        doc.set("line_bytes", Json::UInt(self.cfg.line_bytes));
+        doc.set("row_bytes", Json::UInt(self.dram.config().row_bytes));
+        let banks = self
+            .dram
+            .bank_heat()
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let mut b = Json::obj();
+                b.set("bank", Json::UInt(i as u64));
+                b.set("row_hits", Json::UInt(h.row_hits));
+                b.set("row_misses", Json::UInt(h.row_misses));
+                b.set("row_conflicts", Json::UInt(h.row_conflicts));
+                b
+            })
+            .collect();
+        doc.set("banks", Json::Arr(banks));
+        let hot = match &self.hot {
+            None => Json::Null,
+            Some(h) => {
+                let mut o = Json::obj();
+                o.set("observed", Json::UInt(h.observed()));
+                o.set("decays", Json::UInt(h.decays()));
+                let entries = h
+                    .top(k)
+                    .iter()
+                    .map(|e| {
+                        let mut ent = Json::obj();
+                        ent.set("line", Json::UInt(e.line));
+                        ent.set("estimate", Json::UInt(e.estimate));
+                        ent
+                    })
+                    .collect();
+                o.set("entries", Json::Arr(entries));
+                o
+            }
+        };
+        doc.set("hot", hot);
+        doc
     }
 
     /// Latency distribution of non-shadow line reads served from DRAM.
@@ -485,11 +594,15 @@ impl MemController {
         p: PAddr,
         now: Cycle,
     ) -> Result<(Cycle, McBreakdown), McError> {
-        if self.is_shadow(p) {
+        let r = if self.is_shadow(p) {
             self.read_shadow(p, now)
         } else {
             Ok(self.read_physical(p, now))
+        };
+        if r.is_err() {
+            self.note_access(now, p.raw(), HitClass::NackRead, None);
         }
+        r
     }
 
     /// Writes the memory line containing `p` (an L2 writeback); returns
@@ -515,11 +628,15 @@ impl MemController {
     /// Same conditions as
     /// [`try_read_line_attributed`](Self::try_read_line_attributed).
     pub fn try_write_line(&mut self, p: PAddr, now: Cycle) -> Result<Cycle, McError> {
-        if self.is_shadow(p) {
+        let r = if self.is_shadow(p) {
             self.write_shadow(p, now)
         } else {
             Ok(self.write_physical(p, now))
+        };
+        if r.is_err() {
+            self.note_access(now, p.raw(), HitClass::NackWrite, None);
         }
+        r
     }
 
     /// The timing of a rejected request: the frontend decodes, finds no
@@ -547,6 +664,7 @@ impl MemController {
                 let data = ready.max(t) + self.cfg.t_sram;
                 bd.sram = data - t;
                 self.lat_pf_hit.record(data - now);
+                self.note_access(now, line.raw(), HitClass::DirectSramHit, None);
                 self.obl_prefetch(line.add(self.cfg.line_bytes), data);
                 return (data, bd);
             }
@@ -564,6 +682,7 @@ impl MemController {
         bd.frontend += penalty;
         let done = raw_done + penalty;
         self.lat_direct.record(done - now);
+        self.note_access(now, line.raw(), HitClass::DirectDram, None);
         if self.cfg.prefetch_nonshadow {
             self.obl_prefetch(line.add(self.cfg.line_bytes), done);
         }
@@ -573,6 +692,7 @@ impl MemController {
     fn write_physical(&mut self, p: PAddr, now: Cycle) -> Cycle {
         self.stats.line_writes += 1;
         let line = p.align_down(self.cfg.line_bytes);
+        self.note_access(now, line.raw(), HitClass::StoreDirect, None);
         self.pf.invalidate(line);
         let done = self.dram.access(
             MAddr::new(line.raw()),
@@ -585,6 +705,7 @@ impl MemController {
 
     /// One-block-lookahead prefetch into the 2 KB SRAM.
     fn obl_prefetch(&mut self, line: PAddr, start: Cycle) {
+        let _span = prof::span("mc.prefetch");
         if line.raw() + self.cfg.line_bytes > self.shadow_base {
             return; // next line is not backed by DRAM
         }
@@ -630,6 +751,7 @@ impl MemController {
                 let data = ready.max(t) + t_sram;
                 bd.sram = data - t;
                 self.lat_shadow_hit.record(data - now);
+                self.note_access(now, line.raw(), HitClass::ShadowBufHit, desc_nibble(idx));
                 self.shadow_prefetch(idx, line.add(line_bytes), data);
                 return Ok((data, bd));
             }
@@ -639,6 +761,7 @@ impl MemController {
         bd.pgtbl = gd.pgtbl;
         bd.dram = gd.dram;
         self.lat_shadow.record(done - now);
+        self.note_access(now, line.raw(), HitClass::ShadowGather, desc_nibble(idx));
         if self.cfg.prefetch_shadow {
             self.shadow_prefetch(idx, line.add(line_bytes), done);
         }
@@ -654,9 +777,11 @@ impl MemController {
         };
         desc.note_write();
         desc.buffer_invalidate(line);
-        Ok(self
+        let done = self
             .gather(idx, line, AccessKind::Store, now + self.cfg.t_overhead)?
-            .0)
+            .0;
+        self.note_access(now, line.raw(), HitClass::StoreShadow, desc_nibble(idx));
+        Ok(done)
     }
 
     /// Background gather of the next shadow line into the descriptor's
@@ -664,6 +789,7 @@ impl MemController {
     /// pseudo-virtual pages are not all mapped (e.g. the color-excluded
     /// holes of a recolored region).
     fn shadow_prefetch(&mut self, idx: usize, line: PAddr, start: Cycle) {
+        let _span = prof::span("mc.prefetch");
         let Some(desc) = self.descs.get(idx).and_then(Option::as_ref) else {
             return;
         };
@@ -721,6 +847,7 @@ impl MemController {
         kind: AccessKind,
         t0: Cycle,
     ) -> Result<(Cycle, McBreakdown), McError> {
+        let _span = prof::span("mc.gather");
         let Self {
             descs,
             pgtbl,
@@ -893,6 +1020,16 @@ impl MemController {
         self.ecc_stats.silent = r.u64()?;
         self.ecc_stats.corrupt_sig = r.u64()?;
         self.ecc_stats.recovery_cycles = r.u64()?;
+        // Observability state (flight ring, hotness sketch) is
+        // deliberately not part of the image: captures describe one
+        // process's execution, not the checkpointed machine. Clear both
+        // so a restored run records only what happens after the restore.
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.clear();
+        }
+        if let Some(h) = self.hot.as_deref_mut() {
+            h.clear();
+        }
         Ok(())
     }
 }
@@ -921,6 +1058,16 @@ impl Observe for MemController {
         m.counter("mc.desc.buffer_hits", d.buffer_hits);
         m.counter("mc.desc.gathers", d.gathers);
         m.counter("mc.desc.dram_requests", d.dram_requests);
+        if let Some(f) = &self.flight {
+            m.counter("mc.flight.recorded", f.recorded());
+            m.counter("mc.flight.overwritten", f.overwritten());
+            m.counter("mc.flight.held", f.len() as u64);
+        }
+        if let Some(h) = &self.hot {
+            m.counter("mc.hot.observed", h.observed());
+            m.counter("mc.hot.decays", h.decays());
+            m.counter("mc.hot.candidates", h.candidates_len() as u64);
+        }
         let mut tmp = MetricsRegistry::new();
         tmp.observe(&self.pgtbl);
         tmp.observe(&self.pf);
@@ -1409,5 +1556,118 @@ mod tests {
         assert_eq!(s.reads, 16);
         assert!(s.gathers >= 8);
         assert_eq!(m.stats().shadow_line_reads, 16);
+    }
+
+    /// A controller with observability enabled, shadow prefetch on.
+    fn observed_mc() -> MemController {
+        MemController::new(
+            small_dram(),
+            McConfig {
+                prefetch_nonshadow: true,
+                prefetch_shadow: true,
+                flight_capacity: 1 << 12,
+                hotness: Some(SketchConfig::default()),
+                ..McConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn flight_recorder_classifies_every_transaction_kind() {
+        use crate::flight::HitClass as H;
+        let mut m = observed_mc();
+        let region = PRange::new(PAddr::new(SHADOW), 4096);
+        let id = m
+            .claim_descriptor(region, RemapFn::direct(PvAddr::new(0)))
+            .unwrap();
+        map_identity(&mut m, 0, 0, 2);
+        // Direct path: miss then stream (SRAM hits), plus a store.
+        let mut t = 0;
+        for i in 0..4u64 {
+            t = m.read_line(PAddr::new(0x4000 + i * 128), t + 1000);
+        }
+        m.write_line(PAddr::new(0x4000), t);
+        // Shadow path: gather, buffered re-reads, scatter store.
+        for i in 0..3u64 {
+            t = m.read_line(PAddr::new(SHADOW + i * 128), t + 10_000);
+        }
+        m.write_line(PAddr::new(SHADOW), t);
+        // NACKs: shadow with no descriptor.
+        m.read_line(PAddr::new(SHADOW + 0x10_0000), t);
+        m.write_line(PAddr::new(SHADOW + 0x10_0000), t);
+
+        let f = m.flight().expect("flight recorder is enabled");
+        assert_eq!(f.overwritten(), 0);
+        let events = f.events();
+        let have: std::collections::HashSet<H> = events.iter().map(|e| e.class).collect();
+        for class in [
+            H::DirectDram,
+            H::DirectSramHit,
+            H::ShadowGather,
+            H::ShadowBufHit,
+            H::StoreDirect,
+            H::StoreShadow,
+            H::NackRead,
+            H::NackWrite,
+        ] {
+            assert!(have.contains(&class), "missing {class:?} in {have:?}");
+        }
+        // Shadow events carry the descriptor slot; direct ones do not.
+        for e in &events {
+            match e.class {
+                H::ShadowGather | H::ShadowBufHit | H::StoreShadow => {
+                    assert_eq!(e.desc, Some(id.index() as u8));
+                }
+                _ => assert_eq!(e.desc, None),
+            }
+        }
+        // The capture round-trips bit-exactly.
+        let bytes = f.encode();
+        let cap = crate::flight::decode(&bytes).unwrap();
+        assert_eq!(cap.events, events);
+        assert_eq!(cap.encode(), bytes);
+        // The sketch observed exactly the recorded transactions.
+        let h = m.hot().expect("sketch is enabled");
+        assert_eq!(h.observed(), f.recorded());
+
+        // Heatmap export carries the schema, per-bank heat, and hot set.
+        let doc = m.heatmap_json(8);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("impulse-heatmap-v1")
+        );
+        let banks = doc.get("banks").and_then(Json::items).unwrap();
+        assert_eq!(banks.len() as u64, m.dram().config().banks);
+        let hits: u64 = banks
+            .iter()
+            .map(|b| b.get("row_hits").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(hits, m.dram().stats().row_hits);
+        let entries = doc
+            .get("hot")
+            .and_then(|h| h.get("entries"))
+            .and_then(Json::items)
+            .unwrap();
+        assert!(!entries.is_empty());
+
+        // Registry export and reset.
+        let mut reg = MetricsRegistry::new();
+        m.observe(&mut reg);
+        assert_eq!(reg.counter_value("mc.flight.recorded"), Some(f.recorded()));
+        assert_eq!(reg.counter_value("mc.hot.observed"), Some(h.observed()));
+        m.reset_stats();
+        assert!(m.flight().unwrap().is_empty());
+        assert_eq!(m.hot().unwrap().observed(), 0);
+    }
+
+    #[test]
+    fn disabled_observability_records_nothing() {
+        let mut m = mc(false, false);
+        m.read_line(PAddr::new(0), 0);
+        assert!(m.flight().is_none());
+        assert!(m.hot().is_none());
+        let doc = m.heatmap_json(8);
+        assert_eq!(doc.get("hot"), Some(&Json::Null));
+        assert!(doc.get("banks").and_then(Json::items).is_some());
     }
 }

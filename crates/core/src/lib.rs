@@ -17,6 +17,8 @@
 //! * [`prefetch`] — the 2 KB prefetch SRAM for non-remapped data.
 //! * [`controller`] — the front end tying it all together over the DRAM
 //!   scheduler from `impulse-dram`.
+//! * [`flight`] — a bounded flight recorder of MC transactions with the
+//!   compact `impulse-trace-v1` capture codec.
 //!
 //! # Examples
 //!
@@ -49,12 +51,14 @@
 
 pub mod controller;
 pub mod desc;
+pub mod flight;
 pub mod pgtbl;
 pub mod prefetch;
 pub mod remap;
 
 pub use controller::{DescId, McBreakdown, McConfig, McError, McStats, MemController};
 pub use desc::{DescError, DescStats, ShadowDescriptor};
+pub use flight::{Capture, FlightEvent, FlightGeom, FlightRecorder, HitClass, TraceError};
 pub use pgtbl::{PgTbl, PgTblConfig, PgTblStats};
 pub use prefetch::{PrefetchCache, PrefetchStats};
 pub use remap::{RemapFn, Segment};

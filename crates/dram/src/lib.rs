@@ -34,7 +34,7 @@ pub mod sched;
 pub use sched::{BatchOutcome, SchedulePolicy, Scheduler};
 
 use impulse_fault::{BitFlip, FlipInjector, FlipStats};
-use impulse_obs::{Histogram, MetricsRegistry, Observe};
+use impulse_obs::{prof, Histogram, MetricsRegistry, Observe};
 use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{AccessKind, Cycle, MAddr};
 
@@ -135,11 +135,29 @@ impl DramStats {
     }
 }
 
+/// Per-bank row-buffer heat counters, the DRAM half of the
+/// `impulse-heatmap-v1` export: which banks are being hammered and how
+/// much of their traffic is open-row reuse versus row churn.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BankHeat {
+    /// Accesses that hit this bank's open row.
+    pub row_hits: u64,
+    /// Accesses that had to open a row in this bank.
+    pub row_misses: u64,
+    /// The subset of `row_misses` that evicted a *different* open row —
+    /// genuine row-buffer conflicts, as opposed to cold first-touches
+    /// (a precharged bank has nothing to lose).
+    pub row_conflicts: u64,
+}
+
 /// The DRAM array: banks, open-row state, and the shared data bus.
 #[derive(Clone, Debug)]
 pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>,
+    /// Heat counters live apart from [`Bank`] so the per-access open-row
+    /// state stays as small as possible.
+    heat: Vec<BankHeat>,
     data_bus_free: Cycle,
     stats: DramStats,
     lat_row_hit: Histogram,
@@ -158,6 +176,7 @@ impl Dram {
         assert!(cfg.row_bytes > 0, "DRAM rows must be non-empty");
         let banks = vec![Bank::default(); cfg.banks as usize];
         Self {
+            heat: vec![BankHeat::default(); banks.len()],
             cfg,
             banks,
             data_bus_free: 0,
@@ -205,8 +224,14 @@ impl Dram {
     /// Resets statistics (open-row and timing state are preserved).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        self.heat.fill(BankHeat::default());
         self.lat_row_hit = Histogram::new();
         self.lat_row_miss = Histogram::new();
+    }
+
+    /// Per-bank row-buffer heat counters, indexed by bank.
+    pub fn bank_heat(&self) -> &[BankHeat] {
+        &self.heat
     }
 
     /// End-to-end latency distribution (bank wait + access + transfer) of
@@ -226,6 +251,7 @@ impl Dram {
     /// The access waits for its bank, pays row-hit or row-miss latency,
     /// then occupies the shared data bus for the transfer.
     pub fn access(&mut self, addr: MAddr, kind: AccessKind, bytes: u64, now: Cycle) -> Cycle {
+        let _span = prof::span("dram.access");
         debug_assert!(
             addr.raw() < self.cfg.capacity,
             "DRAM access beyond installed capacity: {addr:?}"
@@ -241,11 +267,18 @@ impl Dram {
         self.stats.bank_wait += start - now;
 
         let row_hit = bank.open_row == Some(row);
+        let heat = &mut self.heat[bank_idx];
         let latency = if row_hit {
             self.stats.row_hits += 1;
+            heat.row_hits += 1;
             self.cfg.t_row_hit
         } else {
             self.stats.row_misses += 1;
+            heat.row_misses += 1;
+            // Classify before the open row is replaced below.
+            if bank.open_row.is_some() {
+                heat.row_conflicts += 1;
+            }
             bank.open_row = Some(row);
             self.cfg.t_row_miss
         };
@@ -303,6 +336,11 @@ impl Dram {
         }
         w.u64_slice(&self.lat_row_hit.state_words());
         w.u64_slice(&self.lat_row_miss.state_words());
+        for h in &self.heat {
+            w.u64(h.row_hits);
+            w.u64(h.row_misses);
+            w.u64(h.row_conflicts);
+        }
         w.bool(self.faults.is_some());
         if let Some(f) = &self.faults {
             f.snap_save(w);
@@ -340,6 +378,11 @@ impl Dram {
             .ok_or(SnapError::Geometry("DRAM row-hit histogram"))?;
         self.lat_row_miss = Histogram::from_state_words(&r.u64_vec()?)
             .ok_or(SnapError::Geometry("DRAM row-miss histogram"))?;
+        for h in &mut self.heat {
+            h.row_hits = r.u64()?;
+            h.row_misses = r.u64()?;
+            h.row_conflicts = r.u64()?;
+        }
         let had_faults = r.bool()?;
         match (&mut self.faults, had_faults) {
             (Some(f), true) => f.snap_load(r)?,
@@ -361,6 +404,11 @@ impl Observe for Dram {
         m.gauge("dram.row_hit_ratio", self.stats.row_hit_ratio());
         m.histogram("dram.lat_row_hit", &self.lat_row_hit);
         m.histogram("dram.lat_row_miss", &self.lat_row_miss);
+        for (i, h) in self.heat.iter().enumerate() {
+            m.counter(&format!("dram.bank{i:02}.row_hits"), h.row_hits);
+            m.counter(&format!("dram.bank{i:02}.row_misses"), h.row_misses);
+            m.counter(&format!("dram.bank{i:02}.row_conflicts"), h.row_conflicts);
+        }
         if self.faults.is_some() {
             let f = self.flip_stats();
             m.counter("dram.fault.injected_single", f.injected_single);
@@ -515,6 +563,53 @@ mod tests {
             tc = clean.access(MAddr::new(i * 64), AccessKind::Load, 8, tc);
         }
         assert_eq!(t, tc);
+    }
+
+    #[test]
+    fn bank_heat_separates_conflicts_from_cold_misses() {
+        let cfg = DramConfig::default();
+        let stride = cfg.row_bytes * cfg.banks; // same bank, next row
+        let mut d = Dram::new(cfg);
+        d.access(MAddr::new(0), AccessKind::Load, 8, 0); // cold miss, bank 0
+        d.access(MAddr::new(64), AccessKind::Load, 8, 100); // row hit
+        d.access(MAddr::new(stride), AccessKind::Load, 8, 200); // conflict
+        d.precharge_all();
+        d.access(MAddr::new(0), AccessKind::Load, 8, 300); // cold again
+        let h = d.bank_heat()[0];
+        assert_eq!(h.row_hits, 1);
+        assert_eq!(h.row_misses, 3);
+        assert_eq!(h.row_conflicts, 1, "precharged banks have nothing to lose");
+        assert_eq!(d.bank_heat()[1], BankHeat::default());
+        // Heat is exported per bank and sums to the aggregate stats.
+        let mut m = MetricsRegistry::new();
+        d.observe(&mut m);
+        assert_eq!(m.counter_value("dram.bank00.row_conflicts"), Some(1));
+        let s = d.stats();
+        let sum: u64 = d
+            .bank_heat()
+            .iter()
+            .map(|h| h.row_hits + h.row_misses)
+            .sum();
+        assert_eq!(sum, s.row_hits + s.row_misses);
+        d.reset_stats();
+        assert_eq!(d.bank_heat()[0], BankHeat::default());
+    }
+
+    #[test]
+    fn bank_heat_survives_a_snapshot_round_trip() {
+        let mut d = dram();
+        let mut t = 0;
+        for i in 0..32u64 {
+            t = d.access(MAddr::new((i % 7) * 4096), AccessKind::Load, 8, t);
+        }
+        let mut w = impulse_types::snap::SnapWriter::new();
+        d.snap_save(&mut w);
+        let bytes = w.finish();
+        let mut fresh = dram();
+        let mut r = impulse_types::snap::SnapReader::new(&bytes);
+        fresh.snap_load(&mut r).expect("snapshot must load");
+        assert_eq!(fresh.bank_heat(), d.bank_heat());
+        assert_ne!(d.bank_heat()[0], BankHeat::default());
     }
 
     #[test]

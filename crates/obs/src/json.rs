@@ -412,4 +412,77 @@ mod tests {
         assert_eq!(Json::Float(f64::NAN).to_string(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
     }
+
+    #[test]
+    fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+        let doc = Json::parse(r#"{"k": 1, "k": 2, "other": 3}"#).unwrap();
+        let fields = match &doc {
+            Json::Obj(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(fields.len(), 3, "duplicates must not be collapsed");
+        assert_eq!(fields[0], ("k".to_string(), Json::UInt(1)));
+        assert_eq!(fields[1], ("k".to_string(), Json::UInt(2)));
+        assert_eq!(doc.get("k"), Some(&Json::UInt(1)));
+        // Writing back emits both occurrences unchanged.
+        assert_eq!(doc.to_string(), r#"{"k":1,"k":2,"other":3}"#);
+    }
+
+    #[test]
+    fn empty_containers_round_trip() {
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(Vec::new()));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(Vec::new()));
+        assert_eq!(Json::parse(" [ ] ").unwrap(), Json::Arr(Vec::new()));
+        assert_eq!(Json::Obj(Vec::new()).to_string(), "{}");
+        assert_eq!(Json::Arr(Vec::new()).to_string(), "[]");
+        // Pretty-printing empty containers must still parse.
+        let pretty = format!("{:#}", Json::parse(r#"{"a": [], "b": {}}"#).unwrap());
+        assert_eq!(
+            Json::parse(&pretty).unwrap(),
+            Json::parse(r#"{"a":[],"b":{}}"#).unwrap()
+        );
+    }
+
+    #[test]
+    fn nested_escapes_survive_a_full_round_trip() {
+        // A value that is itself a JSON document in a string, so every
+        // quote and backslash is escaped one level deeper.
+        let inner = r#"{"msg": "line1\nline2 \"q\" \\ /"}"#;
+        let mut doc = Json::obj();
+        doc.set("payload", Json::Str(inner.to_string()));
+        let text = doc.to_string();
+        let outer = Json::parse(&text).unwrap();
+        let payload = outer.get("payload").and_then(Json::as_str).unwrap();
+        assert_eq!(payload, inner);
+        // The recovered string parses again as the original nested doc.
+        let nested = Json::parse(payload).unwrap();
+        assert_eq!(
+            nested.get("msg").and_then(Json::as_str),
+            Some("line1\nline2 \"q\" \\ /")
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_decode_and_bad_ones_degrade() {
+        let doc = Json::parse(r#"{"s": "aAé\t"}"#).unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("aA\u{e9}\t"));
+        // An unpaired surrogate is not a valid scalar; the parser maps it
+        // to U+FFFD rather than failing the whole document.
+        let doc = Json::parse(r#"{"s": "\ud800"}"#).unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("\u{fffd}"));
+        // Truncated escape sequences are a parse error, not a panic.
+        assert!(Json::parse(r#"{"s": "\u00"}"#).is_err());
+        assert!(Json::parse(r#"{"s": "\q"}"#).is_err());
+    }
+
+    #[test]
+    fn control_characters_in_strings_are_escaped_on_write() {
+        let s = Json::Str("\u{1}\u{1f} ok".to_string());
+        let text = s.to_string();
+        assert!(
+            !text.bytes().any(|b| b < 0x20),
+            "raw control bytes leaked into output: {text:?}"
+        );
+        assert_eq!(Json::parse(&text).unwrap(), s);
+    }
 }

@@ -17,6 +17,10 @@
 //!   support.
 //! * [`Json`] — a dependency-free JSON value with writer and parser,
 //!   backing the report and Chrome-trace exporters.
+//! * [`HotSketch`] — a deterministic count-min sketch with epoch decay
+//!   for online "which lines are hot" telemetry at the controller.
+//! * [`prof`] — a host self-profiler of scoped wall-clock spans over
+//!   simulator components, zero-cost when disabled.
 //!
 //! The crate deliberately depends on nothing, not even other workspace
 //! crates, so every layer of the simulator can use it.
@@ -26,9 +30,12 @@
 pub mod attribution;
 pub mod histogram;
 pub mod json;
+pub mod prof;
 pub mod registry;
+pub mod sketch;
 
 pub use attribution::{Attribution, Stage};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use registry::{MetricValue, MetricsRegistry, Observe};
+pub use sketch::{HotLine, HotSketch, SketchConfig};

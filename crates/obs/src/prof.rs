@@ -1,0 +1,234 @@
+//! Host self-profiler: scoped wall-clock spans over simulator components.
+//!
+//! The simulated-cycle model tells us where *simulated* time goes; this
+//! module answers the other question — where does *host* time go while
+//! the simulator runs? Components wrap their hot entry points in
+//! [`span`] guards; when profiling is enabled on the current thread the
+//! guard measures its own lifetime and folds it into a per-label
+//! aggregate (count, total, max). [`take`] drains the aggregates, sorted
+//! by label, ready for a report.
+//!
+//! Two design constraints shape the implementation:
+//!
+//! * **Zero cost when disabled.** Span sites sit inside the memory
+//!   controller's per-access path, so the disabled case must be one
+//!   relaxed atomic load and no clock read. A global counter of
+//!   profiling threads gates `Instant::now`; when it is zero every guard
+//!   is inert.
+//! * **No cross-thread interference.** Bench binaries fan experiments
+//!   over worker threads. Aggregates are thread-local and
+//!   [`enable`]/[`take`] act on the calling thread only, so a job can
+//!   profile itself without locking against its siblings.
+//!
+//! Spans are *inclusive*: a `mc.gather` span covers the `dram.access`
+//! spans nested inside it, so totals across labels can exceed wall time.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of threads currently profiling. Guards check this (relaxed)
+/// before touching the clock or the thread-local table.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+#[derive(Clone, Copy, Default)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+thread_local! {
+    /// `Some` while the current thread is profiling.
+    static SPANS: RefCell<Option<HashMap<&'static str, Agg>>> = const { RefCell::new(None) };
+}
+
+/// Aggregated timings for one span label, as drained by [`take`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// The label passed to [`span`], e.g. `"mc.translate"`.
+    pub label: &'static str,
+    /// How many spans with this label completed.
+    pub count: u64,
+    /// Total nanoseconds across all of them (inclusive of nested spans).
+    pub total_ns: u64,
+    /// The single longest span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Starts profiling on the calling thread. Idempotent: enabling an
+/// already-profiling thread keeps its accumulated spans.
+pub fn enable() {
+    SPANS.with(|s| {
+        let mut slot = s.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(HashMap::new());
+            ACTIVE.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+}
+
+/// Whether the calling thread is currently profiling.
+pub fn enabled() -> bool {
+    SPANS.with(|s| s.borrow().is_some())
+}
+
+/// Stops profiling on the calling thread and returns the aggregates,
+/// sorted by label. Returns an empty vector if profiling was never
+/// enabled here.
+pub fn take() -> Vec<SpanTotals> {
+    let drained = SPANS.with(|s| s.borrow_mut().take());
+    match drained {
+        None => Vec::new(),
+        Some(map) => {
+            ACTIVE.fetch_sub(1, Ordering::SeqCst);
+            let mut out: Vec<SpanTotals> = map
+                .into_iter()
+                .map(|(label, a)| SpanTotals {
+                    label,
+                    count: a.count,
+                    total_ns: a.total_ns,
+                    max_ns: a.max_ns,
+                })
+                .collect();
+            out.sort_by_key(|t| t.label);
+            out
+        }
+    }
+}
+
+/// A scoped timer guard returned by [`span`]. Measures from creation to
+/// drop; inert (no clock reads) when no thread is profiling.
+#[must_use = "a span measures its own lifetime; binding it to _ drops it immediately"]
+pub struct Span {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a span named `label` on the current thread.
+///
+/// The label must be a string literal (or otherwise `'static`) so
+/// aggregation is allocation-free. When no thread has profiling enabled
+/// this is a single relaxed atomic load.
+///
+/// # Examples
+///
+/// ```
+/// use impulse_obs::prof;
+///
+/// prof::enable();
+/// {
+///     let _work = prof::span("demo.work");
+///     std::hint::black_box(1 + 1);
+/// }
+/// let totals = prof::take();
+/// assert_eq!(totals.len(), 1);
+/// assert_eq!(totals[0].label, "demo.work");
+/// assert_eq!(totals[0].count, 1);
+/// ```
+#[inline]
+pub fn span(label: &'static str) -> Span {
+    let start = if ACTIVE.load(Ordering::Relaxed) == 0 {
+        None
+    } else {
+        Some(Instant::now())
+    };
+    Span { label, start }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SPANS.with(|s| {
+                if let Some(map) = s.borrow_mut().as_mut() {
+                    let a = map.entry(self.label).or_default();
+                    a.count += 1;
+                    a.total_ns = a.total_ns.saturating_add(ns);
+                    a.max_ns = a.max_ns.max(ns);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        {
+            let _s = span("test.prof.disabled");
+        }
+        assert!(!enabled());
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_per_label_and_sort() {
+        enable();
+        assert!(enabled());
+        for _ in 0..3 {
+            let _s = span("test.prof.b");
+        }
+        {
+            let _s = span("test.prof.a");
+        }
+        let totals = take();
+        assert!(!enabled());
+        let labels: Vec<&str> = totals.iter().map(|t| t.label).collect();
+        assert_eq!(labels, vec!["test.prof.a", "test.prof.b"]);
+        assert_eq!(totals[1].count, 3);
+        assert!(totals[1].max_ns <= totals[1].total_ns);
+        // A second take without enable is empty.
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_both_count() {
+        enable();
+        {
+            let _outer = span("test.prof.outer");
+            let _inner = span("test.prof.inner");
+        }
+        let totals = take();
+        assert_eq!(totals.len(), 2);
+        assert!(totals.iter().all(|t| t.count == 1));
+    }
+
+    #[test]
+    fn enable_is_idempotent() {
+        enable();
+        {
+            let _s = span("test.prof.idem");
+        }
+        enable(); // must not wipe the span above or double-count ACTIVE
+        let totals = take();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].count, 1);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn other_threads_do_not_see_this_threads_spans() {
+        enable();
+        let handle = std::thread::spawn(|| {
+            {
+                // ACTIVE is non-zero (main thread), so the clock runs,
+                // but this thread never enabled, so nothing lands.
+                let _s = span("test.prof.cross");
+            }
+            take()
+        });
+        let theirs = handle.join().expect("thread");
+        assert!(theirs.is_empty());
+        {
+            let _s = span("test.prof.mine");
+        }
+        let mine = take();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].label, "test.prof.mine");
+    }
+}

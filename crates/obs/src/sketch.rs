@@ -1,0 +1,403 @@
+//! Deterministic hotness telemetry over line addresses.
+//!
+//! The Impulse papers' follow-on work (DReAM-style row re-arrangement)
+//! needs the memory controller to know *which lines are hot right now*
+//! without keeping a counter per line. [`HotSketch`] provides that: a
+//! count-min sketch (a counting-Bloom variant that returns the minimum
+//! over `depth` hashed counter rows, so estimates only ever over-count)
+//! combined with a small exact-candidate table that tracks the current
+//! top-K lines, and an epoch decay that halves every counter after a
+//! fixed number of observations so stale hotness ages out.
+//!
+//! Everything here is deterministic: the hash seeds are compile-time
+//! constants, decay happens on exact observation counts, and
+//! [`HotSketch::top`] breaks ties by line address. Two runs that feed the
+//! sketch the same access stream report byte-identical hot sets, which is
+//! what lets the `trace` bench binary promise identical output at any
+//! `jobs=N`.
+
+use std::collections::HashMap;
+
+/// Configuration for a [`HotSketch`].
+///
+/// `Copy + Eq` so it can live inside the controller configuration (whose
+/// fingerprint relies on `Eq`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// log₂ of the width (counters per row). Each row holds
+    /// `1 << width_log2` counters; 12 (4096 counters/row) keeps the
+    /// whole sketch under 256 KiB at the default depth.
+    pub width_log2: u32,
+    /// Number of independent hashed rows. The estimate for a line is the
+    /// minimum over its counter in each row, so more rows mean fewer
+    /// collisions inflating the estimate.
+    pub depth: usize,
+    /// Capacity of the exact top-K candidate table. Must be at least the
+    /// `k` later asked of [`HotSketch::top`].
+    pub candidates: usize,
+    /// Observations per epoch; every counter is halved when an epoch
+    /// ends. `0` disables decay entirely (useful for whole-run exact
+    /// comparisons).
+    pub epoch_ops: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        Self {
+            width_log2: 12,
+            depth: 4,
+            candidates: 256,
+            epoch_ops: 1 << 20,
+        }
+    }
+}
+
+/// One entry of the hot set reported by [`HotSketch::top`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotLine {
+    /// The line address (as observed, i.e. already line-aligned by the
+    /// caller).
+    pub line: u64,
+    /// The sketch's estimate of how many times it was observed (an upper
+    /// bound on the true count; halved by each epoch decay).
+    pub estimate: u64,
+}
+
+/// splitmix64 finalizer: a cheap, well-distributed 64→64-bit mix.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-row seeds (arbitrary odd constants; one per supported row).
+const ROW_SEEDS: [u64; 8] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x27d4_eb2f_1656_67c5,
+    0x85eb_ca6b_c2b2_ae35,
+    0xff51_afd7_ed55_8ccd,
+    0xc4ce_b9fe_1a85_ec53,
+    0x2545_f491_4f6c_dd1d,
+];
+
+/// A deterministic count-min sketch with an exact candidate table and
+/// epoch decay. See the module docs for the design rationale.
+///
+/// # Examples
+///
+/// ```
+/// use impulse_obs::{HotSketch, SketchConfig};
+///
+/// let mut s = HotSketch::new(SketchConfig::default());
+/// for _ in 0..100 {
+///     s.observe(0x1000);
+/// }
+/// s.observe(0x2000);
+/// let top = s.top(2);
+/// assert_eq!(top[0].line, 0x1000);
+/// assert!(top[0].estimate >= 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HotSketch {
+    cfg: SketchConfig,
+    /// `depth` rows of `1 << width_log2` counters, flattened.
+    rows: Vec<u64>,
+    /// Exact top-K candidates: line → estimate at last touch.
+    cands: HashMap<u64, u64>,
+    /// Lower bound on the smallest candidate estimate; lets `observe`
+    /// skip the O(candidates) eviction scan for cold lines.
+    floor: u64,
+    observed: u64,
+    decays: u64,
+}
+
+impl HotSketch {
+    /// Creates an empty sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_log2` is outside `1..=24`, `depth` is outside
+    /// `1..=8`, or `candidates` is zero.
+    pub fn new(cfg: SketchConfig) -> Self {
+        assert!(
+            (1..=24).contains(&cfg.width_log2),
+            "sketch width_log2 must be in 1..=24"
+        );
+        assert!(
+            (1..=ROW_SEEDS.len()).contains(&cfg.depth),
+            "sketch depth must be in 1..=8"
+        );
+        assert!(
+            cfg.candidates > 0,
+            "sketch candidate table must be non-empty"
+        );
+        Self {
+            cfg,
+            rows: vec![0; cfg.depth << cfg.width_log2],
+            cands: HashMap::with_capacity(cfg.candidates + 1),
+            floor: 0,
+            observed: 0,
+            decays: 0,
+        }
+    }
+
+    /// The configuration the sketch was built with.
+    pub fn config(&self) -> SketchConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, line: u64) -> usize {
+        let h = mix(line ^ ROW_SEEDS[row]);
+        (row << self.cfg.width_log2) | (h >> (64 - self.cfg.width_log2)) as usize
+    }
+
+    /// Records one observation of `line` and returns the updated
+    /// estimate. Triggers an epoch decay when `epoch_ops` is non-zero
+    /// and the observation count reaches a multiple of it.
+    pub fn observe(&mut self, line: u64) -> u64 {
+        self.observed += 1;
+        let mut est = u64::MAX;
+        for row in 0..self.cfg.depth {
+            let slot = self.slot(row, line);
+            self.rows[slot] += 1;
+            est = est.min(self.rows[slot]);
+        }
+        self.track(line, est);
+        if self.cfg.epoch_ops > 0 && self.observed.is_multiple_of(self.cfg.epoch_ops) {
+            self.decay();
+        }
+        est
+    }
+
+    /// Maintains the exact candidate table after `line` was observed.
+    fn track(&mut self, line: u64, est: u64) {
+        if let Some(e) = self.cands.get_mut(&line) {
+            *e = est;
+            return;
+        }
+        if self.cands.len() < self.cfg.candidates {
+            self.cands.insert(line, est);
+            self.floor = 0;
+            return;
+        }
+        if est <= self.floor {
+            return;
+        }
+        // Full table and a contender: find the true minimum. Ties break
+        // on the line address so the scan is order-independent even
+        // though HashMap iteration is not.
+        let (victim, victim_est) = self
+            .cands
+            .iter()
+            .map(|(&l, &e)| (l, e))
+            .min_by_key(|&(l, e)| (e, l))
+            .unwrap_or((line, est));
+        if est > victim_est {
+            self.cands.remove(&victim);
+            self.cands.insert(line, est);
+        }
+        self.floor = victim_est;
+    }
+
+    /// Halves every counter and candidate estimate. Called automatically
+    /// at epoch boundaries.
+    fn decay(&mut self) {
+        for c in &mut self.rows {
+            *c >>= 1;
+        }
+        for e in self.cands.values_mut() {
+            *e >>= 1;
+        }
+        self.floor >>= 1;
+        self.decays += 1;
+    }
+
+    /// The sketch's estimate of how many times `line` was observed.
+    /// Never under-counts (relative to the decayed truth); collisions
+    /// can make it over-count.
+    pub fn estimate(&self, line: u64) -> u64 {
+        let mut est = u64::MAX;
+        for row in 0..self.cfg.depth {
+            est = est.min(self.rows[self.slot(row, line)]);
+        }
+        est
+    }
+
+    /// The current hottest lines, at most `k`, ordered by estimate
+    /// descending and line address ascending on ties. Estimates are
+    /// freshly recomputed from the counter rows so candidates that grew
+    /// via collisions since their last touch still sort correctly.
+    pub fn top(&self, k: usize) -> Vec<HotLine> {
+        let mut out: Vec<HotLine> = self
+            .cands
+            .keys()
+            .map(|&line| HotLine {
+                line,
+                estimate: self.estimate(line),
+            })
+            .collect();
+        out.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.line.cmp(&b.line)));
+        out.truncate(k);
+        out
+    }
+
+    /// Total observations fed to the sketch.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of epoch decays applied so far.
+    pub fn decays(&self) -> u64 {
+        self.decays
+    }
+
+    /// Number of lines currently in the candidate table.
+    pub fn candidates_len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Resets all counters and candidates (configuration is kept).
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+        self.cands.clear();
+        self.floor = 0;
+        self.observed = 0;
+        self.decays = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_decay() -> SketchConfig {
+        SketchConfig {
+            epoch_ops: 0,
+            ..SketchConfig::default()
+        }
+    }
+
+    #[test]
+    fn estimates_never_undercount() {
+        let mut s = HotSketch::new(no_decay());
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        // A deterministic skewed stream: line i touched 97 - i times.
+        for i in 0..96u64 {
+            for _ in 0..(97 - i) {
+                s.observe(i * 64);
+                *exact.entry(i * 64).or_insert(0) += 1;
+            }
+        }
+        for (&line, &count) in &exact {
+            assert!(
+                s.estimate(line) >= count,
+                "estimate for {line:#x} under-counted"
+            );
+        }
+        assert_eq!(s.observed(), exact.values().sum::<u64>());
+    }
+
+    #[test]
+    fn top_ranks_the_heavy_hitter_first() {
+        let mut s = HotSketch::new(no_decay());
+        for i in 0..1000u64 {
+            s.observe((i % 50) * 64); // uniform background
+        }
+        for _ in 0..500 {
+            s.observe(0x8000); // one heavy line
+        }
+        let top = s.top(4);
+        assert_eq!(top[0].line, 0x8000);
+        assert!(top[0].estimate >= 500);
+    }
+
+    #[test]
+    fn candidate_table_is_bounded_and_keeps_hot_lines() {
+        let cfg = SketchConfig {
+            candidates: 8,
+            epoch_ops: 0,
+            ..SketchConfig::default()
+        };
+        let mut s = HotSketch::new(cfg);
+        // 64 distinct lines; line i observed i+1 times, so the hottest
+        // eight are lines 56..=63.
+        for i in 0..64u64 {
+            for _ in 0..=i {
+                s.observe(i * 128);
+            }
+        }
+        assert!(s.candidates_len() <= 8);
+        let top: Vec<u64> = s.top(8).iter().map(|h| h.line).collect();
+        for hot in 56..64u64 {
+            assert!(top.contains(&(hot * 128)), "line {hot} missing from top");
+        }
+    }
+
+    #[test]
+    fn epoch_decay_halves_counters() {
+        let cfg = SketchConfig {
+            epoch_ops: 100,
+            ..SketchConfig::default()
+        };
+        let mut s = HotSketch::new(cfg);
+        for _ in 0..99 {
+            s.observe(0x40);
+        }
+        assert_eq!(s.estimate(0x40), 99);
+        assert_eq!(s.decays(), 0);
+        s.observe(0x40); // 100th observation ends the epoch
+        assert_eq!(s.decays(), 1);
+        assert_eq!(s.estimate(0x40), 50);
+        assert_eq!(s.top(1)[0].estimate, 50);
+    }
+
+    #[test]
+    fn epoch_zero_never_decays() {
+        let mut s = HotSketch::new(no_decay());
+        for _ in 0..10_000 {
+            s.observe(0);
+        }
+        assert_eq!(s.decays(), 0);
+        assert_eq!(s.estimate(0), 10_000);
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_tops() {
+        let run = || {
+            let mut s = HotSketch::new(SketchConfig {
+                candidates: 16,
+                epoch_ops: 512,
+                ..SketchConfig::default()
+            });
+            for i in 0..5_000u64 {
+                s.observe((mix(i) % 300) * 64);
+            }
+            s.top(16)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = HotSketch::new(no_decay());
+        s.observe(64);
+        s.clear();
+        assert_eq!(s.observed(), 0);
+        assert_eq!(s.estimate(64), 0);
+        assert!(s.top(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width_log2")]
+    fn zero_width_rejected() {
+        let _ = HotSketch::new(SketchConfig {
+            width_log2: 0,
+            ..SketchConfig::default()
+        });
+    }
+}

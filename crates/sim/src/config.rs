@@ -141,6 +141,25 @@ impl SystemConfig {
         self
     }
 
+    /// Returns this configuration with the memory controller's flight
+    /// recorder enabled: a ring of up to `capacity` MC transactions,
+    /// exportable as an `impulse-trace-v1` capture. `capacity = 0`
+    /// disables recording (the default).
+    #[must_use]
+    pub fn with_flight(mut self, capacity: usize) -> Self {
+        self.mc.flight_capacity = capacity;
+        self
+    }
+
+    /// Returns this configuration with MC line-hotness telemetry enabled
+    /// (a deterministic count-min sketch with epoch decay; see
+    /// [`impulse_obs::SketchConfig`]).
+    #[must_use]
+    pub fn with_hotness(mut self, sketch: impulse_obs::SketchConfig) -> Self {
+        self.mc.hotness = Some(sketch);
+        self
+    }
+
     /// Number of L2 page colors implied by the L2 geometry
     /// (`size / ways / page`).
     pub fn l2_colors(&self) -> u64 {

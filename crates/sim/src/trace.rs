@@ -273,6 +273,57 @@ mod tests {
     }
 
     #[test]
+    fn chrome_trace_with_no_events_is_still_a_valid_document() {
+        use impulse_obs::Json;
+        let t = Tracer::new(8);
+        let mut buf = Vec::new();
+        t.write_chrome_trace(&mut buf).unwrap();
+        let parsed = Json::parse(&String::from_utf8(buf).unwrap())
+            .expect("empty chrome trace must be valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::items)
+            .expect("traceEvents must be present even when empty");
+        assert!(events.is_empty());
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ns")
+        );
+        // The empty CSV export is just the header.
+        let mut csv = Vec::new();
+        t.write_csv(&mut csv).unwrap();
+        assert_eq!(
+            String::from_utf8(csv).unwrap(),
+            "at,kind,vaddr,paddr,latency\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_events_parse_back_one_to_one() {
+        use impulse_obs::Json;
+        let mut t = Tracer::new(64);
+        for i in 0..40u64 {
+            t.record(ev(i * 3, i * 64));
+        }
+        let mut buf = Vec::new();
+        t.write_chrome_trace(&mut buf).unwrap();
+        let parsed = Json::parse(&String::from_utf8(buf).unwrap()).unwrap();
+        let events = parsed.get("traceEvents").and_then(Json::items).unwrap();
+        assert_eq!(events.len(), 40);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.get("ts").and_then(Json::as_u64), Some(i as u64 * 3));
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        }
+    }
+
+    #[test]
     fn csv_round_trips_through_a_writer() {
         let mut t = Tracer::new(4);
         t.record(ev(1, 32));
