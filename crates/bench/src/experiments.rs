@@ -178,6 +178,185 @@ fn finish(m: &Machine, name: &str, obs: ObsSpec) -> TraceOutcome {
     }
 }
 
+/// One catalog experiment in factored form: its base configuration and
+/// the workload-driving closure, separated so every execution backend
+/// (direct, observed/tracing, record-then-replay) runs the *same*
+/// definition. The drive closure performs setup and the measured run
+/// against a machine the backend built; the backend then collects
+/// `machine.report(name)` (plus whatever artifacts it owns).
+pub struct CatalogEntry {
+    name: String,
+    cfg: SystemConfig,
+    drive: Arc<dyn Fn(&mut Machine) + Send + Sync>,
+}
+
+impl CatalogEntry {
+    fn new(
+        name: String,
+        cfg: SystemConfig,
+        drive: impl Fn(&mut Machine) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name,
+            cfg,
+            drive: Arc::new(drive),
+        }
+    }
+
+    /// The experiment's report name, known before the run.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base configuration (before any observability is applied).
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs the workload (setup + measured phase) against `m`, which
+    /// must have been built from [`CatalogEntry::config`] (possibly
+    /// with observability applied).
+    pub fn drive(&self, m: &mut Machine) {
+        (self.drive)(m);
+    }
+}
+
+/// The full `run_all` catalog (24 experiments at quick scale) in
+/// factored form, in the canonical CSV/JSON row order. `seed` feeds
+/// every seeded input: the table-1 sparse pattern directly and the
+/// database scan's key salt via XOR.
+pub fn catalog_entries(seed: u64) -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+
+    // Table 1 cells.
+    let pattern = Arc::new(SparsePattern::generate(14_000, 24, seed));
+    for (variant, mc_pf, l1_pf) in [
+        (SmvpVariant::Conventional, false, false),
+        (SmvpVariant::Conventional, true, true),
+        (SmvpVariant::ScatterGather, false, false),
+        (SmvpVariant::ScatterGather, true, false),
+        (SmvpVariant::ScatterGather, true, true),
+        (SmvpVariant::Recolored, false, false),
+        (SmvpVariant::Recolored, true, true),
+    ] {
+        let pattern = pattern.clone();
+        out.push(CatalogEntry::new(
+            format!("table1/{}/mc={mc_pf}/l1={l1_pf}", variant.name()),
+            SystemConfig::paint().with_prefetch(mc_pf, l1_pf),
+            move |m| {
+                let w = Smvp::setup(m, pattern.clone(), variant).expect("smvp");
+                w.run(m, 1);
+            },
+        ));
+    }
+
+    // Table 2 cells.
+    for variant in MmpVariant::ALL {
+        out.push(CatalogEntry::new(
+            format!("table2/{}", variant.name()),
+            SystemConfig::paint(),
+            move |m| {
+                let mut w = Mmp::setup(m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
+                w.run(m).expect("mmp run");
+            },
+        ));
+    }
+
+    // Tiled LU decomposition.
+    for variant in [LuVariant::Conventional, LuVariant::TileRemap] {
+        out.push(CatalogEntry::new(
+            format!("lu/{}", variant.name()),
+            SystemConfig::paint(),
+            move |m| {
+                let mut w = Lu::setup(m, 128, 32, variant).expect("lu");
+                w.run(m).expect("lu run");
+            },
+        ));
+    }
+
+    // Figure 1.
+    for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
+        out.push(CatalogEntry::new(
+            format!("fig1/{}", variant.name()),
+            SystemConfig::paint(),
+            move |m| {
+                let d = Diagonal::setup(m, 2048, variant).expect("diag");
+                m.reset_stats();
+                d.run(m, 4);
+            },
+        ));
+    }
+
+    // Transpose.
+    for variant in [TransposeVariant::Conventional, TransposeVariant::Remapped] {
+        out.push(CatalogEntry::new(
+            format!("transpose/{}", variant.name()),
+            SystemConfig::paint(),
+            move |m| {
+                let w = Transpose::setup(m, 512, variant).expect("transpose");
+                m.reset_stats();
+                w.column_reduce(m);
+            },
+        ));
+    }
+
+    // Superpages.
+    for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
+        out.push(CatalogEntry::new(
+            format!("superpage/{}", variant.name()),
+            SystemConfig::paint(),
+            move |m| {
+                let w = TlbStress::setup(m, 8, 64, variant).expect("tlb");
+                m.reset_stats();
+                w.sweep(m, 8);
+            },
+        ));
+    }
+
+    // Database selection scan.
+    for variant in [DbVariant::Conventional, DbVariant::ImpulseGather] {
+        out.push(CatalogEntry::new(
+            format!("dbscan/{}", variant.name()),
+            SystemConfig::paint().with_prefetch(true, false),
+            move |m| {
+                let w = DbScan::setup(m, 1 << 18, 64, 1 << 16, seed ^ 0xdb, variant).expect("db");
+                m.reset_stats();
+                w.fetch(m);
+            },
+        ));
+    }
+
+    // Multimedia channel extraction.
+    for variant in [MediaVariant::Conventional, MediaVariant::ChannelRemap] {
+        out.push(CatalogEntry::new(
+            format!("media/{}", variant.name()),
+            SystemConfig::paint().with_prefetch(true, false),
+            move |m| {
+                let w = ChannelFilter::setup(m, 1 << 20, 3, variant).expect("media");
+                m.reset_stats();
+                w.filter(m);
+            },
+        ));
+    }
+
+    // IPC.
+    for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
+        out.push(CatalogEntry::new(
+            format!("ipc/{}", variant.name()),
+            SystemConfig::paint(),
+            move |m| {
+                let w = IpcGather::setup(m, 8, 4096, 64, variant).expect("ipc");
+                m.reset_stats();
+                for _ in 0..64 {
+                    w.send(m);
+                }
+            },
+        ));
+    }
+
+    out
+}
+
 /// Builds the full `run_all` experiment list (24 experiments at quick
 /// scale), in the canonical CSV/JSON row order. `seed` feeds every
 /// seeded input: the table-1 sparse pattern directly and the database
@@ -199,129 +378,18 @@ pub fn run_all_experiments(seed: u64) -> Vec<Experiment> {
 /// identical to [`run_all_experiments`] — recording never perturbs
 /// simulated time.
 pub fn run_all_experiments_obs(seed: u64, obs: ObsSpec) -> Vec<TracedExperiment> {
-    let mut out = Vec::new();
-
-    // Table 1 cells.
-    let pattern = Arc::new(SparsePattern::generate(14_000, 24, seed));
-    for (variant, mc_pf, l1_pf) in [
-        (SmvpVariant::Conventional, false, false),
-        (SmvpVariant::Conventional, true, true),
-        (SmvpVariant::ScatterGather, false, false),
-        (SmvpVariant::ScatterGather, true, false),
-        (SmvpVariant::ScatterGather, true, true),
-        (SmvpVariant::Recolored, false, false),
-        (SmvpVariant::Recolored, true, true),
-    ] {
-        let pattern = pattern.clone();
-        let name = format!("table1/{}/mc={mc_pf}/l1={l1_pf}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let cfg = obs.apply(SystemConfig::paint().with_prefetch(mc_pf, l1_pf));
-            let mut m = Machine::new(&cfg);
-            let w = Smvp::setup(&mut m, pattern.clone(), variant).expect("smvp");
-            w.run(&mut m, 1);
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Table 2 cells.
-    for variant in MmpVariant::ALL {
-        let name = format!("table2/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
-            let mut w = Mmp::setup(&mut m, MmpParams { n: 192, tile: 32 }, variant).expect("mmp");
-            w.run(&mut m).expect("mmp run");
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Tiled LU decomposition.
-    for variant in [LuVariant::Conventional, LuVariant::TileRemap] {
-        let name = format!("lu/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
-            let mut w = Lu::setup(&mut m, 128, 32, variant).expect("lu");
-            w.run(&mut m).expect("lu run");
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Figure 1.
-    for variant in [DiagonalVariant::Conventional, DiagonalVariant::Remapped] {
-        let name = format!("fig1/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
-            let d = Diagonal::setup(&mut m, 2048, variant).expect("diag");
-            m.reset_stats();
-            d.run(&mut m, 4);
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Transpose.
-    for variant in [TransposeVariant::Conventional, TransposeVariant::Remapped] {
-        let name = format!("transpose/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
-            let w = Transpose::setup(&mut m, 512, variant).expect("transpose");
-            m.reset_stats();
-            w.column_reduce(&mut m);
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Superpages.
-    for variant in [TlbVariant::BasePages, TlbVariant::Superpages] {
-        let name = format!("superpage/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
-            let w = TlbStress::setup(&mut m, 8, 64, variant).expect("tlb");
-            m.reset_stats();
-            w.sweep(&mut m, 8);
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Database selection scan.
-    for variant in [DbVariant::Conventional, DbVariant::ImpulseGather] {
-        let name = format!("dbscan/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let cfg = obs.apply(SystemConfig::paint().with_prefetch(true, false));
-            let mut m = Machine::new(&cfg);
-            let w = DbScan::setup(&mut m, 1 << 18, 64, 1 << 16, seed ^ 0xdb, variant).expect("db");
-            m.reset_stats();
-            w.fetch(&mut m);
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // Multimedia channel extraction.
-    for variant in [MediaVariant::Conventional, MediaVariant::ChannelRemap] {
-        let name = format!("media/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let cfg = obs.apply(SystemConfig::paint().with_prefetch(true, false));
-            let mut m = Machine::new(&cfg);
-            let w = ChannelFilter::setup(&mut m, 1 << 20, 3, variant).expect("media");
-            m.reset_stats();
-            w.filter(&mut m);
-            finish(&m, &name, obs)
-        }));
-    }
-
-    // IPC.
-    for variant in [IpcVariant::SoftwareGather, IpcVariant::ImpulseGather] {
-        let name = format!("ipc/{}", variant.name());
-        out.push(TracedExperiment::new(name.clone(), move || {
-            let mut m = Machine::new(&obs.apply(SystemConfig::paint()));
-            let w = IpcGather::setup(&mut m, 8, 4096, 64, variant).expect("ipc");
-            m.reset_stats();
-            for _ in 0..64 {
-                w.send(&mut m);
-            }
-            finish(&m, &name, obs)
-        }));
-    }
-
-    out
+    catalog_entries(seed)
+        .into_iter()
+        .map(|entry| {
+            let name = entry.name().to_string();
+            TracedExperiment::new(name.clone(), move || {
+                let cfg = obs.apply(entry.config().clone());
+                let mut m = Machine::new(&cfg);
+                entry.drive(&mut m);
+                finish(&m, &name, obs)
+            })
+        })
+        .collect()
 }
 
 /// The journal artifacts for one report: its exact CSV row and compact

@@ -21,6 +21,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod journal;
+pub mod replay_mode;
 pub mod runner;
 
 use impulse_obs::Json;
@@ -35,29 +36,43 @@ pub fn print_artifacts(paths: &[&str]) {
     }
 }
 
-/// Schema identifier for [`history_record`] lines.
-pub const HISTORY_SCHEMA: &str = "impulse-bench-history-v1";
+/// Schema identifier for [`history_record`] lines. v2 records the clean
+/// `git describe` of HEAD in `git` and a separate `dirty` boolean; v1
+/// baked a `-dirty` suffix into the id, which made revision ids
+/// unjoinable against the history.
+pub const HISTORY_SCHEMA: &str = "impulse-bench-history-v2";
 
-/// `git describe --always --dirty --tags` for stamping history records;
-/// `"unknown"` when git (or the repository) is unavailable.
-pub fn git_describe() -> String {
-    std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty", "--tags"])
+/// Clean `git describe --always --tags` of HEAD plus a working-tree
+/// dirtiness flag (from `git status --porcelain`), for stamping history
+/// records. `("unknown", false)` when git (or the repository) is
+/// unavailable.
+pub fn git_stamp() -> (String, bool) {
+    let describe = std::process::Command::new("git")
+        .args(["describe", "--always", "--tags"])
         .output()
         .ok()
         .filter(|o| o.status.success())
         .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
         .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.iter().all(|b| b.is_ascii_whitespace()));
+    (describe, dirty)
 }
 
-/// Builds one `impulse-bench-history-v1` rollup record: a single compact
-/// JSON line capturing how a `run_all` invocation went — the revision,
-/// seed, job count, and wall-clock totals. Appended (fsync'd) to
-/// `BENCH_history.jsonl`, these lines are the PR-over-PR perf
-/// trajectory.
+/// Builds one `impulse-bench-history-v2` rollup record: a single compact
+/// JSON line capturing how a `run_all` invocation went — the revision
+/// (clean id + dirty flag), seed, job count, and wall-clock totals.
+/// Appended (fsync'd) to `BENCH_history.jsonl`, these lines are the
+/// PR-over-PR perf trajectory.
+#[allow(clippy::too_many_arguments)]
 pub fn history_record(
     git: &str,
+    dirty: bool,
     seed: u64,
     jobs: usize,
     experiments_run: u64,
@@ -68,6 +83,7 @@ pub fn history_record(
     let mut r = Json::obj();
     r.set("schema", Json::Str(HISTORY_SCHEMA.into()));
     r.set("git", Json::Str(git.into()));
+    r.set("dirty", Json::Bool(dirty));
     r.set("seed", Json::UInt(seed));
     r.set("jobs", Json::UInt(jobs as u64));
     r.set("experiments_run", Json::UInt(experiments_run));
@@ -215,6 +231,8 @@ pub struct Args {
     pub resume: bool,
     /// `journal=<path>` override for the run journal location.
     pub journal: Option<String>,
+    /// `mode=<execute|replay>` backend selector (binary-interpreted).
+    pub mode: Option<String>,
     /// `key=value` overrides.
     pub overrides: Vec<(String, u64)>,
     /// Raw `jobs=` value; validated (typed) by [`Args::jobs`].
@@ -236,6 +254,8 @@ impl Args {
                 out.resume = true;
             } else if let Some(v) = a.strip_prefix("journal=") {
                 out.journal = Some(v.to_string());
+            } else if let Some(v) = a.strip_prefix("mode=") {
+                out.mode = Some(v.to_string());
             } else if let Some(v) = a.strip_prefix("jobs=") {
                 out.jobs_raw = Some(v.to_string());
             } else if let Some((k, v)) = a.split_once('=') {
@@ -298,12 +318,20 @@ mod tests {
 
     #[test]
     fn history_record_round_trips_and_appends() {
-        let rec = history_record("v1.2-3-gabc-dirty", 7, 4, 24, 1, 1_000, 3_000);
+        let rec = history_record("v1.2-3-gabc", true, 7, 4, 24, 1, 1_000, 3_000);
         assert_eq!(
             rec.get("schema").and_then(Json::as_str),
             Some(HISTORY_SCHEMA)
         );
         assert_eq!(rec.get("seed").and_then(Json::as_u64), Some(7));
+        assert_eq!(rec.get("dirty").and_then(Json::as_bool), Some(true));
+        assert!(
+            !rec.get("git")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("-dirty"),
+            "dirtiness travels in its own field, not baked into the id"
+        );
         let mut p = std::env::temp_dir();
         p.push(format!("impulse-history-test-{}", std::process::id()));
         let _ = std::fs::remove_file(&p);
@@ -313,10 +341,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "one line per run");
         let back = Json::parse(lines[1]).expect("valid JSON line");
-        assert_eq!(
-            back.get("git").and_then(Json::as_str),
-            Some("v1.2-3-gabc-dirty")
-        );
+        assert_eq!(back.get("git").and_then(Json::as_str), Some("v1.2-3-gabc"));
         assert_eq!(back.get("experiments_run").and_then(Json::as_u64), Some(24));
         std::fs::remove_file(&p).expect("cleanup");
     }

@@ -1,0 +1,244 @@
+//! Record-then-replay execution backend for the benchmark catalog.
+//!
+//! `mode=replay` runs each experiment twice against the same
+//! [`CatalogEntry`] definition: once normally with the machine's
+//! recorder attached (the *capture* run — a full execution, so its
+//! wall time stands in for the execute path), then again through the
+//! batched replay evaluator ([`impulse_sim::replay_into`]) from the
+//! encoded capture. The replayed report is asserted byte-identical to
+//! the executed one before it is allowed into any artifact; on any
+//! replay refusal, codec error, or divergence the executed report is
+//! used instead and the run is marked `replayed = false`.
+//!
+//! The phase walls recorded here (`execute`, `codec`, `eval`) are what
+//! `BENCH_run_all.json` reports for the execute-vs-replay speedup
+//! claim: the timing-evaluation phase is `eval_wall_ns`, and the
+//! capture cost is amortized whenever one capture is replayed against
+//! many configurations (the `sweep mode=replay` path, via
+//! [`capture_shared`]).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use impulse_sim::{replay_into, replayable, Machine, ReplayCapture, Report, SystemConfig};
+
+use crate::experiments::CatalogEntry;
+
+/// One experiment evaluated through the replay backend: the report the
+/// artifacts are built from, plus per-phase host wall times and replay
+/// telemetry.
+#[derive(Clone, Debug)]
+pub struct ReplayRun {
+    /// The report the artifacts use. When `replayed` this is the
+    /// replay evaluator's report, already asserted byte-identical to
+    /// the executed one; otherwise it is the executed report.
+    pub report: Report,
+    /// Wall time of the recording run — a full execution with capture
+    /// hooks attached (the execute-path cost, plus recording overhead).
+    pub execute_wall_ns: u64,
+    /// Wall time of the encode + decode round trip through the
+    /// `impulse-replay-v1` codec.
+    pub codec_wall_ns: u64,
+    /// Wall time of the batched replay evaluation (machine build +
+    /// `replay_into` + report). This is the timing-evaluation phase
+    /// the ≥10× speedup claim is about.
+    pub eval_wall_ns: u64,
+    /// Unfolded operation count in the capture.
+    pub raw_ops: u64,
+    /// Folded operation count (after pattern compression).
+    pub folded_ops: u64,
+    /// Demand ops evaluated on the batched fast path.
+    pub fast_ops: u64,
+    /// Demand ops that fell back to the full simulation path.
+    pub fallback_ops: u64,
+    /// Whether evaluation fast-forwarded from an embedded snapshot.
+    pub fast_forwarded: bool,
+    /// Whether the emitted report came from the replay evaluator.
+    pub replayed: bool,
+    /// Why the run fell back to the executed report, if it did.
+    pub fallback_reason: Option<String>,
+}
+
+/// Runs one catalog entry through the full record → codec → replay →
+/// verify pipeline. Infallible by construction: any replay-side
+/// problem falls back to the executed report (with the reason kept for
+/// telemetry), so `mode=replay` can never produce *worse* results than
+/// `mode=execute`, only faster ones.
+pub fn replay_entry(entry: &CatalogEntry) -> ReplayRun {
+    let cfg = entry.config().clone();
+    let record = replayable(&cfg);
+
+    // Phase 1: the recording run — a complete execution.
+    let t = Instant::now();
+    let mut m = Machine::new(&cfg);
+    if record {
+        m.start_recording(&cfg);
+    }
+    entry.drive(&mut m);
+    let exec_report = m.report(entry.name().to_string());
+    let capture = m.take_recording();
+    let execute_wall_ns = t.elapsed().as_nanos() as u64;
+
+    let mut out = ReplayRun {
+        report: exec_report,
+        execute_wall_ns,
+        codec_wall_ns: 0,
+        eval_wall_ns: 0,
+        raw_ops: 0,
+        folded_ops: 0,
+        fast_ops: 0,
+        fallback_ops: 0,
+        fast_forwarded: false,
+        replayed: false,
+        fallback_reason: None,
+    };
+    let cap = match capture {
+        Some(Ok(cap)) => cap,
+        Some(Err(why)) => {
+            out.fallback_reason = Some(format!("capture: {why}"));
+            return out;
+        }
+        None => {
+            out.fallback_reason = Some("unreplayable configuration (fault schedules)".into());
+            return out;
+        }
+    };
+
+    // Phase 2: codec round trip. Replays always evaluate the decoded
+    // form, so the bytes on disk are what the claim is measured over.
+    let t = Instant::now();
+    let bytes = cap.encode();
+    let cap = match ReplayCapture::decode(&bytes) {
+        Ok(c) => c,
+        Err(e) => {
+            out.fallback_reason = Some(format!("codec: {e}"));
+            return out;
+        }
+    };
+    out.codec_wall_ns = t.elapsed().as_nanos() as u64;
+    out.raw_ops = cap.raw_ops;
+    out.folded_ops = cap.ops.len() as u64;
+
+    // Phase 3: batched evaluation, then the equality gate.
+    let t = Instant::now();
+    match eval_capture(&cfg, &cap, entry.name()) {
+        Ok((rep, o)) => {
+            out.eval_wall_ns = t.elapsed().as_nanos() as u64;
+            out.fast_ops = o.fast_ops;
+            out.fallback_ops = o.fallback_ops;
+            out.fast_forwarded = o.fast_forwarded;
+            if reports_identical(&rep, &out.report) {
+                out.report = rep;
+                out.replayed = true;
+            } else {
+                out.fallback_reason = Some("replayed report diverged from execution".into());
+            }
+        }
+        Err(e) => {
+            out.eval_wall_ns = t.elapsed().as_nanos() as u64;
+            out.fallback_reason = Some(format!("replay: {e}"));
+        }
+    }
+    out
+}
+
+/// Builds a fresh machine for `cfg`, replays `cap` into it, and
+/// collects the report under `name`.
+///
+/// # Errors
+///
+/// Propagates [`impulse_sim::ReplayError`] as a string.
+pub fn eval_capture(
+    cfg: &SystemConfig,
+    cap: &ReplayCapture,
+    name: &str,
+) -> Result<(Report, impulse_sim::ReplayOutcome), String> {
+    let mut m = Machine::new(cfg);
+    let o = replay_into(&mut m, cfg, cap).map_err(|e| e.to_string())?;
+    Ok((m.report(name.to_string()), o))
+}
+
+/// Byte-level report equality: both the CSV row and the compact JSON
+/// fragment — exactly the strings every artifact is assembled from.
+pub fn reports_identical(a: &Report, b: &Report) -> bool {
+    a.csv_row() == b.csv_row() && a.to_json().to_string() == b.to_json().to_string()
+}
+
+/// Records `drive` once under `cfg` and returns the shared capture for
+/// capture-once-replay-many evaluation (the sweep path: one recorded
+/// workload, many candidate configurations). Returns `Err` when the
+/// configuration is unreplayable or the stream cannot be captured
+/// faithfully — callers execute every point directly in that case.
+///
+/// # Errors
+///
+/// Returns the capture-refusal reason as a string.
+pub fn capture_shared(
+    cfg: &SystemConfig,
+    drive: impl FnOnce(&mut Machine),
+) -> Result<(Arc<ReplayCapture>, u64), String> {
+    if !replayable(cfg) {
+        return Err("unreplayable configuration (fault schedules)".into());
+    }
+    let t = Instant::now();
+    let mut m = Machine::new(cfg);
+    m.start_recording(cfg);
+    drive(&mut m);
+    let cap = m
+        .take_recording()
+        .expect("recording was started")
+        .map_err(|why| format!("capture: {why}"))?;
+    Ok((Arc::new(cap), t.elapsed().as_nanos() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{catalog_entries, DEFAULT_SEED};
+
+    #[test]
+    fn replay_backend_matches_execution_for_one_entry() {
+        let entries = catalog_entries(DEFAULT_SEED);
+        let ipc = entries
+            .iter()
+            .find(|e| e.name().starts_with("ipc/"))
+            .expect("ipc entry present");
+        let run = replay_entry(ipc);
+        assert!(run.replayed, "fell back: {:?}", run.fallback_reason);
+        assert!(run.raw_ops > 0 && run.folded_ops > 0);
+        assert!(run.fast_ops > 0, "batched fast path never engaged");
+
+        // Independent cross-check against a direct run of the same entry.
+        let mut m = Machine::new(ipc.config());
+        ipc.drive(&mut m);
+        let direct = m.report(ipc.name().to_string());
+        assert!(reports_identical(&run.report, &direct));
+    }
+
+    #[test]
+    fn shared_capture_replays_under_modified_configs() {
+        // The sweep contract: record once under the base config, then
+        // evaluate timing-only variants against the same capture. Each
+        // variant's replayed report must equal its direct execution.
+        let entries = catalog_entries(DEFAULT_SEED);
+        let ipc = entries
+            .iter()
+            .find(|e| e.name().starts_with("ipc/"))
+            .expect("ipc entry present");
+        let base = ipc.config().clone();
+        let (cap, _) = capture_shared(&base, |m| ipc.drive(m)).expect("capture");
+
+        let mut banks = base.clone();
+        banks.dram.banks = 4;
+        for cfg in [base.clone().with_mshr(4), banks] {
+            let (rep, _) = eval_capture(&cfg, &cap, "pt").expect("replay");
+            let mut m = Machine::new(&cfg);
+            ipc.drive(&mut m);
+            let direct = m.report("pt".to_string());
+            assert!(
+                reports_identical(&rep, &direct),
+                "shared-capture replay diverged from direct execution"
+            );
+        }
+    }
+}

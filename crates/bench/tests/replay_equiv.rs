@@ -1,0 +1,76 @@
+//! The replay backend's central contract: `mode=replay` must produce
+//! artifacts **byte-identical** to `mode=execute` over the full
+//! 24-experiment catalog, at any worker count.
+//!
+//! Two layers:
+//!
+//! * Every catalog entry must actually replay (`replayed == true`) —
+//!   a silent fallback to the executed report would make the speedup
+//!   numbers in `BENCH_run_all.json` fiction.
+//! * The serialized CSV and JSON documents assembled from replayed
+//!   reports must equal the ones assembled from direct executions,
+//!   byte for byte, and must not depend on the worker count.
+
+use impulse_bench::experiments::{catalog_entries, json_document, DEFAULT_SEED};
+use impulse_bench::replay_mode;
+use impulse_bench::runner;
+use impulse_sim::{Machine, Report};
+
+/// Serializes reports exactly as the `run_all` binary does.
+fn serialize(reports: &[Report]) -> (String, String) {
+    let mut csv = String::from(Report::csv_header());
+    csv.push('\n');
+    for r in reports {
+        csv.push_str(&r.csv_row());
+        csv.push('\n');
+    }
+    let json = format!("{:#}\n", json_document(DEFAULT_SEED, reports));
+    (csv, json)
+}
+
+/// Direct execution of every catalog entry, in catalog order.
+fn execute_all() -> Vec<Report> {
+    catalog_entries(DEFAULT_SEED)
+        .iter()
+        .map(|e| {
+            let mut m = Machine::new(e.config());
+            e.drive(&mut m);
+            m.report(e.name().to_string())
+        })
+        .collect()
+}
+
+/// The whole catalog through the replay backend at `workers` threads.
+fn replay_all(workers: usize) -> Vec<replay_mode::ReplayRun> {
+    let jobs: Vec<_> = catalog_entries(DEFAULT_SEED)
+        .into_iter()
+        .map(|e| move || replay_mode::replay_entry(&e))
+        .collect();
+    runner::run_ordered(jobs, workers)
+}
+
+#[test]
+fn full_catalog_replays_byte_identical_to_execution() {
+    let executed = serialize(&execute_all());
+
+    let runs = replay_all(4);
+    assert_eq!(runs.len(), 24, "the catalog is 24 experiments");
+    for run in &runs {
+        assert!(
+            run.replayed,
+            "{} fell back to execution: {:?}",
+            run.report.name, run.fallback_reason
+        );
+        assert!(run.raw_ops > 0 && run.folded_ops > 0);
+    }
+    let reports: Vec<Report> = runs.iter().map(|r| r.report.clone()).collect();
+    let replayed = serialize(&reports);
+
+    assert_eq!(executed.0, replayed.0, "CSV must match execution");
+    assert_eq!(executed.1, replayed.1, "JSON must match execution");
+
+    // The backend must not depend on the worker count either: a serial
+    // replay of the same catalog serializes to the same bytes.
+    let serial: Vec<Report> = replay_all(1).iter().map(|r| r.report.clone()).collect();
+    assert_eq!(serialize(&serial), replayed, "jobs=1 vs jobs=4");
+}

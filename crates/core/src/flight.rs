@@ -147,13 +147,15 @@ struct RawEvent {
 
 const NO_DESC: u8 = 0xF;
 
-/// Errors from [`decode`].
+/// Errors from [`decode`] and the other capture readers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceError {
     /// The input does not start with [`TRACE_MAGIC`].
     BadMagic,
-    /// The input ended inside a varint or event.
+    /// The input ended inside a varint or event (mid-varint EOF).
     Truncated,
+    /// A varint carried more payload bits than a `u64` can hold.
+    OverlongVarint,
     /// A geometry field was zero (captures always record real geometry).
     BadGeometry,
     /// An event carried an undefined hit-class nibble.
@@ -162,6 +164,13 @@ pub enum TraceError {
     Underflow,
     /// Bytes remained after the declared event count.
     TrailingData,
+    /// A sealed capture's fnv64 trailer did not match its payload.
+    BadDigest {
+        /// Digest recorded in the trailer.
+        expected: u64,
+        /// Digest of the payload as read.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -169,17 +178,24 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::BadMagic => write!(f, "not an impulse-trace-v1 capture"),
             TraceError::Truncated => write!(f, "capture is truncated"),
+            TraceError::OverlongVarint => write!(f, "over-long LEB128 varint"),
             TraceError::BadGeometry => write!(f, "capture header has zero geometry"),
             TraceError::BadClass(v) => write!(f, "undefined hit class {v}"),
             TraceError::Underflow => write!(f, "delta stream underflowed"),
             TraceError::TrailingData => write!(f, "trailing bytes after final event"),
+            TraceError::BadDigest { expected, found } => write!(
+                f,
+                "capture digest mismatch: trailer says {expected:016x}, payload hashes to {found:016x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for TraceError {}
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as an LEB128 varint — the primitive every Impulse binary
+/// codec shares.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -191,14 +207,22 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+/// Reads an LEB128 varint starting at `*pos`, advancing it past the
+/// bytes consumed.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] on mid-varint EOF;
+/// [`TraceError::OverlongVarint`] if the encoding carries more payload
+/// bits than a `u64` holds (more than ten bytes, or a tenth byte above 1).
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
         let &b = bytes.get(*pos).ok_or(TraceError::Truncated)?;
         *pos += 1;
         if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
-            return Err(TraceError::Truncated);
+            return Err(TraceError::OverlongVarint);
         }
         v |= u64::from(b & 0x7f) << shift;
         if b & 0x80 == 0 {
@@ -208,12 +232,44 @@ fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+/// Zigzag-maps a signed delta onto the unsigned varint space.
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Seals a byte payload by appending its [`fnv64`] digest as an 8-byte
+/// little-endian trailer; [`unseal`] verifies and strips it. Capture
+/// files written by the trace/replay tooling travel sealed so corruption
+/// is caught before the delta stream is interpreted.
+pub fn seal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let d = fnv64(&bytes);
+    bytes.extend_from_slice(&d.to_le_bytes());
+    bytes
+}
+
+/// Verifies and strips the digest trailer added by [`seal`], returning
+/// the payload.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] if there is no room for a trailer;
+/// [`TraceError::BadDigest`] if the payload hash disagrees with it.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], TraceError> {
+    let Some(split) = bytes.len().checked_sub(8) else {
+        return Err(TraceError::Truncated);
+    };
+    let (payload, trailer) = bytes.split_at(split);
+    let expected = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let found = fnv64(payload);
+    if expected != found {
+        return Err(TraceError::BadDigest { expected, found });
+    }
+    Ok(payload)
 }
 
 /// Shared encoder: the recorder and [`Capture::encode`] must produce
@@ -277,6 +333,133 @@ impl Capture {
     }
 }
 
+/// Streaming reader over an `impulse-trace-v1` capture: parses the
+/// header eagerly, then decodes events in caller-sized chunks so a
+/// multi-million-event capture can be evaluated batch by batch without
+/// materializing the whole event vector. [`decode`] is a thin wrapper
+/// that drains one cursor.
+#[derive(Clone, Debug)]
+pub struct EventCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    geom: FlightGeom,
+    recorded: u64,
+    overwritten: u64,
+    remaining: u64,
+    cycle: i64,
+    idx: i64,
+}
+
+impl<'a> EventCursor<'a> {
+    /// Parses the capture header and positions the cursor at the first
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the header can exhibit (bad magic, truncation,
+    /// over-long varint, zero geometry); never panics.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, TraceError> {
+        if bytes.len() < TRACE_MAGIC.len() || &bytes[..TRACE_MAGIC.len()] != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut pos = TRACE_MAGIC.len();
+        let line_bytes = get_varint(bytes, &mut pos)?;
+        let banks = get_varint(bytes, &mut pos)?;
+        let row_bytes = get_varint(bytes, &mut pos)?;
+        if line_bytes == 0 || banks == 0 || row_bytes == 0 {
+            return Err(TraceError::BadGeometry);
+        }
+        let recorded = get_varint(bytes, &mut pos)?;
+        let overwritten = get_varint(bytes, &mut pos)?;
+        let remaining = get_varint(bytes, &mut pos)?;
+        Ok(Self {
+            bytes,
+            pos,
+            geom: FlightGeom {
+                line_bytes,
+                banks,
+                row_bytes,
+            },
+            recorded,
+            overwritten,
+            remaining,
+            cycle: 0,
+            idx: 0,
+        })
+    }
+
+    /// Geometry recorded in the header.
+    pub fn geom(&self) -> FlightGeom {
+        self.geom
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Events the cursor has not yet decoded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes up to `max` events, appending them to `out`; returns how
+    /// many were produced (0 exactly when the stream is exhausted). When
+    /// the final event has been decoded, verifies no bytes trail it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the event stream can exhibit; the cursor is
+    /// not usable after an error.
+    pub fn next_chunk(
+        &mut self,
+        out: &mut Vec<FlightEvent>,
+        max: usize,
+    ) -> Result<usize, TraceError> {
+        let take = (self.remaining.min(max as u64)) as usize;
+        out.reserve(take);
+        for _ in 0..take {
+            let &cd = self.bytes.get(self.pos).ok_or(TraceError::Truncated)?;
+            self.pos += 1;
+            let class = HitClass::from_u8(cd >> 4).ok_or(TraceError::BadClass(cd >> 4))?;
+            let desc = match cd & 0xF {
+                NO_DESC => None,
+                d => Some(d),
+            };
+            self.cycle = self
+                .cycle
+                .checked_add(unzigzag(get_varint(self.bytes, &mut self.pos)?))
+                .ok_or(TraceError::Underflow)?;
+            self.idx = self
+                .idx
+                .checked_add(unzigzag(get_varint(self.bytes, &mut self.pos)?))
+                .ok_or(TraceError::Underflow)?;
+            if self.cycle < 0 || self.idx < 0 {
+                return Err(TraceError::Underflow);
+            }
+            let line = (self.idx as u64) * self.geom.line_bytes;
+            out.push(FlightEvent {
+                cycle: self.cycle as u64,
+                line,
+                bank: self.geom.bank_of(line),
+                row: self.geom.row_of(line),
+                class,
+                desc,
+            });
+        }
+        self.remaining -= take as u64;
+        if self.remaining == 0 && self.pos != self.bytes.len() {
+            return Err(TraceError::TrailingData);
+        }
+        Ok(take)
+    }
+}
+
 /// Decodes an `impulse-trace-v1` capture.
 ///
 /// # Errors
@@ -284,61 +467,17 @@ impl Capture {
 /// Returns a [`TraceError`] if the bytes are not a well-formed capture;
 /// never panics on arbitrary input.
 pub fn decode(bytes: &[u8]) -> Result<Capture, TraceError> {
-    if bytes.len() < TRACE_MAGIC.len() || &bytes[..TRACE_MAGIC.len()] != TRACE_MAGIC {
-        return Err(TraceError::BadMagic);
-    }
-    let mut pos = TRACE_MAGIC.len();
-    let line_bytes = get_varint(bytes, &mut pos)?;
-    let banks = get_varint(bytes, &mut pos)?;
-    let row_bytes = get_varint(bytes, &mut pos)?;
-    if line_bytes == 0 || banks == 0 || row_bytes == 0 {
-        return Err(TraceError::BadGeometry);
-    }
-    let geom = FlightGeom {
-        line_bytes,
-        banks,
-        row_bytes,
-    };
-    let recorded = get_varint(bytes, &mut pos)?;
-    let overwritten = get_varint(bytes, &mut pos)?;
-    let n_events = get_varint(bytes, &mut pos)?;
-    let mut events = Vec::with_capacity(usize::try_from(n_events).unwrap_or(0).min(1 << 20));
-    let mut cycle: i64 = 0;
-    let mut idx: i64 = 0;
-    for _ in 0..n_events {
-        let &cd = bytes.get(pos).ok_or(TraceError::Truncated)?;
-        pos += 1;
-        let class = HitClass::from_u8(cd >> 4).ok_or(TraceError::BadClass(cd >> 4))?;
-        let desc = match cd & 0xF {
-            NO_DESC => None,
-            d => Some(d),
-        };
-        cycle = cycle
-            .checked_add(unzigzag(get_varint(bytes, &mut pos)?))
-            .ok_or(TraceError::Underflow)?;
-        idx = idx
-            .checked_add(unzigzag(get_varint(bytes, &mut pos)?))
-            .ok_or(TraceError::Underflow)?;
-        if cycle < 0 || idx < 0 {
-            return Err(TraceError::Underflow);
-        }
-        let line = (idx as u64) * line_bytes;
-        events.push(FlightEvent {
-            cycle: cycle as u64,
-            line,
-            bank: geom.bank_of(line),
-            row: geom.row_of(line),
-            class,
-            desc,
-        });
-    }
-    if pos != bytes.len() {
-        return Err(TraceError::TrailingData);
-    }
+    let mut cursor = EventCursor::new(bytes)?;
+    let mut events = Vec::with_capacity(
+        usize::try_from(cursor.remaining())
+            .unwrap_or(0)
+            .min(1 << 20),
+    );
+    while cursor.next_chunk(&mut events, 4096)? > 0 {}
     Ok(Capture {
-        geom,
-        recorded,
-        overwritten,
+        geom: cursor.geom(),
+        recorded: cursor.recorded(),
+        overwritten: cursor.overwritten(),
         events,
     })
 }
@@ -574,6 +713,97 @@ mod tests {
         let n = bytes.len();
         bytes[n - 3] = (9 << 4) | NO_DESC;
         assert_eq!(decode(&bytes), Err(TraceError::BadClass(9)));
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected_distinctly() {
+        // Eleven continuation bytes: more than a u64 can carry.
+        let overlong = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(
+            get_varint(&overlong, &mut pos),
+            Err(TraceError::OverlongVarint)
+        );
+        // Ten bytes whose last carries more than the one spare bit.
+        let mut wide = [0x80u8; 10];
+        wide[9] = 0x02;
+        let mut pos = 0;
+        assert_eq!(get_varint(&wide, &mut pos), Err(TraceError::OverlongVarint));
+        // A capture whose header varint is overlong reports it, not
+        // truncation.
+        let mut bytes = TRACE_MAGIC.to_vec();
+        bytes.extend_from_slice(&[0xFF; 11]);
+        assert_eq!(decode(&bytes), Err(TraceError::OverlongVarint));
+        // Mid-varint EOF is still Truncated.
+        let mut pos = 0;
+        assert_eq!(get_varint(&[0x80], &mut pos), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn seal_unseal_round_trips_and_flags_corruption() {
+        let payload = filled(8, 5).encode();
+        let sealed = seal(payload.clone());
+        assert_eq!(sealed.len(), payload.len() + 8);
+        assert_eq!(unseal(&sealed).unwrap(), &payload[..]);
+        // Flip one payload byte: digest mismatch with both hashes shown.
+        let mut corrupt = sealed.clone();
+        corrupt[20] ^= 1;
+        match unseal(&corrupt) {
+            Err(TraceError::BadDigest { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected BadDigest, got {other:?}"),
+        }
+        // Flip a trailer byte: also a digest mismatch.
+        let mut bad_trailer = sealed.clone();
+        let n = bad_trailer.len();
+        bad_trailer[n - 1] ^= 1;
+        assert!(matches!(
+            unseal(&bad_trailer),
+            Err(TraceError::BadDigest { .. })
+        ));
+        // Too short to even hold a trailer.
+        assert_eq!(unseal(&sealed[..7]), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn event_cursor_chunks_match_full_decode() {
+        let fr = filled(64, 50);
+        let bytes = fr.encode();
+        let full = decode(&bytes).unwrap();
+        for chunk in [1usize, 7, 50, 1000] {
+            let mut cur = EventCursor::new(&bytes).unwrap();
+            assert_eq!(cur.geom(), full.geom);
+            assert_eq!(cur.recorded(), full.recorded);
+            assert_eq!(cur.overwritten(), full.overwritten);
+            assert_eq!(cur.remaining(), full.events.len() as u64);
+            let mut events = Vec::new();
+            let mut produced = Vec::new();
+            loop {
+                let n = cur.next_chunk(&mut events, chunk).unwrap();
+                if n == 0 {
+                    break;
+                }
+                produced.push(n);
+            }
+            assert_eq!(events, full.events, "chunk size {chunk} diverged");
+            assert_eq!(cur.remaining(), 0);
+            assert!(produced.iter().all(|&n| n <= chunk));
+        }
+    }
+
+    #[test]
+    fn event_cursor_surfaces_stream_errors() {
+        let bytes = filled(8, 5).encode();
+        let mut cur = EventCursor::new(&bytes[..bytes.len() - 1]).unwrap();
+        let mut out = Vec::new();
+        assert!(cur.next_chunk(&mut out, 1000).is_err());
+        // An empty capture with trailing garbage reports it on first read.
+        let mut empty = FlightRecorder::new(4, geom()).encode();
+        empty.push(0x7);
+        let mut cur = EventCursor::new(&empty).unwrap();
+        assert_eq!(
+            cur.next_chunk(&mut Vec::new(), 16),
+            Err(TraceError::TrailingData)
+        );
     }
 
     #[test]

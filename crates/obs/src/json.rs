@@ -81,6 +81,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, or `None` if not a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document, requiring it to be fully consumed.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {

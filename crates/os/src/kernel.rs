@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use impulse_core::flight::TraceError;
 use impulse_core::{DescId, McError, MemController, RemapFn};
 use impulse_types::geom::{round_up, PAGE_SHIFT, PAGE_SIZE};
 use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
@@ -91,6 +92,8 @@ pub enum ImpulseError {
     NotOwner(Pid),
     /// The process id does not exist.
     NoSuchProcess(Pid),
+    /// A recorded trace or replay capture could not be decoded.
+    Trace(TraceError),
 }
 
 /// Historical name for [`ImpulseError`], kept so existing call sites and
@@ -123,6 +126,7 @@ impl core::fmt::Display for ImpulseError {
                 write!(f, "resource is owned by another process ({p})")
             }
             OsError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            OsError::Trace(e) => write!(f, "trace capture error: {e}"),
         }
     }
 }
@@ -142,6 +146,11 @@ impl From<VmError> for ImpulseError {
 impl From<McError> for ImpulseError {
     fn from(e: McError) -> Self {
         OsError::Mc(e)
+    }
+}
+impl From<TraceError> for ImpulseError {
+    fn from(e: TraceError) -> Self {
+        OsError::Trace(e)
     }
 }
 

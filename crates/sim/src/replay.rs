@@ -1,0 +1,2338 @@
+//! Trace-driven replay: capture a workload's machine-API operation
+//! stream once, then re-evaluate its timing in a tight batched loop.
+//!
+//! The capture boundary is the [`Machine`] public API: demand accesses
+//! (`load`/`store`/`compute`), and every OS entry point with its full
+//! arguments and outcome. Replaying re-executes the stream against a
+//! fresh machine — the kernel, controller, caches and DRAM are all
+//! real, so the final statistics are *byte-identical* to the original
+//! execution by construction. What replay saves is the workload's own
+//! control flow (index arithmetic, tiling loops, sparse traversals):
+//! the recorder folds periodic access runs into affine [`Op::Pattern`]
+//! templates, and the evaluator walks them with a branch-lean L1-hit
+//! fast path that defers all order-insensitive statistics into one
+//! bulk flush (see `MemorySystem::apply_replay_pending`).
+//!
+//! Encoded captures (`impulse-replay-v1`) are LEB128 varint streams
+//! sealed with an fnv64 digest trailer, embedding any measurement-epoch
+//! snapshots (`Machine::snapshot` at `reset_stats`) so a replay under
+//! the identical configuration can fast-forward over warm-up.
+//!
+//! Replay must fall back to ordinary execution when a configuration
+//! carries fault schedules (fault-plan RNG draws are keyed to host
+//! call sites the evaluator does not reproduce — see
+//! [`replayable`]), or when a capture was poisoned (e.g. a tracer was
+//! attached mid-recording).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use impulse_core::flight::{self, get_varint, put_varint, unzigzag, zigzag, TraceError};
+use impulse_os::{Pid, RemapGrant};
+use impulse_types::geom::{PAGE_SHIFT, PAGE_SIZE};
+use impulse_types::{AccessKind, PAddr, VAddr, VRange};
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::system::ReplayPending;
+
+/// Magic prefix of an encoded `impulse-replay-v1` capture (16 bytes).
+pub const REPLAY_MAGIC: &[u8; 16] = b"impulse-replay1\0";
+
+/// Minimum repetitions before a periodic run is folded into a pattern.
+const MIN_REPS: u64 = 4;
+/// Longest slot template the folder searches for.
+const MAX_PERIOD: usize = 8;
+/// Raw mem-op window size between folding passes.
+const FOLD_WINDOW: usize = 1 << 16;
+
+/// Replay-side translation memo slots (vpage → page base). Larger than
+/// the simulator's own 16-entry memo because the evaluator has no
+/// instruction-fetch pressure to model — this is pure host-side cache.
+const XLAT_SLOTS: usize = 1024;
+/// Replay-side TLB memo slots ((vpage, generation) pairs).
+const TLB_SLOTS: usize = 256;
+
+// ---------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------
+
+/// What a memory slot in a folded pattern does each repetition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Demand load at `base + rep * stride`.
+    Load,
+    /// Demand store at `base + rep * stride`.
+    Store,
+    /// `base` compute cycles (stride is always zero).
+    Compute,
+}
+
+/// One slot of a folded periodic run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// What the slot does.
+    pub kind: SlotKind,
+    /// First-repetition address (or compute count).
+    pub base: u64,
+    /// Per-repetition address advance (two's-complement).
+    pub stride: i64,
+}
+
+/// One recorded machine operation. The demand ops are inline; folded
+/// patterns and (rare) syscalls box their payloads so `Op` itself stays
+/// 16 bytes — million-op streams decode into a compact array the
+/// evaluator scans linearly instead of a cache-hostile fat enum.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Demand load.
+    Load(u64),
+    /// Demand store.
+    Store(u64),
+    /// `n` compute cycles.
+    Compute(u64),
+    /// A folded affine run.
+    Pattern(Box<PatternOp>),
+    /// A recorded syscall-class operation with its outcome.
+    Sys(Box<SysOp>),
+}
+
+/// `reps` repetitions of an affine slot template — the folded form of
+/// tiling/streaming inner loops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternOp {
+    /// Repetition count (≥ `MIN_REPS`).
+    pub reps: u64,
+    /// The per-repetition slot template.
+    pub slots: Box<[Slot]>,
+}
+
+/// A syscall-class operation. Addresses and ranges are raw `u64`
+/// virtual addresses; grant- and pid-valued arguments are ordinals into
+/// the capture's creation order (grants count only successful remaps;
+/// pid 0 is the process current when recording started).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SysOp {
+    /// `Machine::program_stream`.
+    ProgramStream {
+        /// Virtual address the stream starts at.
+        v: u64,
+        /// Physical stride.
+        stride: i64,
+    },
+    /// `Machine::alloc_region`; `out` is the granted range on success.
+    Alloc {
+        /// Requested bytes.
+        bytes: u64,
+        /// Requested alignment.
+        align: u64,
+        /// `(start, len)` of the granted range, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::alloc_region_colored`.
+    AllocColored {
+        /// Requested bytes.
+        bytes: u64,
+        /// Requested alignment.
+        align: u64,
+        /// Allowed L2 colors.
+        colors: Box<[u64]>,
+        /// `(start, len)` of the granted range, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::flush_region`.
+    FlushRegion {
+        /// Range start.
+        start: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// `Machine::purge_region`.
+    PurgeRegion {
+        /// Range start.
+        start: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// `Machine::sys_remap_gather`.
+    RemapGather {
+        /// Target range `(start, len)`.
+        target: (u64, u64),
+        /// Element size in bytes.
+        elem_size: u64,
+        /// Index-vector pool ordinal.
+        pool: u32,
+        /// Index region `(start, len)`.
+        index_region: (u64, u64),
+        /// Bytes per stored index.
+        index_bytes: u64,
+        /// Granted alias `(start, len)`, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::sys_remap_gather_interleaved`.
+    RemapGatherInterleaved {
+        /// Target range `(start, len)`.
+        target: (u64, u64),
+        /// Element size in bytes.
+        elem_size: u64,
+        /// Index-vector pool ordinal.
+        pool: u32,
+        /// Index region `(start, len)`.
+        index_region: (u64, u64),
+        /// Bytes per stored index.
+        index_bytes: u64,
+        /// Interleave partner address.
+        partner: u64,
+        /// Granted alias `(start, len)`, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::sys_remap_strided`.
+    RemapStrided {
+        /// First object address.
+        base: u64,
+        /// Object size.
+        object_size: u64,
+        /// Object stride.
+        stride: u64,
+        /// Object count.
+        count: u64,
+        /// Alias alignment.
+        alias_align: u64,
+        /// Granted alias `(start, len)`, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::sys_retarget_strided`.
+    RetargetStrided {
+        /// Grant ordinal.
+        grant: u32,
+        /// New base address.
+        new_base: u64,
+        /// Object size.
+        object_size: u64,
+        /// Object stride.
+        stride: u64,
+        /// Object count.
+        count: u64,
+        /// Whether the call succeeded.
+        ok: bool,
+    },
+    /// `Machine::sys_recolor`.
+    Recolor {
+        /// Target range `(start, len)`.
+        target: (u64, u64),
+        /// Requested colors.
+        colors: Box<[u64]>,
+        /// Granted alias `(start, len)`, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::sys_superpage`.
+    Superpage {
+        /// Target range `(start, len)`.
+        target: (u64, u64),
+        /// Granted alias `(start, len)`, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::sys_spawn`; `pid` is the raw id returned (asserted on
+    /// replay).
+    Spawn {
+        /// Raw pid the spawn returned.
+        pid: u32,
+    },
+    /// `Machine::sys_switch`.
+    Switch {
+        /// Pid ordinal (0 = recording-start process).
+        pid: u32,
+        /// Whether the call succeeded.
+        ok: bool,
+    },
+    /// `Machine::sys_share`.
+    Share {
+        /// Grant ordinal.
+        grant: u32,
+        /// Receiver pid ordinal.
+        with: u32,
+        /// Shared alias `(start, len)`, `None` on error.
+        out: Option<(u64, u64)>,
+    },
+    /// `Machine::sys_release`.
+    Release {
+        /// Grant ordinal.
+        grant: u32,
+        /// Whether the call succeeded.
+        ok: bool,
+    },
+    /// `Machine::reset_stats`; `snapshot` indexes the capture's embedded
+    /// post-reset machine images (`u32::MAX` when none was taken).
+    ResetStats {
+        /// Snapshot pool ordinal.
+        snapshot: u32,
+    },
+    /// `Machine::enable_auto_promotion`.
+    EnableAutoPromotion {
+        /// TLB-miss threshold.
+        threshold: u64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Capture + recorder
+// ---------------------------------------------------------------------
+
+/// A complete recorded run: the folded operation stream plus everything
+/// it references (index-vector pools, embedded epoch snapshots) and the
+/// configuration fingerprint it was recorded under.
+#[derive(Clone, Debug)]
+pub struct ReplayCapture {
+    /// `Machine::config_fingerprint` of the recording configuration.
+    pub fingerprint: u64,
+    /// Unfolded operation count (loads + stores + computes + syscalls).
+    pub raw_ops: u64,
+    /// The folded operation stream.
+    pub ops: Vec<Op>,
+    /// Deduplicated gather index vectors, by pool ordinal.
+    pub pools: Vec<Arc<Vec<u64>>>,
+    /// Post-`reset_stats` machine images, by snapshot ordinal.
+    pub snapshots: Vec<Vec<u8>>,
+}
+
+/// Raw (unfolded) memory op kinds inside the recorder window.
+const RAW_LOAD: u8 = 0;
+const RAW_STORE: u8 = 1;
+const RAW_COMPUTE: u8 = 2;
+
+/// Streaming recorder the [`Machine`] drives from its public API hooks.
+/// Owned by the machine between `start_recording` and `take_recording`.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    cfg: SystemConfig,
+    ops: Vec<Op>,
+    win: Vec<(u8, u64)>,
+    pools: Vec<Arc<Vec<u64>>>,
+    snapshots: Vec<Vec<u8>>,
+    /// Successful-grant ordinals, keyed by alias start address.
+    grants: HashMap<u64, u32>,
+    next_grant: u32,
+    /// Pid ordinals, keyed by raw pid; 0 is the recording-start process.
+    pids: HashMap<u32, u32>,
+    raw_ops: u64,
+    poisoned: Option<String>,
+}
+
+impl Recorder {
+    pub(crate) fn new(cfg: SystemConfig, boot: Pid) -> Self {
+        let mut pids = HashMap::new();
+        pids.insert(boot.raw(), 0);
+        Self {
+            cfg,
+            ops: Vec::new(),
+            win: Vec::with_capacity(FOLD_WINDOW),
+            pools: Vec::new(),
+            snapshots: Vec::new(),
+            grants: HashMap::new(),
+            next_grant: 0,
+            pids,
+            raw_ops: 0,
+            poisoned: None,
+        }
+    }
+
+    pub(crate) fn cfg(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Marks the capture as unreplayable with a reason (first wins).
+    pub(crate) fn poison(&mut self, why: &str) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(why.to_string());
+        }
+    }
+
+    /// Records a demand load (the hot hook).
+    #[inline]
+    pub(crate) fn rec_load(&mut self, v: u64) {
+        self.mem(RAW_LOAD, v);
+    }
+
+    /// Records a demand store (the hot hook).
+    #[inline]
+    pub(crate) fn rec_store(&mut self, v: u64) {
+        self.mem(RAW_STORE, v);
+    }
+
+    /// Records a compute burst (the hot hook).
+    #[inline]
+    pub(crate) fn rec_compute(&mut self, n: u64) {
+        self.mem(RAW_COMPUTE, n);
+    }
+
+    #[inline]
+    fn mem(&mut self, kind: u8, val: u64) {
+        self.raw_ops += 1;
+        self.win.push((kind, val));
+        if self.win.len() >= FOLD_WINDOW {
+            self.fold_flush();
+        }
+    }
+
+    /// Folds the buffered raw window into `ops` and clears it.
+    fn fold_flush(&mut self) {
+        let win = std::mem::take(&mut self.win);
+        fold_into(&win, &mut self.ops);
+        self.win = win;
+        self.win.clear();
+    }
+
+    fn range(r: VRange) -> (u64, u64) {
+        (r.start().raw(), r.len())
+    }
+
+    fn out_of<E>(res: &Result<RemapGrant, E>) -> Option<(u64, u64)> {
+        res.as_ref().ok().map(|g| Self::range(g.alias))
+    }
+
+    /// Registers a successful grant and returns nothing; ordinals are
+    /// implicit in creation order.
+    fn note_grant<E>(&mut self, res: &Result<RemapGrant, E>) {
+        if let Ok(g) = res {
+            self.grants.insert(g.alias.start().raw(), self.next_grant);
+            self.next_grant += 1;
+        }
+    }
+
+    /// Resolves a grant's ordinal; poisons the capture if the grant was
+    /// never recorded (created before recording started).
+    fn grant_ordinal(&mut self, g: &RemapGrant) -> u32 {
+        match self.grants.get(&g.alias.start().raw()) {
+            Some(&o) => o,
+            None => {
+                self.poison("grant predates recording");
+                u32::MAX
+            }
+        }
+    }
+
+    fn pid_ordinal(&mut self, pid: Pid) -> u32 {
+        match self.pids.get(&pid.raw()) {
+            Some(&o) => o,
+            None => {
+                self.poison("pid predates recording");
+                u32::MAX
+            }
+        }
+    }
+
+    fn pool_ordinal(&mut self, indices: &Arc<Vec<u64>>) -> u32 {
+        for (i, p) in self.pools.iter().enumerate() {
+            if Arc::ptr_eq(p, indices) {
+                return i as u32;
+            }
+        }
+        self.pools.push(indices.clone());
+        (self.pools.len() - 1) as u32
+    }
+
+    fn push(&mut self, op: SysOp) {
+        self.raw_ops += 1;
+        self.fold_flush();
+        self.ops.push(Op::Sys(Box::new(op)));
+    }
+
+    pub(crate) fn program_stream(&mut self, v: u64, stride: i64) {
+        self.push(SysOp::ProgramStream { v, stride });
+    }
+
+    pub(crate) fn alloc<E>(&mut self, bytes: u64, align: u64, res: &Result<VRange, E>) {
+        let out = res.as_ref().ok().map(|&r| Self::range(r));
+        self.push(SysOp::Alloc { bytes, align, out });
+    }
+
+    pub(crate) fn alloc_colored<E>(
+        &mut self,
+        bytes: u64,
+        align: u64,
+        colors: &[u64],
+        res: &Result<VRange, E>,
+    ) {
+        let out = res.as_ref().ok().map(|&r| Self::range(r));
+        self.push(SysOp::AllocColored {
+            bytes,
+            align,
+            colors: colors.into(),
+            out,
+        });
+    }
+
+    pub(crate) fn flush_region(&mut self, r: VRange) {
+        let (start, len) = Self::range(r);
+        self.push(SysOp::FlushRegion { start, len });
+    }
+
+    pub(crate) fn purge_region(&mut self, r: VRange) {
+        let (start, len) = Self::range(r);
+        self.push(SysOp::PurgeRegion { start, len });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn remap_gather<E>(
+        &mut self,
+        target: VRange,
+        elem_size: u64,
+        indices: &Arc<Vec<u64>>,
+        index_region: VRange,
+        index_bytes: u64,
+        partner: Option<VAddr>,
+        res: &Result<RemapGrant, E>,
+    ) {
+        let pool = self.pool_ordinal(indices);
+        let out = Self::out_of(res);
+        self.note_grant(res);
+        let op = match partner {
+            None => SysOp::RemapGather {
+                target: Self::range(target),
+                elem_size,
+                pool,
+                index_region: Self::range(index_region),
+                index_bytes,
+                out,
+            },
+            Some(p) => SysOp::RemapGatherInterleaved {
+                target: Self::range(target),
+                elem_size,
+                pool,
+                index_region: Self::range(index_region),
+                index_bytes,
+                partner: p.raw(),
+                out,
+            },
+        };
+        self.push(op);
+    }
+
+    pub(crate) fn remap_strided<E>(
+        &mut self,
+        base: VAddr,
+        object_size: u64,
+        stride: u64,
+        count: u64,
+        alias_align: u64,
+        res: &Result<RemapGrant, E>,
+    ) {
+        let out = Self::out_of(res);
+        self.note_grant(res);
+        self.push(SysOp::RemapStrided {
+            base: base.raw(),
+            object_size,
+            stride,
+            count,
+            alias_align,
+            out,
+        });
+    }
+
+    pub(crate) fn retarget_strided<T, E>(
+        &mut self,
+        grant: &RemapGrant,
+        new_base: VAddr,
+        object_size: u64,
+        stride: u64,
+        count: u64,
+        res: &Result<T, E>,
+    ) {
+        let grant = self.grant_ordinal(grant);
+        self.push(SysOp::RetargetStrided {
+            grant,
+            new_base: new_base.raw(),
+            object_size,
+            stride,
+            count,
+            ok: res.is_ok(),
+        });
+    }
+
+    pub(crate) fn recolor<E>(
+        &mut self,
+        target: VRange,
+        colors: &[u64],
+        res: &Result<RemapGrant, E>,
+    ) {
+        let out = Self::out_of(res);
+        self.note_grant(res);
+        self.push(SysOp::Recolor {
+            target: Self::range(target),
+            colors: colors.into(),
+            out,
+        });
+    }
+
+    pub(crate) fn superpage<E>(&mut self, target: VRange, res: &Result<RemapGrant, E>) {
+        let out = Self::out_of(res);
+        self.note_grant(res);
+        self.push(SysOp::Superpage {
+            target: Self::range(target),
+            out,
+        });
+    }
+
+    pub(crate) fn spawn(&mut self, pid: Pid) {
+        let ordinal = self.pids.len() as u32;
+        self.pids.insert(pid.raw(), ordinal);
+        self.push(SysOp::Spawn { pid: pid.raw() });
+    }
+
+    pub(crate) fn switch<T, E>(&mut self, pid: Pid, res: &Result<T, E>) {
+        let pid = self.pid_ordinal(pid);
+        self.push(SysOp::Switch {
+            pid,
+            ok: res.is_ok(),
+        });
+    }
+
+    pub(crate) fn share<E>(&mut self, grant: &RemapGrant, with: Pid, res: &Result<VRange, E>) {
+        let grant = self.grant_ordinal(grant);
+        let with = self.pid_ordinal(with);
+        let out = res.as_ref().ok().map(|&r| Self::range(r));
+        self.push(SysOp::Share { grant, with, out });
+    }
+
+    pub(crate) fn release<T, E>(&mut self, grant: &RemapGrant, res: &Result<T, E>) {
+        let ordinal = self.grant_ordinal(grant);
+        if res.is_ok() {
+            // The alias is gone; a future grant may legitimately reuse
+            // its start address under a fresh ordinal.
+            self.grants.remove(&grant.alias.start().raw());
+        }
+        self.push(SysOp::Release {
+            grant: ordinal,
+            ok: res.is_ok(),
+        });
+    }
+
+    pub(crate) fn reset_stats(&mut self, snapshot: Vec<u8>) {
+        self.snapshots.push(snapshot);
+        let snapshot = (self.snapshots.len() - 1) as u32;
+        self.push(SysOp::ResetStats { snapshot });
+    }
+
+    pub(crate) fn enable_auto_promotion(&mut self, threshold: u64) {
+        self.push(SysOp::EnableAutoPromotion { threshold });
+    }
+
+    /// Finalizes the capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns the poison reason if the stream cannot be replayed
+    /// faithfully (e.g. it references grants or pids that predate
+    /// recording, or a tracer was attached mid-capture).
+    pub(crate) fn finish(mut self) -> Result<ReplayCapture, String> {
+        self.fold_flush();
+        if let Some(why) = self.poisoned {
+            return Err(why);
+        }
+        Ok(ReplayCapture {
+            fingerprint: Machine::config_fingerprint(&self.cfg),
+            raw_ops: self.raw_ops,
+            ops: self.ops,
+            pools: self.pools,
+            snapshots: self.snapshots,
+        })
+    }
+}
+
+/// Folds a raw `(kind, value)` window into ops: periodic affine runs
+/// become [`Op::Pattern`], adjacent computes merge, everything else is
+/// emitted verbatim. Folding is lossless — evaluation order and every
+/// address are reconstructed exactly.
+fn fold_into(win: &[(u8, u64)], out: &mut Vec<Op>) {
+    let n = win.len();
+    let mut i = 0;
+    while i < n {
+        let mut folded = false;
+        let max_p = MAX_PERIOD.min((n - i) / 2);
+        for p in 1..=max_p {
+            let Some((slots, reps)) = try_pattern(&win[i..], p) else {
+                continue;
+            };
+            out.push(Op::Pattern(Box::new(PatternOp { reps, slots })));
+            i += p * reps as usize;
+            folded = true;
+            break;
+        }
+        if folded {
+            continue;
+        }
+        let (kind, val) = win[i];
+        match kind {
+            RAW_LOAD => out.push(Op::Load(val)),
+            RAW_STORE => out.push(Op::Store(val)),
+            _ => {
+                // Adjacent compute bursts are equivalent to their sum.
+                if let Some(Op::Compute(prev)) = out.last_mut() {
+                    *prev += val;
+                } else {
+                    out.push(Op::Compute(val));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Attempts to read a period-`p` affine pattern from the head of `w`:
+/// same kinds every period, constant per-slot stride (zero for
+/// computes). Returns the template and repetition count if it repeats
+/// at least [`MIN_REPS`] times.
+fn try_pattern(w: &[(u8, u64)], p: usize) -> Option<(Box<[Slot]>, u64)> {
+    if w.len() < 2 * p {
+        return None;
+    }
+    let mut slots = Vec::with_capacity(p);
+    for j in 0..p {
+        let (k0, v0) = w[j];
+        let (k1, v1) = w[p + j];
+        if k0 != k1 {
+            return None;
+        }
+        let stride = if k0 == RAW_COMPUTE {
+            if v0 != v1 {
+                return None;
+            }
+            0
+        } else {
+            v1.wrapping_sub(v0) as i64
+        };
+        let kind = match k0 {
+            RAW_LOAD => SlotKind::Load,
+            RAW_STORE => SlotKind::Store,
+            _ => SlotKind::Compute,
+        };
+        slots.push(Slot {
+            kind,
+            base: v0,
+            stride,
+        });
+    }
+    let mut reps: u64 = 2;
+    'ext: while (reps as usize + 1) * p <= w.len() {
+        let base = reps as usize * p;
+        for (j, s) in slots.iter().enumerate() {
+            let (k, v) = w[base + j];
+            let want_kind = match s.kind {
+                SlotKind::Load => RAW_LOAD,
+                SlotKind::Store => RAW_STORE,
+                SlotKind::Compute => RAW_COMPUTE,
+            };
+            let want_val = s
+                .base
+                .wrapping_add_signed(s.stride.wrapping_mul(reps as i64));
+            if k != want_kind || v != want_val {
+                break 'ext;
+            }
+        }
+        reps += 1;
+    }
+    // Only fold when it actually compresses: enough repetitions and
+    // more ops covered than the slot template costs to store.
+    if reps >= MIN_REPS && reps as usize * p >= 3 * p + 4 {
+        Some((slots.into_boxed_slice(), reps))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec (impulse-replay-v1)
+// ---------------------------------------------------------------------
+
+fn put_opt_range(out: &mut Vec<u8>, r: Option<(u64, u64)>) {
+    match r {
+        None => out.push(0),
+        Some((s, l)) => {
+            out.push(1);
+            put_varint(out, s);
+            put_varint(out, l);
+        }
+    }
+}
+
+fn get_opt_range(b: &[u8], pos: &mut usize) -> Result<Option<(u64, u64)>, TraceError> {
+    let tag = get_u8(b, pos)?;
+    if tag == 0 {
+        return Ok(None);
+    }
+    let s = get_varint(b, pos)?;
+    let l = get_varint(b, pos)?;
+    Ok(Some((s, l)))
+}
+
+fn get_u8(b: &[u8], pos: &mut usize) -> Result<u8, TraceError> {
+    let v = *b.get(*pos).ok_or(TraceError::Truncated)?;
+    *pos += 1;
+    Ok(v)
+}
+
+impl ReplayCapture {
+    /// Serializes the capture as a sealed `impulse-replay-v1` byte
+    /// stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.ops.len() * 4);
+        out.extend_from_slice(REPLAY_MAGIC);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        put_varint(&mut out, self.raw_ops);
+        put_varint(&mut out, self.pools.len() as u64);
+        for pool in &self.pools {
+            put_varint(&mut out, pool.len() as u64);
+            for &ix in pool.iter() {
+                put_varint(&mut out, ix);
+            }
+        }
+        put_varint(&mut out, self.snapshots.len() as u64);
+        for snap in &self.snapshots {
+            put_varint(&mut out, snap.len() as u64);
+            out.extend_from_slice(snap);
+        }
+        put_varint(&mut out, self.ops.len() as u64);
+        let mut prev: u64 = 0;
+        for op in &self.ops {
+            encode_op(&mut out, op, &mut prev);
+        }
+        flight::seal(out)
+    }
+
+    /// Decodes a sealed `impulse-replay-v1` byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`TraceError`] on digest mismatch, truncation,
+    /// bad magic, or malformed varints — never panics on hostile input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        let b = flight::unseal(bytes)?;
+        if b.len() < 24 || &b[..16] != REPLAY_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let fingerprint = u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"));
+        let mut pos = 24usize;
+        let raw_ops = get_varint(b, &mut pos)?;
+        let n_pools = get_varint(b, &mut pos)? as usize;
+        let mut pools = Vec::with_capacity(n_pools.min(1 << 16));
+        for _ in 0..n_pools {
+            let len = get_varint(b, &mut pos)? as usize;
+            if len > b.len() {
+                return Err(TraceError::Truncated);
+            }
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(get_varint(b, &mut pos)?);
+            }
+            pools.push(Arc::new(v));
+        }
+        let n_snaps = get_varint(b, &mut pos)? as usize;
+        let mut snapshots = Vec::with_capacity(n_snaps.min(1 << 10));
+        for _ in 0..n_snaps {
+            let len = get_varint(b, &mut pos)? as usize;
+            let end = pos.checked_add(len).ok_or(TraceError::Truncated)?;
+            if end > b.len() {
+                return Err(TraceError::Truncated);
+            }
+            snapshots.push(b[pos..end].to_vec());
+            pos = end;
+        }
+        let n_ops = get_varint(b, &mut pos)? as usize;
+        if n_ops > b.len() {
+            return Err(TraceError::Truncated);
+        }
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut prev: u64 = 0;
+        for _ in 0..n_ops {
+            ops.push(decode_op(b, &mut pos, &mut prev)?);
+        }
+        if pos != b.len() {
+            return Err(TraceError::TrailingData);
+        }
+        Ok(Self {
+            fingerprint,
+            raw_ops,
+            ops,
+            pools,
+            snapshots,
+        })
+    }
+}
+
+const T_LOAD: u8 = 0;
+const T_STORE: u8 = 1;
+const T_COMPUTE: u8 = 2;
+const T_PATTERN: u8 = 3;
+const T_PROGRAM_STREAM: u8 = 4;
+const T_ALLOC: u8 = 5;
+const T_ALLOC_COLORED: u8 = 6;
+const T_FLUSH: u8 = 7;
+const T_PURGE: u8 = 8;
+const T_GATHER: u8 = 9;
+const T_GATHER_INTL: u8 = 10;
+const T_STRIDED: u8 = 11;
+const T_RETARGET: u8 = 12;
+const T_RECOLOR: u8 = 13;
+const T_SUPERPAGE: u8 = 14;
+const T_SPAWN: u8 = 15;
+const T_SWITCH: u8 = 16;
+const T_SHARE: u8 = 17;
+const T_RELEASE: u8 = 18;
+const T_RESET: u8 = 19;
+const T_PROMO: u8 = 20;
+
+fn encode_op(out: &mut Vec<u8>, op: &Op, prev: &mut u64) {
+    match op {
+        Op::Load(v) => {
+            out.push(T_LOAD);
+            put_varint(out, zigzag(v.wrapping_sub(*prev) as i64));
+            *prev = *v;
+        }
+        Op::Store(v) => {
+            out.push(T_STORE);
+            put_varint(out, zigzag(v.wrapping_sub(*prev) as i64));
+            *prev = *v;
+        }
+        Op::Compute(n) => {
+            out.push(T_COMPUTE);
+            put_varint(out, *n);
+        }
+        Op::Pattern(p) => {
+            let PatternOp { reps, slots } = &**p;
+            out.push(T_PATTERN);
+            put_varint(out, *reps);
+            put_varint(out, slots.len() as u64);
+            for s in slots.iter() {
+                out.push(match s.kind {
+                    SlotKind::Load => 0,
+                    SlotKind::Store => 1,
+                    SlotKind::Compute => 2,
+                });
+                put_varint(out, zigzag(s.base.wrapping_sub(*prev) as i64));
+                put_varint(out, zigzag(s.stride));
+                if s.kind != SlotKind::Compute {
+                    *prev = s.base;
+                }
+            }
+        }
+        Op::Sys(sys) => match &**sys {
+            SysOp::ProgramStream { v, stride } => {
+                out.push(T_PROGRAM_STREAM);
+                put_varint(out, *v);
+                put_varint(out, zigzag(*stride));
+            }
+            SysOp::Alloc {
+                bytes,
+                align,
+                out: o,
+            } => {
+                out.push(T_ALLOC);
+                put_varint(out, *bytes);
+                put_varint(out, *align);
+                put_opt_range(out, *o);
+            }
+            SysOp::AllocColored {
+                bytes,
+                align,
+                colors,
+                out: o,
+            } => {
+                out.push(T_ALLOC_COLORED);
+                put_varint(out, *bytes);
+                put_varint(out, *align);
+                put_varint(out, colors.len() as u64);
+                for &c in colors.iter() {
+                    put_varint(out, c);
+                }
+                put_opt_range(out, *o);
+            }
+            SysOp::FlushRegion { start, len } => {
+                out.push(T_FLUSH);
+                put_varint(out, *start);
+                put_varint(out, *len);
+            }
+            SysOp::PurgeRegion { start, len } => {
+                out.push(T_PURGE);
+                put_varint(out, *start);
+                put_varint(out, *len);
+            }
+            SysOp::RemapGather {
+                target,
+                elem_size,
+                pool,
+                index_region,
+                index_bytes,
+                out: o,
+            } => {
+                out.push(T_GATHER);
+                put_varint(out, target.0);
+                put_varint(out, target.1);
+                put_varint(out, *elem_size);
+                put_varint(out, u64::from(*pool));
+                put_varint(out, index_region.0);
+                put_varint(out, index_region.1);
+                put_varint(out, *index_bytes);
+                put_opt_range(out, *o);
+            }
+            SysOp::RemapGatherInterleaved {
+                target,
+                elem_size,
+                pool,
+                index_region,
+                index_bytes,
+                partner,
+                out: o,
+            } => {
+                out.push(T_GATHER_INTL);
+                put_varint(out, target.0);
+                put_varint(out, target.1);
+                put_varint(out, *elem_size);
+                put_varint(out, u64::from(*pool));
+                put_varint(out, index_region.0);
+                put_varint(out, index_region.1);
+                put_varint(out, *index_bytes);
+                put_varint(out, *partner);
+                put_opt_range(out, *o);
+            }
+            SysOp::RemapStrided {
+                base,
+                object_size,
+                stride,
+                count,
+                alias_align,
+                out: o,
+            } => {
+                out.push(T_STRIDED);
+                put_varint(out, *base);
+                put_varint(out, *object_size);
+                put_varint(out, *stride);
+                put_varint(out, *count);
+                put_varint(out, *alias_align);
+                put_opt_range(out, *o);
+            }
+            SysOp::RetargetStrided {
+                grant,
+                new_base,
+                object_size,
+                stride,
+                count,
+                ok,
+            } => {
+                out.push(T_RETARGET);
+                put_varint(out, u64::from(*grant));
+                put_varint(out, *new_base);
+                put_varint(out, *object_size);
+                put_varint(out, *stride);
+                put_varint(out, *count);
+                out.push(u8::from(*ok));
+            }
+            SysOp::Recolor {
+                target,
+                colors,
+                out: o,
+            } => {
+                out.push(T_RECOLOR);
+                put_varint(out, target.0);
+                put_varint(out, target.1);
+                put_varint(out, colors.len() as u64);
+                for &c in colors.iter() {
+                    put_varint(out, c);
+                }
+                put_opt_range(out, *o);
+            }
+            SysOp::Superpage { target, out: o } => {
+                out.push(T_SUPERPAGE);
+                put_varint(out, target.0);
+                put_varint(out, target.1);
+                put_opt_range(out, *o);
+            }
+            SysOp::Spawn { pid } => {
+                out.push(T_SPAWN);
+                put_varint(out, u64::from(*pid));
+            }
+            SysOp::Switch { pid, ok } => {
+                out.push(T_SWITCH);
+                put_varint(out, u64::from(*pid));
+                out.push(u8::from(*ok));
+            }
+            SysOp::Share {
+                grant,
+                with,
+                out: o,
+            } => {
+                out.push(T_SHARE);
+                put_varint(out, u64::from(*grant));
+                put_varint(out, u64::from(*with));
+                put_opt_range(out, *o);
+            }
+            SysOp::Release { grant, ok } => {
+                out.push(T_RELEASE);
+                put_varint(out, u64::from(*grant));
+                out.push(u8::from(*ok));
+            }
+            SysOp::ResetStats { snapshot } => {
+                out.push(T_RESET);
+                put_varint(out, u64::from(*snapshot));
+            }
+            SysOp::EnableAutoPromotion { threshold } => {
+                out.push(T_PROMO);
+                put_varint(out, *threshold);
+            }
+        },
+    }
+}
+
+fn decode_op(b: &[u8], pos: &mut usize, prev: &mut u64) -> Result<Op, TraceError> {
+    let tag = get_u8(b, pos)?;
+    let op = match tag {
+        T_LOAD | T_STORE => {
+            let d = unzigzag(get_varint(b, pos)?);
+            let v = prev.wrapping_add(d as u64);
+            *prev = v;
+            if tag == T_LOAD {
+                Op::Load(v)
+            } else {
+                Op::Store(v)
+            }
+        }
+        T_COMPUTE => Op::Compute(get_varint(b, pos)?),
+        T_PATTERN => {
+            let reps = get_varint(b, pos)?;
+            let n = get_varint(b, pos)? as usize;
+            if n == 0 || n > MAX_PERIOD {
+                return Err(TraceError::TrailingData);
+            }
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                let kind = match get_u8(b, pos)? {
+                    0 => SlotKind::Load,
+                    1 => SlotKind::Store,
+                    2 => SlotKind::Compute,
+                    _ => return Err(TraceError::TrailingData),
+                };
+                let d = unzigzag(get_varint(b, pos)?);
+                let base = prev.wrapping_add(d as u64);
+                let stride = unzigzag(get_varint(b, pos)?);
+                if kind != SlotKind::Compute {
+                    *prev = base;
+                }
+                slots.push(Slot { kind, base, stride });
+            }
+            Op::Pattern(Box::new(PatternOp {
+                reps,
+                slots: slots.into_boxed_slice(),
+            }))
+        }
+        T_PROGRAM_STREAM => Op::Sys(Box::new(SysOp::ProgramStream {
+            v: get_varint(b, pos)?,
+            stride: unzigzag(get_varint(b, pos)?),
+        })),
+        T_ALLOC => Op::Sys(Box::new(SysOp::Alloc {
+            bytes: get_varint(b, pos)?,
+            align: get_varint(b, pos)?,
+            out: get_opt_range(b, pos)?,
+        })),
+        T_ALLOC_COLORED => {
+            let bytes = get_varint(b, pos)?;
+            let align = get_varint(b, pos)?;
+            let n = get_varint(b, pos)? as usize;
+            if n > b.len() {
+                return Err(TraceError::Truncated);
+            }
+            let mut colors = Vec::with_capacity(n);
+            for _ in 0..n {
+                colors.push(get_varint(b, pos)?);
+            }
+            Op::Sys(Box::new(SysOp::AllocColored {
+                bytes,
+                align,
+                colors: colors.into_boxed_slice(),
+                out: get_opt_range(b, pos)?,
+            }))
+        }
+        T_FLUSH => Op::Sys(Box::new(SysOp::FlushRegion {
+            start: get_varint(b, pos)?,
+            len: get_varint(b, pos)?,
+        })),
+        T_PURGE => Op::Sys(Box::new(SysOp::PurgeRegion {
+            start: get_varint(b, pos)?,
+            len: get_varint(b, pos)?,
+        })),
+        T_GATHER => Op::Sys(Box::new(SysOp::RemapGather {
+            target: (get_varint(b, pos)?, get_varint(b, pos)?),
+            elem_size: get_varint(b, pos)?,
+            pool: get_varint(b, pos)? as u32,
+            index_region: (get_varint(b, pos)?, get_varint(b, pos)?),
+            index_bytes: get_varint(b, pos)?,
+            out: get_opt_range(b, pos)?,
+        })),
+        T_GATHER_INTL => Op::Sys(Box::new(SysOp::RemapGatherInterleaved {
+            target: (get_varint(b, pos)?, get_varint(b, pos)?),
+            elem_size: get_varint(b, pos)?,
+            pool: get_varint(b, pos)? as u32,
+            index_region: (get_varint(b, pos)?, get_varint(b, pos)?),
+            index_bytes: get_varint(b, pos)?,
+            partner: get_varint(b, pos)?,
+            out: get_opt_range(b, pos)?,
+        })),
+        T_STRIDED => Op::Sys(Box::new(SysOp::RemapStrided {
+            base: get_varint(b, pos)?,
+            object_size: get_varint(b, pos)?,
+            stride: get_varint(b, pos)?,
+            count: get_varint(b, pos)?,
+            alias_align: get_varint(b, pos)?,
+            out: get_opt_range(b, pos)?,
+        })),
+        T_RETARGET => Op::Sys(Box::new(SysOp::RetargetStrided {
+            grant: get_varint(b, pos)? as u32,
+            new_base: get_varint(b, pos)?,
+            object_size: get_varint(b, pos)?,
+            stride: get_varint(b, pos)?,
+            count: get_varint(b, pos)?,
+            ok: get_u8(b, pos)? != 0,
+        })),
+        T_RECOLOR => {
+            let target = (get_varint(b, pos)?, get_varint(b, pos)?);
+            let n = get_varint(b, pos)? as usize;
+            if n > b.len() {
+                return Err(TraceError::Truncated);
+            }
+            let mut colors = Vec::with_capacity(n);
+            for _ in 0..n {
+                colors.push(get_varint(b, pos)?);
+            }
+            Op::Sys(Box::new(SysOp::Recolor {
+                target,
+                colors: colors.into_boxed_slice(),
+                out: get_opt_range(b, pos)?,
+            }))
+        }
+        T_SUPERPAGE => Op::Sys(Box::new(SysOp::Superpage {
+            target: (get_varint(b, pos)?, get_varint(b, pos)?),
+            out: get_opt_range(b, pos)?,
+        })),
+        T_SPAWN => Op::Sys(Box::new(SysOp::Spawn {
+            pid: get_varint(b, pos)? as u32,
+        })),
+        T_SWITCH => Op::Sys(Box::new(SysOp::Switch {
+            pid: get_varint(b, pos)? as u32,
+            ok: get_u8(b, pos)? != 0,
+        })),
+        T_SHARE => Op::Sys(Box::new(SysOp::Share {
+            grant: get_varint(b, pos)? as u32,
+            with: get_varint(b, pos)? as u32,
+            out: get_opt_range(b, pos)?,
+        })),
+        T_RELEASE => Op::Sys(Box::new(SysOp::Release {
+            grant: get_varint(b, pos)? as u32,
+            ok: get_u8(b, pos)? != 0,
+        })),
+        T_RESET => Op::Sys(Box::new(SysOp::ResetStats {
+            snapshot: get_varint(b, pos)? as u32,
+        })),
+        T_PROMO => Op::Sys(Box::new(SysOp::EnableAutoPromotion {
+            threshold: get_varint(b, pos)?,
+        })),
+        _ => return Err(TraceError::TrailingData),
+    };
+    Ok(op)
+}
+
+// ---------------------------------------------------------------------
+// Replayer
+// ---------------------------------------------------------------------
+
+/// Why a replay could not complete; callers fall back to ordinary
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The encoded capture could not be decoded.
+    Decode(TraceError),
+    /// Re-execution disagreed with the recorded outcome (the capture
+    /// was taken under a configuration whose kernel decisions differ).
+    Diverged {
+        /// Folded-op index of the disagreement.
+        at: usize,
+        /// What disagreed.
+        what: String,
+    },
+    /// The configuration or capture cannot be replayed at all.
+    Unreplayable(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Decode(e) => write!(f, "replay capture decode: {e}"),
+            ReplayError::Diverged { at, what } => {
+                write!(f, "replay diverged from capture at op {at}: {what}")
+            }
+            ReplayError::Unreplayable(why) => write!(f, "capture not replayable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<TraceError> for ReplayError {
+    fn from(e: TraceError) -> Self {
+        ReplayError::Decode(e)
+    }
+}
+
+/// Whether a configuration's runs can be replayed from a capture at
+/// all. Fault schedules are the documented fallback-to-execute case:
+/// their RNG draws are tied to execution sites the evaluator does not
+/// visit in the same order.
+pub fn replayable(cfg: &SystemConfig) -> bool {
+    cfg.faults.is_none()
+}
+
+/// Replay evaluation statistics (host-side, for telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Demand ops evaluated on the batched fast path.
+    pub fast_ops: u64,
+    /// Demand ops that fell back to the full simulation path.
+    pub fallback_ops: u64,
+    /// Whether evaluation fast-forwarded from an embedded snapshot.
+    pub fast_forwarded: bool,
+}
+
+/// Number of leading accesses of an affine walk `a, a+stride, …` that
+/// stay inside the aligned `window`-byte block containing `a`, capped
+/// at `cap`. `window` is a power of two; a zero stride never leaves the
+/// block. Walks by comparison instead of dividing — strides are usually
+/// either tiny (several accesses per block, a couple of iterations) or
+/// larger than the block (one iteration), and a division would dominate
+/// the per-run cost.
+#[inline]
+fn run_len(a: u64, stride: i64, window: u64, cap: u64) -> u64 {
+    if stride == 0 {
+        return cap;
+    }
+    let astride = stride.unsigned_abs();
+    if astride.saturating_mul(4) >= window {
+        // At most four accesses fit in the block: compare-walk.
+        let block = a & !(window - 1);
+        let mut run = 1u64;
+        let mut next = a.wrapping_add_signed(stride);
+        while run < cap && next & !(window - 1) == block {
+            run += 1;
+            next = next.wrapping_add_signed(stride);
+        }
+        return run;
+    }
+    let off = a & (window - 1);
+    let d = if stride > 0 {
+        (window - 1 - off) / astride
+    } else {
+        off / astride
+    };
+    d.saturating_add(1).min(cap)
+}
+
+struct Replayer {
+    /// vpage → physical page base (pure translation cache).
+    xlat: Box<[(u64, u64)]>,
+    /// vpage → TLB generation at the last verified architectural hit.
+    tlbm: Box<[(u64, u64)]>,
+    pend: ReplayPending,
+    t_l1_hit: u64,
+    /// The L1-hit fast path is only exact when an L1 hit can never spill
+    /// into the overlapped-miss window (always true for sane timings).
+    fast_loads: bool,
+    /// L1 line size in bytes (a power of two).
+    l1_line: u64,
+    /// Whether whole pattern repetitions may be charged in bulk. Exact
+    /// only for a direct-mapped L1 (no recency state to interleave) with
+    /// the fast load path enabled.
+    batch: bool,
+    promote: bool,
+    grants: Vec<Option<RemapGrant>>,
+    pids: Vec<Pid>,
+    fast_ops: u64,
+    fallback_ops: u64,
+}
+
+impl Replayer {
+    fn new(m: &Machine, cfg: &SystemConfig) -> Self {
+        Self {
+            xlat: vec![(u64::MAX, 0); XLAT_SLOTS].into_boxed_slice(),
+            tlbm: vec![(u64::MAX, u64::MAX); TLB_SLOTS].into_boxed_slice(),
+            pend: ReplayPending::default(),
+            t_l1_hit: cfg.t_l1_hit,
+            fast_loads: cfg.mshr <= 1 || cfg.t_l1_hit <= cfg.t_l2_hit,
+            l1_line: cfg.l1.line,
+            batch: (cfg.mshr <= 1 || cfg.t_l1_hit <= cfg.t_l2_hit) && cfg.l1.ways == 1,
+            promote: false,
+            grants: Vec::new(),
+            pids: vec![m.kernel().current()],
+            fast_ops: 0,
+            fallback_ops: 0,
+        }
+    }
+
+    #[inline]
+    fn clear_memos(&mut self) {
+        self.xlat.fill((u64::MAX, 0));
+        self.tlbm.fill((u64::MAX, u64::MAX));
+    }
+
+    /// Pure translation through the replay-side memo.
+    #[inline]
+    fn translate(&mut self, m: &Machine, v: u64, vpage: u64) -> PAddr {
+        let slot = (vpage as usize) & (XLAT_SLOTS - 1);
+        let (tag, base) = self.xlat[slot];
+        if tag == vpage {
+            return PAddr::new(base + (v & (PAGE_SIZE - 1)));
+        }
+        let p = m.translate(VAddr::new(v));
+        self.xlat[slot] = (vpage, p.page_base().raw());
+        p
+    }
+
+    #[inline]
+    fn fallback_load(&mut self, m: &mut Machine, v: VAddr) {
+        self.fallback_ops += 1;
+        if self.promote {
+            let before = m.memory().stats().tlb_penalties;
+            m.load(v);
+            if m.memory().stats().tlb_penalties != before {
+                // An online promotion may have remapped pages under the
+                // translation memo.
+                self.clear_memos();
+            }
+        } else {
+            m.load(v);
+        }
+    }
+
+    /// One demand load: the exact effect set of `Machine::load` for the
+    /// TLB-hit + L1-hit case with order-insensitive statistics deferred
+    /// into `pend`; anything else re-executes the real path.
+    #[inline]
+    fn load(&mut self, m: &mut Machine, v: u64) {
+        if !self.fast_loads {
+            self.fallback_load(m, VAddr::new(v));
+            return;
+        }
+        m.replay_mshr_retire();
+        let vpage = v >> PAGE_SHIFT;
+        let va = VAddr::new(v);
+        let ts = (vpage as usize) & (TLB_SLOTS - 1);
+        if self.tlbm[ts] == (vpage, m.memory().tlb().generation()) {
+            let p = self.translate(m, v, vpage);
+            if let Some(pf) = m.ms_mut().l1_mut().try_demand_hit(va, p, AccessKind::Load) {
+                self.pend.load_hits += 1;
+                self.pend.prefetch_useful += u64::from(pf);
+                self.pend.tlb_memo_hits += 1;
+                m.replay_advance(self.t_l1_hit, 1);
+                self.fast_ops += 1;
+                return;
+            }
+            self.fallback_load(m, va);
+            return;
+        }
+        // Cold memo: probe both structures side-effect-free before
+        // committing, so a fallback re-executes untainted. The TLB peek
+        // comes first — a TLB miss means a fallback anyway, and skipping
+        // the translation avoids a wasted page-table walk.
+        if m.memory().tlb().peek(vpage) {
+            let p = self.translate(m, v, vpage);
+            if m.memory().l1().probe(va, p) {
+                let hit = m.ms_mut().tlb_mut().lookup(vpage);
+                debug_assert!(hit, "peek promised an entry");
+                self.tlbm[ts] = (vpage, m.memory().tlb().generation());
+                let pf = m
+                    .ms_mut()
+                    .l1_mut()
+                    .try_demand_hit(va, p, AccessKind::Load)
+                    .expect("probe promised a line");
+                self.pend.load_hits += 1;
+                self.pend.prefetch_useful += u64::from(pf);
+                m.replay_advance(self.t_l1_hit, 1);
+                self.fast_ops += 1;
+                return;
+            }
+        }
+        self.fallback_load(m, va);
+    }
+
+    /// One demand store, mirroring `Machine::store`'s hit case.
+    #[inline]
+    fn store(&mut self, m: &mut Machine, v: u64) {
+        let vpage = v >> PAGE_SHIFT;
+        let va = VAddr::new(v);
+        let ts = (vpage as usize) & (TLB_SLOTS - 1);
+        let warm = self.tlbm[ts] == (vpage, m.memory().tlb().generation());
+        if !warm && !m.memory().tlb().peek(vpage) {
+            self.fallback_ops += 1;
+            m.store(va);
+            return;
+        }
+        let p = self.translate(m, v, vpage);
+        if !warm {
+            if m.memory().l1().probe(va, p) {
+                let hit = m.ms_mut().tlb_mut().lookup(vpage);
+                debug_assert!(hit, "peek promised an entry");
+                self.tlbm[ts] = (vpage, m.memory().tlb().generation());
+            } else {
+                self.fallback_ops += 1;
+                m.store(va);
+                return;
+            }
+        }
+        // TLB verified (memoized or just looked up). Stores invalidate
+        // any stream tracking the line before the L1 sees them.
+        m.ms_mut().streams_invalidate(p);
+        if let Some(pf) = m.ms_mut().l1_mut().try_demand_hit(va, p, AccessKind::Store) {
+            self.pend.store_hits += 1;
+            self.pend.prefetch_useful += u64::from(pf);
+            if warm {
+                self.pend.tlb_memo_hits += 1;
+            }
+            m.replay_advance(self.t_l1_hit, 1);
+            self.fast_ops += 1;
+            return;
+        }
+        // L1 store miss (write-around bypass or allocate): fall back.
+        // Nothing was counted above (the miss probe is zero-mutation and
+        // the stream invalidate is idempotent), so the real store's own
+        // TLB lookup is the single count this access gets.
+        self.fallback_ops += 1;
+        m.store(va);
+    }
+
+    /// One repetition of a folded pattern through the exact per-op path.
+    #[inline]
+    fn pattern_rep(&mut self, m: &mut Machine, slots: &[Slot], rep: u64) {
+        for s in slots {
+            match s.kind {
+                SlotKind::Load => {
+                    let a = s
+                        .base
+                        .wrapping_add_signed(s.stride.wrapping_mul(rep as i64));
+                    self.load(m, a);
+                }
+                SlotKind::Store => {
+                    let a = s
+                        .base
+                        .wrapping_add_signed(s.stride.wrapping_mul(rep as i64));
+                    self.store(m, a);
+                }
+                SlotKind::Compute => m.replay_advance(s.base, s.base),
+            }
+        }
+    }
+
+    /// A folded pattern: repetitions whose every access is a verified
+    /// TLB-present + L1-resident hit are charged in bulk (one clock
+    /// advance, line-granular cache mutations, deferred counters); the
+    /// first repetition containing a miss runs through the exact per-op
+    /// path, then batching resumes.
+    ///
+    /// Bulk charging is exact because an all-hit repetition performs no
+    /// insertions or evictions anywhere: residency is stable across the
+    /// span, the L1 is direct-mapped (`batch` requires it) so there is
+    /// no recency order to preserve, prefetched-bit clears and dirty
+    /// bits are idempotent, and every deferred counter is
+    /// order-insensitive.
+    fn pattern(&mut self, m: &mut Machine, p: &PatternOp) {
+        let slots = &p.slots;
+        if !self.batch {
+            for rep in 0..p.reps {
+                self.pattern_rep(m, slots, rep);
+            }
+            return;
+        }
+        let mut rep = 0u64;
+        // Hysteresis: a pattern whose every repetition misses (a cold
+        // streaming walk) would pay a wasted verify probe per rep —
+        // after enough consecutive empty spans, stop trying for the
+        // rest of this pattern instance and let the per-op path run.
+        let mut dry = 0u32;
+        while rep < p.reps {
+            // Bulk charging skips the per-load MSHR retire, which is
+            // only exact while the overlapped-miss window is empty.
+            if dry < 8 && m.replay_mshr_idle() {
+                let n = self.clean_reps(m, slots, rep, p.reps - rep);
+                if n > 0 {
+                    self.commit_reps(m, slots, rep, n);
+                    rep += n;
+                    dry = 0;
+                } else {
+                    dry += 1;
+                }
+            }
+            if rep < p.reps {
+                self.pattern_rep(m, slots, rep);
+                rep += 1;
+            }
+        }
+    }
+
+    /// Counts how many whole repetitions starting at `rep` touch only
+    /// TLB-present pages and L1-resident lines. Pure: only the
+    /// replay-side memos are warmed. Probes stay valid across the span
+    /// because hits never insert or evict, so each slot's clean prefix
+    /// can be measured independently (line- and page-granular, not
+    /// per-access) and the span is their minimum.
+    fn clean_reps(&mut self, m: &Machine, slots: &[Slot], rep: u64, max: u64) -> u64 {
+        let gen = m.memory().tlb().generation();
+        let mut n = max;
+        for s in slots {
+            if s.kind == SlotKind::Compute {
+                continue;
+            }
+            let mut k = 0u64;
+            'slot: while k < n {
+                let a = s
+                    .base
+                    .wrapping_add_signed(s.stride.wrapping_mul((rep + k) as i64));
+                let vpage = a >> PAGE_SHIFT;
+                let ts = (vpage as usize) & (TLB_SLOTS - 1);
+                if self.tlbm[ts] != (vpage, gen) && !m.memory().tlb().peek(vpage) {
+                    n = k;
+                    break 'slot;
+                }
+                let page_end = k + run_len(a, s.stride, PAGE_SIZE, n - k);
+                while k < page_end {
+                    let a = s
+                        .base
+                        .wrapping_add_signed(s.stride.wrapping_mul((rep + k) as i64));
+                    let p = self.translate(m, a, vpage);
+                    if !m.memory().l1().probe(VAddr::new(a), p) {
+                        n = k;
+                        break 'slot;
+                    }
+                    k += run_len(a, s.stride, self.l1_line, page_end - k);
+                }
+            }
+            if n == 0 {
+                return 0;
+            }
+        }
+        n
+    }
+
+    /// Charges `n` verified all-hit repetitions starting at `rep`.
+    /// Slot-major on purpose: within an all-hit span nothing inserts or
+    /// evicts, so the only order-sensitive state is the L1 recency
+    /// stamp — reproduced exactly by computing each line's last-access
+    /// tick analytically (access `k` of memory-slot ordinal `q` gets
+    /// tick `tick0 + k*S + q + 1` under rep-major order) and committing
+    /// it through [`Cache::demand_hit_stamped`]'s monotone-max stamp.
+    /// Everything else (prefetched-bit clears, dirty bits, stream
+    /// invalidation, NRU referenced bits) is idempotent, and all
+    /// counters are deferred order-insensitively into `pend`.
+    fn commit_reps(&mut self, m: &mut Machine, slots: &[Slot], rep: u64, n: u64) {
+        let mem_slots = slots.iter().filter(|s| s.kind != SlotKind::Compute).count() as u64;
+        let tick0 = m.memory().l1().tick();
+        let gen = m.memory().tlb().generation();
+        let mut cycles = 0u64;
+        let mut instr = 0u64;
+        let mut q = 0u64;
+        for s in slots {
+            if s.kind == SlotKind::Compute {
+                cycles += s.base * n;
+                instr += s.base * n;
+                continue;
+            }
+            let is_load = s.kind == SlotKind::Load;
+            let kind = if is_load {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            cycles += self.t_l1_hit * n;
+            instr += n;
+            self.fast_ops += n;
+            if is_load {
+                self.pend.load_hits += n;
+            } else {
+                self.pend.store_hits += n;
+            }
+            let mut k = 0u64;
+            while k < n {
+                let a = s
+                    .base
+                    .wrapping_add_signed(s.stride.wrapping_mul((rep + k) as i64));
+                let vpage = a >> PAGE_SHIFT;
+                let page_run = run_len(a, s.stride, PAGE_SIZE, n - k);
+                let ts = (vpage as usize) & (TLB_SLOTS - 1);
+                if self.tlbm[ts] == (vpage, gen) {
+                    self.pend.tlb_memo_hits += page_run;
+                } else {
+                    // First touch of a memo-cold page: one architectural
+                    // lookup (counts itself), exactly as per-op would;
+                    // the run's remaining accesses are memo hits.
+                    let hit = m.ms_mut().tlb_mut().lookup(vpage);
+                    debug_assert!(hit, "clean_reps verified presence");
+                    self.tlbm[ts] = (vpage, gen);
+                    self.pend.tlb_memo_hits += page_run - 1;
+                }
+                let page_end = k + page_run;
+                while k < page_end {
+                    let a = s
+                        .base
+                        .wrapping_add_signed(s.stride.wrapping_mul((rep + k) as i64));
+                    let line_run = run_len(a, s.stride, self.l1_line, page_end - k);
+                    let stamp = tick0 + (k + line_run - 1) * mem_slots + q + 1;
+                    let p = self.translate(m, a, vpage);
+                    if !is_load {
+                        m.ms_mut().streams_invalidate(p);
+                    }
+                    let pf = m
+                        .ms_mut()
+                        .l1_mut()
+                        .demand_hit_stamped(VAddr::new(a), p, kind, stamp)
+                        .expect("clean_reps verified a resident line");
+                    self.pend.prefetch_useful += u64::from(pf);
+                    k += line_run;
+                }
+            }
+            q += 1;
+        }
+        m.ms_mut().l1_mut().advance_tick(mem_slots * n);
+        m.replay_advance(cycles, instr);
+    }
+
+    fn flush_pending(&mut self, m: &mut Machine) {
+        m.ms_mut().apply_replay_pending(&self.pend);
+        self.pend = ReplayPending::default();
+    }
+
+    fn grant(&mut self, at: usize, ordinal: u32) -> Result<&mut RemapGrant, ReplayError> {
+        self.grants
+            .get_mut(ordinal as usize)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| ReplayError::Diverged {
+                at,
+                what: format!("grant ordinal {ordinal} unavailable"),
+            })
+    }
+
+    fn check_out<T>(
+        at: usize,
+        what: &str,
+        got: &Result<T, impulse_os::OsError>,
+        want: Option<(u64, u64)>,
+        range_of: impl Fn(&T) -> (u64, u64),
+    ) -> Result<(), ReplayError> {
+        let got_r = got.as_ref().ok().map(range_of);
+        if got_r != want {
+            return Err(ReplayError::Diverged {
+                at,
+                what: format!("{what}: recorded {want:?}, replay produced {got_r:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Replays a capture into `m` (a freshly built machine under `cfg`).
+/// On success the machine's statistics, clocks, and hierarchy state are
+/// byte-identical to the recorded execution having run directly —
+/// `Machine::report` then yields the same report.
+///
+/// When `cfg`'s fingerprint matches the capture's and the stream allows
+/// it, evaluation fast-forwards from the embedded post-`reset_stats`
+/// snapshot instead of re-running warm-up.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the configuration is unreplayable (fault
+/// schedules), a snapshot is corrupt, or re-executed kernel decisions
+/// diverge from the recorded outcomes (e.g. replaying under a
+/// configuration with different allocation behavior) — callers should
+/// fall back to direct execution.
+pub fn replay_into(
+    m: &mut Machine,
+    cfg: &SystemConfig,
+    cap: &ReplayCapture,
+) -> Result<ReplayOutcome, ReplayError> {
+    if !replayable(cfg) {
+        return Err(ReplayError::Unreplayable(
+            "configuration carries fault schedules".into(),
+        ));
+    }
+    let mut r = Replayer::new(m, cfg);
+    let mut start = 0usize;
+    let mut fast_forwarded = false;
+
+    // Fast-forward: resume from the last embedded epoch snapshot when
+    // the configuration is the recording one and no later op reaches
+    // back to pre-snapshot grants or processes.
+    if cap.fingerprint == Machine::config_fingerprint(cfg) {
+        if let Some((idx, snap)) = fast_forward_point(cap) {
+            match Machine::restore(cfg, snap) {
+                Ok(restored) => {
+                    *m = restored;
+                    // Ordinals created before the snapshot stay
+                    // unavailable; later ops were checked not to use
+                    // them.
+                    let before = grants_created(&cap.ops[..=idx]);
+                    r.grants = vec![None; before];
+                    r.pids = vec![m.kernel().current()];
+                    start = idx + 1;
+                    fast_forwarded = true;
+                }
+                Err(e) => {
+                    return Err(ReplayError::Unreplayable(format!(
+                        "embedded snapshot unusable: {e}"
+                    )))
+                }
+            }
+        }
+    }
+
+    for (i, op) in cap.ops[start..].iter().enumerate() {
+        let at = start + i;
+        match op {
+            Op::Load(v) => r.load(m, *v),
+            Op::Store(v) => r.store(m, *v),
+            Op::Compute(n) => m.replay_advance(*n, *n),
+            Op::Pattern(p) => r.pattern(m, p),
+            Op::Sys(sys) => match &**sys {
+                SysOp::ProgramStream { v, stride } => m.program_stream(VAddr::new(*v), *stride),
+                SysOp::Alloc { bytes, align, out } => {
+                    r.clear_memos();
+                    let res = m.alloc_region(*bytes, *align);
+                    Replayer::check_out(at, "alloc", &res, *out, |g| (g.start().raw(), g.len()))?;
+                }
+                SysOp::AllocColored {
+                    bytes,
+                    align,
+                    colors,
+                    out,
+                } => {
+                    r.clear_memos();
+                    let res = m.alloc_region_colored(*bytes, *align, colors);
+                    Replayer::check_out(at, "alloc_colored", &res, *out, |g| {
+                        (g.start().raw(), g.len())
+                    })?;
+                }
+                SysOp::FlushRegion { start, len } => {
+                    m.flush_region(VRange::new(VAddr::new(*start), *len));
+                }
+                SysOp::PurgeRegion { start, len } => {
+                    m.purge_region(VRange::new(VAddr::new(*start), *len));
+                }
+                SysOp::RemapGather {
+                    target,
+                    elem_size,
+                    pool,
+                    index_region,
+                    index_bytes,
+                    out,
+                } => {
+                    r.clear_memos();
+                    let indices = cap
+                        .pools
+                        .get(*pool as usize)
+                        .ok_or(ReplayError::Decode(TraceError::Truncated))?
+                        .clone();
+                    let res = m.sys_remap_gather(
+                        VRange::new(VAddr::new(target.0), target.1),
+                        *elem_size,
+                        indices,
+                        VRange::new(VAddr::new(index_region.0), index_region.1),
+                        *index_bytes,
+                    );
+                    Replayer::check_out(at, "remap_gather", &res, *out, |g| {
+                        (g.alias.start().raw(), g.alias.len())
+                    })?;
+                    if let Ok(g) = res {
+                        r.grants.push(Some(g));
+                    }
+                }
+                SysOp::RemapGatherInterleaved {
+                    target,
+                    elem_size,
+                    pool,
+                    index_region,
+                    index_bytes,
+                    partner,
+                    out,
+                } => {
+                    r.clear_memos();
+                    let indices = cap
+                        .pools
+                        .get(*pool as usize)
+                        .ok_or(ReplayError::Decode(TraceError::Truncated))?
+                        .clone();
+                    let res = m.sys_remap_gather_interleaved(
+                        VRange::new(VAddr::new(target.0), target.1),
+                        *elem_size,
+                        indices,
+                        VRange::new(VAddr::new(index_region.0), index_region.1),
+                        *index_bytes,
+                        VAddr::new(*partner),
+                    );
+                    Replayer::check_out(at, "remap_gather_interleaved", &res, *out, |g| {
+                        (g.alias.start().raw(), g.alias.len())
+                    })?;
+                    if let Ok(g) = res {
+                        r.grants.push(Some(g));
+                    }
+                }
+                SysOp::RemapStrided {
+                    base,
+                    object_size,
+                    stride,
+                    count,
+                    alias_align,
+                    out,
+                } => {
+                    r.clear_memos();
+                    let res = m.sys_remap_strided(
+                        VAddr::new(*base),
+                        *object_size,
+                        *stride,
+                        *count,
+                        *alias_align,
+                    );
+                    Replayer::check_out(at, "remap_strided", &res, *out, |g| {
+                        (g.alias.start().raw(), g.alias.len())
+                    })?;
+                    if let Ok(g) = res {
+                        r.grants.push(Some(g));
+                    }
+                }
+                SysOp::RetargetStrided {
+                    grant,
+                    new_base,
+                    object_size,
+                    stride,
+                    count,
+                    ok,
+                } => {
+                    r.clear_memos();
+                    let g = r.grant(at, *grant)?;
+                    // Work on a clone so the borrow on `r` ends before the
+                    // machine call; write the updated grant back after.
+                    let mut g2 = g.clone();
+                    let res = m.sys_retarget_strided(
+                        &mut g2,
+                        VAddr::new(*new_base),
+                        *object_size,
+                        *stride,
+                        *count,
+                    );
+                    r.grants[*grant as usize] = Some(g2);
+                    if res.is_ok() != *ok {
+                        return Err(ReplayError::Diverged {
+                            at,
+                            what: "retarget_strided outcome".into(),
+                        });
+                    }
+                }
+                SysOp::Recolor {
+                    target,
+                    colors,
+                    out,
+                } => {
+                    r.clear_memos();
+                    let res = m.sys_recolor(VRange::new(VAddr::new(target.0), target.1), colors);
+                    Replayer::check_out(at, "recolor", &res, *out, |g| {
+                        (g.alias.start().raw(), g.alias.len())
+                    })?;
+                    if let Ok(g) = res {
+                        r.grants.push(Some(g));
+                    }
+                }
+                SysOp::Superpage { target, out } => {
+                    r.clear_memos();
+                    let res = m.sys_superpage(VRange::new(VAddr::new(target.0), target.1));
+                    Replayer::check_out(at, "superpage", &res, *out, |g| {
+                        (g.alias.start().raw(), g.alias.len())
+                    })?;
+                    if let Ok(g) = res {
+                        r.grants.push(Some(g));
+                    }
+                }
+                SysOp::Spawn { pid } => {
+                    r.clear_memos();
+                    let p = m.sys_spawn();
+                    if p.raw() != *pid {
+                        return Err(ReplayError::Diverged {
+                            at,
+                            what: format!("spawn returned pid {}, recorded {pid}", p.raw()),
+                        });
+                    }
+                    r.pids.push(p);
+                }
+                SysOp::Switch { pid, ok } => {
+                    r.clear_memos();
+                    let target =
+                        *r.pids
+                            .get(*pid as usize)
+                            .ok_or_else(|| ReplayError::Diverged {
+                                at,
+                                what: format!("pid ordinal {pid} unavailable"),
+                            })?;
+                    let res = m.sys_switch(target);
+                    if res.is_ok() != *ok {
+                        return Err(ReplayError::Diverged {
+                            at,
+                            what: "switch outcome".into(),
+                        });
+                    }
+                }
+                SysOp::Share { grant, with, out } => {
+                    r.clear_memos();
+                    let with =
+                        *r.pids
+                            .get(*with as usize)
+                            .ok_or_else(|| ReplayError::Diverged {
+                                at,
+                                what: format!("pid ordinal {with} unavailable"),
+                            })?;
+                    let g = r.grant(at, *grant)?.clone();
+                    let res = m.sys_share(&g, with);
+                    Replayer::check_out(at, "share", &res, *out, |a| (a.start().raw(), a.len()))?;
+                }
+                SysOp::Release { grant, ok } => {
+                    r.clear_memos();
+                    let g = r.grant(at, *grant)?.clone();
+                    let res = m.sys_release(&g);
+                    if res.is_ok() != *ok {
+                        return Err(ReplayError::Diverged {
+                            at,
+                            what: "release outcome".into(),
+                        });
+                    }
+                }
+                SysOp::ResetStats { .. } => {
+                    r.flush_pending(m);
+                    m.reset_stats();
+                    r.clear_memos();
+                }
+                SysOp::EnableAutoPromotion { threshold } => {
+                    m.enable_auto_promotion(*threshold);
+                    r.promote = true;
+                }
+            },
+        }
+    }
+    r.flush_pending(m);
+    Ok(ReplayOutcome {
+        fast_ops: r.fast_ops,
+        fallback_ops: r.fallback_ops,
+        fast_forwarded,
+    })
+}
+
+/// Successful grant-creating ops in a prefix (the ordinal watermark).
+fn grants_created(ops: &[Op]) -> usize {
+    ops.iter()
+        .filter(|op| {
+            let Op::Sys(sys) = op else { return false };
+            matches!(
+                &**sys,
+                SysOp::RemapGather { out: Some(_), .. }
+                    | SysOp::RemapGatherInterleaved { out: Some(_), .. }
+                    | SysOp::RemapStrided { out: Some(_), .. }
+                    | SysOp::Recolor { out: Some(_), .. }
+                    | SysOp::Superpage { out: Some(_), .. }
+            )
+        })
+        .count()
+}
+
+/// Finds the last `ResetStats` with an embedded snapshot such that no
+/// later op references a grant or process created before it — the
+/// point evaluation may fast-forward to.
+fn fast_forward_point(cap: &ReplayCapture) -> Option<(usize, &Vec<u8>)> {
+    let (idx, snap_ix) = cap.ops.iter().enumerate().rev().find_map(|(i, op)| {
+        if let Op::Sys(sys) = op {
+            if let SysOp::ResetStats { snapshot } = &**sys {
+                return (*snapshot != u32::MAX).then_some((i, *snapshot as usize));
+            }
+        }
+        None
+    })?;
+    let snap = cap.snapshots.get(snap_ix)?;
+    let grants_before = grants_created(&cap.ops[..=idx]) as u32;
+    for op in &cap.ops[idx + 1..] {
+        let Op::Sys(sys) = op else { continue };
+        let blocked = match &**sys {
+            SysOp::RetargetStrided { grant, .. }
+            | SysOp::Share { grant, .. }
+            | SysOp::Release { grant, .. } => *grant < grants_before,
+            // Any pid-referencing op after the snapshot blocks the
+            // fast-forward: pid values cannot be reconstructed.
+            SysOp::Switch { .. } | SysOp::Spawn { .. } => true,
+            _ => false,
+        };
+        if blocked {
+            return None;
+        }
+        // `Share` also references a pid.
+        if matches!(&**sys, SysOp::Share { .. }) {
+            return None;
+        }
+    }
+    Some((idx, snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SystemConfig {
+        SystemConfig::paint_small()
+    }
+
+    /// Runs a little workload that exercises loads, stores, computes,
+    /// patterns, a gather remap, flushes and a stats reset.
+    fn drive(m: &mut Machine) {
+        let x = m.alloc_region(64 * 1024, 8).unwrap();
+        let colv = m.alloc_region(512 * 4, 4).unwrap();
+        let indices = Arc::new((0..512u64).map(|i| (i * 13) % 4096).collect::<Vec<_>>());
+        let g = m
+            .sys_remap_gather(x, 8, indices, colv, 4)
+            .expect("gather remap");
+        m.reset_stats();
+        // A periodic inner loop the folder should compress.
+        for i in 0..256u64 {
+            m.load(x.start().add(i * 8));
+            m.load(g.alias.start().add(i * 8));
+            m.compute(2);
+        }
+        // Some irregular traffic.
+        for i in 0..64u64 {
+            m.store(x.start().add((i * 1031) % 32768));
+        }
+        m.flush_region(x);
+        for i in 0..64u64 {
+            m.load(x.start().add(i * 8));
+        }
+        m.sys_release(&g).expect("release");
+    }
+
+    fn capture_of(cfg: &SystemConfig) -> ReplayCapture {
+        let mut m = Machine::new(cfg);
+        m.start_recording(cfg);
+        drive(&mut m);
+        m.take_recording()
+            .expect("recording active")
+            .expect("clean")
+    }
+
+    #[test]
+    fn replay_reproduces_execution_bit_exactly() {
+        let cfg = small();
+        let mut direct = Machine::new(&cfg);
+        drive(&mut direct);
+        let cap = capture_of(&cfg);
+        assert!(cap.raw_ops > 800, "raw ops: {}", cap.raw_ops);
+        // Folding must compress the periodic section substantially.
+        assert!(
+            (cap.ops.len() as u64) < cap.raw_ops / 4,
+            "{} folded ops for {} raw",
+            cap.ops.len(),
+            cap.raw_ops
+        );
+        let mut replayed = Machine::new(&cfg);
+        let out = replay_into(&mut replayed, &cfg, &cap).expect("replay");
+        assert!(out.fast_ops > 0);
+        // Full state equality, to the snapshot byte.
+        assert_eq!(
+            replayed.snapshot(&cfg),
+            direct.snapshot(&cfg),
+            "replayed machine state diverged from direct execution"
+        );
+        let a = direct.report("x");
+        let b = replayed.report("x");
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn recording_also_reproduces_bit_exactly() {
+        // The recorder hooks must never perturb simulated time.
+        let cfg = small();
+        let mut direct = Machine::new(&cfg);
+        drive(&mut direct);
+        let mut recorded = Machine::new(&cfg);
+        recorded.start_recording(&cfg);
+        drive(&mut recorded);
+        let _ = recorded.take_recording();
+        assert_eq!(recorded.snapshot(&cfg), direct.snapshot(&cfg));
+    }
+
+    #[test]
+    fn capture_codec_round_trips() {
+        let cfg = small();
+        let cap = capture_of(&cfg);
+        let bytes = cap.encode();
+        let back = ReplayCapture::decode(&bytes).expect("decode");
+        assert_eq!(back.fingerprint, cap.fingerprint);
+        assert_eq!(back.raw_ops, cap.raw_ops);
+        assert_eq!(back.ops, cap.ops);
+        assert_eq!(back.snapshots, cap.snapshots);
+        assert_eq!(back.pools.len(), cap.pools.len());
+        for (a, b) in back.pools.iter().zip(&cap.pools) {
+            assert_eq!(a, b);
+        }
+        // Re-encode is a fixed point.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_corruption_and_truncation() {
+        let cfg = small();
+        let bytes = capture_of(&cfg).encode();
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(matches!(
+            ReplayCapture::decode(&corrupt),
+            Err(TraceError::BadDigest { .. })
+        ));
+        assert!(ReplayCapture::decode(&bytes[..bytes.len() - 3]).is_err());
+        assert!(ReplayCapture::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn fast_forward_resumes_from_embedded_snapshot() {
+        let cfg = small();
+        let cap = capture_of(&cfg);
+        assert_eq!(cap.snapshots.len(), 1);
+        let mut direct = Machine::new(&cfg);
+        drive(&mut direct);
+        let mut replayed = Machine::new(&cfg);
+        let out = replay_into(&mut replayed, &cfg, &cap).expect("replay");
+        // The demo workload releases a pre-reset grant after the reset,
+        // so fast-forward must be declined — and the result still match.
+        assert!(!out.fast_forwarded);
+        assert_eq!(replayed.snapshot(&cfg), direct.snapshot(&cfg));
+
+        // A stream with no post-reset references does fast-forward.
+        let mut m = Machine::new(&cfg);
+        m.start_recording(&cfg);
+        let x = m.alloc_region(1 << 16, 8).unwrap();
+        for i in 0..512u64 {
+            m.load(x.start().add(i * 8));
+        }
+        m.reset_stats();
+        for i in 0..512u64 {
+            m.load(x.start().add(i * 8));
+        }
+        let cap2 = m.take_recording().unwrap().unwrap();
+        let mut direct2 = Machine::new(&cfg);
+        let x2 = direct2.alloc_region(1 << 16, 8).unwrap();
+        for i in 0..512u64 {
+            direct2.load(x2.start().add(i * 8));
+        }
+        direct2.reset_stats();
+        for i in 0..512u64 {
+            direct2.load(x2.start().add(i * 8));
+        }
+        let mut replayed2 = Machine::new(&cfg);
+        let out2 = replay_into(&mut replayed2, &cfg, &cap2).expect("replay");
+        assert!(out2.fast_forwarded, "eligible stream should fast-forward");
+        assert_eq!(replayed2.snapshot(&cfg), direct2.snapshot(&cfg));
+    }
+
+    #[test]
+    fn folding_compresses_affine_runs() {
+        let win: Vec<(u8, u64)> = (0..96)
+            .flat_map(|k| {
+                [
+                    (RAW_LOAD, 0x1000 + k * 8),
+                    (RAW_LOAD, 0x9000 + k * 1536),
+                    (RAW_COMPUTE, 2),
+                ]
+            })
+            .collect();
+        let mut ops = Vec::new();
+        fold_into(&win, &mut ops);
+        assert_eq!(ops.len(), 1, "{ops:?}");
+        match &ops[0] {
+            Op::Pattern(p) => {
+                assert_eq!(p.reps, 96);
+                assert_eq!(p.slots.len(), 3);
+                assert_eq!(p.slots[0].stride, 8);
+                assert_eq!(p.slots[1].stride, 1536);
+                assert_eq!(
+                    p.slots[2],
+                    Slot {
+                        kind: SlotKind::Compute,
+                        base: 2,
+                        stride: 0
+                    }
+                );
+            }
+            other => panic!("expected pattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_leaves_irregular_streams_alone() {
+        let win: Vec<(u8, u64)> = (0..64u64).map(|i| (RAW_LOAD, (i * 1031) % 4096)).collect();
+        let mut ops = Vec::new();
+        fold_into(&win, &mut ops);
+        // Multiplicative scrambles still advance affinely (constant
+        // stride mod 2^64 won't hold across the wrap) — whatever folds
+        // must reconstruct the identical sequence.
+        let mut rebuilt = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Load(v) => rebuilt.push(*v),
+                Op::Pattern(p) => {
+                    for rep in 0..p.reps {
+                        for s in p.slots.iter() {
+                            assert_eq!(s.kind, SlotKind::Load);
+                            rebuilt.push(s.base.wrapping_add_signed(s.stride * rep as i64));
+                        }
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let want: Vec<u64> = win.iter().map(|&(_, v)| v).collect();
+        assert_eq!(rebuilt, want);
+    }
+
+    #[test]
+    fn replay_refuses_faulty_configs() {
+        let cfg = small();
+        let cap = capture_of(&cfg);
+        let mut faults = impulse_fault::FaultConfig::none();
+        faults.dram_flip = impulse_fault::Trigger::Permille(5);
+        let faulty = small().with_faults(faults);
+        assert!(!replayable(&faulty));
+        let mut m = Machine::new(&faulty);
+        assert!(matches!(
+            replay_into(&mut m, &faulty, &cap),
+            Err(ReplayError::Unreplayable(_))
+        ));
+    }
+
+    #[test]
+    fn divergence_is_detected_not_mispriced() {
+        let cfg = small();
+        let mut cap = capture_of(&cfg);
+        // Tamper with a recorded allocation outcome: replay must refuse
+        // rather than silently price a different layout.
+        for op in &mut cap.ops {
+            if let Op::Sys(sys) = op {
+                if let SysOp::Alloc {
+                    out: Some((s, _)), ..
+                } = &mut **sys
+                {
+                    *s ^= 0x1000;
+                    break;
+                }
+            }
+        }
+        let mut m = Machine::new(&cfg);
+        assert!(matches!(
+            replay_into(&mut m, &cfg, &cap),
+            Err(ReplayError::Diverged { .. })
+        ));
+    }
+}
