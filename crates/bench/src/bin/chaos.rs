@@ -3,7 +3,7 @@
 //! writes `results/chaos.json` (schema `impulse-chaos-v1`).
 //!
 //! Usage: `chaos [seed=<N>] [jobs=<N>] [out=<path>]
-//! [journal=<path>] [timeout_ms=<N>] [attempts=<K>] [--resume]`
+//! [journal=<path>] [watchdog_ms=<N>] [max_retries=<K>] [--resume]`
 //!
 //! Cases fan across `jobs=<N>` worker threads; results are gathered in
 //! submission order and every fault is drawn from a seeded per-site
@@ -16,14 +16,13 @@
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Duration;
 
 use impulse_bench::chaos::{chaos_document, chaos_jobs, cross_case_violations, ChaosOutcome};
 use impulse_bench::journal::{self, RunArtifacts};
 use impulse_bench::runner::{self, SuperviseOpts};
 
 const USAGE: &str = "usage: chaos [seed=N] [jobs=N] [out=results/chaos.json] \
-[journal=results/chaos-journal.jsonl] [timeout_ms=N] [attempts=K] [--resume]";
+[journal=results/chaos-journal.jsonl] [watchdog_ms=N] [max_retries=K] [--resume]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,24 +35,19 @@ fn main() -> ExitCode {
     let journal_path = arg("journal=", "results/chaos-journal.jsonl");
     let resume = args.iter().any(|a| a == "--resume");
 
-    let typed = || -> Result<(usize, u64, u64, u64), runner::ArgError> {
+    let typed = || -> Result<(usize, u64, SuperviseOpts), runner::ArgError> {
         Ok((
             runner::jobs_from_args(&args)?,
             runner::u64_from_args(&args, "seed", 1999)?,
-            runner::u64_from_args(&args, "timeout_ms", 0)?,
-            runner::u64_from_args(&args, "attempts", 2)?,
+            runner::supervise_from_args(&args)?,
         ))
     };
-    let (jobs, seed, timeout_ms, attempts) = match typed() {
+    let (jobs, seed, opts) = match typed() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
-    };
-    let opts = SuperviseOpts {
-        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
-        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
     };
 
     let results = match journal::run_resumable(

@@ -1,0 +1,645 @@
+//! Chaos suite for the experiment daemon: every scenario attacks one
+//! link of the request lifecycle and asserts the contract — a client
+//! gets either the correct byte-identical result or a typed error,
+//! never a hang and never a torn artifact.
+//!
+//! Usage: `chaos_serve [seed=N]`
+//!
+//! Scenarios:
+//!
+//! * `cache_dedup_coalesce` — concurrent identical requests coalesce
+//!   onto one execution; later requests hit the journal-backed cache.
+//! * `worker_faults` — panicking, flaky, and hung backends: the
+//!   watchdog abandons hung attempts, retries recover flaky ones, and
+//!   the failure that survives the retry budget is a typed error.
+//! * `frame_chaos` — garbage, truncated, and bit-flipped frames over a
+//!   live socket come back as typed errors (or a clean close).
+//! * `flood_quota` — over-quota and over-capacity floods shed with
+//!   typed rejections carrying Retry-After.
+//! * `deadline` — a request deadline shorter than the execution turns
+//!   into a typed `deadline-exceeded` error, not a wait.
+//! * `kill_mid_publish` — SIGKILL the daemon between journal fsync and
+//!   client notification; the restarted daemon serves the result from
+//!   its journal, byte-identical to a direct execution.
+//! * `torn_journal_restart` — a daemon restarted over a torn/corrupt
+//!   journal tail drops the damage and serves intact records cached.
+//!
+//! In-process scenarios use synthetic backends for speed; the two
+//! restart scenarios drive the real `serve` binary (real catalog, real
+//! SIGKILL) found next to this executable.
+
+#[cfg(unix)]
+mod unix_main {
+    use std::io::Write as _;
+    use std::os::unix::net::UnixStream;
+    use std::path::{Path, PathBuf};
+    use std::process::ExitCode;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    use impulse_bench::runner;
+    use impulse_bench::serve_support::CatalogBackend;
+    use impulse_serve::wire::{read_frame, Frame, Kind};
+    use impulse_serve::{
+        AdmissionConfig, Backend, Class, Client, Response, RetryPolicy, RunRequest, Server,
+        ServerConfig, StoredResult,
+    };
+
+    /// Each scenario gets this long before it is declared hung — the
+    /// suite's own meta-invariant.
+    const SCENARIO_LIMIT: Duration = Duration::from_secs(120);
+
+    /// A catalog of cheap synthetic experiments (`exp-0`..`exp-15`),
+    /// each taking `delay_ms` and counting its executions.
+    struct FakeBackend {
+        delay_ms: u64,
+        executed: AtomicU64,
+    }
+
+    impl FakeBackend {
+        fn new(delay_ms: u64) -> Self {
+            Self {
+                delay_ms,
+                executed: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Backend for FakeBackend {
+        fn names(&self) -> Vec<String> {
+            (0..16).map(|i| format!("exp-{i}")).collect()
+        }
+
+        fn config_digest(&self, experiment: &str, _seed: u64) -> Option<u64> {
+            self.names()
+                .iter()
+                .any(|n| n == experiment)
+                .then(|| impulse_types::ident::digest64(experiment.as_bytes()))
+        }
+
+        fn run(&self, experiment: &str, seed: u64) -> Result<StoredResult, String> {
+            thread::sleep(Duration::from_millis(self.delay_ms));
+            self.executed.fetch_add(1, Ordering::SeqCst);
+            Ok(StoredResult {
+                csv: format!("{experiment},{seed},row"),
+                report: format!("{{\"name\": \"{experiment}\", \"seed\": {seed}}}"),
+            })
+        }
+    }
+
+    struct Ctx {
+        dir: PathBuf,
+        seed: u64,
+    }
+
+    impl Ctx {
+        fn path(&self, name: &str) -> PathBuf {
+            self.dir.join(name)
+        }
+    }
+
+    fn base_config(ctx: &Ctx, tag: &str) -> ServerConfig {
+        let mut cfg = ServerConfig::new(
+            ctx.path(&format!("{tag}.sock")),
+            ctx.path(&format!("{tag}-journal.bin")),
+        );
+        cfg.workers = 4;
+        cfg.watchdog_ms = 10_000;
+        cfg.max_retries = 3;
+        cfg.request_timeout_ms = 30_000;
+        cfg.idle_timeout_ms = 2_000;
+        cfg
+    }
+
+    /// Starts an in-process server and returns a join handle for its
+    /// accept loop; shut it down with a client `shutdown()` call.
+    fn spawn_server(
+        backend: Arc<dyn Backend>,
+        cfg: ServerConfig,
+    ) -> Result<thread::JoinHandle<std::io::Result<()>>, String> {
+        let server = Server::start(backend, cfg).map_err(|e| format!("start: {e}"))?;
+        Ok(thread::spawn(move || server.run()))
+    }
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 200,
+            recv_timeout_ms: 30_000,
+        }
+    }
+
+    fn run_req(experiment: &str, seed: u64, class: Class, deadline_ms: u64) -> RunRequest {
+        RunRequest {
+            experiment: experiment.to_string(),
+            seed,
+            tenant: "chaos".into(),
+            class,
+            deadline_ms,
+        }
+    }
+
+    fn stop_server(
+        socket: &Path,
+        handle: thread::JoinHandle<std::io::Result<()>>,
+    ) -> Result<(), String> {
+        Client::new(socket, quick_policy(), 0)
+            .shutdown()
+            .map_err(|e| format!("shutdown: {e}"))?;
+        match handle.join() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(format!("server accept loop failed: {e}")),
+            Err(_) => Err("server thread panicked".into()),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Scenarios
+    // ---------------------------------------------------------------
+
+    fn cache_dedup_coalesce(ctx: &Ctx) -> Result<(), String> {
+        let backend = Arc::new(FakeBackend::new(150));
+        let counted: Arc<FakeBackend> = Arc::clone(&backend);
+        let cfg = base_config(ctx, "dedup");
+        let socket = cfg.socket.clone();
+        let handle = spawn_server(backend, cfg)?;
+
+        // 8 concurrent identical requests: exactly one execution.
+        let results: Vec<_> = thread::scope(|scope| {
+            (0..8)
+                .map(|i| {
+                    let socket = socket.clone();
+                    let seed = ctx.seed;
+                    scope.spawn(move || {
+                        Client::new(&socket, quick_policy(), 100 + i).run(&run_req(
+                            "exp-1",
+                            seed,
+                            Class::Interactive,
+                            0,
+                        ))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let mut bodies = Vec::new();
+        for r in results {
+            let r = r.map_err(|e| format!("concurrent request failed: {e}"))?;
+            bodies.push((r.csv, r.report));
+        }
+        if !bodies.windows(2).all(|w| w[0] == w[1]) {
+            return Err("concurrent duplicates returned different bytes".into());
+        }
+        let executed = counted.executed.load(Ordering::SeqCst);
+        if executed != 1 {
+            return Err(format!(
+                "expected 1 execution for 8 duplicates, got {executed}"
+            ));
+        }
+
+        // A later identical request is served from the cache.
+        let again = Client::new(&socket, quick_policy(), 9)
+            .run(&run_req("exp-1", ctx.seed, Class::Interactive, 0))
+            .map_err(|e| format!("cache request failed: {e}"))?;
+        if !again.cached {
+            return Err("follow-up request was not served from cache".into());
+        }
+        if (again.csv, again.report) != bodies[0] {
+            return Err("cached result differs from executed result".into());
+        }
+        stop_server(&socket, handle)
+    }
+
+    fn worker_faults(ctx: &Ctx) -> Result<(), String> {
+        let mut cfg = base_config(ctx, "faults");
+        cfg.watchdog_ms = 200; // trip fast on the hang hook
+        cfg.max_retries = 3;
+        let socket = cfg.socket.clone();
+        let handle = spawn_server(Arc::new(CatalogBackend::with_chaos_hooks()), cfg)?;
+
+        // Flaky: fails twice, succeeds on the third server-side attempt.
+        let flaky = Client::new(&socket, quick_policy(), 1)
+            .run(&run_req("__chaos/flaky", ctx.seed, Class::Interactive, 0))
+            .map_err(|e| format!("flaky hook should recover via retries: {e}"))?;
+        if flaky.csv != format!("__chaos/flaky,{},ok", ctx.seed) {
+            return Err(format!("unexpected flaky result: {}", flaky.csv));
+        }
+
+        // Panic: isolated per attempt, surfaces as a typed error.
+        let panic_err = Client::new(&socket, quick_policy(), 2)
+            .run(&run_req("__chaos/panic", ctx.seed, Class::Interactive, 0))
+            .expect_err("panic hook must not produce a result");
+        let text = panic_err.to_string();
+        if !text.contains("worker-failed") && !text.contains("panicked") {
+            return Err(format!("panic surfaced untyped: {text}"));
+        }
+
+        // Hang: the watchdog abandons each attempt; typed error, no hang.
+        let t0 = Instant::now();
+        let hang_err = Client::new(&socket, quick_policy(), 3)
+            .run(&run_req("__chaos/hang", ctx.seed, Class::Interactive, 0))
+            .expect_err("hang hook must not produce a result");
+        if t0.elapsed() > Duration::from_secs(30) {
+            return Err("hung request took too long to fail".into());
+        }
+        let text = hang_err.to_string();
+        if !text.contains("watchdog") {
+            return Err(format!("watchdog kill surfaced untyped: {text}"));
+        }
+        stop_server(&socket, handle)
+    }
+
+    /// Sends raw bytes and reads back one frame (if any) with a bounded
+    /// timeout. `Ok(None)` means the server closed without a response —
+    /// acceptable; a hang is not.
+    fn raw_exchange(socket: &Path, bytes: &[u8]) -> Result<Option<Response>, String> {
+        let mut stream = UnixStream::connect(socket).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("set timeout");
+        stream.write_all(bytes).map_err(|e| format!("send: {e}"))?;
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| format!("shutdown(write): {e}"))?;
+        match read_frame(&mut stream) {
+            Ok(frame) => Response::from_frame(&frame)
+                .map(Some)
+                .map_err(|e| format!("undecodable response: {e}")),
+            Err(impulse_serve::wire::WireError::Closed) => Ok(None),
+            Err(impulse_serve::wire::WireError::Io(kind, detail))
+                if kind == std::io::ErrorKind::WouldBlock
+                    || kind == std::io::ErrorKind::TimedOut =>
+            {
+                Err(format!("server hung on corrupt input ({detail})"))
+            }
+            Err(e) => Err(format!("transport failure reading response: {e}")),
+        }
+    }
+
+    fn expect_typed_error_or_close(what: &str, got: Option<Response>) -> Result<(), String> {
+        match got {
+            None | Some(Response::Error(_)) => Ok(()),
+            Some(other) => Err(format!("{what}: expected typed error/close, got {other:?}")),
+        }
+    }
+
+    fn frame_chaos(ctx: &Ctx) -> Result<(), String> {
+        let cfg = base_config(ctx, "frames");
+        let socket = cfg.socket.clone();
+        let handle = spawn_server(Arc::new(FakeBackend::new(10)), cfg)?;
+
+        // Garbage bytes: bad magic.
+        expect_typed_error_or_close(
+            "garbage",
+            raw_exchange(&socket, b"GARBAGE-GARBAGE-GARBAGE")?,
+        )?;
+
+        // A dropped (truncated) frame: header promises more than we send.
+        let valid = run_req("exp-2", ctx.seed, Class::Interactive, 0)
+            .to_frame()
+            .encode();
+        expect_typed_error_or_close(
+            "truncated",
+            raw_exchange(&socket, &valid[..valid.len() / 2])?,
+        )?;
+
+        // A bit-flipped payload: checksum mismatch.
+        let mut corrupt = valid.clone();
+        let mid = 9 + (corrupt.len() - 17) / 2; // inside the payload
+        corrupt[mid] ^= 0x40;
+        expect_typed_error_or_close("bit-flip", raw_exchange(&socket, &corrupt)?)?;
+
+        // An empty connection (connect, say nothing, close) is fine.
+        drop(UnixStream::connect(&socket).map_err(|e| format!("connect: {e}"))?);
+
+        // A response-kind frame sent as a request: typed bad-request.
+        let confused = Frame::new(Kind::Ok, Vec::new()).encode();
+        expect_typed_error_or_close("direction-confused", raw_exchange(&socket, &confused)?)?;
+
+        // The stream after corruption still serves fresh connections.
+        let ok = Client::new(&socket, quick_policy(), 5)
+            .run(&run_req("exp-2", ctx.seed, Class::Interactive, 0))
+            .map_err(|e| format!("healthy request after chaos failed: {e}"))?;
+        if ok.csv.is_empty() {
+            return Err("healthy request returned an empty row".into());
+        }
+        stop_server(&socket, handle)
+    }
+
+    fn flood_quota(ctx: &Ctx) -> Result<(), String> {
+        let mut cfg = base_config(ctx, "quota");
+        cfg.admission = AdmissionConfig {
+            tenant_burst: 2,
+            tenant_refill_per_sec: 0, // hard cap: no refill, ever
+            ..AdmissionConfig::default()
+        };
+        let socket = cfg.socket.clone();
+        let handle = spawn_server(Arc::new(FakeBackend::new(20)), cfg)?;
+
+        // 6 distinct experiments, one tenant, burst of 2: at most two
+        // admitted, the rest shed with typed quota rejections.
+        let mut results = 0;
+        let mut quota_rejects = 0;
+        for i in 0..6 {
+            let bytes = run_req(&format!("exp-{i}"), ctx.seed, Class::Bulk, 0)
+                .to_frame()
+                .encode();
+            match raw_exchange(&socket, &bytes)? {
+                Some(Response::Result(_)) => results += 1,
+                Some(Response::Reject(rej)) => {
+                    if rej.reason.name() != "quota-exhausted" {
+                        return Err(format!("expected quota reject, got {}", rej.reason.name()));
+                    }
+                    if rej.retry_after_ms == 0 {
+                        return Err("quota reject carried no Retry-After".into());
+                    }
+                    quota_rejects += 1;
+                }
+                other => return Err(format!("unexpected flood response: {other:?}")),
+            }
+        }
+        if results != 2 || quota_rejects != 4 {
+            return Err(format!(
+                "burst=2 flood: expected 2 results + 4 rejects, got {results} + {quota_rejects}"
+            ));
+        }
+        stop_server(&socket, handle)?;
+
+        // Queue-capacity shedding: a zero-capacity interactive queue
+        // rejects fresh work as queue-full.
+        let mut cfg = base_config(ctx, "queuecap");
+        cfg.admission.interactive_queue_cap = 0;
+        let socket = cfg.socket.clone();
+        let handle = spawn_server(Arc::new(FakeBackend::new(10)), cfg)?;
+        let bytes = run_req("exp-3", ctx.seed, Class::Interactive, 0)
+            .to_frame()
+            .encode();
+        match raw_exchange(&socket, &bytes)? {
+            Some(Response::Reject(rej)) if rej.reason.name() == "queue-full" => {}
+            other => return Err(format!("expected queue-full reject, got {other:?}")),
+        }
+        stop_server(&socket, handle)
+    }
+
+    fn deadline(ctx: &Ctx) -> Result<(), String> {
+        let cfg = base_config(ctx, "deadline");
+        let socket = cfg.socket.clone();
+        let handle = spawn_server(Arc::new(FakeBackend::new(2_000)), cfg)?;
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..quick_policy()
+        };
+        let err = Client::new(&socket, policy, 1)
+            .run(&run_req("exp-4", ctx.seed, Class::Interactive, 100))
+            .expect_err("a 100 ms deadline cannot cover a 2 s execution");
+        let text = err.to_string();
+        if !text.contains("deadline") {
+            return Err(format!("deadline miss surfaced untyped: {text}"));
+        }
+        stop_server(&socket, handle)
+    }
+
+    // ---------------------------------------------------------------
+    // Subprocess scenarios: the real `serve` binary, real SIGKILL.
+    // ---------------------------------------------------------------
+
+    fn serve_binary() -> Result<PathBuf, String> {
+        let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let bin = me
+            .parent()
+            .ok_or("current_exe has no parent directory")?
+            .join("serve");
+        if !bin.exists() {
+            return Err(format!(
+                "serve binary not found at {} (build it first)",
+                bin.display()
+            ));
+        }
+        Ok(bin)
+    }
+
+    fn wait_for_socket(socket: &Path, limit: Duration) -> Result<(), String> {
+        let t0 = Instant::now();
+        while t0.elapsed() < limit {
+            if UnixStream::connect(socket).is_ok() {
+                return Ok(());
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        Err(format!("daemon never bound {}", socket.display()))
+    }
+
+    fn kill_mid_publish(ctx: &Ctx) -> Result<(), String> {
+        let bin = serve_binary()?;
+        let socket = ctx.path("kill.sock");
+        let journal = ctx.path("kill-journal.bin");
+        let experiment = "ipc/impulse no-copy gather"; // cheapest catalog entry
+        let spawn = |stall_ms: u64| {
+            std::process::Command::new(&bin)
+                .args([
+                    format!("socket={}", socket.display()),
+                    format!("journal={}", journal.display()),
+                    "workers=2".into(),
+                    format!("publish_stall_ms={stall_ms}"),
+                ])
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn serve: {e}"))
+        };
+
+        // Phase 1: daemon stalls 1.5 s between journal fsync and client
+        // notification; we SIGKILL inside that window.
+        let mut child = spawn(1_500)?;
+        wait_for_socket(&socket, Duration::from_secs(10))?;
+        let (tx, rx) = mpsc::channel();
+        let req_socket = socket.clone();
+        let seed = ctx.seed;
+        thread::spawn(move || {
+            let policy = RetryPolicy {
+                max_attempts: 1,
+                recv_timeout_ms: 60_000,
+                ..RetryPolicy::default()
+            };
+            let out = Client::new(&req_socket, policy, 1).run(&run_req(
+                experiment,
+                seed,
+                Class::Interactive,
+                0,
+            ));
+            let _ = tx.send(out);
+        });
+        // The journal growing past its header-free empty state means the
+        // result is fsync'd and the daemon is inside its stall window.
+        let t0 = Instant::now();
+        loop {
+            let len = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+            if len > 0 {
+                break;
+            }
+            if let Ok(early) = rx.try_recv() {
+                let _ = child.kill();
+                return Err(format!("client finished before publish: {early:?}"));
+            }
+            if t0.elapsed() > Duration::from_secs(60) {
+                let _ = child.kill();
+                return Err("experiment never published".into());
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        child.kill().map_err(|e| format!("SIGKILL: {e}"))?;
+        let _ = child.wait();
+        // The client must observe a typed/transport error promptly — not
+        // a hang — since the daemon died before notifying it.
+        match rx.recv_timeout(Duration::from_secs(90)) {
+            Ok(Ok(res)) => {
+                return Err(format!(
+                    "client got a result from a daemon killed pre-notification: {}",
+                    res.key_hex
+                ))
+            }
+            Ok(Err(_typed)) => {}
+            Err(_) => return Err("client hung after daemon SIGKILL".into()),
+        }
+
+        // Phase 2: restart over the same journal; the record survived
+        // the kill (fsync preceded the stall), so the request is a cache
+        // hit, byte-identical to a direct execution.
+        let mut child = spawn(0)?;
+        wait_for_socket(&socket, Duration::from_secs(10))?;
+        let served = Client::new(&socket, quick_policy(), 2)
+            .run(&run_req(experiment, ctx.seed, Class::Interactive, 0))
+            .map_err(|e| format!("post-restart request failed: {e}"))?;
+        let direct = CatalogBackend::new()
+            .run(experiment, ctx.seed)
+            .map_err(|e| format!("direct run failed: {e}"))?;
+        let shutdown_err = Client::new(&socket, quick_policy(), 3).shutdown().err();
+        let _ = child.wait();
+        if let Some(e) = shutdown_err {
+            return Err(format!("post-restart shutdown failed: {e}"));
+        }
+        if !served.cached {
+            return Err("restarted daemon re-executed a journaled result".into());
+        }
+        if served.csv != direct.csv || served.report != direct.report {
+            return Err("served result is not byte-identical to direct execution".into());
+        }
+        Ok(())
+    }
+
+    fn torn_journal_restart(ctx: &Ctx) -> Result<(), String> {
+        let backend = || Arc::new(FakeBackend::new(10));
+        let mut cfg = base_config(ctx, "torn");
+        let socket = cfg.socket.clone();
+        let journal = cfg.journal.clone();
+        let handle = spawn_server(backend(), cfg.clone())?;
+        let first = Client::new(&socket, quick_policy(), 1)
+            .run(&run_req("exp-7", ctx.seed, Class::Interactive, 0))
+            .map_err(|e| format!("seed request failed: {e}"))?;
+        stop_server(&socket, handle)?;
+
+        // Tear the journal: append half of a duplicated tail plus noise,
+        // simulating a crash mid-append.
+        let bytes = std::fs::read(&journal).map_err(|e| format!("read journal: {e}"))?;
+        let mut torn = bytes.clone();
+        torn.extend_from_slice(&bytes[..bytes.len() / 2]);
+        torn.extend_from_slice(&[0xFF; 7]);
+        std::fs::write(&journal, &torn).map_err(|e| format!("tear journal: {e}"))?;
+
+        cfg.socket = ctx.path("torn2.sock");
+        let socket = cfg.socket.clone();
+        let counted = backend();
+        let survivor: Arc<FakeBackend> = Arc::clone(&counted);
+        let handle = spawn_server(counted, cfg)?;
+        let again = Client::new(&socket, quick_policy(), 2)
+            .run(&run_req("exp-7", ctx.seed, Class::Interactive, 0))
+            .map_err(|e| format!("post-tear request failed: {e}"))?;
+        let executed = survivor.executed.load(Ordering::SeqCst);
+        stop_server(&socket, handle)?;
+        if !again.cached || executed != 0 {
+            return Err(format!(
+                "intact record was not served from cache (cached={}, executed={executed})",
+                again.cached
+            ));
+        }
+        if again.csv != first.csv || again.report != first.report {
+            return Err("recovered result differs from the original".into());
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+
+    pub fn main() -> ExitCode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let seed = match runner::u64_from_args(&args, "seed", 7) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}\nusage: chaos_serve [seed=N]");
+                return ExitCode::from(2);
+            }
+        };
+        let dir = std::env::temp_dir().join(format!("impulse-chaos-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch directory");
+        let ctx = Arc::new(Ctx { dir, seed });
+
+        type Scenario = fn(&Ctx) -> Result<(), String>;
+        let scenarios: Vec<(&str, Scenario)> = vec![
+            ("cache_dedup_coalesce", cache_dedup_coalesce),
+            ("worker_faults", worker_faults),
+            ("frame_chaos", frame_chaos),
+            ("flood_quota", flood_quota),
+            ("deadline", deadline),
+            ("kill_mid_publish", kill_mid_publish),
+            ("torn_journal_restart", torn_journal_restart),
+        ];
+
+        let mut failures = 0;
+        for (name, f) in scenarios {
+            // Each scenario runs under its own deadline: the suite
+            // itself must never hang, whatever the daemon does.
+            let (tx, rx) = mpsc::channel();
+            let ctx2 = Arc::clone(&ctx);
+            let t0 = Instant::now();
+            thread::spawn(move || {
+                let _ = tx.send(f(&ctx2));
+            });
+            let verdict = match rx.recv_timeout(SCENARIO_LIMIT) {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(format!("scenario hung past {} s", SCENARIO_LIMIT.as_secs())),
+            };
+            match verdict {
+                Ok(()) => println!("PASS {name} ({:.2}s)", t0.elapsed().as_secs_f64()),
+                Err(e) => {
+                    failures += 1;
+                    println!("FAIL {name} ({:.2}s): {e}", t0.elapsed().as_secs_f64());
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&ctx.dir);
+        if failures == 0 {
+            println!("all serve chaos scenarios held");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("{failures} scenario(s) failed");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    unix_main::main()
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("chaos_serve requires Unix domain sockets; this platform has none");
+    std::process::ExitCode::from(2)
+}

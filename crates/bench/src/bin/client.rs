@@ -1,0 +1,288 @@
+//! The experiment client: talks `impulse-wire-v1` to a running daemon.
+//!
+//! Usage:
+//!
+//! * `client run <experiment> [socket=...] [seed=N] [tenant=T]
+//!   [class=interactive|bulk] [deadline_ms=N] [attempts=N]` — run (or
+//!   fetch) one experiment and print its CSV row and report.
+//! * `client catalog [socket=...] [seed=N] [jobs=N] [dup=N]
+//!   [csv=<path>] [json=<path>] ...` — run the whole catalog through
+//!   the daemon from `jobs` concurrent connections (`dup` requests per
+//!   experiment, exercising coalescing) and assemble the same
+//!   `results.csv` / `run_all.json` documents the batch runner writes —
+//!   byte-identical for the same seed.
+//! * `client stats|ping|shutdown [socket=...]` — daemon control.
+//!
+//! Retry jitter is deterministic per `jitter_seed`, so a chaos run is
+//! reproducible end to end.
+
+#[cfg(unix)]
+mod unix_main {
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+    use std::process::ExitCode;
+    use std::sync::Mutex;
+
+    use impulse_bench::experiments::{csv_from_outcomes, document_from_outcomes, DEFAULT_SEED};
+    use impulse_bench::journal::RunArtifacts;
+    use impulse_bench::runner::{self, ArgError};
+    use impulse_obs::Json;
+    use impulse_serve::{Class, Client, RetryPolicy, RunRequest};
+
+    const USAGE: &str = "usage: client <run <experiment>|catalog|stats|ping|shutdown> \
+[socket=impulse.sock] [seed=N] [tenant=cli] [class=interactive|bulk] [deadline_ms=N] \
+[attempts=N] [recv_timeout_ms=N] [jitter_seed=N] [jobs=N] [dup=N] [csv=<path>] [json=<path>]";
+
+    struct Opts {
+        socket: PathBuf,
+        seed: u64,
+        tenant: String,
+        class: Class,
+        deadline_ms: u64,
+        policy: RetryPolicy,
+        jitter_seed: u64,
+        jobs: usize,
+        dup: u64,
+        csv: Option<String>,
+        json: Option<String>,
+    }
+
+    fn parse_opts(args: &[String]) -> Result<Opts, String> {
+        let arg = |prefix: &str| -> Option<String> {
+            args.iter()
+                .find_map(|a| a.strip_prefix(prefix).map(String::from))
+        };
+        let typed = || -> Result<(u64, u64, u64, u64, u64, u64), ArgError> {
+            Ok((
+                runner::u64_from_args(args, "seed", DEFAULT_SEED)?,
+                runner::u64_from_args(args, "deadline_ms", 0)?,
+                runner::u64_from_args(args, "attempts", 8)?,
+                runner::u64_from_args(args, "recv_timeout_ms", 120_000)?,
+                runner::u64_from_args(args, "jitter_seed", 1)?,
+                runner::u64_from_args(args, "dup", 1)?,
+            ))
+        };
+        let (seed, deadline_ms, attempts, recv_timeout_ms, jitter_seed, dup) =
+            typed().map_err(|e| e.to_string())?;
+        let class = match arg("class=").as_deref() {
+            None => Class::Interactive,
+            Some(s) => Class::parse(s).ok_or_else(|| format!("unknown class `{s}`"))?,
+        };
+        Ok(Opts {
+            socket: PathBuf::from(arg("socket=").unwrap_or_else(|| "impulse.sock".into())),
+            seed,
+            tenant: arg("tenant=").unwrap_or_else(|| "cli".into()),
+            class,
+            deadline_ms,
+            policy: RetryPolicy {
+                max_attempts: attempts.clamp(1, 1000) as u32,
+                recv_timeout_ms,
+                ..RetryPolicy::default()
+            },
+            jitter_seed,
+            jobs: runner::jobs_from_args(args).map_err(|e| e.to_string())?,
+            dup: dup.max(1),
+            csv: arg("csv="),
+            json: arg("json="),
+        })
+    }
+
+    fn request(opts: &Opts, experiment: &str) -> RunRequest {
+        RunRequest {
+            experiment: experiment.to_string(),
+            seed: opts.seed,
+            tenant: opts.tenant.clone(),
+            class: opts.class,
+            deadline_ms: opts.deadline_ms,
+        }
+    }
+
+    fn cmd_run(opts: &Opts, experiment: &str) -> ExitCode {
+        let mut client = Client::new(&opts.socket, opts.policy, opts.jitter_seed);
+        match client.run(&request(opts, experiment)) {
+            Ok(res) => {
+                eprintln!(
+                    "key={} cached={} deduped={}",
+                    res.key_hex, res.cached, res.deduped
+                );
+                println!("{}", res.csv);
+                println!("{}", res.report);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    /// One catalog row: the experiment name and its artifacts (or the
+    /// typed error text).
+    type Outcome = (String, Result<RunArtifacts, String>);
+
+    /// Fans the whole catalog across `jobs` worker threads, `dup`
+    /// identical requests per experiment; asserts duplicates agree
+    /// byte-for-byte and assembles the batch documents.
+    fn cmd_catalog(opts: &Opts) -> ExitCode {
+        let names: Vec<String> = impulse_bench::experiments::run_all_experiments(opts.seed)
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
+        let mut work: Vec<(usize, String)> = Vec::new();
+        for _ in 0..opts.dup {
+            work.extend(names.iter().cloned().enumerate());
+        }
+        let work = Mutex::new(work);
+        let outcomes: Mutex<Vec<Vec<Outcome>>> = Mutex::new(vec![Vec::new(); names.len()]);
+
+        std::thread::scope(|scope| {
+            for t in 0..opts.jobs.max(1) {
+                let work = &work;
+                let outcomes = &outcomes;
+                let opts_ref = &*opts;
+                scope.spawn(move || {
+                    let mut client = Client::new(
+                        &opts_ref.socket,
+                        opts_ref.policy,
+                        opts_ref.jitter_seed.wrapping_add(t as u64),
+                    );
+                    loop {
+                        let item = work.lock().expect("work lock").pop();
+                        let Some((idx, name)) = item else { break };
+                        let outcome = match client.run(&request(opts_ref, &name)) {
+                            Ok(res) => match Json::parse(&res.report) {
+                                Ok(json) => Ok(RunArtifacts { csv: res.csv, json }),
+                                Err(e) => Err(format!("unparseable report: {e:?}")),
+                            },
+                            Err(e) => Err(e.to_string()),
+                        };
+                        outcomes.lock().expect("outcomes lock")[idx].push((name, outcome));
+                    }
+                });
+            }
+        });
+
+        // Collapse duplicates, asserting byte-identity between them.
+        let mut rows: Vec<Outcome> = Vec::new();
+        let mut failed = 0usize;
+        for (idx, name) in names.iter().enumerate() {
+            let copies = &outcomes.lock().expect("outcomes lock")[idx];
+            let mut best: Option<Outcome> = None;
+            for (n, o) in copies {
+                match (&best, o) {
+                    (Some((_, Ok(prev))), Ok(cur)) if prev != cur => {
+                        eprintln!("error: duplicate responses for `{name}` disagree");
+                        return ExitCode::FAILURE;
+                    }
+                    (None | Some((_, Err(_))), _) => best = Some((n.clone(), o.clone())),
+                    _ => {}
+                }
+            }
+            let row = best.unwrap_or_else(|| (name.clone(), Err("no response".into())));
+            if let Err(e) = &row.1 {
+                failed += 1;
+                eprintln!("failed: {} [{e}]", row.0);
+            }
+            rows.push(row);
+        }
+
+        let csv = csv_from_outcomes(&rows);
+        let doc = document_from_outcomes(opts.seed, &rows);
+        let mut artifacts: Vec<String> = Vec::new();
+        for (path, text) in [(&opts.csv, csv), (&opts.json, format!("{doc:#}\n"))] {
+            if let Some(path) = path {
+                if let Some(dir) = Path::new(path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).expect("create output directory");
+                    }
+                }
+                let mut f = std::fs::File::create(path).expect("create output file");
+                f.write_all(text.as_bytes()).expect("write output file");
+                artifacts.push(path.clone());
+            }
+        }
+        if !artifacts.is_empty() {
+            let refs: Vec<&str> = artifacts.iter().map(String::as_str).collect();
+            impulse_bench::print_artifacts(&refs);
+        }
+        println!(
+            "catalog: {} experiments x{} dup, {failed} failed",
+            names.len(),
+            opts.dup
+        );
+        if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+
+    pub fn main() -> ExitCode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = args.first().cloned().unwrap_or_default();
+        let rest: &[String] = args.get(1..).unwrap_or(&[]);
+        let opts = match parse_opts(rest) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        let client = || Client::new(&opts.socket, opts.policy, opts.jitter_seed);
+        match mode.as_str() {
+            "run" => match rest.iter().find(|a| !a.contains('=')) {
+                Some(experiment) => cmd_run(&opts, experiment),
+                None => {
+                    eprintln!("error: run needs an experiment name\n{USAGE}");
+                    ExitCode::from(2)
+                }
+            },
+            "catalog" => cmd_catalog(&opts),
+            "stats" => match client().stats() {
+                Ok(doc) => {
+                    println!("{doc:#}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            "ping" => match client().ping() {
+                Ok(()) => {
+                    println!("pong");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            "shutdown" => match client().shutdown() {
+                Ok(()) => {
+                    println!("daemon draining");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            other => {
+                eprintln!("error: unknown mode `{other}`\n{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    unix_main::main()
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("client requires Unix domain sockets; this platform has none");
+    std::process::ExitCode::from(2)
+}

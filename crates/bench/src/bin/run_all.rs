@@ -16,8 +16,9 @@
 //! experiment is appended (and fsync'd) to `results/journal.jsonl`
 //! (`journal=<path>`) as it finishes, a panicking experiment is isolated
 //! to a typed `Err` record while the rest of the grid completes, and
-//! `timeout_ms=<N>` arms a per-attempt watchdog with `attempts=<K>`
-//! retries before quarantine. After a crash or `SIGKILL`, rerunning with
+//! `watchdog_ms=<N>` arms a per-attempt watchdog with `max_retries=<K>`
+//! retries before quarantine (the older `timeout_ms=`/`attempts=`
+//! spellings still work). After a crash or `SIGKILL`, rerunning with
 //! `--resume` replays the journal, reruns only what is missing or
 //! failed, and emits byte-identical final CSV/JSON.
 //!
@@ -55,7 +56,7 @@ use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use impulse_bench::experiments::{
     catalog_entries, csv_from_outcomes, document_from_outcomes, report_artifacts,
@@ -70,7 +71,7 @@ use impulse_sim::Report;
 const USAGE: &str = "usage: run_all [mode=execute|replay] [out=results.csv] \
 [json=results/run_all.json] [bench=BENCH_run_all.json] [history=BENCH_history.jsonl] \
 [journal=results/journal.jsonl] [jobs=N] [seed=N] [profile=0|1] \
-[timeout_ms=N] [attempts=K] [--resume]";
+[watchdog_ms=N] [max_retries=K] [--resume]";
 
 /// Per-experiment replay-backend phase walls and telemetry, collected
 /// as jobs run (same lifecycle as the wall-clock timings vector).
@@ -118,16 +119,15 @@ fn main() -> ExitCode {
     let journal_path = arg("journal=", journal_default);
     let resume = args.iter().any(|a| a == "--resume");
 
-    let typed = || -> Result<(usize, u64, u64, u64, u64), runner::ArgError> {
+    let typed = || -> Result<(usize, u64, u64, SuperviseOpts), runner::ArgError> {
         Ok((
             runner::jobs_from_args(&args)?,
             runner::u64_from_args(&args, "seed", DEFAULT_SEED)?,
-            runner::u64_from_args(&args, "timeout_ms", 0)?,
-            runner::u64_from_args(&args, "attempts", 2)?,
             runner::u64_from_args(&args, "profile", 0)?,
+            runner::supervise_from_args(&args)?,
         ))
     };
-    let (jobs, seed, timeout_ms, attempts, profile) = match typed() {
+    let (jobs, seed, profile, opts) = match typed() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -135,10 +135,6 @@ fn main() -> ExitCode {
         }
     };
     let profile = profile != 0;
-    let opts = SuperviseOpts {
-        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
-        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
-    };
 
     // Wrap each job to record its wall time as it runs; resumed
     // (journal-reused) experiments never execute, so they are absent

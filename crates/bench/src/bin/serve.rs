@@ -1,0 +1,128 @@
+//! The experiment daemon entry point: serves the `run_all` catalog over
+//! a Unix socket with admission control, request coalescing, a
+//! journal-backed result cache, and supervised workers.
+//!
+//! Usage: `serve [socket=impulse.sock] [journal=results/serve-journal.bin]
+//! [workers=N] [watchdog_ms=N] [max_retries=K] [request_timeout_ms=N]
+//! [idle_timeout_ms=N] [publish_stall_ms=N] [burst=N] [refill_per_sec=N]
+//! [interactive_queue_cap=N] [bulk_queue_cap=N] [max_bulk_slots=N]
+//! [--chaos-hooks]`
+//!
+//! `--chaos-hooks` adds the synthetic `__chaos/*` fault-injection
+//! experiments to the catalog — for the chaos suite only, never for
+//! real serving. `publish_stall_ms` widens the window between journal
+//! fsync and client notification so kill-mid-publish tests can land
+//! inside it; leave it at 0 otherwise.
+
+#[cfg(unix)]
+mod unix_main {
+    use std::path::PathBuf;
+    use std::process::ExitCode;
+    use std::sync::Arc;
+
+    use impulse_bench::runner::{self, ArgError};
+    use impulse_bench::serve_support::CatalogBackend;
+    use impulse_serve::{AdmissionConfig, Backend, Server, ServerConfig};
+
+    const USAGE: &str = "usage: serve [socket=impulse.sock] \
+[journal=results/serve-journal.bin] [workers=N] [watchdog_ms=N] [max_retries=K] \
+[request_timeout_ms=N] [idle_timeout_ms=N] [publish_stall_ms=N] [burst=N] \
+[refill_per_sec=N] [interactive_queue_cap=N] [bulk_queue_cap=N] [max_bulk_slots=N] \
+[--chaos-hooks]";
+
+    pub fn main() -> ExitCode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let arg = |prefix: &str, default: &str| -> String {
+            args.iter()
+                .find_map(|a| a.strip_prefix(prefix).map(String::from))
+                .unwrap_or_else(|| default.to_string())
+        };
+        let socket = PathBuf::from(arg("socket=", "impulse.sock"));
+        let journal = PathBuf::from(arg("journal=", "results/serve-journal.bin"));
+        let chaos_hooks = args.iter().any(|a| a == "--chaos-hooks");
+
+        let defaults = ServerConfig::new(socket.clone(), journal.clone());
+        let adm_defaults = AdmissionConfig::default();
+        let typed = || -> Result<(ServerConfig, usize), ArgError> {
+            let supervise = runner::supervise_from_args(&args)?;
+            let mut cfg = ServerConfig::new(socket.clone(), journal.clone());
+            cfg.workers = runner::u64_from_args(&args, "workers", defaults.workers as u64)?
+                .clamp(1, 256) as usize;
+            cfg.watchdog_ms = supervise
+                .timeout
+                .map_or(defaults.watchdog_ms, |d| d.as_millis() as u64);
+            cfg.max_retries = supervise.max_attempts;
+            cfg.request_timeout_ms =
+                runner::u64_from_args(&args, "request_timeout_ms", defaults.request_timeout_ms)?;
+            cfg.idle_timeout_ms =
+                runner::u64_from_args(&args, "idle_timeout_ms", defaults.idle_timeout_ms)?;
+            cfg.publish_stall_ms =
+                runner::u64_from_args(&args, "publish_stall_ms", defaults.publish_stall_ms)?;
+            cfg.admission.tenant_burst =
+                runner::u64_from_args(&args, "burst", adm_defaults.tenant_burst)?;
+            cfg.admission.tenant_refill_per_sec =
+                runner::u64_from_args(&args, "refill_per_sec", adm_defaults.tenant_refill_per_sec)?;
+            cfg.admission.interactive_queue_cap = runner::u64_from_args(
+                &args,
+                "interactive_queue_cap",
+                adm_defaults.interactive_queue_cap as u64,
+            )? as usize;
+            cfg.admission.bulk_queue_cap =
+                runner::u64_from_args(&args, "bulk_queue_cap", adm_defaults.bulk_queue_cap as u64)?
+                    as usize;
+            cfg.admission.max_bulk_slots =
+                runner::u64_from_args(&args, "max_bulk_slots", adm_defaults.max_bulk_slots as u64)?
+                    .max(1) as usize;
+            let workers = cfg.workers;
+            Ok((cfg, workers))
+        };
+        let (cfg, workers) = match typed() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+
+        let backend: Arc<dyn Backend> = if chaos_hooks {
+            Arc::new(CatalogBackend::with_chaos_hooks())
+        } else {
+            Arc::new(CatalogBackend::new())
+        };
+        let names = backend.names().len();
+        let server = match Server::start(backend, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not start daemon: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let recovery = server.recovery();
+        eprintln!(
+            "impulse-serve: listening on {} ({names} experiments, {workers} workers, {})",
+            socket.display(),
+            recovery,
+        );
+        match server.run() {
+            Ok(()) => {
+                eprintln!("impulse-serve: drained and stopped");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: accept loop failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    unix_main::main()
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("serve requires Unix domain sockets; this platform has none");
+    std::process::ExitCode::from(2)
+}

@@ -29,7 +29,7 @@
 //!
 //! ```text
 //! trace record [dir=results/trace] [seed=N] [jobs=N] [flight=N] [top=N]
-//!              [timeout_ms=N] [attempts=K] [--resume]
+//!              [watchdog_ms=N] [max_retries=K] [--resume]
 //! trace replay [match=SUBSTR] [seed=N] [save=DIR]
 //! trace dump <capture.trace> [limit=N]
 //! trace diff <a.trace> <b.trace>
@@ -39,7 +39,6 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
 
 use impulse_bench::experiments::{catalog_entries, run_all_experiments_obs, ObsSpec, DEFAULT_SEED};
 use impulse_bench::journal::{self, RunArtifacts};
@@ -47,9 +46,10 @@ use impulse_bench::replay_mode;
 use impulse_bench::runner::{self, SharedJob, SuperviseOpts};
 use impulse_core::flight::{self, Capture};
 use impulse_obs::{Json, SketchConfig};
+use impulse_types::ExperimentKey;
 
 const USAGE: &str = "usage: trace record [dir=results/trace] [seed=N] [jobs=N] [flight=N] \
-[top=N] [timeout_ms=N] [attempts=K] [--resume]\n\
+[top=N] [watchdog_ms=N] [max_retries=K] [--resume]\n\
        trace replay [match=SUBSTR] [seed=N] [save=DIR]\n\
        trace dump <capture.trace> [limit=N]\n\
        trace diff <a.trace> <b.trace>\n\
@@ -99,17 +99,16 @@ fn cmd_record(args: &[String]) -> ExitCode {
     };
     let dir = arg("dir=", "results/trace");
     let resume = args.iter().any(|a| a == "--resume");
-    let typed = || -> Result<(usize, u64, u64, u64, u64, u64), runner::ArgError> {
+    let typed = || -> Result<(usize, u64, u64, u64, SuperviseOpts), runner::ArgError> {
         Ok((
             runner::jobs_from_args(args)?,
             runner::u64_from_args(args, "seed", DEFAULT_SEED)?,
             runner::u64_from_args(args, "flight", 1 << 20)?,
             runner::u64_from_args(args, "top", 32)?,
-            runner::u64_from_args(args, "timeout_ms", 0)?,
-            runner::u64_from_args(args, "attempts", 2)?,
+            runner::supervise_from_args(args)?,
         ))
     };
-    let (jobs, seed, flight_cap, top_k, timeout_ms, attempts) = match typed() {
+    let (jobs, seed, flight_cap, top_k, opts) = match typed() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -120,10 +119,6 @@ fn cmd_record(args: &[String]) -> ExitCode {
         eprintln!("error: flight=0 records nothing; pick a ring capacity\n{USAGE}");
         return ExitCode::from(2);
     }
-    let opts = SuperviseOpts {
-        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
-        max_attempts: attempts.clamp(1, u64::from(u32::MAX)) as u32,
-    };
     let sketch = SketchConfig::default();
     let obs = ObsSpec::recording(flight_cap as usize, sketch, top_k as usize);
     std::fs::create_dir_all(&dir).expect("create trace directory");
@@ -135,7 +130,13 @@ fn cmd_record(args: &[String]) -> ExitCode {
         .into_iter()
         .map(|t| {
             let (id, job) = t.into_job();
-            let file: PathBuf = Path::new(&dir).join(format!("{}.trace", sanitize(&id)));
+            // Capture files carry the experiment identity digest (the
+            // same ExperimentKey discipline the journal and the result
+            // server use), so captures from different seeds can coexist
+            // and artifacts are joinable by key across subsystems.
+            let key = ExperimentKey::from_id(&id, seed);
+            let file: PathBuf =
+                Path::new(&dir).join(format!("{}-{}.trace", sanitize(&id), key.hex()));
             let name = id.clone();
             let wrapped: SharedJob<RunArtifacts> = Arc::new(move || {
                 let out = job();

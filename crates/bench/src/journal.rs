@@ -22,7 +22,7 @@ use std::sync::Mutex;
 
 use impulse_obs::Json;
 use impulse_types::snap::fnv64;
-use impulse_types::FxHashMap;
+use impulse_types::{ExperimentKey, FxHashMap};
 
 use crate::runner::{self, JobError, SharedJob, SuperviseOpts};
 
@@ -52,12 +52,21 @@ pub struct JournalRecord {
 }
 
 impl JournalRecord {
+    /// The stable experiment identity for this record — the same
+    /// `(config, seed)` digest the serve-mode result cache and the
+    /// trace-capture file names use, so one hex key cross-references an
+    /// experiment across all three artifacts.
+    pub fn key(&self) -> ExperimentKey {
+        ExperimentKey::from_id(&self.id, self.seed)
+    }
+
     /// The record body as JSON (without the checksum envelope).
     pub fn to_json(&self) -> Json {
         let mut r = Json::obj();
         r.set("schema", Json::Str(SCHEMA.into()));
         r.set("id", Json::Str(self.id.clone()));
         r.set("seed", Json::UInt(self.seed));
+        r.set("key", Json::Str(self.key().hex()));
         match &self.outcome {
             Ok(a) => {
                 r.set("ok", Json::Bool(true));
@@ -79,6 +88,11 @@ impl JournalRecord {
         }
         let id = v.get("id")?.as_str()?.to_string();
         let seed = v.get("seed")?.as_u64()?;
+        // The key is derived from (id, seed); a mismatch means the line
+        // was stitched together from two different records.
+        if v.get("key")?.as_str()? != ExperimentKey::from_id(&id, seed).hex() {
+            return None;
+        }
         let outcome = match v.get("ok")? {
             Json::Bool(true) => Ok(RunArtifacts {
                 csv: v.get("csv")?.as_str()?.to_string(),
@@ -425,6 +439,31 @@ mod tests {
         let got = load(Path::new("/nonexistent/impulse-journal")).expect("load");
         assert!(got.records.is_empty());
         assert_eq!(got.dropped, 0);
+    }
+
+    #[test]
+    fn key_field_matches_experiment_identity_and_is_verified() {
+        let rec = ok_record("fig1/impulse", 42, "row");
+        let body = rec.to_json();
+        assert_eq!(
+            body.get("key").expect("key").as_str().expect("str"),
+            ExperimentKey::from_id("fig1/impulse", 42).hex()
+        );
+        // A record whose key disagrees with (id, seed) is rejected even
+        // when the rest of the body parses: forge a body carrying some
+        // other experiment's key, wrapped in a fresh (valid) envelope.
+        let mut forged = Json::obj();
+        forged.set("schema", Json::Str(SCHEMA.into()));
+        forged.set("id", Json::Str("fig1/impulse".into()));
+        forged.set("seed", Json::UInt(42));
+        forged.set("key", Json::Str(ExperimentKey::from_id("other", 42).hex()));
+        forged.set("ok", Json::Bool(false));
+        forged.set("error", Json::Str("x".into()));
+        assert_eq!(JournalRecord::from_json(&forged), None);
+        let mut line = Json::obj();
+        line.set("sum", Json::UInt(fnv64(format!("{forged}").as_bytes())));
+        line.set("record", forged);
+        assert_eq!(JournalRecord::from_line(&format!("{line}")), None);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod harness;
 pub mod journal;
 pub mod replay_mode;
 pub mod runner;
+#[cfg(unix)]
+pub mod serve_support;
 
 use impulse_obs::Json;
 use impulse_sim::Report;

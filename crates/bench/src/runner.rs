@@ -44,6 +44,8 @@ pub fn default_jobs() -> usize {
 pub enum ArgError {
     /// `jobs=0` — a pool with no workers cannot make progress.
     ZeroJobs,
+    /// `max_retries=0` — a job that may never attempt cannot finish.
+    ZeroRetries,
     /// The value is not an unsigned integer.
     NotANumber {
         /// The argument key (`jobs`, `seed`, ...).
@@ -57,6 +59,9 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::ZeroJobs => write!(f, "jobs= wants a positive integer, got `0`"),
+            ArgError::ZeroRetries => {
+                write!(f, "max_retries= wants a positive integer, got `0`")
+            }
             ArgError::NotANumber { key, value } => {
                 write!(f, "{key}= wants an unsigned integer, got `{value}`")
             }
@@ -165,6 +170,30 @@ pub fn u64_from_args(args: &[String], key: &'static str, default: u64) -> Result
     }
 }
 
+/// Parses the full supervision policy out of raw command-line
+/// arguments: `watchdog_ms=N` (per-attempt deadline; 0 disables the
+/// watchdog) and `max_retries=K` (attempts before quarantine). The
+/// older spellings `timeout_ms=` and `attempts=` are accepted as
+/// aliases; the new names win when both are given.
+///
+/// # Errors
+///
+/// `max_retries=0` and non-numeric values are rejected with a typed
+/// [`ArgError`] rather than silently falling back to defaults.
+pub fn supervise_from_args(args: &[String]) -> Result<SuperviseOpts, ArgError> {
+    let timeout_alias = u64_from_args(args, "timeout_ms", 0)?;
+    let watchdog_ms = u64_from_args(args, "watchdog_ms", timeout_alias)?;
+    let attempts_alias = u64_from_args(args, "attempts", 2)?;
+    let max_retries = u64_from_args(args, "max_retries", attempts_alias)?;
+    if max_retries == 0 {
+        return Err(ArgError::ZeroRetries);
+    }
+    Ok(SuperviseOpts {
+        timeout: (watchdog_ms > 0).then(|| Duration::from_millis(watchdog_ms)),
+        max_attempts: max_retries.min(u64::from(u32::MAX)) as u32,
+    })
+}
+
 /// Like [`run_ordered`], but wraps each result with the wall-clock time
 /// its job took (for `BENCH_*.json` trajectories).
 pub fn run_ordered_timed<T, F>(jobs: Vec<F>, workers: usize) -> Vec<(T, Duration)>
@@ -234,7 +263,7 @@ impl fmt::Display for JobError {
 impl std::error::Error for JobError {}
 
 /// Watchdog policy for [`run_supervised`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SuperviseOpts {
     /// Per-attempt deadline. `None` disables the watchdog thread; each
     /// attempt runs on the worker itself (panics are still isolated).
@@ -546,6 +575,45 @@ mod tests {
         });
         assert_eq!(out.len(), 8);
         assert!(seen.lock().expect("lock").iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn supervise_args_are_typed_with_aliases() {
+        let opts = supervise_from_args(&[]).expect("defaults");
+        assert_eq!(opts.timeout, None);
+        assert_eq!(opts.max_attempts, 2);
+
+        let opts = supervise_from_args(&["watchdog_ms=250".into(), "max_retries=5".into()])
+            .expect("new names");
+        assert_eq!(opts.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(opts.max_attempts, 5);
+
+        // Old spellings still work...
+        let opts =
+            supervise_from_args(&["timeout_ms=100".into(), "attempts=3".into()]).expect("aliases");
+        assert_eq!(opts.timeout, Some(Duration::from_millis(100)));
+        assert_eq!(opts.max_attempts, 3);
+
+        // ...and the new names win when both are given.
+        let opts = supervise_from_args(&[
+            "timeout_ms=100".into(),
+            "watchdog_ms=400".into(),
+            "attempts=3".into(),
+            "max_retries=7".into(),
+        ])
+        .expect("both");
+        assert_eq!(opts.timeout, Some(Duration::from_millis(400)));
+        assert_eq!(opts.max_attempts, 7);
+
+        assert_eq!(
+            supervise_from_args(&["max_retries=0".into()]),
+            Err(ArgError::ZeroRetries)
+        );
+        assert!(supervise_from_args(&["watchdog_ms=soon".into()]).is_err());
+        assert_eq!(
+            ArgError::ZeroRetries.to_string(),
+            "max_retries= wants a positive integer, got `0`"
+        );
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Fast in-process integration tests for the experiment daemon: the
+//! request lifecycle (coalescing, caching, typed errors, restart
+//! recovery) against a synthetic backend, cheap enough for tier-1.
+//!
+//! The full suite — SIGKILL mid-publish, frame corruption floods, the
+//! real catalog backend — lives in the `chaos_serve` binary.
+#![cfg(unix)]
+
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use impulse_serve::{
+    Backend, Class, Client, ClientError, Response, RetryPolicy, RunRequest, Server, ServerConfig,
+    ServerError, ServerErrorKind, StoredResult,
+};
+
+struct TinyBackend {
+    executed: AtomicU64,
+}
+
+impl TinyBackend {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            executed: AtomicU64::new(0),
+        })
+    }
+}
+
+impl Backend for TinyBackend {
+    fn names(&self) -> Vec<String> {
+        vec!["tiny/a".into(), "tiny/b".into()]
+    }
+
+    fn config_digest(&self, experiment: &str, _seed: u64) -> Option<u64> {
+        self.names()
+            .iter()
+            .any(|n| n == experiment)
+            .then(|| impulse_types::ident::digest64(experiment.as_bytes()))
+    }
+
+    fn run(&self, experiment: &str, seed: u64) -> Result<StoredResult, String> {
+        thread::sleep(Duration::from_millis(50));
+        self.executed.fetch_add(1, Ordering::SeqCst);
+        Ok(StoredResult {
+            csv: format!("{experiment},{seed}"),
+            report: format!("{{\"name\": \"{experiment}\"}}"),
+        })
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("impulse-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn config(tag: &str) -> ServerConfig {
+    let mut cfg = ServerConfig::new(
+        scratch(&format!("{tag}.sock")),
+        scratch(&format!("{tag}.journal")),
+    );
+    cfg.workers = 2;
+    cfg.watchdog_ms = 5_000;
+    cfg.request_timeout_ms = 10_000;
+    cfg.idle_timeout_ms = 1_000;
+    cfg
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff_ms: 5,
+        max_backoff_ms: 50,
+        recv_timeout_ms: 10_000,
+    }
+}
+
+fn req(experiment: &str, seed: u64) -> RunRequest {
+    RunRequest {
+        experiment: experiment.into(),
+        seed,
+        tenant: "test".into(),
+        class: Class::Interactive,
+        deadline_ms: 0,
+    }
+}
+
+fn start(backend: Arc<dyn Backend>, cfg: ServerConfig) -> thread::JoinHandle<std::io::Result<()>> {
+    let server = Server::start(backend, cfg).expect("server start");
+    thread::spawn(move || server.run())
+}
+
+fn stop(socket: &Path, handle: thread::JoinHandle<std::io::Result<()>>) {
+    Client::new(socket, policy(), 0)
+        .shutdown()
+        .expect("shutdown");
+    handle.join().expect("join").expect("accept loop");
+}
+
+#[test]
+fn lifecycle_coalesce_cache_restart() {
+    let backend = TinyBackend::new();
+    let counted = Arc::clone(&backend);
+    let cfg = config("lifecycle");
+    let (socket, journal) = (cfg.socket.clone(), cfg.journal.clone());
+    let _ = std::fs::remove_file(&journal);
+    let handle = start(backend, cfg.clone());
+
+    // Concurrent duplicates coalesce onto one execution.
+    let bodies: Vec<(String, String)> = thread::scope(|scope| {
+        (0..4)
+            .map(|i| {
+                let socket = socket.clone();
+                scope.spawn(move || {
+                    Client::new(&socket, policy(), i)
+                        .run(&req("tiny/a", 5))
+                        .expect("duplicate request")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                let r = h.join().expect("client thread");
+                (r.csv, r.report)
+            })
+            .collect()
+    });
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(counted.executed.load(Ordering::SeqCst), 1);
+
+    // Follow-up is a cache hit; different seed is a fresh identity.
+    let hit = Client::new(&socket, policy(), 9)
+        .run(&req("tiny/a", 5))
+        .expect("cached");
+    assert!(hit.cached);
+    let other = Client::new(&socket, policy(), 10)
+        .run(&req("tiny/a", 6))
+        .expect("other seed");
+    assert!(!other.cached);
+    assert_eq!(counted.executed.load(Ordering::SeqCst), 2);
+
+    // Unknown experiments and malformed frames are typed, not hangs.
+    let err = Client::new(&socket, policy(), 11)
+        .run(&req("tiny/nope", 5))
+        .expect_err("unknown experiment");
+    assert_eq!(
+        err,
+        ClientError::Server(ServerError::new(
+            ServerErrorKind::UnknownExperiment,
+            "no catalog entry named `tiny/nope`",
+        ))
+    );
+    let mut raw = UnixStream::connect(&socket).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    raw.write_all(b"not a frame at all").expect("send");
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+    match impulse_serve::wire::read_frame(&mut raw) {
+        Ok(frame) => {
+            let resp = Response::from_frame(&frame).expect("decodable");
+            assert!(
+                matches!(resp, Response::Error(ref e) if e.kind == ServerErrorKind::BadRequest),
+                "garbage input must yield a typed bad-request, got {resp:?}"
+            );
+        }
+        Err(impulse_serve::wire::WireError::Closed) => {} // clean close: acceptable
+        Err(e) => panic!("unexpected transport failure: {e}"),
+    }
+    stop(&socket, handle);
+
+    // Restart over the same journal: results survive, nothing re-runs.
+    let backend = TinyBackend::new();
+    let counted = Arc::clone(&backend);
+    let mut cfg2 = cfg;
+    cfg2.socket = scratch("lifecycle2.sock");
+    let socket2 = cfg2.socket.clone();
+    let handle = start(backend, cfg2);
+    let recovered = Client::new(&socket2, policy(), 12)
+        .run(&req("tiny/a", 5))
+        .expect("recovered");
+    assert!(recovered.cached, "restarted server must serve from journal");
+    assert_eq!((recovered.csv, recovered.report), bodies[0].clone());
+    assert_eq!(counted.executed.load(Ordering::SeqCst), 0);
+    stop(&socket2, handle);
+    let _ = std::fs::remove_file(&journal);
+}

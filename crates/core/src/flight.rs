@@ -34,6 +34,7 @@
 //! [`digest`] identifies its event stream across processes and `jobs=N`.
 
 use impulse_types::snap::fnv64;
+use impulse_types::varint;
 use impulse_types::Cycle;
 
 /// The 16-byte magic that opens every `impulse-trace-v1` capture.
@@ -193,18 +194,11 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-/// Appends `v` as an LEB128 varint — the primitive every Impulse binary
-/// codec shares.
-pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
+/// Appends `v` as an LEB128 varint — the shared primitive from
+/// [`impulse_types::varint`], kept here under its historical name for
+/// the trace/replay codecs.
+pub fn put_varint(out: &mut Vec<u8>, v: u64) {
+    varint::put(out, v);
 }
 
 /// Reads an LEB128 varint starting at `*pos`, advancing it past the
@@ -216,31 +210,13 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 /// [`TraceError::OverlongVarint`] if the encoding carries more payload
 /// bits than a `u64` holds (more than ten bytes, or a tenth byte above 1).
 pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
-    let mut v: u64 = 0;
-    let mut shift = 0u32;
-    loop {
-        let &b = bytes.get(*pos).ok_or(TraceError::Truncated)?;
-        *pos += 1;
-        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
-            return Err(TraceError::OverlongVarint);
-        }
-        v |= u64::from(b & 0x7f) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
+    varint::get(bytes, pos).map_err(|e| match e {
+        varint::VarintError::Truncated => TraceError::Truncated,
+        varint::VarintError::Overlong => TraceError::OverlongVarint,
+    })
 }
 
-/// Zigzag-maps a signed delta onto the unsigned varint space.
-pub fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-/// Inverse of [`zigzag`].
-pub fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
+pub use impulse_types::varint::{unzigzag, zigzag};
 
 /// Seals a byte payload by appending its [`fnv64`] digest as an 8-byte
 /// little-endian trailer; [`unseal`] verifies and strips it. Capture

@@ -1,0 +1,344 @@
+//! Admission control: who gets in, who waits, and who is shed.
+//!
+//! Three mechanisms compose, in the order a request meets them:
+//!
+//! 1. **Per-tenant token buckets** — each tenant spends one token per
+//!    request from a bucket that refills at a configured rate. An empty
+//!    bucket is a typed [`RejectReason::QuotaExhausted`] with a
+//!    Retry-After computed from the refill rate, so a well-behaved
+//!    client never has to guess.
+//! 2. **Per-class queue high-watermarks** — interactive and bulk
+//!    requests queue separately; a full queue sheds with
+//!    [`RejectReason::QueueFull`] rather than letting latency grow
+//!    unboundedly.
+//! 3. **A Heracles-style controller** for bulk concurrency — the
+//!    server measures how long interactive requests waited to be
+//!    picked up, and the controller grows the bulk worker allowance
+//!    additively while that wait is comfortably under the limit and
+//!    cuts it multiplicatively the moment the limit is breached.
+//!    Bulk work soaks up idle capacity without ever holding the
+//!    latency-sensitive class hostage.
+//!
+//! The whole module is a pure state machine: time enters only as
+//! `now_ms` arguments, so every policy decision is reproducible in
+//! tests without sleeping.
+
+use std::collections::HashMap;
+
+use crate::proto::{Class, Reject, RejectReason};
+
+/// Tunables for the admission controller.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Token-bucket capacity per tenant (burst allowance), in tokens.
+    pub tenant_burst: u64,
+    /// Token refill rate per tenant, in tokens per second.
+    pub tenant_refill_per_sec: u64,
+    /// Queued-request high-watermark for the interactive class.
+    pub interactive_queue_cap: usize,
+    /// Queued-request high-watermark for the bulk class.
+    pub bulk_queue_cap: usize,
+    /// Floor for the bulk concurrency allowance (never starve bulk
+    /// completely — progress guarantees matter for sweeps).
+    pub min_bulk_slots: usize,
+    /// Ceiling for the bulk concurrency allowance.
+    pub max_bulk_slots: usize,
+    /// Interactive queue-wait limit in milliseconds; the controller
+    /// shrinks bulk slots whenever a measured wait exceeds this.
+    pub interactive_wait_limit_ms: u64,
+    /// Retry-After hint handed out with queue-full rejections.
+    pub queue_full_retry_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            tenant_burst: 32,
+            tenant_refill_per_sec: 16,
+            interactive_queue_cap: 64,
+            bulk_queue_cap: 256,
+            min_bulk_slots: 1,
+            max_bulk_slots: 8,
+            interactive_wait_limit_ms: 500,
+            queue_full_retry_ms: 200,
+        }
+    }
+}
+
+/// One tenant's token bucket, tracked in millitokens so refill keeps
+/// integer precision at low rates.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    millitokens: u64,
+    last_refill_ms: u64,
+}
+
+/// Counters the server exports via its stats document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Rejections with [`RejectReason::QuotaExhausted`].
+    pub rejected_quota: u64,
+    /// Rejections with [`RejectReason::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Rejections with [`RejectReason::ShuttingDown`].
+    pub rejected_shutting_down: u64,
+    /// Times the controller shrank the bulk allowance.
+    pub bulk_shrinks: u64,
+    /// Times the controller grew the bulk allowance.
+    pub bulk_grows: u64,
+}
+
+/// The admission state machine. See the module docs for the policy.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    buckets: HashMap<String, Bucket>,
+    bulk_slots: usize,
+    draining: bool,
+    stats: AdmissionStats,
+}
+
+impl Admission {
+    /// Builds a controller; the bulk allowance starts at its ceiling
+    /// and only shrinks if interactive latency actually suffers.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            bulk_slots: cfg.max_bulk_slots.max(cfg.min_bulk_slots),
+            cfg,
+            buckets: HashMap::new(),
+            draining: false,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Current bulk concurrency allowance.
+    pub fn bulk_slots(&self) -> usize {
+        self.bulk_slots
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Switches to drain mode: every subsequent request is shed with
+    /// [`RejectReason::ShuttingDown`].
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Decides whether to admit one request.
+    ///
+    /// `queue_depth` is the current depth of the *target class's*
+    /// queue; `now_ms` is any monotonic millisecond clock.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Reject`] carrying the reason and a Retry-After hint.
+    pub fn admit(
+        &mut self,
+        class: Class,
+        tenant: &str,
+        queue_depth: usize,
+        now_ms: u64,
+    ) -> Result<(), Reject> {
+        if self.draining {
+            self.stats.rejected_shutting_down += 1;
+            return Err(Reject {
+                reason: RejectReason::ShuttingDown,
+                retry_after_ms: 1000,
+            });
+        }
+        let cap = match class {
+            Class::Interactive => self.cfg.interactive_queue_cap,
+            Class::Bulk => self.cfg.bulk_queue_cap,
+        };
+        if queue_depth >= cap {
+            self.stats.rejected_queue_full += 1;
+            return Err(Reject {
+                reason: RejectReason::QueueFull,
+                retry_after_ms: self.cfg.queue_full_retry_ms,
+            });
+        }
+        if let Err(wait_ms) = self.spend_token(tenant, now_ms) {
+            self.stats.rejected_quota += 1;
+            return Err(Reject {
+                reason: RejectReason::QuotaExhausted,
+                retry_after_ms: wait_ms,
+            });
+        }
+        self.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Refills the tenant's bucket to `now_ms` and spends one token.
+    /// On failure returns the milliseconds until one token exists.
+    fn spend_token(&mut self, tenant: &str, now_ms: u64) -> Result<(), u64> {
+        let burst_milli = self.cfg.tenant_burst.saturating_mul(1000);
+        let refill = self.cfg.tenant_refill_per_sec;
+        let bucket = self.buckets.entry(tenant.to_string()).or_insert(Bucket {
+            millitokens: burst_milli,
+            last_refill_ms: now_ms,
+        });
+        let elapsed = now_ms.saturating_sub(bucket.last_refill_ms);
+        bucket.millitokens = bucket
+            .millitokens
+            .saturating_add(elapsed.saturating_mul(refill))
+            .min(burst_milli);
+        bucket.last_refill_ms = now_ms;
+        if bucket.millitokens >= 1000 {
+            bucket.millitokens -= 1000;
+            Ok(())
+        } else if refill == 0 {
+            // No refill configured: the quota is a hard cap; tell the
+            // client to back off for a full second and try its luck.
+            Err(1000)
+        } else {
+            let deficit = 1000 - bucket.millitokens;
+            Err(deficit.div_ceil(refill).max(1))
+        }
+    }
+
+    /// Feeds one measured interactive queue wait into the Heracles
+    /// loop: breach the limit and the bulk allowance is halved
+    /// (multiplicative decrease); stay under half the limit and it
+    /// creeps up by one (additive increase). Waits in the middle band
+    /// leave the allowance alone, which keeps the loop from
+    /// oscillating.
+    pub fn observe_interactive_wait(&mut self, wait_ms: u64) {
+        if wait_ms > self.cfg.interactive_wait_limit_ms {
+            let shrunk = (self.bulk_slots / 2).max(self.cfg.min_bulk_slots);
+            if shrunk < self.bulk_slots {
+                self.bulk_slots = shrunk;
+                self.stats.bulk_shrinks += 1;
+            }
+        } else if wait_ms <= self.cfg.interactive_wait_limit_ms / 2
+            && self.bulk_slots < self.cfg.max_bulk_slots
+        {
+            self.bulk_slots += 1;
+            self.stats.bulk_grows += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Admission {
+        Admission::new(AdmissionConfig {
+            tenant_burst: 2,
+            tenant_refill_per_sec: 1,
+            interactive_queue_cap: 4,
+            bulk_queue_cap: 8,
+            min_bulk_slots: 1,
+            max_bulk_slots: 4,
+            interactive_wait_limit_ms: 100,
+            queue_full_retry_ms: 50,
+        })
+    }
+
+    #[test]
+    fn burst_then_quota_with_accurate_retry_after() {
+        let mut a = small();
+        assert!(a.admit(Class::Bulk, "t", 0, 0).is_ok());
+        assert!(a.admit(Class::Bulk, "t", 0, 0).is_ok());
+        let rej = a.admit(Class::Bulk, "t", 0, 0).expect_err("bucket empty");
+        assert_eq!(rej.reason, RejectReason::QuotaExhausted);
+        // 1 token/s refill and a 1000-millitoken deficit: 1000 ms.
+        assert_eq!(rej.retry_after_ms, 1000);
+        // Waiting exactly that long makes the next request pass.
+        assert!(a.admit(Class::Bulk, "t", 0, rej.retry_after_ms).is_ok());
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut a = small();
+        for _ in 0..2 {
+            assert!(a.admit(Class::Bulk, "greedy", 0, 0).is_ok());
+        }
+        assert!(a.admit(Class::Bulk, "greedy", 0, 0).is_err());
+        assert!(a.admit(Class::Bulk, "other", 0, 0).is_ok());
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut a = small();
+        for _ in 0..2 {
+            assert!(a.admit(Class::Bulk, "t", 0, 0).is_ok());
+        }
+        // An hour later the tenant has refilled to burst (2), not 3600.
+        let hour = 3_600_000;
+        assert!(a.admit(Class::Bulk, "t", 0, hour).is_ok());
+        assert!(a.admit(Class::Bulk, "t", 0, hour).is_ok());
+        assert!(a.admit(Class::Bulk, "t", 0, hour).is_err());
+    }
+
+    #[test]
+    fn queue_full_sheds_before_spending_quota() {
+        let mut a = small();
+        let rej = a
+            .admit(Class::Interactive, "t", 4, 0)
+            .expect_err("queue at cap");
+        assert_eq!(rej.reason, RejectReason::QueueFull);
+        assert_eq!(rej.retry_after_ms, 50);
+        // The shed request did not consume a token.
+        assert!(a.admit(Class::Interactive, "t", 0, 0).is_ok());
+        assert!(a.admit(Class::Interactive, "t", 0, 0).is_ok());
+    }
+
+    #[test]
+    fn draining_sheds_everything() {
+        let mut a = small();
+        a.drain();
+        let rej = a.admit(Class::Interactive, "t", 0, 0).expect_err("drain");
+        assert_eq!(rej.reason, RejectReason::ShuttingDown);
+    }
+
+    #[test]
+    fn heracles_loop_shrinks_fast_and_grows_slow() {
+        let mut a = small();
+        assert_eq!(a.bulk_slots(), 4);
+        // One breach halves the allowance.
+        a.observe_interactive_wait(150);
+        assert_eq!(a.bulk_slots(), 2);
+        a.observe_interactive_wait(150);
+        assert_eq!(a.bulk_slots(), 1);
+        // The floor holds.
+        a.observe_interactive_wait(150);
+        assert_eq!(a.bulk_slots(), 1);
+        // Recovery is additive, one slot per comfortable observation.
+        a.observe_interactive_wait(10);
+        assert_eq!(a.bulk_slots(), 2);
+        a.observe_interactive_wait(10);
+        a.observe_interactive_wait(10);
+        assert_eq!(a.bulk_slots(), 4);
+        // The ceiling holds.
+        a.observe_interactive_wait(10);
+        assert_eq!(a.bulk_slots(), 4);
+        // Mid-band waits leave the allowance untouched.
+        a.observe_interactive_wait(75);
+        assert_eq!(a.bulk_slots(), 4);
+        let s = a.stats();
+        assert_eq!(s.bulk_shrinks, 2);
+        assert_eq!(s.bulk_grows, 3);
+    }
+
+    #[test]
+    fn stats_count_every_outcome() {
+        let mut a = small();
+        assert!(a.admit(Class::Bulk, "t", 0, 0).is_ok());
+        assert!(a.admit(Class::Bulk, "t", 0, 0).is_ok());
+        assert!(a.admit(Class::Bulk, "t", 0, 0).is_err());
+        assert!(a.admit(Class::Bulk, "t", 8, 0).is_err());
+        a.drain();
+        assert!(a.admit(Class::Bulk, "t", 0, 0).is_err());
+        let s = a.stats();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected_quota, 1);
+        assert_eq!(s.rejected_queue_full, 1);
+        assert_eq!(s.rejected_shutting_down, 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! The experiment client: one-connection-per-call with bounded,
+//! deterministic retry.
+//!
+//! The retry loop treats the three failure families differently:
+//!
+//! - **Rejections** ([`crate::proto::Reject`]) carry a server-supplied
+//!   Retry-After; the client sleeps the *longer* of that hint and its
+//!   own exponential backoff, then tries again.
+//! - **Transport faults** (connect refused, frame corruption, peer
+//!   hangup) are retried on a fresh connection with pure backoff —
+//!   they are exactly what the chaos suite injects.
+//! - **Typed server errors** split: `worker-failed` and
+//!   `deadline-exceeded` are retryable (a later attempt may hit the
+//!   cache or a healthier worker); `unknown-experiment` and
+//!   `bad-request` are terminal — retrying a malformed request is
+//!   just load.
+//!
+//! Backoff jitter comes from the in-tree deterministic
+//! [`XorShift64`], so two clients seeded differently desynchronize
+//! their retries while any single run stays reproducible.
+
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::Duration;
+
+use impulse_fault::XorShift64;
+use impulse_obs::Json;
+
+use crate::proto::{
+    ProtoError, Reject, Request, Response, RunRequest, RunResult, ServerError, ServerErrorKind,
+};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// Retry tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up.
+    pub max_attempts: u32,
+    /// First backoff step, in milliseconds; doubles per attempt.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Per-call socket receive timeout, in milliseconds.
+    pub recv_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff_ms: 25,
+            max_backoff_ms: 2_000,
+            recv_timeout_ms: 120_000,
+        }
+    }
+}
+
+/// Why a call ultimately failed (after retries, where applicable).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientError {
+    /// Could not reach the daemon.
+    Connect(io::ErrorKind, String),
+    /// Frame-level failure.
+    Wire(WireError),
+    /// The response decoded as a frame but not as a message.
+    Proto(ProtoError),
+    /// The server answered with a typed terminal error.
+    Server(ServerError),
+    /// Every attempt failed; the last failure is described inside.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Human-readable description of the final failure.
+        last: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(kind, detail) => {
+                write!(f, "could not connect ({kind:?}): {detail}")
+            }
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "gave up after {attempts} attempt(s); last failure: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client bound to one daemon socket.
+#[derive(Debug)]
+pub struct Client {
+    socket: PathBuf,
+    policy: RetryPolicy,
+    rng: XorShift64,
+}
+
+impl Client {
+    /// Builds a client; `seed` drives the retry jitter.
+    pub fn new(socket: &Path, policy: RetryPolicy, seed: u64) -> Self {
+        Self {
+            socket: socket.to_path_buf(),
+            policy,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    /// One request/response exchange on a fresh connection.
+    fn call_once(&self, request: &Request) -> Result<Response, ClientError> {
+        let mut stream = UnixStream::connect(&self.socket)
+            .map_err(|e| ClientError::Connect(e.kind(), e.to_string()))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(
+            self.policy.recv_timeout_ms.max(1),
+        )));
+        write_frame(&mut stream, &request.to_frame()).map_err(ClientError::Wire)?;
+        let frame = read_frame(&mut stream).map_err(ClientError::Wire)?;
+        Response::from_frame(&frame).map_err(ClientError::Proto)
+    }
+
+    /// Exponential backoff with deterministic jitter: step doubles per
+    /// attempt up to the ceiling, plus up to 50% random extra.
+    fn backoff_ms(&mut self, attempt: u32, floor_ms: u64) -> u64 {
+        let shift = attempt.min(20);
+        let step = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.policy.max_backoff_ms);
+        let jitter = self.rng.below(step / 2 + 1);
+        step.saturating_add(jitter).max(floor_ms)
+    }
+
+    /// Runs (or fetches) one experiment with the full retry loop.
+    ///
+    /// # Errors
+    ///
+    /// Terminal [`ClientError`]s immediately; retryable failures only
+    /// as [`ClientError::RetriesExhausted`] once the budget is spent.
+    pub fn run(&mut self, request: &RunRequest) -> Result<RunResult, ClientError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            let floor = match self.call_once(&Request::Run(request.clone())) {
+                Ok(Response::Result(result)) => return Ok(result),
+                Ok(Response::Reject(Reject {
+                    reason,
+                    retry_after_ms,
+                })) => {
+                    last = format!("rejected: {}", reason.name());
+                    retry_after_ms
+                }
+                Ok(Response::Error(err)) => match err.kind {
+                    ServerErrorKind::WorkerFailed | ServerErrorKind::DeadlineExceeded => {
+                        last = err.to_string();
+                        0
+                    }
+                    ServerErrorKind::UnknownExperiment | ServerErrorKind::BadRequest => {
+                        return Err(ClientError::Server(err));
+                    }
+                },
+                Ok(other) => {
+                    last = format!("unexpected response {other:?}");
+                    0
+                }
+                Err(ClientError::Server(err)) => return Err(ClientError::Server(err)),
+                Err(e) => {
+                    last = match &e {
+                        ClientError::Connect(_, detail) => format!("connect failed: {detail}"),
+                        ClientError::Wire(w) => format!("wire failure: {w}"),
+                        ClientError::Proto(p) => format!("protocol failure: {p}"),
+                        other => format!("{other:?}"),
+                    };
+                    0
+                }
+            };
+            if attempt + 1 < attempts {
+                let ms = self.backoff_ms(attempt, floor);
+                thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts, last })
+    }
+
+    /// Fetches the server metrics document (single attempt).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or [`ClientError::Server`] when the
+    /// daemon answers with anything but a stats document.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        match self.call_once(&Request::Stats)? {
+            Response::Stats(doc) => Ok(doc),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Proto(ProtoError {
+                what: "stats",
+                detail: format!("unexpected response {other:?}"),
+            })),
+        }
+    }
+
+    /// Liveness probe (single attempt).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.call_once(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Proto(ProtoError {
+                what: "ping",
+                detail: format!("unexpected response {other:?}"),
+            })),
+        }
+    }
+
+    /// Asks the daemon to drain and exit (single attempt).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.call_once(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Proto(ProtoError {
+                what: "shutdown",
+                detail: format!("unexpected response {other:?}"),
+            })),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulation-as-a-service for the Impulse reproduction: a persistent
+//! experiment daemon with admission control, deadlines, and a
+//! chaos-hardened request lifecycle.
+//!
+//! A batch sweep (`run_all`) re-executes every experiment on every
+//! invocation; this crate turns the experiment catalog into a
+//! long-lived service so repeated requests for the same (config, seed)
+//! cost one execution, ever:
+//!
+//! - [`wire`] — the `impulse-wire-v1` frame codec: length-prefixed,
+//!   FNV-64-checksummed frames where every corruption is a typed error.
+//! - [`proto`] — typed request/response messages over those frames.
+//! - [`admission`] — per-tenant token quotas, per-class queue caps, and
+//!   a Heracles-style controller that lets bulk work soak up idle
+//!   capacity without hurting interactive latency.
+//! - [`store`] — the crash-consistent result journal: a result becomes
+//!   visible only after its record is fsync'd, and a torn tail from a
+//!   mid-write kill is truncated on reopen, never misread.
+//! - [`server`] / [`client`] (Unix only) — the daemon's accept loop,
+//!   supervised worker pool with watchdog-abandoned attempts, in-flight
+//!   request coalescing; and the client's bounded retry loop with
+//!   deterministic jittered backoff.
+//!
+//! Identity everywhere is [`impulse_types::ExperimentKey`]: the same
+//! digest names a result in the journal, the cache, and the client —
+//! which is what makes "byte-identical to the batch runner" checkable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod proto;
+pub mod store;
+pub mod wire;
+
+#[cfg(unix)]
+pub mod client;
+#[cfg(unix)]
+pub mod server;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionStats};
+pub use proto::{
+    Class, Reject, RejectReason, Request, Response, RunRequest, RunResult, ServerError,
+    ServerErrorKind,
+};
+pub use store::{Recovery, ResultStore, StoredResult};
+
+#[cfg(unix)]
+pub use client::{Client, ClientError, RetryPolicy};
+#[cfg(unix)]
+pub use server::{Backend, Server, ServerConfig};

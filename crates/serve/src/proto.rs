@@ -1,0 +1,498 @@
+//! Typed messages over [`wire`](crate::wire) frames.
+//!
+//! Payloads are compact JSON (the in-tree [`Json`] codec), so a frame
+//! dump is human-readable and the formatter's text stability gives
+//! byte-stable encodings for identical messages. Decoding is total:
+//! any shape mismatch comes back as a typed [`ProtoError`], never a
+//! panic — malformed payloads are one of the chaos suite's standard
+//! attacks.
+
+use std::fmt;
+
+use impulse_obs::Json;
+
+use crate::wire::{Frame, Kind};
+
+/// A message that decoded as a frame but not as a valid payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// What was being decoded.
+    pub what: &'static str,
+    /// Why it failed.
+    pub detail: String,
+}
+
+impl ProtoError {
+    fn new(what: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed {}: {}", self.what, self.detail)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Request service class, the admission controller's first axis:
+/// interactive requests are latency-sensitive and admitted ahead of
+/// bulk sweeps; bulk requests absorb the shedding first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Latency-sensitive: a person (or test) is waiting on the result.
+    Interactive,
+    /// Throughput work: sweeps and batch refills; first to shed.
+    Bulk,
+}
+
+impl Class {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Interactive => "interactive",
+            Class::Bulk => "bulk",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Class> {
+        match s {
+            "interactive" => Some(Class::Interactive),
+            "bulk" => Some(Class::Bulk),
+            _ => None,
+        }
+    }
+}
+
+/// A request to run (or fetch) one experiment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunRequest {
+    /// Catalog experiment name.
+    pub experiment: String,
+    /// Master seed; part of the experiment identity.
+    pub seed: u64,
+    /// Tenant id for quota accounting.
+    pub tenant: String,
+    /// Service class.
+    pub class: Class,
+    /// Client deadline in milliseconds (0 = none): if the result cannot
+    /// be produced in time the server answers with a typed
+    /// `DeadlineExceeded` error instead of letting the client wait.
+    pub deadline_ms: u64,
+}
+
+impl RunRequest {
+    /// Encodes into a [`Kind::Run`] frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut j = Json::obj();
+        j.set("experiment", Json::Str(self.experiment.clone()));
+        j.set("seed", Json::UInt(self.seed));
+        j.set("tenant", Json::Str(self.tenant.clone()));
+        j.set("class", Json::Str(self.class.name().into()));
+        j.set("deadline_ms", Json::UInt(self.deadline_ms));
+        Frame::new(Kind::Run, format!("{j}").into_bytes())
+    }
+
+    /// Decodes a [`Kind::Run`] payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed JSON or missing/mistyped fields.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, ProtoError> {
+        let j = parse_payload("run request", payload)?;
+        Ok(Self {
+            experiment: str_field(&j, "run request", "experiment")?,
+            seed: u64_field(&j, "run request", "seed")?,
+            tenant: str_field(&j, "run request", "tenant")?,
+            class: Class::parse(&str_field(&j, "run request", "class")?)
+                .ok_or_else(|| ProtoError::new("run request", "unknown class"))?,
+            deadline_ms: u64_field(&j, "run request", "deadline_ms")?,
+        })
+    }
+}
+
+/// A completed experiment result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Combined experiment key (hex), for logging and cache audits.
+    pub key_hex: String,
+    /// Served from the journal-backed cache (no execution).
+    pub cached: bool,
+    /// Coalesced onto another in-flight execution of the same key.
+    pub deduped: bool,
+    /// The experiment's CSV row, byte-identical to the batch runner's.
+    pub csv: String,
+    /// The experiment's compact JSON report text, byte-identical to the
+    /// batch runner's fragment.
+    pub report: String,
+}
+
+impl RunResult {
+    /// Encodes into a [`Kind::Result`] frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut j = Json::obj();
+        j.set("key", Json::Str(self.key_hex.clone()));
+        j.set("cached", Json::Bool(self.cached));
+        j.set("deduped", Json::Bool(self.deduped));
+        j.set("csv", Json::Str(self.csv.clone()));
+        j.set("report", Json::Str(self.report.clone()));
+        Frame::new(Kind::Result, format!("{j}").into_bytes())
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, ProtoError> {
+        let j = parse_payload("result", payload)?;
+        Ok(Self {
+            key_hex: str_field(&j, "result", "key")?,
+            cached: bool_field(&j, "result", "cached")?,
+            deduped: bool_field(&j, "result", "deduped")?,
+            csv: str_field(&j, "result", "csv")?,
+            report: str_field(&j, "result", "report")?,
+        })
+    }
+}
+
+/// Why admission refused a request. Every variant is retryable — the
+/// server is telling the client *when*, via `retry_after_ms`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's token bucket is empty.
+    QuotaExhausted,
+    /// The queue is at its high-watermark for this class.
+    QueueFull,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl RejectReason {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QuotaExhausted => "quota-exhausted",
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::ShuttingDown => "shutting-down",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quota-exhausted" => Some(RejectReason::QuotaExhausted),
+            "queue-full" => Some(RejectReason::QueueFull),
+            "shutting-down" => Some(RejectReason::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A typed admission refusal with a Retry-After hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reject {
+    /// Why the request was refused.
+    pub reason: RejectReason,
+    /// How long the client should wait before retrying (a hint; the
+    /// client's own backoff still applies).
+    pub retry_after_ms: u64,
+}
+
+impl Reject {
+    /// Encodes into a [`Kind::Reject`] frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut j = Json::obj();
+        j.set("reason", Json::Str(self.reason.name().into()));
+        j.set("retry_after_ms", Json::UInt(self.retry_after_ms));
+        Frame::new(Kind::Reject, format!("{j}").into_bytes())
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, ProtoError> {
+        let j = parse_payload("reject", payload)?;
+        Ok(Self {
+            reason: RejectReason::parse(&str_field(&j, "reject", "reason")?)
+                .ok_or_else(|| ProtoError::new("reject", "unknown reason"))?,
+            retry_after_ms: u64_field(&j, "reject", "retry_after_ms")?,
+        })
+    }
+}
+
+/// Non-admission request failures. Unlike [`Reject`], some of these are
+/// terminal for the request as posed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerErrorKind {
+    /// The experiment name is not in the server's catalog.
+    UnknownExperiment,
+    /// The request frame decoded but the payload was malformed.
+    BadRequest,
+    /// The execution failed after the watchdog/retry budget (worker
+    /// panicked, hung past the watchdog, or returned a typed failure).
+    WorkerFailed,
+    /// The request's deadline passed before a result was ready.
+    DeadlineExceeded,
+}
+
+impl ServerErrorKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerErrorKind::UnknownExperiment => "unknown-experiment",
+            ServerErrorKind::BadRequest => "bad-request",
+            ServerErrorKind::WorkerFailed => "worker-failed",
+            ServerErrorKind::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "unknown-experiment" => Some(ServerErrorKind::UnknownExperiment),
+            "bad-request" => Some(ServerErrorKind::BadRequest),
+            "worker-failed" => Some(ServerErrorKind::WorkerFailed),
+            "deadline-exceeded" => Some(ServerErrorKind::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+/// A typed request failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerError {
+    /// Failure category.
+    pub kind: ServerErrorKind,
+    /// Human-readable detail (panic message, watchdog limit, ...).
+    pub detail: String,
+}
+
+impl ServerError {
+    /// Builds an error.
+    pub fn new(kind: ServerErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Encodes into a [`Kind::Error`] frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut j = Json::obj();
+        j.set("kind", Json::Str(self.kind.name().into()));
+        j.set("detail", Json::Str(self.detail.clone()));
+        Frame::new(Kind::Error, format!("{j}").into_bytes())
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, ProtoError> {
+        let j = parse_payload("error", payload)?;
+        Ok(Self {
+            kind: ServerErrorKind::parse(&str_field(&j, "error", "kind")?)
+                .ok_or_else(|| ProtoError::new("error", "unknown kind"))?,
+            detail: str_field(&j, "error", "detail")?,
+        })
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.detail)
+    }
+}
+
+/// Every server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A completed result.
+    Result(RunResult),
+    /// Admission refused (retry later).
+    Reject(Reject),
+    /// Typed failure.
+    Error(ServerError),
+    /// Metrics document.
+    Stats(Json),
+    /// Bare acknowledgement.
+    Ok,
+}
+
+impl Response {
+    /// Encodes into the matching frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            Response::Result(r) => r.to_frame(),
+            Response::Reject(r) => r.to_frame(),
+            Response::Error(e) => e.to_frame(),
+            Response::Stats(j) => Frame::new(Kind::StatsReply, format!("{j}").into_bytes()),
+            Response::Ok => Frame::new(Kind::Ok, Vec::new()),
+        }
+    }
+
+    /// Decodes any response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for request-direction kinds or malformed payloads.
+    pub fn from_frame(frame: &Frame) -> Result<Self, ProtoError> {
+        match frame.kind {
+            Kind::Result => Ok(Response::Result(RunResult::from_payload(&frame.payload)?)),
+            Kind::Reject => Ok(Response::Reject(Reject::from_payload(&frame.payload)?)),
+            Kind::Error => Ok(Response::Error(ServerError::from_payload(&frame.payload)?)),
+            Kind::StatsReply => Ok(Response::Stats(parse_payload("stats", &frame.payload)?)),
+            Kind::Ok => Ok(Response::Ok),
+            other => Err(ProtoError::new(
+                "response",
+                format!("unexpected request-direction frame {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Every client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or fetch) an experiment.
+    Run(RunRequest),
+    /// Fetch server metrics.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// Encodes into the matching frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            Request::Run(r) => r.to_frame(),
+            Request::Stats => Frame::new(Kind::Stats, Vec::new()),
+            Request::Shutdown => Frame::new(Kind::Shutdown, Vec::new()),
+            Request::Ping => Frame::new(Kind::Ping, Vec::new()),
+        }
+    }
+
+    /// Decodes any request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for response-direction kinds or malformed payloads.
+    pub fn from_frame(frame: &Frame) -> Result<Self, ProtoError> {
+        match frame.kind {
+            Kind::Run => Ok(Request::Run(RunRequest::from_payload(&frame.payload)?)),
+            Kind::Stats => Ok(Request::Stats),
+            Kind::Shutdown => Ok(Request::Shutdown),
+            Kind::Ping => Ok(Request::Ping),
+            other => Err(ProtoError::new(
+                "request",
+                format!("unexpected response-direction frame {other:?}"),
+            )),
+        }
+    }
+}
+
+fn parse_payload(what: &'static str, payload: &[u8]) -> Result<Json, ProtoError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| ProtoError::new(what, "payload is not UTF-8"))?;
+    Json::parse(text).map_err(|e| ProtoError::new(what, e))
+}
+
+fn str_field(j: &Json, what: &'static str, key: &'static str) -> Result<String, ProtoError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::new(what, format!("missing string field `{key}`")))
+}
+
+fn u64_field(j: &Json, what: &'static str, key: &'static str) -> Result<u64, ProtoError> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtoError::new(what, format!("missing integer field `{key}`")))
+}
+
+fn bool_field(j: &Json, what: &'static str, key: &'static str) -> Result<bool, ProtoError> {
+    j.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ProtoError::new(what, format!("missing boolean field `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_req() -> RunRequest {
+        RunRequest {
+            experiment: "fig1/remapped".into(),
+            seed: 0xc9a15e,
+            tenant: "ci".into(),
+            class: Class::Bulk,
+            deadline_ms: 5000,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Run(run_req()),
+            Request::Stats,
+            Request::Shutdown,
+            Request::Ping,
+        ] {
+            let frame = req.to_frame();
+            assert_eq!(Request::from_frame(&frame).expect("decodes"), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut stats = Json::obj();
+        stats.set("queue_depth", Json::UInt(3));
+        for rsp in [
+            Response::Result(RunResult {
+                key_hex: "00c0ffee00c0ffee".into(),
+                cached: true,
+                deduped: false,
+                csv: "fig1,1,2,3".into(),
+                report: r#"{"name":"fig1"}"#.into(),
+            }),
+            Response::Reject(Reject {
+                reason: RejectReason::QuotaExhausted,
+                retry_after_ms: 250,
+            }),
+            Response::Error(ServerError::new(
+                ServerErrorKind::WorkerFailed,
+                "job exceeded its 100 ms deadline",
+            )),
+            Response::Stats(stats),
+            Response::Ok,
+        ] {
+            let frame = rsp.to_frame();
+            assert_eq!(Response::from_frame(&frame).expect("decodes"), rsp);
+        }
+    }
+
+    #[test]
+    fn direction_confusion_is_a_typed_error() {
+        let frame = Request::Ping.to_frame();
+        assert!(Response::from_frame(&frame).is_err());
+        let frame = Response::Ok.to_frame();
+        assert!(Request::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_never_panic() {
+        for garbage in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"experiment\":7}",
+            b"\xff\xfe",
+            br#"{"experiment":"x","seed":1,"tenant":"t","class":"warp","deadline_ms":0}"#,
+        ] {
+            let frame = Frame::new(crate::wire::Kind::Run, garbage.to_vec());
+            assert!(Request::from_frame(&frame).is_err(), "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn identical_messages_encode_identically() {
+        assert_eq!(
+            Request::Run(run_req()).to_frame().encode(),
+            Request::Run(run_req()).to_frame().encode()
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! The `impulse-result-v1` store: a crash-consistent, append-only
+//! result journal with an in-memory index.
+//!
+//! Each record is
+//!
+//! ```text
+//! len:  LEB128 varint   body length in bytes
+//! body: len bytes       varint(config) varint(seed)
+//!                       varint(csv.len)    csv bytes
+//!                       varint(report.len) report bytes
+//! sum:  u64 le          FNV-64 over body
+//! ```
+//!
+//! **Publication contract:** [`ResultStore::publish`] appends the
+//! record, fsyncs the file, and only then inserts into the in-memory
+//! index. The caller notifies waiters only after `publish` returns, so
+//! a result a client has seen is always durable — killing the daemon
+//! at any instant leaves either a fully-recoverable record or a torn
+//! tail that [`ResultStore::open`] silently truncates. There is no
+//! window where a client holds a result the restarted server has
+//! forgotten, and no byte position where recovery can misread a torn
+//! record as a different valid one (the checksum trailer sees to
+//! that).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use impulse_types::snap::fnv64;
+use impulse_types::varint;
+use impulse_types::ExperimentKey;
+
+/// One cached experiment result: exactly the bytes the batch runner
+/// would have produced for the same (config, seed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredResult {
+    /// CSV row.
+    pub csv: String,
+    /// Compact JSON report text.
+    pub report: String,
+}
+
+/// What [`ResultStore::open`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Intact records loaded into the index.
+    pub records: usize,
+    /// Torn-tail bytes truncated away.
+    pub dropped_bytes: u64,
+}
+
+impl fmt::Display for Recovery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} record(s) recovered, {} torn byte(s) dropped",
+            self.records, self.dropped_bytes
+        )
+    }
+}
+
+/// The journal-backed result cache. See the module docs for the
+/// durability contract.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+    index: HashMap<ExperimentKey, StoredResult>,
+}
+
+fn encode_record(key: ExperimentKey, result: &StoredResult) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + result.csv.len() + result.report.len());
+    varint::put(&mut body, key.config);
+    varint::put(&mut body, key.seed);
+    varint::put(&mut body, result.csv.len() as u64);
+    body.extend_from_slice(result.csv.as_bytes());
+    varint::put(&mut body, result.report.len() as u64);
+    body.extend_from_slice(result.report.as_bytes());
+    let mut record = Vec::with_capacity(body.len() + 18);
+    varint::put(&mut record, body.len() as u64);
+    record.extend_from_slice(&body);
+    record.extend_from_slice(&fnv64(&body).to_le_bytes());
+    record
+}
+
+/// Decodes one record starting at `pos`; advances `pos` past it on
+/// success. `None` means the bytes from `pos` on are not one intact
+/// record — a torn tail.
+fn decode_record(bytes: &[u8], pos: &mut usize) -> Option<(ExperimentKey, StoredResult)> {
+    let mut p = *pos;
+    let body_len = varint::get(bytes, &mut p).ok()? as usize;
+    let body = bytes.get(p..p.checked_add(body_len)?)?;
+    p += body_len;
+    let sum_bytes: [u8; 8] = bytes.get(p..p + 8)?.try_into().ok()?;
+    p += 8;
+    if fnv64(body) != u64::from_le_bytes(sum_bytes) {
+        return None;
+    }
+    let mut b = 0usize;
+    let config = varint::get(body, &mut b).ok()?;
+    let seed = varint::get(body, &mut b).ok()?;
+    let csv = take_string(body, &mut b)?;
+    let report = take_string(body, &mut b)?;
+    if b != body.len() {
+        return None; // trailing garbage inside a checksummed body
+    }
+    *pos = p;
+    Some((
+        ExperimentKey::new(config, seed),
+        StoredResult { csv, report },
+    ))
+}
+
+fn take_string(body: &[u8], pos: &mut usize) -> Option<String> {
+    let len = varint::get(body, pos).ok()? as usize;
+    let bytes = body.get(*pos..pos.checked_add(len)?)?;
+    *pos += len;
+    let s = std::str::from_utf8(bytes).ok()?;
+    Some(s.to_string())
+}
+
+impl ResultStore {
+    /// Opens (creating if absent) the journal at `path`, replays every
+    /// intact record into the index, and truncates any torn tail so
+    /// the next append starts at a clean record boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; torn tails are *not* errors.
+    pub fn open(path: &Path) -> io::Result<(Self, Recovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut index = HashMap::new();
+        let mut pos = 0usize;
+        let mut records = 0usize;
+        while pos < bytes.len() {
+            match decode_record(&bytes, &mut pos) {
+                Some((key, result)) => {
+                    index.insert(key, result);
+                    records += 1;
+                }
+                None => break,
+            }
+        }
+        let dropped = (bytes.len() - pos) as u64;
+        if dropped > 0 {
+            file.set_len(pos as u64)?;
+            file.sync_data()?;
+        }
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+                index,
+            },
+            Recovery {
+                records,
+                dropped_bytes: dropped,
+            },
+        ))
+    }
+
+    /// Journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cached results count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no results are cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Looks up a cached result.
+    pub fn get(&self, key: ExperimentKey) -> Option<&StoredResult> {
+        self.index.get(&key)
+    }
+
+    /// Durably publishes one result: append, fsync, *then* index. When
+    /// this returns `Ok`, the record survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the index is untouched (the
+    /// partial append becomes a torn tail for the next `open`).
+    pub fn publish(&mut self, key: ExperimentKey, result: StoredResult) -> io::Result<()> {
+        let record = encode_record(key, &result);
+        self.file.write_all(&record)?;
+        self.file.sync_data()?;
+        self.index.insert(key, result);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("impulse-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir.join("results.bin")
+    }
+
+    fn sample(i: u64) -> (ExperimentKey, StoredResult) {
+        (
+            ExperimentKey::new(0x1000 + i, 7),
+            StoredResult {
+                csv: format!("row-{i},1,2,3"),
+                report: format!("{{\"name\":\"exp-{i}\"}}"),
+            },
+        )
+    }
+
+    #[test]
+    fn publish_then_reopen_round_trips() {
+        let path = tmp("roundtrip");
+        let (mut store, rec) = ResultStore::open(&path).expect("open");
+        assert_eq!(rec, Recovery::default());
+        for i in 0..5 {
+            let (k, r) = sample(i);
+            store.publish(k, r).expect("publish");
+        }
+        drop(store);
+        let (store, rec) = ResultStore::open(&path).expect("reopen");
+        assert_eq!(rec.records, 5);
+        assert_eq!(rec.dropped_bytes, 0);
+        for i in 0..5 {
+            let (k, r) = sample(i);
+            assert_eq!(store.get(k), Some(&r));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_latest_record() {
+        let path = tmp("dup");
+        let (mut store, _) = ResultStore::open(&path).expect("open");
+        let (k, r0) = sample(0);
+        store.publish(k, r0).expect("publish");
+        let r1 = StoredResult {
+            csv: "newer".into(),
+            report: "{}".into(),
+        };
+        store.publish(k, r1.clone()).expect("publish");
+        drop(store);
+        let (store, rec) = ResultStore::open(&path).expect("reopen");
+        assert_eq!(rec.records, 2);
+        assert_eq!(store.get(k), Some(&r1));
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_offset_recovers_the_prefix() {
+        // Build a journal of three records, then simulate a crash at
+        // every possible mid-write position of the third: recovery must
+        // keep exactly the first two, truncate the rest, and leave the
+        // file appendable.
+        let path = tmp("torn");
+        let (mut store, _) = ResultStore::open(&path).expect("open");
+        for i in 0..3 {
+            let (k, r) = sample(i);
+            store.publish(k, r).expect("publish");
+        }
+        drop(store);
+        let full = fs::read(&path).expect("read");
+        let (k2, _) = sample(2);
+        let mut two = Vec::new();
+        {
+            let mut pos = 0;
+            decode_record(&full, &mut pos).expect("rec0");
+            decode_record(&full, &mut pos).expect("rec1");
+            two.extend_from_slice(&full[..pos]);
+        }
+        for cut in two.len()..full.len() {
+            fs::write(&path, &full[..cut]).expect("write torn");
+            let (mut store, rec) = ResultStore::open(&path).expect("open torn");
+            assert_eq!(rec.records, 2, "cut at {cut}");
+            assert_eq!(rec.dropped_bytes, (cut - two.len()) as u64, "cut at {cut}");
+            assert!(store.get(k2).is_none(), "cut at {cut}");
+            // The truncated journal accepts new appends cleanly.
+            let (k, r) = sample(99);
+            store.publish(k, r.clone()).expect("append after recovery");
+            drop(store);
+            let (store, rec) = ResultStore::open(&path).expect("reopen");
+            assert_eq!(rec.records, 3, "cut at {cut}");
+            assert_eq!(rec.dropped_bytes, 0, "cut at {cut}");
+            assert_eq!(store.get(k), Some(&r), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_the_tail_record_are_dropped_not_misread() {
+        let path = tmp("flip");
+        let (mut store, _) = ResultStore::open(&path).expect("open");
+        for i in 0..2 {
+            let (k, r) = sample(i);
+            store.publish(k, r).expect("publish");
+        }
+        drop(store);
+        let full = fs::read(&path).expect("read");
+        let mut one_end = 0;
+        decode_record(&full, &mut one_end).expect("rec0");
+        let (k1, r1) = sample(1);
+        for bit in (one_end * 8)..(full.len() * 8) {
+            let mut corrupt = full.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            fs::write(&path, &corrupt).expect("write");
+            let (store, _) = ResultStore::open(&path).expect("open");
+            // The flipped record either vanished or (for flips the
+            // varint framing tolerates nowhere) never equals a
+            // *different* valid result for the same key.
+            if let Some(got) = store.get(k1) {
+                assert_eq!(got, &r1, "bit {bit} misread a corrupt record");
+            }
+            let (k0, r0) = sample(0);
+            assert_eq!(store.get(k0), Some(&r0), "bit {bit} lost the intact prefix");
+        }
+    }
+}

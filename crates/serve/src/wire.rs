@@ -1,0 +1,305 @@
+//! The `impulse-wire-v1` frame codec: length-prefixed, checksummed
+//! frames over any byte stream.
+//!
+//! Every message between the experiment client and daemon travels as
+//! one frame:
+//!
+//! ```text
+//! magic:    u32 le   0x3176_5749 ("IWv1")
+//! kind:     u8       message discriminant (see [`Kind`])
+//! len:      u32 le   payload length in bytes (<= MAX_PAYLOAD)
+//! payload:  len bytes
+//! checksum: u64 le   FNV-64 over [kind, payload...]
+//! ```
+//!
+//! The codec is defensive by construction: a reader can always decide
+//! — in bounded time and bounded memory — whether the bytes in front
+//! of it are a frame, and if not, *why* not ([`WireError`]). Dropped,
+//! truncated, or bit-flipped frames surface as typed errors, never as
+//! misinterpreted payloads; the chaos suite feeds all three through a
+//! live socket and asserts exactly that.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use impulse_types::snap::fnv64;
+
+/// Frame magic: `"IWv1"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"IWv1");
+
+/// Hard cap on payload size (16 MiB): a corrupt length field can waste
+/// at most this much allocation, and a legitimate result report is
+/// orders of magnitude smaller.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Message discriminants. Requests are < 0x80, responses >= 0x80, so a
+/// stream position can never confuse direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// Client → server: run (or fetch) an experiment.
+    Run = 0x01,
+    /// Client → server: report server metrics.
+    Stats = 0x02,
+    /// Client → server: graceful shutdown.
+    Shutdown = 0x03,
+    /// Client → server: liveness probe.
+    Ping = 0x04,
+    /// Server → client: a completed experiment result.
+    Result = 0x81,
+    /// Server → client: admission refused (typed, with Retry-After).
+    Reject = 0x82,
+    /// Server → client: typed request failure.
+    Error = 0x83,
+    /// Server → client: metrics document.
+    StatsReply = 0x84,
+    /// Server → client: bare acknowledgement (pong, shutdown ack).
+    Ok = 0x85,
+}
+
+impl Kind {
+    fn from_u8(b: u8) -> Option<Kind> {
+        match b {
+            0x01 => Some(Kind::Run),
+            0x02 => Some(Kind::Stats),
+            0x03 => Some(Kind::Shutdown),
+            0x04 => Some(Kind::Ping),
+            0x81 => Some(Kind::Result),
+            0x82 => Some(Kind::Reject),
+            0x83 => Some(Kind::Error),
+            0x84 => Some(Kind::StatsReply),
+            0x85 => Some(Kind::Ok),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame: discriminant plus raw payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant.
+    pub kind: Kind,
+    /// Raw payload (UTF-8 JSON for every current message type).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame from a kind and payload bytes.
+    pub fn new(kind: Kind, payload: Vec<u8>) -> Self {
+        Self { kind, payload }
+    }
+
+    /// Serializes the frame (header, payload, checksum trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.payload.len() + 8);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.checksum().to_le_bytes());
+        out
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut covered = Vec::with_capacity(1 + self.payload.len());
+        covered.push(self.kind as u8);
+        covered.extend_from_slice(&self.payload);
+        fnv64(&covered)
+    }
+}
+
+/// Everything that can go wrong between bytes and a [`Frame`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended cleanly before any frame byte arrived (EOF at a
+    /// frame boundary — a peer hanging up between requests).
+    Closed,
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic(u32),
+    /// The kind byte is not a known discriminant.
+    BadKind(u8),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The checksum trailer does not match the received bytes.
+    BadChecksum,
+    /// An underlying I/O failure (timeout, reset, ...).
+    Io(io::ErrorKind, String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed at a frame boundary"),
+            WireError::Truncated => write!(f, "stream ended inside a frame"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Oversize(n) => {
+                write!(
+                    f,
+                    "frame payload of {n} bytes exceeds the {MAX_PAYLOAD} cap"
+                )
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::Io(kind, detail) => write!(f, "frame I/O failed ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn read_exactly(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind(), e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame off `r`, validating magic, kind, length, and
+/// checksum.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] for a clean EOF at a frame boundary; every
+/// other corruption or I/O failure maps to its own [`WireError`]
+/// variant.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut header = [0u8; 9];
+    read_exactly(r, &mut header, true)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = Kind::from_u8(header[4]).ok_or(WireError::BadKind(header[4]))?;
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exactly(r, &mut payload, false)?;
+    let mut trailer = [0u8; 8];
+    read_exactly(r, &mut trailer, false)?;
+    let frame = Frame { kind, payload };
+    if frame.checksum() != u64::from_le_bytes(trailer) {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(frame)
+}
+
+/// Writes one frame to `w` and flushes it.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`WireError::Io`].
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.encode())
+        .and_then(|()| w.flush())
+        .map_err(|e| WireError::Io(e.kind(), e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(Kind::Run, br#"{"experiment":"fig1","seed":7}"#.to_vec())
+    }
+
+    #[test]
+    fn round_trip_through_a_byte_stream() {
+        let f = sample();
+        let bytes = f.encode();
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).expect("decodes"), f);
+        // A second read sees a clean boundary EOF.
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn empty_payload_frames_are_fine() {
+        let f = Frame::new(Kind::Ping, Vec::new());
+        let mut cursor = io::Cursor::new(f.encode());
+        assert_eq!(read_frame(&mut cursor).expect("decodes"), f);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_is_typed() {
+        let bytes = sample().encode();
+        for cut in 1..bytes.len() {
+            let mut cursor = io::Cursor::new(&bytes[..cut]);
+            assert_eq!(
+                read_frame(&mut cursor),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut empty = io::Cursor::new(&bytes[..0]);
+        assert_eq!(read_frame(&mut empty), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // Flip each bit of the encoded frame in turn; the reader must
+        // reject every variant with a typed error (which one depends on
+        // where the flip lands), never return a different valid frame.
+        let f = sample();
+        let bytes = f.encode();
+        for i in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[i / 8] ^= 1 << (i % 8);
+            let mut cursor = io::Cursor::new(&corrupt);
+            match read_frame(&mut cursor) {
+                Err(_) => {}
+                Ok(got) => panic!(
+                    "bit flip at {i} decoded as a frame: {:?} (original {:?})",
+                    got.kind, f.kind
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut bytes = sample().encode();
+        bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(&bytes);
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Oversize(u32::MAX)));
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_magic_are_distinct_errors() {
+        let mut bad_kind = sample().encode();
+        bad_kind[4] = 0x7f;
+        assert_eq!(
+            read_frame(&mut io::Cursor::new(&bad_kind)),
+            Err(WireError::BadKind(0x7f))
+        );
+        let mut bad_magic = sample().encode();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&bad_magic)),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn write_frame_emits_exactly_encode_bytes() {
+        let f = sample();
+        let mut out = Vec::new();
+        write_frame(&mut out, &f).expect("write");
+        assert_eq!(out, f.encode());
+    }
+}

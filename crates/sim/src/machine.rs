@@ -15,7 +15,8 @@ use std::sync::Arc;
 
 use impulse_os::{Kernel, OsError, Pid, RemapGrant};
 use impulse_types::geom::PAGE_SIZE;
-use impulse_types::snap::{fnv64, open, seal, SnapError, SnapReader, SnapWriter};
+use impulse_types::ident::digest64;
+use impulse_types::snap::{open, seal, SnapError, SnapReader, SnapWriter};
 use impulse_types::{Cycle, PAddr, VAddr, VRange};
 
 use crate::config::SystemConfig;
@@ -896,11 +897,14 @@ impl Machine {
 
     // ---- checkpoint/restore ---------------------------------------------
 
-    /// The configuration fingerprint stamped into snapshot headers — a
-    /// hash of the full `SystemConfig`, so an image can never be restored
-    /// into a machine with different geometry or timing.
+    /// The configuration fingerprint stamped into snapshot headers — the
+    /// shared [`impulse_types::ident`] digest of the full `SystemConfig`,
+    /// so an image can never be restored into a machine with different
+    /// geometry or timing, and so every keyed artifact (snapshots, replay
+    /// captures, the experiment server's result cache) derives identity
+    /// from the same hash discipline.
     pub fn config_fingerprint(cfg: &SystemConfig) -> u64 {
-        fnv64(format!("{cfg:?}").as_bytes())
+        digest64(format!("{cfg:?}").as_bytes())
     }
 
     /// Serializes the complete machine state into a versioned, checksummed

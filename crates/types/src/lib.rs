@@ -37,12 +37,15 @@ pub mod access;
 pub mod addr;
 pub mod geom;
 pub mod hash;
+pub mod ident;
 pub mod range;
 pub mod snap;
+pub mod varint;
 
 pub use access::{Access, AccessKind};
 pub use addr::{MAddr, PAddr, PvAddr, VAddr};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ident::ExperimentKey;
 pub use range::{PRange, VRange};
 
 /// Simulation time, measured in CPU cycles.
