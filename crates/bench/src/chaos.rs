@@ -21,7 +21,8 @@ use std::sync::Arc;
 
 use crate::runner::SharedJob;
 use impulse_fault::{
-    BusFaultStats, EccConfig, EccMode, EccStats, FaultConfig, PgTblFaultStats, Trigger,
+    BusFaultStats, CapsFaultStats, EccConfig, EccMode, EccStats, FaultConfig, PgTblFaultStats,
+    Trigger,
 };
 use impulse_obs::Json;
 use impulse_os::OsError;
@@ -102,19 +103,22 @@ pub enum FaultScenario {
     BusTimeout,
     /// MC-TLB/page-table entry corruption with detect-and-reload.
     PgTbl,
+    /// Capability-table entry corruption with mirror-reload recovery.
+    Caps,
     /// Every fault class at once.
     Storm,
 }
 
 impl FaultScenario {
     /// Every scenario in the grid.
-    pub const ALL: [FaultScenario; 7] = [
+    pub const ALL: [FaultScenario; 8] = [
         FaultScenario::Control,
         FaultScenario::DramEcc,
         FaultScenario::DramDouble,
         FaultScenario::DramNoEcc,
         FaultScenario::BusTimeout,
         FaultScenario::PgTbl,
+        FaultScenario::Caps,
         FaultScenario::Storm,
     ];
 
@@ -127,6 +131,7 @@ impl FaultScenario {
             FaultScenario::DramNoEcc => "dram-noecc",
             FaultScenario::BusTimeout => "bus-timeout",
             FaultScenario::PgTbl => "pgtbl-corrupt",
+            FaultScenario::Caps => "caps-corrupt",
             FaultScenario::Storm => "storm",
         }
     }
@@ -165,6 +170,10 @@ impl FaultScenario {
                 pgtbl_corrupt: Trigger::Permille(20),
                 ..base
             },
+            FaultScenario::Caps => FaultConfig {
+                caps_corrupt: Trigger::EveryN { every: 2, phase: 0 },
+                ..base
+            },
             FaultScenario::Storm => FaultConfig {
                 dram_flip: Trigger::EveryN {
                     every: 11,
@@ -173,6 +182,7 @@ impl FaultScenario {
                 dram_double_permille: 100,
                 bus_timeout: Trigger::Permille(20),
                 pgtbl_corrupt: Trigger::Permille(10),
+                caps_corrupt: Trigger::EveryN { every: 3, phase: 1 },
                 ..base
             },
         }
@@ -208,6 +218,8 @@ pub struct ChaosOutcome {
     pub bus: BusFaultStats,
     /// MC page-table corruption/reload bookkeeping.
     pub pgtbl: PgTblFaultStats,
+    /// Kernel capability-table corruption/reload bookkeeping.
+    pub caps: CapsFaultStats,
     /// Shadow accesses that degraded to the non-remapped NACK path.
     pub remap_faults: u64,
     /// Controller-side NACKed reads.
@@ -233,6 +245,7 @@ fn collect(
     let ecc = ms.mc().ecc_stats();
     let bus = ms.bus().fault_stats();
     let pgtbl = ms.mc().pgtbl_fault_stats();
+    let caps = m.kernel().caps().fault_stats();
 
     let mut violations = Vec::new();
     let mut check = |ok: bool, what: &str| {
@@ -263,12 +276,24 @@ fn collect(
         pgtbl.reloads == pgtbl.corruptions,
         "pgtbl corruption without a matching reload",
     );
+    // Injected capability-table corruption is shallow: every corruption
+    // is either reloaded from the mirror or (never, without a damaged
+    // mirror) quarantined as a typed error — nothing slips through.
+    check(
+        caps.reloads + caps.unrecoverable == caps.corruptions,
+        "caps corruption neither reloaded nor quarantined",
+    );
+    check(
+        caps.unrecoverable == 0,
+        "mirror-recoverable caps corruption went unrecoverable",
+    );
     // A fault-free schedule must observe zero fault activity.
     if faults.is_none() {
         check(
             ecc.corrected + ecc.detected_double + ecc.silent == 0
                 && bus.timeouts == 0
-                && pgtbl.corruptions == 0,
+                && pgtbl.corruptions == 0
+                && caps.corruptions == 0,
             "fault counters nonzero on a fault-free schedule",
         );
     }
@@ -281,6 +306,7 @@ fn collect(
         ecc,
         bus,
         pgtbl,
+        caps,
         remap_faults: stats.remap_faults,
         rejected_reads: mc.rejected_reads,
         rejected_writes: mc.rejected_writes,
@@ -289,11 +315,32 @@ fn collect(
     }
 }
 
+/// Gives the capability injector validations to corrupt: the catalog
+/// workloads grant remappings but never share, retarget, or revoke, so
+/// their capability handles are never re-validated — and validation is
+/// where corruption is detected and repaired. Scenarios that schedule
+/// capability-table corruption run this short grant/share/revoke churn
+/// before the workload.
+fn caps_preamble(m: &mut Machine) {
+    let buf = m
+        .alloc_region(2 * PAGE_SIZE, PAGE_SIZE)
+        .expect("caps preamble buffer");
+    let receiver = m.sys_spawn();
+    for _ in 0..8 {
+        let g = m.sys_recolor(buf, &[0]).expect("caps preamble grant");
+        m.sys_share(&g, receiver).expect("caps preamble share");
+        m.sys_revoke(&g).expect("caps preamble revoke");
+    }
+}
+
 /// Runs one (workload × scenario) cell under `seed`.
 pub fn run_case(w: ChaosWorkload, s: FaultScenario, seed: u64) -> ChaosOutcome {
     let faults = s.config(seed);
     let cfg = SystemConfig::paint_small().with_faults(faults.clone());
     let mut m = Machine::new(&cfg);
+    if !faults.caps_corrupt.is_never() {
+        caps_preamble(&mut m);
+    }
     w.drive(&mut m);
     collect(w.name(), s, &faults, &m)
 }
@@ -435,6 +482,7 @@ impl ChaosOutcome {
         let ecc = v.get("ecc")?;
         let bus = v.get("bus")?;
         let pgtbl = v.get("pgtbl")?;
+        let caps = v.get("caps")?;
         let violations = match v.get("violations")? {
             Json::Arr(items) => items
                 .iter()
@@ -463,6 +511,12 @@ impl ChaosOutcome {
                 corruptions: u(pgtbl, "corruptions")?,
                 reloads: u(pgtbl, "reloads")?,
                 recovery_cycles: u(pgtbl, "recovery_cycles")?,
+            },
+            caps: CapsFaultStats {
+                corruptions: u(caps, "corruptions")?,
+                reloads: u(caps, "reloads")?,
+                recovery_cycles: u(caps, "recovery_cycles")?,
+                unrecoverable: u(caps, "unrecoverable")?,
             },
             remap_faults: u(v, "remap_faults")?,
             rejected_reads: u(v, "rejected_reads")?,
@@ -500,6 +554,13 @@ fn case_json(o: &ChaosOutcome) -> Json {
     pgtbl.set("reloads", Json::UInt(o.pgtbl.reloads));
     pgtbl.set("recovery_cycles", Json::UInt(o.pgtbl.recovery_cycles));
     c.set("pgtbl", pgtbl);
+
+    let mut caps = Json::obj();
+    caps.set("corruptions", Json::UInt(o.caps.corruptions));
+    caps.set("reloads", Json::UInt(o.caps.reloads));
+    caps.set("recovery_cycles", Json::UInt(o.caps.recovery_cycles));
+    caps.set("unrecoverable", Json::UInt(o.caps.unrecoverable));
+    c.set("caps", caps);
 
     c.set("remap_faults", Json::UInt(o.remap_faults));
     c.set("rejected_reads", Json::UInt(o.rejected_reads));
@@ -551,6 +612,15 @@ pub fn chaos_document(seed: u64, outcomes: &[ChaosOutcome]) -> Json {
         Json::UInt(sum(|o| o.pgtbl.recovery_cycles)),
     );
     totals.set("pgtbl", pgtbl);
+    let mut caps = Json::obj();
+    caps.set("corruptions", Json::UInt(sum(|o| o.caps.corruptions)));
+    caps.set("reloads", Json::UInt(sum(|o| o.caps.reloads)));
+    caps.set(
+        "recovery_cycles",
+        Json::UInt(sum(|o| o.caps.recovery_cycles)),
+    );
+    caps.set("unrecoverable", Json::UInt(sum(|o| o.caps.unrecoverable)));
+    totals.set("caps", caps);
     let mut degrade = Json::obj();
     degrade.set("remap_faults", Json::UInt(sum(|o| o.remap_faults)));
     degrade.set("rejected_reads", Json::UInt(sum(|o| o.rejected_reads)));
@@ -594,6 +664,21 @@ mod tests {
         assert_ne!(o.ecc.corrupt_sig, 0, "corruption leaves a signature");
         assert_eq!(o.ecc.recovery_cycles, 0, "no ECC, no datapath penalty");
         assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn caps_scenario_recovers_every_corruption() {
+        for w in ChaosWorkload::ALL {
+            let o = run_case(w, FaultScenario::Caps, 1999);
+            assert!(o.violations.is_empty(), "{:?}", o.violations);
+            assert!(
+                o.caps.corruptions > 0,
+                "the caps preamble must give the injector validations to hit"
+            );
+            assert_eq!(o.caps.reloads, o.caps.corruptions);
+            assert_eq!(o.caps.unrecoverable, 0);
+            assert_eq!(o.ecc.corrupt_sig, 0, "caps faults never touch data");
+        }
     }
 
     #[test]

@@ -60,6 +60,18 @@ fn exemplars() -> Vec<(ImpulseError, &'static str)> {
             ImpulseError::NoSuchProcess(Pid::INIT),
             "no such process: pid0",
         ),
+        (
+            ImpulseError::RevokedCapability {
+                slot: 3,
+                stale: 2,
+                current: 4,
+            },
+            "capability slot 3 has been revoked: generation 2 is stale (current 4)",
+        ),
+        (
+            ImpulseError::CapTableCorrupt { slot: 5 },
+            "capability table entry 5 failed its integrity check and could not be recovered",
+        ),
     ]
 }
 
@@ -67,7 +79,7 @@ fn exemplars() -> Vec<(ImpulseError, &'static str)> {
 fn every_variant_has_a_stable_display_string() {
     let cases = exemplars();
     // One exemplar per variant (Vm gets both of its inner shapes).
-    assert_eq!(cases.len(), 11);
+    assert_eq!(cases.len(), 13);
     for (err, expected) in &cases {
         assert_eq!(&err.to_string(), expected, "{err:?} rendering drifted");
         // The alias renders identically, of course — it IS the type.

@@ -3,7 +3,7 @@
 use impulse_types::Cycle;
 
 use crate::ecc::EccConfig;
-use crate::inject::{FlipInjector, PgTblInjector, TimeoutInjector};
+use crate::inject::{CapsInjector, FlipInjector, PgTblInjector, TimeoutInjector};
 use crate::plan::{FaultPlan, Trigger};
 
 // Per-site seed salts: each injection site derives an independent
@@ -12,6 +12,7 @@ use crate::plan::{FaultPlan, Trigger};
 const SALT_DRAM: u64 = 0xD12A_0001;
 const SALT_BUS: u64 = 0xB005_0002;
 const SALT_PGTBL: u64 = 0x967B_0003;
+const SALT_CAPS: u64 = 0xCA95_0004;
 
 /// Everything needed to generate a deterministic fault schedule for one
 /// simulated machine. The default is fault-free ([`FaultConfig::none`]),
@@ -37,6 +38,9 @@ pub struct FaultConfig {
     pub bus_backoff: Cycle,
     /// When MC-TLB/page-table entry corruption fires (per translation).
     pub pgtbl_corrupt: Trigger,
+    /// When kernel capability-table corruption fires (per capability
+    /// validation; the plan's clock is the validation ordinal).
+    pub caps_corrupt: Trigger,
 }
 
 impl FaultConfig {
@@ -51,12 +55,16 @@ impl FaultConfig {
             bus_max_retries: 3,
             bus_backoff: 16,
             pgtbl_corrupt: Trigger::Never,
+            caps_corrupt: Trigger::Never,
         }
     }
 
     /// True when no fault class can ever fire.
     pub fn is_none(&self) -> bool {
-        self.dram_flip.is_never() && self.bus_timeout.is_never() && self.pgtbl_corrupt.is_never()
+        self.dram_flip.is_never()
+            && self.bus_timeout.is_never()
+            && self.pgtbl_corrupt.is_never()
+            && self.caps_corrupt.is_never()
     }
 
     /// The DRAM bit-flip injector, or `None` when the class is off.
@@ -86,6 +94,13 @@ impl FaultConfig {
         (!self.pgtbl_corrupt.is_never())
             .then(|| PgTblInjector::new(FaultPlan::new(self.pgtbl_corrupt, self.seed ^ SALT_PGTBL)))
     }
+
+    /// The capability-table corruption injector, or `None` when the
+    /// class is off.
+    pub fn caps_injector(&self) -> Option<CapsInjector> {
+        (!self.caps_corrupt.is_never())
+            .then(|| CapsInjector::new(FaultPlan::new(self.caps_corrupt, self.seed ^ SALT_CAPS)))
+    }
 }
 
 impl Default for FaultConfig {
@@ -105,6 +120,7 @@ mod tests {
         assert!(c.flip_injector().is_none());
         assert!(c.timeout_injector().is_none());
         assert!(c.pgtbl_injector().is_none());
+        assert!(c.caps_injector().is_none());
     }
 
     #[test]
@@ -117,6 +133,18 @@ mod tests {
         assert!(c.flip_injector().is_none());
         assert!(c.timeout_injector().is_some());
         assert!(c.pgtbl_injector().is_none());
+        assert!(c.caps_injector().is_none());
+    }
+
+    #[test]
+    fn caps_class_builds_its_injector() {
+        let c = FaultConfig {
+            caps_corrupt: Trigger::Permille(100),
+            ..FaultConfig::none()
+        };
+        assert!(!c.is_none());
+        assert!(c.caps_injector().is_some());
+        assert!(c.flip_injector().is_none());
     }
 
     #[test]

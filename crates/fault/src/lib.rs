@@ -24,6 +24,9 @@
 //!   exponential-backoff retry.
 //! - [`PgTblInjector`]: MC-TLB/page-table entry corruption, recovered by
 //!   detect-and-reload from the backing in-memory page table.
+//! - [`CapsInjector`]: kernel capability-table corruption, detected by
+//!   per-entry checksums and recovered from a mirrored table — or
+//!   surfaced as a typed error when unrecoverable.
 //! - [`FaultConfig`]: the user-facing bundle a full-system config
 //!   carries; each injection site derives its own independent stream
 //!   from the master seed so sites never perturb each other's draws.
@@ -44,7 +47,8 @@ mod rng;
 pub use config::FaultConfig;
 pub use ecc::{word_sig, BitFlip, EccConfig, EccMode, EccOutcome, EccStats};
 pub use inject::{
-    BusFaultStats, FlipInjector, FlipStats, PgTblFaultStats, PgTblInjector, TimeoutInjector,
+    BusFaultStats, CapsFaultStats, CapsInjector, FlipInjector, FlipStats, PgTblFaultStats,
+    PgTblInjector, TimeoutInjector,
 };
 pub use plan::{FaultPlan, Trigger};
 pub use rng::XorShift64;

@@ -17,8 +17,10 @@
 
 use std::sync::Arc;
 
+use impulse_caps::{CapEngine, CapError, CapId, DomainId, Resource, RevokedCap};
 use impulse_core::flight::TraceError;
 use impulse_core::{DescId, McError, MemController, RemapFn};
+use impulse_fault::CapsInjector;
 use impulse_types::geom::{round_up, PAGE_SHIFT, PAGE_SIZE};
 use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
 use impulse_types::{Cycle, MAddr, PAddr, PRange, PvAddr, VAddr, VRange};
@@ -94,6 +96,24 @@ pub enum ImpulseError {
     NoSuchProcess(Pid),
     /// A recorded trace or replay capture could not be decoded.
     Trace(TraceError),
+    /// The capability behind the access or operation has been revoked —
+    /// the handle's generation is stale. Raised both for syscalls on a
+    /// revoked grant and for demand accesses to an alias torn down by a
+    /// transitive revocation (no stale data is ever served).
+    RevokedCapability {
+        /// Capability table slot.
+        slot: u32,
+        /// Generation the stale handle (or torn-down mapping) carried.
+        stale: u32,
+        /// The slot's current generation.
+        current: u32,
+    },
+    /// A capability table entry failed its integrity check and the
+    /// mirrored copy could not repair it; the entry was quarantined.
+    CapTableCorrupt {
+        /// The quarantined capability slot.
+        slot: u32,
+    },
 }
 
 /// Historical name for [`ImpulseError`], kept so existing call sites and
@@ -127,6 +147,18 @@ impl core::fmt::Display for ImpulseError {
             }
             OsError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
             OsError::Trace(e) => write!(f, "trace capture error: {e}"),
+            OsError::RevokedCapability {
+                slot,
+                stale,
+                current,
+            } => write!(
+                f,
+                "capability slot {slot} has been revoked: generation {stale} is stale (current {current})"
+            ),
+            OsError::CapTableCorrupt { slot } => write!(
+                f,
+                "capability table entry {slot} failed its integrity check and could not be recovered"
+            ),
         }
     }
 }
@@ -151,6 +183,25 @@ impl From<McError> for ImpulseError {
 impl From<TraceError> for ImpulseError {
     fn from(e: TraceError) -> Self {
         OsError::Trace(e)
+    }
+}
+impl From<CapError> for ImpulseError {
+    fn from(e: CapError) -> Self {
+        match e {
+            CapError::Revoked {
+                slot,
+                stale,
+                current,
+            } => OsError::RevokedCapability {
+                slot,
+                stale,
+                current,
+            },
+            CapError::NotOwner { owner } => OsError::NotOwner(Pid(owner)),
+            CapError::NoSuchDomain(d) => OsError::NoSuchProcess(Pid(d)),
+            CapError::BadSlot(_) => OsError::InvalidArg("capability slot was never allocated"),
+            CapError::Corrupt { slot } => OsError::CapTableCorrupt { slot },
+        }
     }
 }
 
@@ -227,6 +278,23 @@ pub struct RemapGrant {
     pub kind: &'static str,
     /// Page mappings installed (MMU + controller) during setup.
     pub pages_installed: u64,
+    /// The generation-tagged capability protecting the grant. Every
+    /// later operation on the grant (share, release, retarget, revoke)
+    /// validates this handle; a stale generation surfaces as
+    /// [`ImpulseError::RevokedCapability`].
+    pub cap: CapId,
+}
+
+/// What a revocation walk tore down, for syscall cost accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RevokeOutcome {
+    /// Capabilities revoked (root + every derived alias).
+    pub caps_revoked: u64,
+    /// Alias pages unmapped across all affected processes.
+    pub pages_unmapped: u64,
+    /// Cycle cost of the revocation walk (charged by the machine on
+    /// top of the usual trap + per-page costs).
+    pub cycles: Cycle,
 }
 
 /// Kernel statistics.
@@ -240,6 +308,22 @@ pub struct KernelStats {
     pub shadow_bytes: u64,
 }
 
+/// A revoked alias range: pages that were unmapped by a capability
+/// revocation. A later access to the range is answered with
+/// [`ImpulseError::RevokedCapability`] instead of a bare page fault, so
+/// receivers can tell "torn down under me" from "never mapped".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Tombstone {
+    /// First virtual address of the revoked range.
+    start: u64,
+    /// Range length in pages.
+    pages: u64,
+    /// Capability slot that protected the range.
+    slot: u32,
+    /// Generation the mapping was torn down at.
+    stale: u32,
+}
+
 /// One process: its address space and superpage registrations.
 #[derive(Clone, Debug, Default)]
 struct Process {
@@ -249,6 +333,9 @@ struct Process {
     regions: Vec<VRange>,
     /// TLB-miss counts per region (parallel to `regions`).
     tlb_misses: Vec<u64>,
+    /// Alias ranges torn down by capability revocation (consulted only
+    /// on the translation *fault* path — the hot path never sees them).
+    revoked: Vec<Tombstone>,
 }
 
 /// The operating system model.
@@ -264,29 +351,53 @@ pub struct Kernel {
     procs: Vec<Process>,
     current: usize,
     shadow_next: u64,
-    /// Descriptor slot → owning process.
-    desc_owner: impulse_types::FxHashMap<usize, usize>,
+    /// The typed capability table protecting descriptors, shared
+    /// aliases, and shadow regions. Domain *n* is process *n*.
+    caps: CapEngine,
     stats: KernelStats,
 }
 
 impl Kernel {
     /// Boots a kernel.
     pub fn new(cfg: KernelConfig) -> Self {
+        let mut caps = CapEngine::new();
+        caps.create_domain(); // domain 0 = the boot process
         Self {
             phys: PhysMem::new(cfg.dram_capacity, cfg.reserved_top, cfg.policy),
             procs: vec![Process::default()],
             current: 0,
             shadow_next: cfg.dram_capacity,
-            desc_owner: impulse_types::FxHashMap::default(),
+            caps,
             stats: KernelStats::default(),
             cfg,
         }
+    }
+
+    /// Attaches (or detaches) the capability-table corruption injector
+    /// (see [`impulse_fault::FaultConfig::caps_injector`]).
+    pub fn attach_caps_injector(&mut self, injector: Option<CapsInjector>) {
+        self.caps.attach_injector(injector);
+    }
+
+    /// The capability engine (inspection: stats, live counts, fault
+    /// counters).
+    pub fn caps(&self) -> &CapEngine {
+        &self.caps
+    }
+
+    /// Mutable access to the capability engine — the chaos/fault hooks
+    /// (e.g. [`CapEngine::inject_corruption`]) and nothing else; syscall
+    /// paths go through the typed kernel API.
+    pub fn caps_mut(&mut self) -> &mut CapEngine {
+        &mut self.caps
     }
 
     /// Creates a new (empty) process and returns its id. The current
     /// process is unchanged.
     pub fn spawn(&mut self) -> Pid {
         self.procs.push(Process::default());
+        let domain = self.caps.create_domain();
+        debug_assert_eq!(domain.0 as usize, self.procs.len() - 1);
         Pid(self.procs.len() as u32 - 1)
     }
 
@@ -309,12 +420,98 @@ impl Kernel {
         }
     }
 
-    fn check_owner(&self, desc: DescId) -> Result<(), OsError> {
-        match self.desc_owner.get(&desc.index()) {
-            Some(&owner) if owner == self.current => Ok(()),
-            Some(&owner) => Err(OsError::NotOwner(Pid(owner as u32))),
-            None => Ok(()), // never granted through this kernel: MC will reject
+    /// The current process's capability domain.
+    fn domain(&self) -> DomainId {
+        DomainId(self.current as u32)
+    }
+
+    /// Validates a grant's capability for the current process: integrity,
+    /// generation (stale ⇒ [`ImpulseError::RevokedCapability`]), and
+    /// ownership.
+    fn validate_cap(&mut self, cap: CapId) -> Result<Resource, OsError> {
+        let domain = self.domain();
+        Ok(self.caps.validate(cap, Some(domain))?)
+    }
+
+    /// Grants the capabilities behind a fresh remapping: a root
+    /// descriptor capability plus a (coalescing) region capability over
+    /// the grant's shadow footprint.
+    fn grant_caps(&mut self, desc: DescId, shadow: PRange) -> Result<CapId, OsError> {
+        let domain = self.domain();
+        let cap = self.caps.grant(
+            domain,
+            Resource::Descriptor {
+                desc: desc.index() as u32,
+            },
+        )?;
+        self.caps
+            .grant_region(domain, shadow.start().raw(), shadow.len())?;
+        Ok(cap)
+    }
+
+    /// Unmaps every revoked alias and records tombstones, so later
+    /// accesses surface [`ImpulseError::RevokedCapability`]. The owner's
+    /// own alias (`owner_alias`, when given) is torn down with the root
+    /// capability; derived [`Resource::Alias`] entries are torn down in
+    /// their receiver's address space. Returns pages unmapped.
+    fn teardown_revoked(
+        &mut self,
+        revoked: &[RevokedCap],
+        root: CapId,
+        owner_alias: Option<(usize, VRange, PRange)>,
+    ) -> Result<u64, OsError> {
+        let mut pages_unmapped = 0;
+        for rc in revoked {
+            match rc.resource {
+                Resource::Alias { start, pages, .. } => {
+                    let pidx = rc.domain.0 as usize;
+                    if pidx >= self.procs.len() {
+                        continue;
+                    }
+                    let range = VRange::new(VAddr::new(start), pages * PAGE_SIZE);
+                    let proc = &mut self.procs[pidx];
+                    for page in range.blocks(PAGE_SIZE) {
+                        if proc.aspace.try_translate(page).is_some() {
+                            proc.aspace.unmap_page(page)?;
+                            pages_unmapped += 1;
+                        }
+                    }
+                    proc.revoked.push(Tombstone {
+                        start,
+                        pages,
+                        slot: rc.cap.index,
+                        stale: rc.cap.generation,
+                    });
+                }
+                Resource::Descriptor { .. } => {
+                    if rc.cap != root {
+                        continue;
+                    }
+                    let Some((pidx, alias, shadow)) = owner_alias else {
+                        continue;
+                    };
+                    let proc = &mut self.procs[pidx];
+                    for page in alias.blocks(PAGE_SIZE) {
+                        if proc
+                            .aspace
+                            .try_translate(page)
+                            .is_some_and(|p| shadow.contains(p))
+                        {
+                            proc.aspace.unmap_page(page)?;
+                            pages_unmapped += 1;
+                        }
+                    }
+                    proc.revoked.push(Tombstone {
+                        start: alias.start().raw(),
+                        pages: alias.page_count(),
+                        slot: rc.cap.index,
+                        stale: rc.cap.generation,
+                    });
+                }
+                Resource::Region { .. } => {}
+            }
         }
+        Ok(pages_unmapped)
     }
 
     /// The configuration the kernel booted with.
@@ -341,10 +538,33 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns [`VmError::NotMapped`] (wrapped) for unmapped addresses —
-    /// a page fault with no handler, i.e. a segfault at the CPU model.
+    /// a page fault with no handler, i.e. a segfault at the CPU model —
+    /// except addresses inside an alias torn down by capability
+    /// revocation, which surface [`ImpulseError::RevokedCapability`]
+    /// (never stale data; tombstones are consulted only on this fault
+    /// path, so mapped translations cost the same as before).
     #[inline]
     pub fn translate(&self, v: VAddr) -> Result<PAddr, OsError> {
-        Ok(self.aspace().translate(v)?)
+        match self.aspace().translate(v) {
+            Ok(p) => Ok(p),
+            Err(e) => Err(self.classify_fault(v, e.into())),
+        }
+    }
+
+    /// Refines a translation fault: an address inside a revoked alias
+    /// range reports the revocation rather than a bare page fault.
+    fn classify_fault(&self, v: VAddr, fallback: OsError) -> OsError {
+        for t in &self.procs[self.current].revoked {
+            if v.raw() >= t.start && v.raw() < t.start + t.pages * PAGE_SIZE {
+                let current = self.caps.generation(t.slot).unwrap_or(t.stale + 1);
+                return OsError::RevokedCapability {
+                    slot: t.slot,
+                    stale: t.stale,
+                    current,
+                };
+            }
+        }
+        fallback
     }
 
     /// Allocates and maps an ordinary region of `bytes`, returning its
@@ -619,7 +839,7 @@ impl Kernel {
             index_bytes,
         );
         let desc = mc.claim_descriptor(shadow, remap)?;
-        self.desc_owner.insert(desc.index(), self.current);
+        let cap = self.grant_caps(desc, shadow)?;
         let mut pages = self.download_target_pages(mc, target.start(), target.len())?;
         pages += self.download_target_pages(mc, index_region.start(), index_region.len())?;
         let alias = self.map_alias(shadow, alias_align.max(PAGE_SIZE), alias_phase)?;
@@ -632,6 +852,7 @@ impl Kernel {
             desc,
             kind: "gather",
             pages_installed: pages,
+            cap,
         })
     }
 
@@ -662,7 +883,7 @@ impl Kernel {
 
         let remap = RemapFn::strided(PvAddr::new(base.raw()), object_size, stride);
         let desc = mc.claim_descriptor(shadow, remap)?;
-        self.desc_owner.insert(desc.index(), self.current);
+        let cap = self.grant_caps(desc, shadow)?;
         let mut pages = self.download_target_pages(mc, base, span)?;
         let alias = self.map_alias(shadow, alias_align, 0)?;
         pages += alias.page_count();
@@ -674,6 +895,7 @@ impl Kernel {
             desc,
             kind: "strided",
             pages_installed: pages,
+            cap,
         })
     }
 
@@ -682,10 +904,19 @@ impl Kernel {
     /// and alias; replaces the descriptor and downloads fresh page
     /// mappings. Returns the number of page mappings downloaded.
     ///
+    /// The replacement is *atomic from the grant's point of view*: if
+    /// claiming the new descriptor fails (e.g. malformed stride geometry
+    /// caught at descriptor validation), the old descriptor is restored
+    /// and the grant stays fully usable. Only if even the restore fails
+    /// — which a single-threaded kernel cannot normally make happen — is
+    /// the grant invalidated, by revoking its capability so every later
+    /// use surfaces [`ImpulseError::RevokedCapability`] instead of
+    /// dangling.
+    ///
     /// # Errors
     ///
     /// Fails if the grant's descriptor cannot be replaced or pages are
-    /// unbacked.
+    /// unbacked; the grant survives unless noted above.
     pub fn retarget_strided(
         &mut self,
         mc: &mut MemController,
@@ -695,13 +926,51 @@ impl Kernel {
         stride: u64,
         count: u64,
     ) -> Result<u64, OsError> {
-        self.check_owner(grant.desc)?;
+        self.validate_cap(grant.cap)?;
         let span = strided_span(object_size, stride, count)?;
+        let old_remap = mc
+            .descriptor(grant.desc)
+            .ok_or(OsError::Mc(McError::InvalidDescriptor(grant.desc.index())))?
+            .remap()
+            .clone();
         mc.release_descriptor(grant.desc)?;
-        self.desc_owner.remove(&grant.desc.index());
-        let remap = RemapFn::strided(PvAddr::new(new_base.raw()), object_size, stride);
-        grant.desc = mc.claim_descriptor(grant.shadow, remap)?;
-        self.desc_owner.insert(grant.desc.index(), self.current);
+        // Built as a literal (not via RemapFn::strided) so stride-geometry
+        // misuse surfaces as the descriptor-install typed error this
+        // error path exists to handle, in debug builds too.
+        let remap = RemapFn::Strided {
+            pv_base: PvAddr::new(new_base.raw()),
+            object_size,
+            stride,
+        };
+        let new_desc = match mc.claim_descriptor(grant.shadow, remap) {
+            Ok(d) => d,
+            Err(e) => {
+                // Roll back: re-claim the old descriptor over the same
+                // shadow region (the slot we just freed guarantees one
+                // is available) so the grant keeps working.
+                match mc.claim_descriptor(grant.shadow, old_remap) {
+                    Ok(d) => {
+                        self.caps.retarget_desc(grant.cap, d.index() as u32)?;
+                        grant.desc = d;
+                        return Err(e.into());
+                    }
+                    Err(_) => {
+                        // Unrecoverable: invalidate the grant with a
+                        // typed error rather than leaving it dangling.
+                        let rev = self.caps.revoke(grant.cap, Some(self.domain()))?;
+                        self.teardown_revoked(
+                            &rev.revoked,
+                            grant.cap,
+                            Some((self.current, grant.alias, grant.shadow)),
+                        )?;
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
+        self.caps
+            .retarget_desc(grant.cap, new_desc.index() as u32)?;
+        grant.desc = new_desc;
         let pages = self.download_target_pages(mc, new_base, span)?;
         self.stats.remap_syscalls += 1;
         Ok(pages)
@@ -741,7 +1010,7 @@ impl Kernel {
 
         let pv_base = PvAddr::new(shadow.start().raw());
         let desc = mc.claim_descriptor(shadow, RemapFn::direct(pv_base))?;
-        self.desc_owner.insert(desc.index(), self.current);
+        let cap = self.grant_caps(desc, shadow)?;
 
         let alias = self.aspace_mut().reserve(n * PAGE_SIZE, PAGE_SIZE);
         let mut pages = 0;
@@ -768,6 +1037,7 @@ impl Kernel {
             desc,
             kind: "direct",
             pages_installed: pages,
+            cap,
         })
     }
 
@@ -799,7 +1069,7 @@ impl Kernel {
         let shadow = self.alloc_shadow(span_bytes, span_bytes)?;
         let pv_base = PvAddr::new(shadow.start().raw());
         let desc = mc.claim_descriptor(shadow, RemapFn::direct(pv_base))?;
-        self.desc_owner.insert(desc.index(), self.current);
+        let cap = self.grant_caps(desc, shadow)?;
 
         let mut pages = 0;
         for (i, target_page) in target.blocks(PAGE_SIZE).enumerate() {
@@ -819,28 +1089,33 @@ impl Kernel {
             desc,
             kind: "superpage",
             pages_installed: pages,
+            cap,
         })
     }
 
-    /// Releases a remapping: frees the descriptor and unmaps the alias
-    /// pages (shadow addresses are not recycled; the space is vast).
-    ///
-    /// Superpage grants are special: their "alias" *is* the original
-    /// virtual range, re-pointed at shadow space, so releasing one
-    /// restores the original frame mappings instead of unmapping.
+    /// Transitively revokes a grant's capability: the owner's descriptor
+    /// capability and **every** alias derived from it (receivers of
+    /// [`Kernel::share_remap`], including re-shares) go stale together.
+    /// All affected alias pages are unmapped and tombstoned, so any
+    /// later access — owner or receiver, even mid-gather — surfaces
+    /// [`ImpulseError::RevokedCapability`]: no stale data, no panic.
     ///
     /// # Errors
     ///
-    /// Fails if the descriptor was already released.
-    pub fn release_remap(
+    /// Fails with [`ImpulseError::RevokedCapability`] if the grant was
+    /// already revoked or released, or [`ImpulseError::NotOwner`] if the
+    /// caller does not own it.
+    pub fn revoke_remap(
         &mut self,
         mc: &mut MemController,
         grant: &RemapGrant,
-    ) -> Result<(), OsError> {
-        self.check_owner(grant.desc)?;
+    ) -> Result<RevokeOutcome, OsError> {
+        self.validate_cap(grant.cap)?;
         if grant.kind == "superpage" {
             // Recover each page's frame through the still-configured
-            // descriptor, then re-point the virtual page at it.
+            // descriptor, then re-point the virtual page at it. The
+            // owner's "alias" is the original range and stays mapped
+            // (to real frames); only derived receiver aliases tear down.
             if mc.descriptor(grant.desc).is_none() {
                 return Err(OsError::Mc(McError::InvalidDescriptor(grant.desc.index())));
             }
@@ -860,21 +1135,50 @@ impl Kernel {
                 .superpages
                 .retain(|&(b, _)| b != base_vpage);
             mc.release_descriptor(grant.desc)?;
-            self.desc_owner.remove(&grant.desc.index());
-            return Ok(());
+            let rev = self.caps.revoke(grant.cap, Some(self.domain()))?;
+            let pages_unmapped = self.teardown_revoked(&rev.revoked, grant.cap, None)?;
+            return Ok(RevokeOutcome {
+                caps_revoked: rev.revoked.len() as u64,
+                pages_unmapped,
+                cycles: rev.cycles,
+            });
         }
         mc.release_descriptor(grant.desc)?;
-        self.desc_owner.remove(&grant.desc.index());
-        for page in grant.alias.blocks(PAGE_SIZE) {
-            if self
-                .aspace()
-                .try_translate(page)
-                .is_some_and(|p| grant.shadow.contains(p))
-            {
-                self.aspace_mut().unmap_page(page)?;
-            }
-        }
-        Ok(())
+        let rev = self.caps.revoke(grant.cap, Some(self.domain()))?;
+        let pages_unmapped = self.teardown_revoked(
+            &rev.revoked,
+            grant.cap,
+            Some((self.current, grant.alias, grant.shadow)),
+        )?;
+        Ok(RevokeOutcome {
+            caps_revoked: rev.revoked.len() as u64,
+            pages_unmapped,
+            cycles: rev.cycles,
+        })
+    }
+
+    /// Releases a remapping: frees the descriptor and unmaps the alias
+    /// pages (shadow addresses are not recycled; the space is vast).
+    ///
+    /// Release *is* a transitive revocation: every receiver alias
+    /// created by [`Kernel::share_remap`] is unmapped and tombstoned too
+    /// — a receiver access after release yields a typed
+    /// [`ImpulseError::RevokedCapability`], never data from a recycled
+    /// descriptor.
+    ///
+    /// Superpage grants are special: their "alias" *is* the original
+    /// virtual range, re-pointed at shadow space, so releasing one
+    /// restores the original frame mappings instead of unmapping.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the grant was already released or revoked.
+    pub fn release_remap(
+        &mut self,
+        mc: &mut MemController,
+        grant: &RemapGrant,
+    ) -> Result<RevokeOutcome, OsError> {
+        self.revoke_remap(mc, grant)
     }
 
     /// Maps an existing grant's shadow region into another process's
@@ -882,14 +1186,31 @@ impl Kernel {
     /// conclusions ("fast local IPC mechanisms, such as LRPC, use shared
     /// memory to map buffers into sender and receiver address spaces").
     /// Only the owning process may share; the receiving process gets its
-    /// own read alias.
+    /// own read alias, protected by a capability *derived* from the
+    /// grant's — revoking or releasing the grant tears the alias down
+    /// transitively.
     ///
     /// # Errors
     ///
-    /// Fails if the caller does not own the grant or `with` does not
-    /// exist.
+    /// Fails if the caller does not own the grant (or it was revoked) or
+    /// `with` does not exist.
     pub fn share_remap(&mut self, grant: &RemapGrant, with: Pid) -> Result<VRange, OsError> {
-        self.check_owner(grant.desc)?;
+        self.share_remap_cap(grant, with).map(|(alias, _)| alias)
+    }
+
+    /// Like [`Kernel::share_remap`], but also returns the derived
+    /// capability handle protecting the receiver's alias (for explicit
+    /// handoff bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::share_remap`].
+    pub fn share_remap_cap(
+        &mut self,
+        grant: &RemapGrant,
+        with: Pid,
+    ) -> Result<(VRange, CapId), OsError> {
+        self.validate_cap(grant.cap)?;
         let target = with.0 as usize;
         if target >= self.procs.len() {
             return Err(OsError::NoSuchProcess(with));
@@ -901,7 +1222,17 @@ impl Kernel {
             proc.aspace.map_page(page, s)?;
             s = s.add(PAGE_SIZE);
         }
-        Ok(alias)
+        let child = self.caps.derive(
+            grant.cap,
+            Some(self.domain()),
+            DomainId(with.0),
+            Resource::Alias {
+                desc: grant.desc.index() as u32,
+                start: alias.start().raw(),
+                pages: alias.page_count(),
+            },
+        )?;
+        Ok((alias, child))
     }
 
     /// TLB reach for a virtual page: its superpage `(base_vpage, span)` if
@@ -917,10 +1248,10 @@ impl Kernel {
     }
 
     /// Serializes the frame allocator, every process (address space,
-    /// superpage registrations, region bookkeeping), the shadow-space bump
-    /// pointer, descriptor ownership (in sorted slot order), and
-    /// statistics. The configuration is not written — restore rebuilds it
-    /// from the same config the snapshot was taken under.
+    /// superpage registrations, region bookkeeping, revocation
+    /// tombstones), the shadow-space bump pointer, the full capability
+    /// table, and statistics. The configuration is not written — restore
+    /// rebuilds it from the same config the snapshot was taken under.
     pub fn snap_save(&self, w: &mut SnapWriter) {
         w.tag(TAG_KERN);
         self.phys.snap_save(w);
@@ -938,20 +1269,17 @@ impl Kernel {
                 w.u64(r.len());
             }
             w.u64_slice(&p.tlb_misses);
+            w.usize(p.revoked.len());
+            for t in &p.revoked {
+                w.u64(t.start);
+                w.u64(t.pages);
+                w.u32(t.slot);
+                w.u32(t.stale);
+            }
         }
         w.usize(self.current);
         w.u64(self.shadow_next);
-        let mut owners: Vec<(u64, u64)> = self
-            .desc_owner
-            .iter()
-            .map(|(&d, &o)| (d as u64, o as u64))
-            .collect();
-        owners.sort_unstable();
-        w.usize(owners.len());
-        for (d, o) in owners {
-            w.u64(d);
-            w.u64(o);
-        }
+        self.caps.snap_save(w);
         w.u64(self.stats.remap_syscalls);
         w.u64(self.stats.controller_pages);
         w.u64(self.stats.shadow_bytes);
@@ -993,6 +1321,20 @@ impl Kernel {
             if p.tlb_misses.len() != p.regions.len() {
                 return Err(SnapError::Geometry("region TLB-miss table length"));
             }
+            let ntomb = r.usize()?;
+            p.revoked = Vec::with_capacity(ntomb);
+            for _ in 0..ntomb {
+                let start = r.u64()?;
+                let pages = r.u64()?;
+                let slot = r.u32()?;
+                let stale = r.u32()?;
+                p.revoked.push(Tombstone {
+                    start,
+                    pages,
+                    slot,
+                    stale,
+                });
+            }
             self.procs.push(p);
         }
         let current = r.usize()?;
@@ -1001,12 +1343,9 @@ impl Kernel {
         }
         self.current = current;
         self.shadow_next = r.u64()?;
-        let nown = r.usize()?;
-        self.desc_owner = impulse_types::FxHashMap::default();
-        for _ in 0..nown {
-            let d = r.usize()?;
-            let o = r.usize()?;
-            self.desc_owner.insert(d, o);
+        self.caps.snap_load(r)?;
+        if (self.caps.domain_count() as usize) < self.procs.len() {
+            return Err(SnapError::Geometry("capability domain count"));
         }
         self.stats.remap_syscalls = r.u64()?;
         self.stats.controller_pages = r.u64()?;
@@ -1432,5 +1771,133 @@ mod tests {
         k.release_remap(&mut mc, &g).unwrap();
         assert_eq!(k.translate(r.start()).unwrap(), before);
         assert_eq!(k.tlb_span(r.start().raw() >> 12).1, 1);
+    }
+
+    #[test]
+    fn release_revokes_shared_receiver_alias_transitively() {
+        let (mut k, mut mc) = small_setup();
+        let buf = k.alloc_region(2 * PAGE_SIZE, 8).unwrap();
+        let grant = k.remap_recolor(&mut mc, buf, &[0]).unwrap();
+        let receiver = k.spawn();
+        let rx_alias = k.share_remap(&grant, receiver).unwrap();
+        k.switch(receiver).unwrap();
+        assert!(k.translate(rx_alias.start()).is_ok());
+        k.switch(Pid::INIT).unwrap();
+
+        // Release is a transitive revocation: the receiver's alias pages
+        // go stale together with the owner's (the stale-shared-alias
+        // leak regression).
+        let out = k.release_remap(&mut mc, &grant).unwrap();
+        assert!(out.caps_revoked >= 2, "root + derived alias revoked");
+        assert!(out.pages_unmapped >= grant.alias.page_count() + rx_alias.page_count());
+        assert!(out.cycles > 0, "revocation walk must charge cycles");
+
+        k.switch(receiver).unwrap();
+        for page in rx_alias.blocks(PAGE_SIZE) {
+            match k.translate(page) {
+                Err(OsError::RevokedCapability { stale, current, .. }) => {
+                    assert!(current > stale, "generation must have advanced");
+                }
+                other => panic!("expected RevokedCapability, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_release_reports_stale_generation() {
+        let (mut k, mut mc) = small_setup();
+        let x = k.alloc_region(PAGE_SIZE, 1).unwrap();
+        let g = k.remap_recolor(&mut mc, x, &[0]).unwrap();
+        k.release_remap(&mut mc, &g).unwrap();
+        match k.release_remap(&mut mc, &g) {
+            Err(OsError::RevokedCapability { stale, current, .. }) => {
+                assert_eq!(stale, g.cap.generation);
+                assert!(current > stale);
+            }
+            other => panic!("expected RevokedCapability, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retarget_rollback_survives_a_full_descriptor_table() {
+        let (mut k, mut mc) = small_setup();
+        let m = k.alloc_region(64 * 64 * 8, 8).unwrap();
+        let mut g = k
+            .remap_strided(&mut mc, m.start(), 64, 512, 8, PAGE_SIZE)
+            .unwrap();
+        // Occupy every remaining descriptor slot so the rollback must
+        // reuse the very slot the failed retarget just freed.
+        let mut fillers = Vec::new();
+        loop {
+            let r = k.alloc_region(PAGE_SIZE, 1).unwrap();
+            match k.remap_recolor(&mut mc, r, &[0]) {
+                Ok(f) => fillers.push(f),
+                Err(OsError::Mc(McError::NoFreeDescriptor)) => break,
+                Err(e) => panic!("unexpected fill error: {e:?}"),
+            }
+        }
+        // stride < object_size passes the syscall's span check but fails
+        // descriptor validation *after* the old descriptor was released:
+        // the error path must restore it, not leave the grant dangling.
+        let res = k.retarget_strided(&mut mc, &mut g, m.start(), 64, 32, 8);
+        assert!(matches!(res, Err(OsError::Mc(McError::BadDescriptor(_)))));
+        assert!(mc.descriptor(g.desc).is_some(), "old descriptor restored");
+        mc.read_line(k.translate(g.alias.start()).unwrap(), 0);
+        // A valid retarget and the eventual release still work.
+        let pages = k
+            .retarget_strided(&mut mc, &mut g, m.start().add(64), 64, 512, 8)
+            .unwrap();
+        assert!(pages > 0);
+        k.release_remap(&mut mc, &g).unwrap();
+        for f in &fillers {
+            k.release_remap(&mut mc, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_sharing_state_and_tombstones() {
+        let (mut k, mut mc) = small_setup();
+        let buf = k.alloc_region(2 * PAGE_SIZE, 8).unwrap();
+        let live = k.remap_recolor(&mut mc, buf, &[0]).unwrap();
+        let doomed_buf = k.alloc_region(PAGE_SIZE, 8).unwrap();
+        let doomed = k.remap_recolor(&mut mc, doomed_buf, &[1]).unwrap();
+        let receiver = k.spawn();
+        let (rx_alias, rx_cap) = k.share_remap_cap(&live, receiver).unwrap();
+        let (dead_alias, _) = k.share_remap_cap(&doomed, receiver).unwrap();
+        // Leave tombstones behind in the receiver's process entry.
+        k.release_remap(&mut mc, &doomed).unwrap();
+
+        let mut w = SnapWriter::new();
+        k.snap_save(&mut w);
+        let img = w.finish();
+
+        let mut k2 = Kernel::new(*k.config());
+        let mut r = SnapReader::new(&img);
+        k2.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Re-serialization is bit-exact.
+        let mut w2 = SnapWriter::new();
+        k2.snap_save(&mut w2);
+        assert_eq!(img, w2.finish(), "snapshot must round-trip bit-exactly");
+
+        // The live share still validates; tombstones still classify.
+        assert!(k2.caps_mut().validate(rx_cap, None).is_ok());
+        k2.switch(receiver).unwrap();
+        assert!(k2.translate(rx_alias.start()).is_ok());
+        assert!(matches!(
+            k2.translate(dead_alias.start()),
+            Err(OsError::RevokedCapability { .. })
+        ));
+
+        // Post-restore revocation behaves exactly like pre-snapshot:
+        // releasing the live grant tears the receiver alias down too.
+        k2.switch(Pid::INIT).unwrap();
+        k2.release_remap(&mut mc, &live).unwrap();
+        k2.switch(receiver).unwrap();
+        assert!(matches!(
+            k2.translate(rx_alias.start()),
+            Err(OsError::RevokedCapability { .. })
+        ));
     }
 }

@@ -1,0 +1,203 @@
+//! Tenant → capability-domain mapping: kernel-style enforced isolation
+//! for the experiment server.
+//!
+//! Admission control (see [`crate::admission`]) is *policy*: token
+//! buckets and queue high-watermarks decide who should get in. This
+//! module is *mechanism*: every tenant maps onto its own capability
+//! domain in a [`CapEngine`] — the same typed, generation-tagged engine
+//! that guards shadow descriptors in the OS model — and every in-flight
+//! request holds a **lease capability** granted in that domain. The
+//! per-tenant concurrency cap is therefore enforced by the capability
+//! table itself (a slot either holds a live generation or it does not),
+//! not by a counter that could drift under retries or crashes, and a
+//! finished request's lease dies through the same revocation path the
+//! kernel uses, so a stale lease handle can never be double-released
+//! into another tenant's budget.
+
+use std::collections::HashMap;
+
+use impulse_caps::{CapEngine, CapId, DomainId, Resource};
+
+use crate::proto::{Reject, RejectReason};
+
+/// Counters exported through the server's stats document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Tenant domains created (one per distinct tenant seen).
+    pub domains: u64,
+    /// Lease capabilities granted.
+    pub leases_granted: u64,
+    /// Lease capabilities revoked on request completion.
+    pub leases_revoked: u64,
+    /// Lease requests rejected because the tenant was at its cap.
+    pub rejected_leases: u64,
+    /// Releases that arrived with a stale or foreign capability (a
+    /// drifted client, or a lease already torn down).
+    pub stale_releases: u64,
+}
+
+/// The tenant → capability-domain registry. All methods are cheap; the
+/// server keeps one instance behind a mutex.
+#[derive(Clone, Debug)]
+pub struct TenantDomains {
+    engine: CapEngine,
+    domains: HashMap<String, DomainId>,
+    /// Maximum live lease capabilities per tenant domain.
+    max_leases: usize,
+    /// Monotonic ordinal making every lease resource distinct (leases
+    /// must never coalesce — each is individually revocable).
+    next_lease: u64,
+    stats: DomainStats,
+}
+
+impl TenantDomains {
+    /// Builds a registry enforcing `max_leases` concurrent in-flight
+    /// requests per tenant.
+    pub fn new(max_leases: usize) -> Self {
+        Self {
+            engine: CapEngine::new(),
+            domains: HashMap::new(),
+            max_leases: max_leases.max(1),
+            next_lease: 0,
+            stats: DomainStats::default(),
+        }
+    }
+
+    /// The tenant's capability domain, created on first sight.
+    pub fn domain_of(&mut self, tenant: &str) -> DomainId {
+        if let Some(&d) = self.domains.get(tenant) {
+            return d;
+        }
+        let d = self.engine.create_domain();
+        self.stats.domains += 1;
+        self.domains.insert(tenant.to_string(), d);
+        d
+    }
+
+    /// Grants a lease capability for one in-flight request.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Reject`] with [`RejectReason::QuotaExhausted`] once the
+    /// tenant's domain already holds `max_leases` live capabilities.
+    pub fn lease(&mut self, tenant: &str) -> Result<CapId, Reject> {
+        let domain = self.domain_of(tenant);
+        if self.engine.live_in_domain(domain) >= self.max_leases {
+            self.stats.rejected_leases += 1;
+            return Err(Reject {
+                reason: RejectReason::QuotaExhausted,
+                retry_after_ms: 100,
+            });
+        }
+        let start = self.next_lease;
+        self.next_lease += 1;
+        match self
+            .engine
+            .grant(domain, Resource::Region { start, len: 1 })
+        {
+            Ok(cap) => {
+                self.stats.leases_granted += 1;
+                Ok(cap)
+            }
+            Err(_) => {
+                // Table exhaustion is indistinguishable from quota
+                // pressure from the client's point of view.
+                self.stats.rejected_leases += 1;
+                Err(Reject {
+                    reason: RejectReason::QuotaExhausted,
+                    retry_after_ms: 1000,
+                })
+            }
+        }
+    }
+
+    /// Revokes a lease on request completion. Returns `false` (and
+    /// counts a stale release) if the capability is stale, foreign to
+    /// the tenant's domain, or the tenant was never seen — a drifted
+    /// handle must never free another request's budget.
+    pub fn release(&mut self, tenant: &str, cap: CapId) -> bool {
+        let Some(&domain) = self.domains.get(tenant) else {
+            self.stats.stale_releases += 1;
+            return false;
+        };
+        match self.engine.revoke(cap, Some(domain)) {
+            Ok(_) => {
+                self.stats.leases_revoked += 1;
+                true
+            }
+            Err(_) => {
+                self.stats.stale_releases += 1;
+                false
+            }
+        }
+    }
+
+    /// Live leases the tenant currently holds (0 for unknown tenants).
+    pub fn live(&self, tenant: &str) -> usize {
+        self.domains
+            .get(tenant)
+            .map_or(0, |&d| self.engine.live_in_domain(d))
+    }
+
+    /// Live leases across every tenant.
+    pub fn live_total(&self) -> usize {
+        self.engine.live()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> DomainStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_capped_per_tenant() {
+        let mut d = TenantDomains::new(2);
+        let a = d.lease("a").expect("first");
+        let _b = d.lease("a").expect("second");
+        let rej = d.lease("a").expect_err("at cap");
+        assert_eq!(rej.reason, RejectReason::QuotaExhausted);
+        // Another tenant is unaffected: isolation is per-domain.
+        assert!(d.lease("b").is_ok());
+        // Releasing frees exactly one slot.
+        assert!(d.release("a", a));
+        assert!(d.lease("a").is_ok());
+        assert_eq!(d.live("a"), 2);
+        assert_eq!(d.live("b"), 1);
+        assert_eq!(d.live_total(), 3);
+    }
+
+    #[test]
+    fn stale_and_foreign_releases_never_free_budget() {
+        let mut d = TenantDomains::new(1);
+        let a = d.lease("a").expect("lease");
+        assert!(d.release("a", a));
+        // Double release: the generation is stale.
+        assert!(!d.release("a", a));
+        // A fresh lease reuses the slot under a new generation; the old
+        // handle still cannot touch it.
+        let a2 = d.lease("a").expect("re-lease");
+        assert!(!d.release("a", a));
+        // Cross-tenant release: wrong domain.
+        d.lease("b").expect("lease b");
+        assert!(!d.release("b", a2));
+        assert_eq!(d.live("a"), 1);
+        let s = d.stats();
+        assert_eq!(s.leases_granted, 3);
+        assert_eq!(s.leases_revoked, 1);
+        assert_eq!(s.stale_releases, 3);
+    }
+
+    #[test]
+    fn unknown_tenant_release_is_counted() {
+        let mut d = TenantDomains::new(4);
+        let a = d.lease("a").expect("lease");
+        assert!(!d.release("never-seen", a));
+        assert_eq!(d.stats().stale_releases, 1);
+        assert_eq!(d.live("a"), 1);
+    }
+}

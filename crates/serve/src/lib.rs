@@ -13,6 +13,10 @@
 //! - [`admission`] — per-tenant token quotas, per-class queue caps, and
 //!   a Heracles-style controller that lets bulk work soak up idle
 //!   capacity without hurting interactive latency.
+//! - [`domains`] — tenants mapped onto capability domains of the same
+//!   generation-tagged engine that guards shadow descriptors; every
+//!   in-flight request holds a revocable lease capability, so the
+//!   per-tenant concurrency cap is enforced by the capability table.
 //! - [`store`] — the crash-consistent result journal: a result becomes
 //!   visible only after its record is fsync'd, and a torn tail from a
 //!   mid-write kill is truncated on reopen, never misread.
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod domains;
 pub mod proto;
 pub mod store;
 pub mod wire;
@@ -39,6 +44,7 @@ pub mod client;
 pub mod server;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats};
+pub use domains::{DomainStats, TenantDomains};
 pub use proto::{
     Class, Reject, RejectReason, Request, Response, RunRequest, RunResult, ServerError,
     ServerErrorKind,

@@ -37,6 +37,7 @@ use impulse_obs::Json;
 use impulse_types::ExperimentKey;
 
 use crate::admission::{Admission, AdmissionConfig};
+use crate::domains::TenantDomains;
 use crate::proto::{Class, Request, Response, RunRequest, RunResult, ServerError, ServerErrorKind};
 use crate::store::{Recovery, ResultStore, StoredResult};
 use crate::wire::{read_frame, write_frame, WireError};
@@ -77,6 +78,11 @@ pub struct ServerConfig {
     pub max_retries: u32,
     /// Admission-control tunables.
     pub admission: AdmissionConfig,
+    /// Maximum concurrently in-flight requests per tenant, enforced by
+    /// lease capabilities in the tenant's capability domain (see
+    /// [`crate::domains`]). Generous by default: the capability layer is
+    /// a backstop below the token buckets, not the primary throttle.
+    pub max_inflight_leases: usize,
     /// Server-side cap on how long a connection waits for a result.
     pub request_timeout_ms: u64,
     /// Idle-connection read timeout.
@@ -97,6 +103,7 @@ impl ServerConfig {
             watchdog_ms: 30_000,
             max_retries: 3,
             admission: AdmissionConfig::default(),
+            max_inflight_leases: 256,
             request_timeout_ms: 120_000,
             idle_timeout_ms: 30_000,
             publish_stall_ms: 0,
@@ -177,6 +184,7 @@ struct Inner {
     backend: Arc<dyn Backend>,
     started: Instant,
     admission: Mutex<Admission>,
+    domains: Mutex<TenantDomains>,
     store: Mutex<ResultStore>,
     inflight: Mutex<HashMap<ExperimentKey, Arc<Pending>>>,
     queues: Mutex<Queues>,
@@ -212,6 +220,7 @@ impl Server {
         let listener = UnixListener::bind(&cfg.socket)?;
         let inner = Arc::new(Inner {
             admission: Mutex::new(Admission::new(cfg.admission)),
+            domains: Mutex::new(TenantDomains::new(cfg.max_inflight_leases)),
             store: Mutex::new(store),
             inflight: Mutex::new(HashMap::new()),
             queues: Mutex::new(Queues::default()),
@@ -471,11 +480,11 @@ fn handle_run(inner: &Arc<Inner>, req: &RunRequest) -> Response {
     }
     // Dedup-or-admit, atomically under the inflight lock so two
     // identical requests can never both enqueue.
-    let (pending, deduped) = {
+    let (pending, deduped, lease) = {
         let mut inflight = inner.inflight.lock().expect("inflight lock");
         if let Some(p) = inflight.get(&key) {
             inner.counters.lock().expect("counters lock").dedups += 1;
-            (Arc::clone(p), true)
+            (Arc::clone(p), true, None)
         } else {
             let mut q = inner.queues.lock().expect("queues lock");
             let depth = match req.class {
@@ -491,6 +500,18 @@ fn handle_run(inner: &Arc<Inner>, req: &RunRequest) -> Response {
             if let Err(reject) = verdict {
                 return Response::Reject(reject);
             }
+            // Kernel-enforced backstop below the token buckets: the
+            // request holds a lease capability in the tenant's domain
+            // until its response is sent.
+            let lease = match inner
+                .domains
+                .lock()
+                .expect("domains lock")
+                .lease(&req.tenant)
+            {
+                Ok(cap) => cap,
+                Err(reject) => return Response::Reject(reject),
+            };
             let pending = Arc::new(Pending::new());
             let job = Job {
                 key,
@@ -506,14 +527,14 @@ fn handle_run(inner: &Arc<Inner>, req: &RunRequest) -> Response {
             drop(q);
             inflight.insert(key, Arc::clone(&pending));
             inner.queue_cv.notify_all();
-            (pending, false)
+            (pending, false, Some(lease))
         }
     };
     let mut wait_ms = inner.cfg.request_timeout_ms.max(1);
     if req.deadline_ms > 0 {
         wait_ms = wait_ms.min(req.deadline_ms);
     }
-    match pending.wait(Duration::from_millis(wait_ms)) {
+    let response = match pending.wait(Duration::from_millis(wait_ms)) {
         Some(Ok(result)) => Response::Result(RunResult {
             key_hex: key.hex(),
             cached: false,
@@ -526,7 +547,17 @@ fn handle_run(inner: &Arc<Inner>, req: &RunRequest) -> Response {
             ServerErrorKind::DeadlineExceeded,
             format!("no result within {wait_ms} ms"),
         )),
+    };
+    if let Some(cap) = lease {
+        // The lease dies with the request, whatever the outcome —
+        // deadline-exceeded included, or the tenant's budget would leak.
+        inner
+            .domains
+            .lock()
+            .expect("domains lock")
+            .release(&req.tenant, cap);
     }
+    response
 }
 
 fn stats_doc(inner: &Arc<Inner>) -> Json {
@@ -566,6 +597,18 @@ fn stats_doc(inner: &Arc<Inner>) -> Json {
     a.set("bulk_shrinks", Json::UInt(adm.bulk_shrinks));
     a.set("bulk_grows", Json::UInt(adm.bulk_grows));
     doc.set("admission", a);
+    let (dstats, live) = {
+        let d = inner.domains.lock().expect("domains lock");
+        (d.stats(), d.live_total())
+    };
+    let mut t = Json::obj();
+    t.set("domains", Json::UInt(dstats.domains));
+    t.set("live_leases", Json::UInt(live as u64));
+    t.set("leases_granted", Json::UInt(dstats.leases_granted));
+    t.set("leases_revoked", Json::UInt(dstats.leases_revoked));
+    t.set("rejected_leases", Json::UInt(dstats.rejected_leases));
+    t.set("stale_releases", Json::UInt(dstats.stale_releases));
+    doc.set("tenant_domains", t);
     doc
 }
 

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use impulse_os::{Kernel, OsError, Pid, RemapGrant};
+use impulse_os::{Kernel, OsError, Pid, RemapGrant, RevokeOutcome};
 use impulse_types::geom::PAGE_SIZE;
 use impulse_types::ident::digest64;
 use impulse_types::snap::{open, seal, SnapError, SnapReader, SnapWriter};
@@ -69,8 +69,10 @@ impl Machine {
             cfg.kernel.dram_capacity, cfg.dram.capacity,
             "kernel and DRAM must agree on installed capacity"
         );
+        let mut kernel = Kernel::new(cfg.kernel);
+        kernel.attach_caps_injector(cfg.faults.caps_injector());
         Self {
-            kernel: Kernel::new(cfg.kernel),
+            kernel,
             ms: MemorySystem::new(cfg),
             now: 0,
             epoch: 0,
@@ -197,6 +199,12 @@ impl Machine {
         &self.kernel
     }
 
+    /// Mutable access to the OS — the hook fault-injection harnesses use
+    /// to damage kernel state (e.g. the capability table) out-of-band.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
     /// The memory system (for stats and inspection).
     pub fn memory(&self) -> &MemorySystem {
         &self.ms
@@ -284,6 +292,37 @@ impl Machine {
         }
         if let Some(rec) = &mut self.recorder {
             rec.rec_store(v.raw());
+        }
+    }
+
+    /// Like [`Machine::load`], but surfaces translation faults as typed
+    /// errors instead of panicking — the entry point for workloads that
+    /// may race a revocation (a receiver streaming through a shared
+    /// alias whose owner revokes the grant mid-gather). On success it is
+    /// cycle-exact with `load`; on a fault the access traps into the
+    /// kernel (trap cost charged, failure counted) and the workload
+    /// keeps running — no stale data, no panic, no hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel's fault classification — notably
+    /// [`OsError::RevokedCapability`] for an access through a revoked
+    /// alias.
+    pub fn try_load(&mut self, v: VAddr) -> Result<(), OsError> {
+        // Consult the kernel, not the xlat memo: revocations invalidate
+        // the memo, so a revoked page can never be served from it, and
+        // the fault must carry the kernel's typed classification.
+        match self.kernel.translate(v) {
+            Ok(_) => {
+                self.load(v);
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(rec) = &mut self.recorder {
+                    rec.poison("try_load faulted: fault timing is not replayable");
+                }
+                Err(self.fail_syscall(e))
+            }
         }
     }
 
@@ -800,20 +839,41 @@ impl Machine {
     ///
     /// Fails unless the calling process owns the grant.
     pub fn sys_share(&mut self, grant: &RemapGrant, with: Pid) -> Result<VRange, OsError> {
-        let res = self.sys_share_inner(grant, with);
+        self.sys_share_cap(grant, with).map(|(alias, _)| alias)
+    }
+
+    /// Like [`Machine::sys_share`], but also returns the derived
+    /// capability handle protecting the receiver's alias — for explicit
+    /// handoff bookkeeping (a fork-style parent handing its buffers to a
+    /// child). Replays as a plain share: the capability handle is
+    /// deterministic kernel state, not a workload input.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the calling process owns the grant.
+    pub fn sys_share_cap(
+        &mut self,
+        grant: &RemapGrant,
+        with: Pid,
+    ) -> Result<(VRange, impulse_os::CapId), OsError> {
+        let res = self.sys_share_cap_inner(grant, with);
         if let Some(rec) = &mut self.recorder {
-            rec.share(grant, with, &res);
+            rec.share(grant, with, &res.as_ref().map(|&(alias, _)| alias));
         }
         res
     }
 
-    fn sys_share_inner(&mut self, grant: &RemapGrant, with: Pid) -> Result<VRange, OsError> {
-        let alias = self
+    fn sys_share_cap_inner(
+        &mut self,
+        grant: &RemapGrant,
+        with: Pid,
+    ) -> Result<(VRange, impulse_os::CapId), OsError> {
+        let (alias, cap) = self
             .kernel
-            .share_remap(grant, with)
+            .share_remap_cap(grant, with)
             .map_err(|e| self.fail_syscall(e))?;
         self.charge_syscall(alias.page_count());
-        Ok(alias)
+        Ok((alias, cap))
     }
 
     /// Releases a remap grant. Flushes the alias from the caches first
@@ -825,23 +885,51 @@ impl Machine {
     ///
     /// Propagates kernel/controller errors.
     pub fn sys_release(&mut self, grant: &RemapGrant) -> Result<(), OsError> {
-        let res = self.sys_release_inner(grant);
+        let res = self.sys_revoke_inner(grant);
         if let Some(rec) = &mut self.recorder {
+            rec.release(grant, &res);
+        }
+        res.map(|_| ())
+    }
+
+    /// Explicitly revokes a grant's capability, transitively tearing
+    /// down every receiver alias derived from it (see
+    /// [`Kernel::revoke_remap`]). Identical kernel effect to
+    /// [`Machine::sys_release`], but returns the [`RevokeOutcome`] —
+    /// how many capabilities died, how many pages were unmapped across
+    /// all address spaces, and the cycles the revocation walk cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/controller errors; a second revocation of the
+    /// same grant yields [`OsError::RevokedCapability`].
+    pub fn sys_revoke(&mut self, grant: &RemapGrant) -> Result<RevokeOutcome, OsError> {
+        let res = self.sys_revoke_inner(grant);
+        if let Some(rec) = &mut self.recorder {
+            // Replay-wise a revoke *is* a release: same kernel effect,
+            // same charges, so the existing release op replays it.
             rec.release(grant, &res);
         }
         res
     }
 
-    fn sys_release_inner(&mut self, grant: &RemapGrant) -> Result<(), OsError> {
+    fn sys_revoke_inner(&mut self, grant: &RemapGrant) -> Result<RevokeOutcome, OsError> {
         self.flush_region_inner(grant.alias);
         for page in grant.alias.blocks(PAGE_SIZE) {
             self.ms.tlb_shootdown(page);
         }
-        self.kernel
-            .release_remap(self.ms.mc_mut(), grant)
+        let out = self
+            .kernel
+            .revoke_remap(self.ms.mc_mut(), grant)
             .map_err(|e| self.fail_syscall(e))?;
-        self.charge_syscall(grant.alias.page_count());
-        Ok(())
+        // Charge the per-page download cost on every page the kernel
+        // actually touched — receiver aliases included (superpage
+        // restores re-map the owner range, hence the max).
+        self.charge_syscall(grant.alias.page_count().max(out.pages_unmapped));
+        // The revocation walk itself is kernel work on top of the trap.
+        self.now += out.cycles;
+        self.syscall_cycles += out.cycles;
+        Ok(out)
     }
 
     // ---- measurement ---------------------------------------------------
@@ -1307,6 +1395,41 @@ mod tests {
         m.load(g.alias.start());
         m.reset_stats();
         assert_eq!(m.syscall_failures(), 0, "epoch reset clears the counter");
+    }
+
+    #[test]
+    fn revocation_mid_stream_yields_typed_errors() {
+        let mut m = machine();
+        let buf = m.alloc_region(4 * PAGE_SIZE, 8).unwrap();
+        let grant = m.sys_recolor(buf, &[0, 1]).unwrap();
+        let receiver = m.sys_spawn();
+        let rx = m.sys_share(&grant, receiver).unwrap();
+        m.sys_switch(receiver).unwrap();
+        // The receiver starts streaming through the shared alias...
+        m.try_load(rx.start()).unwrap();
+        m.try_load(rx.start().add(8)).unwrap();
+        // ...the owner revokes the grant mid-stream...
+        m.sys_switch(Pid::INIT).unwrap();
+        let out = m.sys_revoke(&grant).unwrap();
+        assert!(out.caps_revoked >= 2, "root + derived receiver alias");
+        assert!(out.cycles > 0);
+        // ...and every subsequent receiver access faults with the typed
+        // revocation error: no stale data, no panic, no hang.
+        m.sys_switch(receiver).unwrap();
+        let failures = m.syscall_failures();
+        for i in 0..rx.page_count() {
+            match m.try_load(rx.start().add(i * PAGE_SIZE)) {
+                Err(OsError::RevokedCapability { .. }) => {}
+                other => panic!("expected RevokedCapability, got {other:?}"),
+            }
+        }
+        assert_eq!(m.syscall_failures(), failures + rx.page_count());
+        // A second revocation is itself a typed error.
+        m.sys_switch(Pid::INIT).unwrap();
+        assert!(matches!(
+            m.sys_revoke(&grant),
+            Err(OsError::RevokedCapability { .. })
+        ));
     }
 
     #[test]

@@ -220,6 +220,99 @@ fn fault_schedule_with_prefetch_resumes_bit_exactly() {
 }
 
 #[test]
+fn live_shares_and_revocation_resume_bit_exactly() {
+    // Satellite of the capability work: snapshot mid-scenario with
+    // shared and granted capabilities live (plus tombstones from an
+    // earlier release), restore, and demand that post-restore
+    // revocation behaves identically on both sides — receiver accesses
+    // yield the same typed errors, same charges, same clock.
+    let cfg = SystemConfig::paint_small();
+    let mut original = Machine::new(&cfg);
+
+    let data = plain_setup(&mut original);
+    let live = original.sys_recolor(data, &[0, 1]).expect("recolor");
+    let doomed_buf = original
+        .alloc_region(4 * impulse_types::geom::PAGE_SIZE, 8)
+        .expect("alloc");
+    let doomed = original.sys_recolor(doomed_buf, &[2]).expect("recolor");
+    let receiver = original.sys_spawn();
+    let rx = original.sys_share(&live, receiver).expect("share");
+    let dead_rx = original.sys_share(&doomed, receiver).expect("share");
+    // Tombstones live in the snapshot: this release tears down dead_rx.
+    original.sys_release(&doomed).expect("release");
+    drive(&mut original, live.alias, 600, 7);
+
+    let image = original.snapshot(&cfg);
+    let mut restored = Machine::restore(&cfg, &image).expect("restore");
+    assert_machines_identical(&original, &restored, "live shares (at snapshot)");
+
+    for m in [&mut original, &mut restored] {
+        // Receiver still reaches the live share, still faults on the
+        // revoked one, then loses the live one to a post-restore revoke.
+        m.sys_switch(receiver).expect("switch");
+        m.try_load(rx.start()).expect("live share readable");
+        assert!(matches!(
+            m.try_load(dead_rx.start()),
+            Err(impulse_os::OsError::RevokedCapability { .. })
+        ));
+        m.sys_switch(impulse_os::Pid::INIT).expect("switch back");
+        let out = m.sys_revoke(&live).expect("revoke");
+        assert!(out.caps_revoked >= 2);
+        m.sys_switch(receiver).expect("switch");
+        assert!(matches!(
+            m.try_load(rx.start()),
+            Err(impulse_os::OsError::RevokedCapability { .. })
+        ));
+    }
+    assert_machines_identical(&original, &restored, "live shares (after revoke)");
+
+    // Re-snapshotting the restored machine is still byte-identical.
+    assert_eq!(
+        original.snapshot(&cfg),
+        restored.snapshot(&cfg),
+        "post-revocation snapshots diverged"
+    );
+}
+
+#[test]
+fn caps_fault_schedule_resumes_bit_exactly() {
+    // The capability-table corruption injector carries an RNG stream and
+    // recovery statistics; both must survive a snapshot mid-schedule.
+    let faults = FaultConfig {
+        seed: 0xCA95,
+        caps_corrupt: Trigger::EveryN { every: 3, phase: 1 },
+        ..FaultConfig::none()
+    };
+    let cfg = SystemConfig::paint_small().with_faults(faults);
+    let mut original = Machine::new(&cfg);
+    let data = plain_setup(&mut original);
+    // Capability churn drives the injector clock (validations).
+    for _ in 0..6 {
+        let g = original.sys_recolor(data, &[0]).expect("recolor");
+        let _ = original.sys_release(&g);
+    }
+    drive(&mut original, data, 400, 3);
+
+    let image = original.snapshot(&cfg);
+    let mut restored = Machine::restore(&cfg, &image).expect("restore");
+    assert_machines_identical(&original, &restored, "caps faults (at snapshot)");
+
+    for m in [&mut original, &mut restored] {
+        for _ in 0..6 {
+            if let Ok(g) = m.sys_recolor(data, &[1]) {
+                let _ = m.sys_release(&g);
+            }
+        }
+    }
+    assert_machines_identical(&original, &restored, "caps faults (after resume)");
+    assert_eq!(
+        original.kernel().caps().fault_stats(),
+        restored.kernel().caps().fault_stats(),
+        "injector recovery statistics diverged"
+    );
+}
+
+#[test]
 fn restore_rejects_corruption_and_mismatch() {
     let cfg = SystemConfig::paint_small();
     let mut m = Machine::new(&cfg);
