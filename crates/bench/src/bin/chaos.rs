@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use impulse_bench::chaos::{chaos_document, chaos_jobs, cross_case_violations, ChaosOutcome};
 use impulse_bench::journal::{self, RunArtifacts};
-use impulse_bench::runner::{self, SuperviseOpts};
+use impulse_bench::runner::CommonArgs;
 
 const USAGE: &str = "usage: chaos [seed=N] [jobs=N] [out=results/chaos.json] \
 [journal=results/chaos-journal.jsonl] [watchdog_ms=N] [max_retries=K] [--resume]";
@@ -35,20 +35,14 @@ fn main() -> ExitCode {
     let journal_path = arg("journal=", "results/chaos-journal.jsonl");
     let resume = args.iter().any(|a| a == "--resume");
 
-    let typed = || -> Result<(usize, u64, SuperviseOpts), runner::ArgError> {
-        Ok((
-            runner::jobs_from_args(&args)?,
-            runner::u64_from_args(&args, "seed", 1999)?,
-            runner::supervise_from_args(&args)?,
-        ))
-    };
-    let (jobs, seed, opts) = match typed() {
-        Ok(v) => v,
+    let common = match CommonArgs::parse(&args, 1999) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
+    let (jobs, seed, opts) = (common.jobs, common.seed, common.supervise);
 
     let results = match journal::run_resumable(
         chaos_jobs(seed),

@@ -72,14 +72,26 @@ mod unix_main {
             (0..16).map(|i| format!("exp-{i}")).collect()
         }
 
-        fn config_digest(&self, experiment: &str, _seed: u64) -> Option<u64> {
-            self.names()
-                .iter()
-                .any(|n| n == experiment)
-                .then(|| impulse_types::ident::digest64(experiment.as_bytes()))
+        fn config_digest(
+            &self,
+            experiment: &str,
+            _seed: u64,
+            tier: impulse_types::TierPolicy,
+        ) -> Option<u64> {
+            self.names().iter().any(|n| n == experiment).then(|| {
+                impulse_types::ident::mix(
+                    impulse_types::ident::digest64(experiment.as_bytes()),
+                    impulse_types::ident::digest64(tier.name().as_bytes()),
+                )
+            })
         }
 
-        fn run(&self, experiment: &str, seed: u64) -> Result<StoredResult, String> {
+        fn run(
+            &self,
+            experiment: &str,
+            seed: u64,
+            _tier: impulse_types::TierPolicy,
+        ) -> Result<StoredResult, String> {
             thread::sleep(Duration::from_millis(self.delay_ms));
             self.executed.fetch_add(1, Ordering::SeqCst);
             Ok(StoredResult {
@@ -139,6 +151,7 @@ mod unix_main {
             tenant: "chaos".into(),
             class,
             deadline_ms,
+            tier: impulse_types::TierPolicy::None,
         }
     }
 
@@ -516,7 +529,7 @@ mod unix_main {
             .run(&run_req(experiment, ctx.seed, Class::Interactive, 0))
             .map_err(|e| format!("post-restart request failed: {e}"))?;
         let direct = CatalogBackend::new()
-            .run(experiment, ctx.seed)
+            .run(experiment, ctx.seed, impulse_types::TierPolicy::None)
             .map_err(|e| format!("direct run failed: {e}"))?;
         let shutdown_err = Client::new(&socket, quick_policy(), 3).shutdown().err();
         let _ = child.wait();

@@ -1,8 +1,8 @@
-//! Capability contention suite entry point: runs the multi-process
-//! grant/share/revoke scenarios, asserts the capability invariants, and
-//! writes `results/chaos_caps.json` (schema `impulse-caps-chaos-v1`).
+//! Hybrid-tier chaos suite entry point: runs the DRAM/SCM degradation
+//! scenarios, asserts the graceful-degradation invariants, and writes
+//! `results/chaos_tier.json` (schema `impulse-tier-chaos-v1`).
 //!
-//! Usage: `chaos_caps [seed=<N>] [jobs=<N>] [out=<path>]
+//! Usage: `chaos_tier [seed=<N>] [jobs=<N>] [out=<path>]
 //! [journal=<path>] [watchdog_ms=<N>] [max_retries=<K>] [--resume]`
 //!
 //! Cases fan across `jobs=<N>` worker threads; results are gathered in
@@ -17,12 +17,12 @@ use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 
-use impulse_bench::caps_chaos::{caps_chaos_document, caps_chaos_jobs, CapsOutcome};
 use impulse_bench::journal::{self, RunArtifacts};
 use impulse_bench::runner::CommonArgs;
+use impulse_bench::tier_chaos::{tier_chaos_document, tier_chaos_jobs, TierOutcome};
 
-const USAGE: &str = "usage: chaos_caps [seed=N] [jobs=N] [out=results/chaos_caps.json] \
-[journal=results/chaos-caps-journal.jsonl] [watchdog_ms=N] [max_retries=K] [--resume]";
+const USAGE: &str = "usage: chaos_tier [seed=N] [jobs=N] [out=results/chaos_tier.json] \
+[journal=results/chaos-tier-journal.jsonl] [watchdog_ms=N] [max_retries=K] [--resume]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,8 +31,8 @@ fn main() -> ExitCode {
             .find_map(|a| a.strip_prefix(prefix).map(String::from))
             .unwrap_or_else(|| default.to_string())
     };
-    let path = arg("out=", "results/chaos_caps.json");
-    let journal_path = arg("journal=", "results/chaos-caps-journal.jsonl");
+    let path = arg("out=", "results/chaos_tier.json");
+    let journal_path = arg("journal=", "results/chaos-tier-journal.jsonl");
     let resume = args.iter().any(|a| a == "--resume");
 
     let common = match CommonArgs::parse(&args, 1999) {
@@ -45,13 +45,13 @@ fn main() -> ExitCode {
     let (jobs, seed, opts) = (common.jobs, common.seed, common.supervise);
 
     let results = match journal::run_resumable(
-        caps_chaos_jobs(seed),
+        tier_chaos_jobs(seed),
         seed,
         jobs,
         &opts,
         Path::new(&journal_path),
         resume,
-        &|o: &CapsOutcome| RunArtifacts {
+        &|o: &TierOutcome| RunArtifacts {
             csv: String::new(),
             json: o.to_json(),
         },
@@ -65,12 +65,12 @@ fn main() -> ExitCode {
 
     // Rebuild the outcome list (submission order) from the artifacts;
     // journaled and freshly-run cases are indistinguishable here, which
-    // is what keeps resumed chaos_caps.json byte-identical.
-    let mut outcomes: Vec<CapsOutcome> = Vec::new();
+    // is what keeps resumed chaos_tier.json byte-identical.
+    let mut outcomes: Vec<TierOutcome> = Vec::new();
     let mut failures: Vec<(String, String)> = Vec::new();
     for (id, res) in &results {
         match res {
-            Ok(a) => match CapsOutcome::from_json(&a.json) {
+            Ok(a) => match TierOutcome::from_json(&a.json) {
                 Some(o) => outcomes.push(o),
                 None => failures.push((id.clone(), "journaled case failed to decode".into())),
             },
@@ -79,28 +79,29 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{:<20} {:>10} {:>8} {:>8} {:>9} {:>8} {:>8}",
-        "scenario", "cycles", "grants", "revokes", "stale", "typed", "corrupt"
+        "{:<26} {:>10} {:>8} {:>6} {:>8} {:>6} {:>8} {:>8}",
+        "scenario", "cycles", "accesses", "typed", "retired", "kills", "tagcorr", "eccfix"
     );
     for o in &outcomes {
         println!(
-            "{:<20} {:>10} {:>8} {:>8} {:>9} {:>8} {:>8}",
+            "{:<26} {:>10} {:>8} {:>6} {:>8} {:>6} {:>8} {:>8}",
             o.scenario,
             o.cycles,
-            o.grants,
-            o.revocations,
-            o.stale_denials,
+            o.accesses,
             o.typed_faults,
-            o.caps.corruptions
+            o.scm.wear_retirements,
+            o.fault.channel_kills,
+            o.fault.tag_corruptions,
+            o.ecc_corrected
         );
     }
 
-    let doc = caps_chaos_document(seed, &outcomes);
+    let doc = tier_chaos_document(seed, &outcomes);
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
-    let mut f = std::fs::File::create(&path).expect("create chaos_caps.json");
-    writeln!(f, "{doc:#}").expect("write chaos_caps.json");
+    let mut f = std::fs::File::create(&path).expect("create chaos_tier.json");
+    writeln!(f, "{doc:#}").expect("write chaos_tier.json");
     println!("wrote {path} (seed={seed}, {} cases)", outcomes.len());
     impulse_bench::print_artifacts(&[&path, &journal_path]);
 

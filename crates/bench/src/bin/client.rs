@@ -28,10 +28,12 @@ mod unix_main {
     use impulse_bench::runner::{self, ArgError};
     use impulse_obs::Json;
     use impulse_serve::{Class, Client, RetryPolicy, RunRequest};
+    use impulse_types::TierPolicy;
 
     const USAGE: &str = "usage: client <run <experiment>|catalog|stats|ping|shutdown> \
 [socket=impulse.sock] [seed=N] [tenant=cli] [class=interactive|bulk] [deadline_ms=N] \
-[attempts=N] [recv_timeout_ms=N] [jitter_seed=N] [jobs=N] [dup=N] [csv=<path>] [json=<path>]";
+[tier=none|flat|cache] [attempts=N] [recv_timeout_ms=N] [jitter_seed=N] [jobs=N] [dup=N] \
+[csv=<path>] [json=<path>]";
 
     struct Opts {
         socket: PathBuf,
@@ -39,6 +41,7 @@ mod unix_main {
         tenant: String,
         class: Class,
         deadline_ms: u64,
+        tier: TierPolicy,
         policy: RetryPolicy,
         jitter_seed: u64,
         jobs: usize,
@@ -68,12 +71,17 @@ mod unix_main {
             None => Class::Interactive,
             Some(s) => Class::parse(s).ok_or_else(|| format!("unknown class `{s}`"))?,
         };
+        let tier = match arg("tier=").as_deref() {
+            None => TierPolicy::None,
+            Some(s) => TierPolicy::parse(s).ok_or_else(|| format!("unknown tier `{s}`"))?,
+        };
         Ok(Opts {
             socket: PathBuf::from(arg("socket=").unwrap_or_else(|| "impulse.sock".into())),
             seed,
             tenant: arg("tenant=").unwrap_or_else(|| "cli".into()),
             class,
             deadline_ms,
+            tier,
             policy: RetryPolicy {
                 max_attempts: attempts.clamp(1, 1000) as u32,
                 recv_timeout_ms,
@@ -94,6 +102,7 @@ mod unix_main {
             tenant: opts.tenant.clone(),
             class: opts.class,
             deadline_ms: opts.deadline_ms,
+            tier: opts.tier,
         }
     }
 

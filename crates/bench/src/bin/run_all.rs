@@ -32,7 +32,7 @@
 //! `mc.gather`, `mc.prefetch`, `dram.access`) and the merged aggregates
 //! land in the BENCH record, so "where does host time go" is answered
 //! next to "how long did it take". Every run also appends one fsync'd
-//! rollup line (`impulse-bench-history-v1`, with the git revision and
+//! rollup line (`impulse-bench-history-v2`, with the git revision and
 //! seed) to `BENCH_history.jsonl` (`history=<path>`) — the committed
 //! PR-over-PR perf trajectory.
 //!
@@ -48,6 +48,15 @@
 //! fault schedules) falls back to its executed report and is marked
 //! `replayed = false`.
 //!
+//! `tier=flat|cache` re-organises every experiment's memory system
+//! under the given hybrid DRAM/SCM tier policy before it runs — the
+//! grid's tier axis. The default catalog already carries dedicated
+//! `tier/...` cells (the same workload across all three policies), so
+//! plain runs chart the tier cost next to the paper tables; the
+//! hybrid-tier cells always execute directly (`mode=replay` marks them
+//! `replayed = false` with a typed reason rather than mis-time SCM
+//! traffic).
+//!
 //! For the paper-layout tables with reference values, run the individual
 //! binaries (`table1`, `table2`, `fig1`, ...). For flight-recorder
 //! captures and heatmaps of this same catalog, run `trace record`.
@@ -59,18 +68,17 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use impulse_bench::experiments::{
-    catalog_entries, csv_from_outcomes, document_from_outcomes, report_artifacts,
-    run_all_experiments, Experiment, DEFAULT_SEED,
+    catalog_entries, csv_from_outcomes, document_from_outcomes, report_artifacts, DEFAULT_SEED,
 };
 use impulse_bench::journal;
 use impulse_bench::replay_mode;
-use impulse_bench::runner::{self, SharedJob, SuperviseOpts};
+use impulse_bench::runner::{self, CommonArgs, SharedJob};
 use impulse_obs::{prof, Json};
-use impulse_sim::Report;
+use impulse_sim::{Machine, Report};
 
 const USAGE: &str = "usage: run_all [mode=execute|replay] [out=results.csv] \
 [json=results/run_all.json] [bench=BENCH_run_all.json] [history=BENCH_history.jsonl] \
-[journal=results/journal.jsonl] [jobs=N] [seed=N] [profile=0|1] \
+[journal=results/journal.jsonl] [jobs=N] [seed=N] [tier=none|flat|cache] [profile=0|1] \
 [watchdog_ms=N] [max_retries=K] [--resume]";
 
 /// Per-experiment replay-backend phase walls and telemetry, collected
@@ -96,7 +104,14 @@ fn main() -> ExitCode {
             .find_map(|a| a.strip_prefix(prefix).map(String::from))
             .unwrap_or_else(|| default.to_string())
     };
-    let mode = arg("mode=", "execute");
+    let common = match CommonArgs::parse(&args, DEFAULT_SEED) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = common.mode.clone().unwrap_or_else(|| "execute".into());
     let replay = match mode.as_str() {
         "execute" => false,
         "replay" => true,
@@ -119,22 +134,14 @@ fn main() -> ExitCode {
     let journal_path = arg("journal=", journal_default);
     let resume = args.iter().any(|a| a == "--resume");
 
-    let typed = || -> Result<(usize, u64, u64, SuperviseOpts), runner::ArgError> {
-        Ok((
-            runner::jobs_from_args(&args)?,
-            runner::u64_from_args(&args, "seed", DEFAULT_SEED)?,
-            runner::u64_from_args(&args, "profile", 0)?,
-            runner::supervise_from_args(&args)?,
-        ))
-    };
-    let (jobs, seed, profile, opts) = match typed() {
-        Ok(v) => v,
+    let (jobs, seed, opts, tier) = (common.jobs, common.seed, common.supervise, common.tier);
+    let profile = match runner::u64_from_args(&args, "profile", 0) {
+        Ok(v) => v != 0,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let profile = profile != 0;
 
     // Wrap each job to record its wall time as it runs; resumed
     // (journal-reused) experiments never execute, so they are absent
@@ -150,13 +157,17 @@ fn main() -> ExitCode {
     // batched-replay backend; the report each job yields is the replayed
     // one, already asserted byte-identical to its own execution, so the
     // CSV/JSON artifacts below come out byte-identical to mode=execute.
+    // `tier=` re-organises every entry's memory system before it runs —
+    // the whole catalog under one hybrid-tier policy (the grid's tier
+    // axis; `tier=none` runs the catalog exactly as defined, including
+    // its own `tier/...` cells).
     let base_catalog: Vec<(String, SharedJob<Report>)> = if replay {
         catalog_entries(seed)
             .into_iter()
             .map(|entry| {
                 let id = entry.name().to_string();
                 let phases = replay_phases.clone();
-                let entry = Arc::new(entry);
+                let entry = Arc::new(entry.with_tier(tier));
                 let job: SharedJob<Report> = Arc::new(move || {
                     let run = replay_mode::replay_entry(&entry);
                     phases.lock().expect("phases lock").push(ReplayPhases {
@@ -178,9 +189,18 @@ fn main() -> ExitCode {
             })
             .collect()
     } else {
-        run_all_experiments(seed)
+        catalog_entries(seed)
             .into_iter()
-            .map(Experiment::into_job)
+            .map(|entry| {
+                let id = entry.name().to_string();
+                let entry = Arc::new(entry.with_tier(tier));
+                let job: SharedJob<Report> = Arc::new(move || {
+                    let mut m = Machine::new(entry.config());
+                    entry.drive(&mut m);
+                    m.report(entry.name().to_string())
+                });
+                (id, job)
+            })
             .collect()
     };
     let catalog: Vec<(String, SharedJob<Report>)> = base_catalog
@@ -264,6 +284,7 @@ fn main() -> ExitCode {
     let mut bench = Json::obj();
     bench.set("schema", Json::Str("impulse-bench-run-all-v1".into()));
     bench.set("mode", Json::Str(mode.clone()));
+    bench.set("tier", Json::Str(tier.name().to_string()));
     bench.set("jobs", Json::UInt(jobs as u64));
     bench.set("seed", Json::UInt(seed));
     bench.set("experiments_run", Json::UInt(timings.len() as u64));
@@ -376,6 +397,7 @@ fn main() -> ExitCode {
         serial_sum,
     );
     hist.set("mode", Json::Str(mode.clone()));
+    hist.set("tier", Json::Str(tier.name().to_string()));
     if let Some((execute_sum, codec_sum, eval_sum, replayed_count)) = replay_summary {
         hist.set("replay_execute_sum_wall_ns", Json::UInt(execute_sum));
         hist.set("replay_codec_sum_wall_ns", Json::UInt(codec_sum));

@@ -6,8 +6,10 @@
 //! result is to each.
 //!
 //! Sweeps: per-descriptor prefetch buffer size, non-shadow prefetch SRAM
-//! size, controller TLB entries, DRAM banks, and the DRAM scheduling
-//! policy. Overrides: `rows=`, `nnz=`, `seed=`, `jobs=` (worker threads;
+//! size, controller TLB entries, DRAM banks, the DRAM scheduling policy,
+//! and the hybrid memory tier (none / flat / DRAM-cache-over-SCM; tier
+//! points always execute — tier state is execution-ordered, so the
+//! replay backend refuses them and the harness falls back). Overrides: `rows=`, `nnz=`, `seed=`, `jobs=` (worker threads;
 //! default all hardware threads, `jobs=1` for the serial path), plus the
 //! crash-recovery knobs `journal=`, `timeout_ms=`, `attempts=`, and
 //! `--resume`.
@@ -43,6 +45,7 @@ use impulse_bench::Args;
 use impulse_dram::SchedulePolicy;
 use impulse_obs::Json;
 use impulse_sim::{Machine, ReplayCapture, Report, SystemConfig};
+use impulse_types::TierPolicy;
 use impulse_workloads::{Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern};
 
 const USAGE: &str = "usage: sweep [--paper] [mode=execute|replay] [rows=N] [nnz=N] \
@@ -216,6 +219,14 @@ fn main() -> ExitCode {
                 cfg.mc.sched = policy;
                 (policy.name().to_string(), cfg)
             })
+            .collect(),
+    ));
+
+    sections.push((
+        "hybrid memory tier (none / flat partition / DRAM cache over SCM)",
+        TierPolicy::ALL
+            .iter()
+            .map(|&policy| (policy.name().to_string(), base.clone().with_tier(policy)))
             .collect(),
     ));
 

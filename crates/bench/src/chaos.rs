@@ -85,6 +85,107 @@ impl ChaosWorkload {
     }
 }
 
+/// One injectable fault class, registered exactly once and consumed in
+/// three places: the scenario grid (each class names its dedicated
+/// single-class scenarios), the `storm` mixer (each class contributes
+/// its storm-mix knobs), and the `results/chaos.json` totals section
+/// (each class emits its counter rollup under `key`). Adding a fault
+/// class means adding one registry row — the grid, the storm, and the
+/// document schema pick it up from here, so they can never drift apart.
+pub struct FaultClass {
+    /// Stable totals key in `results/chaos.json` (`dram_ecc`, ...).
+    pub key: &'static str,
+    /// The dedicated single-class scenarios exercising this class.
+    pub scenarios: &'static [FaultScenario],
+    /// Adds this class's storm-mix knobs to a schedule.
+    storm: fn(&mut FaultConfig),
+    /// Emits this class's totals rollup over a finished grid.
+    totals: fn(&[ChaosOutcome]) -> Json,
+}
+
+/// The chaos fault-class registry, in stable document order.
+pub const FAULT_CLASSES: [FaultClass; 4] = [
+    FaultClass {
+        key: "dram_ecc",
+        scenarios: &[
+            FaultScenario::DramEcc,
+            FaultScenario::DramDouble,
+            FaultScenario::DramNoEcc,
+        ],
+        storm: |f| {
+            f.dram_flip = Trigger::EveryN {
+                every: 11,
+                phase: 3,
+            };
+            f.dram_double_permille = 100;
+        },
+        totals: |outcomes| {
+            let sum = |g: fn(&ChaosOutcome) -> u64| outcomes.iter().map(g).sum::<u64>();
+            let mut dram = Json::obj();
+            dram.set("corrected", Json::UInt(sum(|o| o.ecc.corrected)));
+            dram.set(
+                "detected_double",
+                Json::UInt(sum(|o| o.ecc.detected_double)),
+            );
+            dram.set("silent", Json::UInt(sum(|o| o.ecc.silent)));
+            dram.set(
+                "recovery_cycles",
+                Json::UInt(sum(|o| o.ecc.recovery_cycles)),
+            );
+            dram
+        },
+    },
+    FaultClass {
+        key: "bus",
+        scenarios: &[FaultScenario::BusTimeout],
+        storm: |f| f.bus_timeout = Trigger::Permille(20),
+        totals: |outcomes| {
+            let sum = |g: fn(&ChaosOutcome) -> u64| outcomes.iter().map(g).sum::<u64>();
+            let mut bus = Json::obj();
+            bus.set("timeouts", Json::UInt(sum(|o| o.bus.timeouts)));
+            bus.set("retries", Json::UInt(sum(|o| o.bus.retries)));
+            bus.set(
+                "recovery_cycles",
+                Json::UInt(sum(|o| o.bus.recovery_cycles)),
+            );
+            bus
+        },
+    },
+    FaultClass {
+        key: "pgtbl",
+        scenarios: &[FaultScenario::PgTbl],
+        storm: |f| f.pgtbl_corrupt = Trigger::Permille(10),
+        totals: |outcomes| {
+            let sum = |g: fn(&ChaosOutcome) -> u64| outcomes.iter().map(g).sum::<u64>();
+            let mut pgtbl = Json::obj();
+            pgtbl.set("corruptions", Json::UInt(sum(|o| o.pgtbl.corruptions)));
+            pgtbl.set("reloads", Json::UInt(sum(|o| o.pgtbl.reloads)));
+            pgtbl.set(
+                "recovery_cycles",
+                Json::UInt(sum(|o| o.pgtbl.recovery_cycles)),
+            );
+            pgtbl
+        },
+    },
+    FaultClass {
+        key: "caps",
+        scenarios: &[FaultScenario::Caps],
+        storm: |f| f.caps_corrupt = Trigger::EveryN { every: 3, phase: 1 },
+        totals: |outcomes| {
+            let sum = |g: fn(&ChaosOutcome) -> u64| outcomes.iter().map(g).sum::<u64>();
+            let mut caps = Json::obj();
+            caps.set("corruptions", Json::UInt(sum(|o| o.caps.corruptions)));
+            caps.set("reloads", Json::UInt(sum(|o| o.caps.reloads)));
+            caps.set(
+                "recovery_cycles",
+                Json::UInt(sum(|o| o.caps.recovery_cycles)),
+            );
+            caps.set("unrecoverable", Json::UInt(sum(|o| o.caps.unrecoverable)));
+            caps
+        },
+    },
+];
+
 /// Fault scenarios the grid crosses with each workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultScenario {
@@ -174,17 +275,15 @@ impl FaultScenario {
                 caps_corrupt: Trigger::EveryN { every: 2, phase: 0 },
                 ..base
             },
-            FaultScenario::Storm => FaultConfig {
-                dram_flip: Trigger::EveryN {
-                    every: 11,
-                    phase: 3,
-                },
-                dram_double_permille: 100,
-                bus_timeout: Trigger::Permille(20),
-                pgtbl_corrupt: Trigger::Permille(10),
-                caps_corrupt: Trigger::EveryN { every: 3, phase: 1 },
-                ..base
-            },
+            FaultScenario::Storm => {
+                // Every registered fault class at once: the storm mix is
+                // whatever the registry says, never a hand-kept copy.
+                let mut f = base;
+                for class in &FAULT_CLASSES {
+                    (class.storm)(&mut f);
+                }
+                f
+            }
         }
     }
 
@@ -584,43 +683,11 @@ pub fn chaos_document(seed: u64, outcomes: &[ChaosOutcome]) -> Json {
 
     let sum = |f: fn(&ChaosOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
     let mut totals = Json::obj();
-    let mut dram = Json::obj();
-    dram.set("corrected", Json::UInt(sum(|o| o.ecc.corrected)));
-    dram.set(
-        "detected_double",
-        Json::UInt(sum(|o| o.ecc.detected_double)),
-    );
-    dram.set("silent", Json::UInt(sum(|o| o.ecc.silent)));
-    dram.set(
-        "recovery_cycles",
-        Json::UInt(sum(|o| o.ecc.recovery_cycles)),
-    );
-    totals.set("dram_ecc", dram);
-    let mut bus = Json::obj();
-    bus.set("timeouts", Json::UInt(sum(|o| o.bus.timeouts)));
-    bus.set("retries", Json::UInt(sum(|o| o.bus.retries)));
-    bus.set(
-        "recovery_cycles",
-        Json::UInt(sum(|o| o.bus.recovery_cycles)),
-    );
-    totals.set("bus", bus);
-    let mut pgtbl = Json::obj();
-    pgtbl.set("corruptions", Json::UInt(sum(|o| o.pgtbl.corruptions)));
-    pgtbl.set("reloads", Json::UInt(sum(|o| o.pgtbl.reloads)));
-    pgtbl.set(
-        "recovery_cycles",
-        Json::UInt(sum(|o| o.pgtbl.recovery_cycles)),
-    );
-    totals.set("pgtbl", pgtbl);
-    let mut caps = Json::obj();
-    caps.set("corruptions", Json::UInt(sum(|o| o.caps.corruptions)));
-    caps.set("reloads", Json::UInt(sum(|o| o.caps.reloads)));
-    caps.set(
-        "recovery_cycles",
-        Json::UInt(sum(|o| o.caps.recovery_cycles)),
-    );
-    caps.set("unrecoverable", Json::UInt(sum(|o| o.caps.unrecoverable)));
-    totals.set("caps", caps);
+    // Per-class totals come from the registry, in registry order — the
+    // document schema and the storm mix share one source of truth.
+    for class in &FAULT_CLASSES {
+        totals.set(class.key, (class.totals)(outcomes));
+    }
     let mut degrade = Json::obj();
     degrade.set("remap_faults", Json::UInt(sum(|o| o.remap_faults)));
     degrade.set("rejected_reads", Json::UInt(sum(|o| o.rejected_reads)));
@@ -694,6 +761,40 @@ mod tests {
         let o = run_misuse_probe(1999);
         assert_eq!(o.syscall_failures, 3);
         assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn registry_covers_grid_storm_and_document() {
+        // Every registered class contributes knobs to the storm mix...
+        let quiet = FaultConfig::none();
+        for class in &FAULT_CLASSES {
+            let mut f = FaultConfig::none();
+            (class.storm)(&mut f);
+            assert!(
+                format!("{f:?}") != format!("{quiet:?}"),
+                "{} contributes nothing to the storm",
+                class.key
+            );
+            // ...names at least one dedicated scenario in the grid...
+            assert!(
+                !class.scenarios.is_empty(),
+                "{} has no dedicated scenario",
+                class.key
+            );
+            for s in class.scenarios {
+                assert!(FaultScenario::ALL.contains(s), "{} not in grid", s.name());
+            }
+        }
+        // ...and owns a totals section in the emitted document.
+        let doc = chaos_document(1, &[]);
+        let totals = doc.get("totals").expect("totals section");
+        for class in &FAULT_CLASSES {
+            assert!(
+                totals.get(class.key).is_some(),
+                "totals missing `{}`",
+                class.key
+            );
+        }
     }
 
     #[test]

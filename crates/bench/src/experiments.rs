@@ -16,6 +16,7 @@ use crate::runner::SharedJob;
 
 use impulse_obs::{Json, SketchConfig};
 use impulse_sim::{Machine, Report, SystemConfig};
+use impulse_types::TierPolicy;
 use impulse_workloads::{
     ChannelFilter, DbScan, DbVariant, Diagonal, DiagonalVariant, IpcGather, IpcVariant, Lu,
     LuVariant, MediaVariant, Mmp, MmpParams, MmpVariant, Smvp, SmvpVariant, SparsePattern,
@@ -219,9 +220,24 @@ impl CatalogEntry {
     pub fn drive(&self, m: &mut Machine) {
         (self.drive)(m);
     }
+
+    /// The same experiment under a different memory organisation.
+    /// [`TierPolicy::None`] leaves the catalogued configuration
+    /// untouched — it never strips a tier from the `tier/...` cells —
+    /// and an already-tiered cell keeps its own organisation (a
+    /// re-tier would re-derive the DRAM front from the *tiered*
+    /// capacity and shrink the visible space out from under the
+    /// workload).
+    #[must_use]
+    pub fn with_tier(mut self, tier: TierPolicy) -> Self {
+        if tier != TierPolicy::None && self.cfg.tier.policy == TierPolicy::None {
+            self.cfg = self.cfg.with_tier(tier);
+        }
+        self
+    }
 }
 
-/// The full `run_all` catalog (24 experiments at quick scale) in
+/// The full `run_all` catalog (28 experiments at quick scale) in
 /// factored form, in the canonical CSV/JSON row order. `seed` feeds
 /// every seeded input: the table-1 sparse pattern directly and the
 /// database scan's key salt via XOR.
@@ -354,10 +370,41 @@ pub fn catalog_entries(seed: u64) -> Vec<CatalogEntry> {
         ));
     }
 
+    // Hybrid-tier grid: the remapped transpose across all three tier
+    // policies (plain DRAM, address-partitioned flat, DRAM cache over
+    // SCM), plus a cache-mode gather cell that drives the MC-side fill
+    // buffer with cold SCM lines. Built on `paint_small` so the
+    // cache-mode DRAM front (1/16 of installed) is small enough for the
+    // working sets to spill into real SCM traffic.
+    for policy in TierPolicy::ALL {
+        out.push(CatalogEntry::new(
+            format!("tier/{}/transpose", policy.name()),
+            SystemConfig::paint_small().with_tier(policy),
+            move |m| {
+                let w = Transpose::setup(m, 512, TransposeVariant::Remapped).expect("transpose");
+                m.reset_stats();
+                w.column_reduce(m);
+            },
+        ));
+    }
+    out.push(CatalogEntry::new(
+        "tier/cache/dbscan-gather".to_string(),
+        SystemConfig::paint_small()
+            .with_prefetch(true, false)
+            .with_tier(TierPolicy::Cache),
+        move |m| {
+            let w =
+                DbScan::setup(m, 1 << 18, 64, 1 << 16, seed ^ 0xdb, DbVariant::ImpulseGather)
+                    .expect("db");
+            m.reset_stats();
+            w.fetch(m);
+        },
+    ));
+
     out
 }
 
-/// Builds the full `run_all` experiment list (24 experiments at quick
+/// Builds the full `run_all` experiment list (28 experiments at quick
 /// scale), in the canonical CSV/JSON row order. `seed` feeds every
 /// seeded input: the table-1 sparse pattern directly and the database
 /// scan's key salt via XOR.
@@ -371,7 +418,7 @@ pub fn run_all_experiments(seed: u64) -> Vec<Experiment> {
         .collect()
 }
 
-/// The same 24-experiment catalog with observability applied to every
+/// The same 28-experiment catalog with observability applied to every
 /// machine: each job's [`SystemConfig`] goes through `obs` before the
 /// machine is built, and the job returns the capture and heatmap next
 /// to the report. With [`ObsSpec::off`] the simulated results are
@@ -483,11 +530,13 @@ mod tests {
     #[test]
     fn catalog_names_are_unique_and_stable() {
         let exps = run_all_experiments(DEFAULT_SEED);
-        assert_eq!(exps.len(), 24);
+        assert_eq!(exps.len(), 28);
         let names: std::collections::HashSet<&str> = exps.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), exps.len(), "duplicate experiment names");
         assert_eq!(exps[0].name(), "table1/conventional/mc=false/l1=false");
         assert_eq!(exps[23].name(), "ipc/impulse no-copy gather");
+        assert_eq!(exps[24].name(), "tier/none/transpose");
+        assert_eq!(exps[27].name(), "tier/cache/dbscan-gather");
     }
 
     #[test]

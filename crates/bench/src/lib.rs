@@ -26,6 +26,7 @@ pub mod replay_mode;
 pub mod runner;
 #[cfg(unix)]
 pub mod serve_support;
+pub mod tier_chaos;
 
 use impulse_obs::Json;
 use impulse_sim::Report;

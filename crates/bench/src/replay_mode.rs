@@ -99,7 +99,8 @@ pub fn replay_entry(entry: &CatalogEntry) -> ReplayRun {
             return out;
         }
         None => {
-            out.fallback_reason = Some("unreplayable configuration (fault schedules)".into());
+            out.fallback_reason =
+                Some("unreplayable configuration (fault schedules or hybrid tiers)".into());
             return out;
         }
     };
@@ -178,7 +179,7 @@ pub fn capture_shared(
     drive: impl FnOnce(&mut Machine),
 ) -> Result<(Arc<ReplayCapture>, u64), String> {
     if !replayable(cfg) {
-        return Err("unreplayable configuration (fault schedules)".into());
+        return Err("unreplayable configuration (fault schedules or hybrid tiers)".into());
     }
     let t = Instant::now();
     let mut m = Machine::new(cfg);

@@ -53,6 +53,11 @@ pub enum ArgError {
         /// The offending value as given.
         value: String,
     },
+    /// `tier=` named no known tier policy.
+    UnknownTier {
+        /// The offending value as given.
+        value: String,
+    },
 }
 
 impl fmt::Display for ArgError {
@@ -64,6 +69,9 @@ impl fmt::Display for ArgError {
             }
             ArgError::NotANumber { key, value } => {
                 write!(f, "{key}= wants an unsigned integer, got `{value}`")
+            }
+            ArgError::UnknownTier { value } => {
+                write!(f, "tier= wants one of none|flat|cache, got `{value}`")
             }
         }
     }
@@ -192,6 +200,72 @@ pub fn supervise_from_args(args: &[String]) -> Result<SuperviseOpts, ArgError> {
         timeout: (watchdog_ms > 0).then(|| Duration::from_millis(watchdog_ms)),
         max_attempts: max_retries.min(u64::from(u32::MAX)) as u32,
     })
+}
+
+/// Parses a `tier=none|flat|cache` argument (alias: `tier_policy=`;
+/// `tier=` wins when both are given), defaulting to
+/// [`TierPolicy::None`] when absent.
+///
+/// # Errors
+///
+/// Unknown policy names are rejected with a typed [`ArgError`] rather
+/// than silently running untiered.
+pub fn tier_from_args(args: &[String]) -> Result<impulse_types::TierPolicy, ArgError> {
+    let value = args
+        .iter()
+        .rev()
+        .find_map(|a| a.strip_prefix("tier="))
+        .or_else(|| args.iter().rev().find_map(|a| a.strip_prefix("tier_policy=")));
+    match value {
+        None => Ok(impulse_types::TierPolicy::None),
+        Some(v) => impulse_types::TierPolicy::parse(v).ok_or_else(|| ArgError::UnknownTier {
+            value: v.to_string(),
+        }),
+    }
+}
+
+/// The `key=value` arguments every grid binary shares, parsed once and
+/// typed once: `jobs=` (worker count), `seed=` (master seed),
+/// `watchdog_ms=`/`max_retries=` (supervision; legacy `timeout_ms=` and
+/// `attempts=` aliases accepted), `mode=` (free-form backend selector),
+/// and `tier=none|flat|cache` (alias `tier_policy=`). New binaries get
+/// the whole vocabulary — including the tier axis — from one call
+/// instead of re-growing their own parsers.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Worker-thread count (`jobs=`, default: all hardware threads).
+    pub jobs: usize,
+    /// Master seed (`seed=`).
+    pub seed: u64,
+    /// Supervision policy (`watchdog_ms=`, `max_retries=` + aliases).
+    pub supervise: SuperviseOpts,
+    /// Backend/mode selector (`mode=`), when the binary has one.
+    pub mode: Option<String>,
+    /// Hybrid-tier policy (`tier=`, alias `tier_policy=`).
+    pub tier: impulse_types::TierPolicy,
+}
+
+impl CommonArgs {
+    /// Parses the shared vocabulary out of raw arguments, with
+    /// `default_seed` standing in when `seed=` is absent.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed shared argument is rejected with a typed
+    /// [`ArgError`]; unknown keys are ignored (they belong to the
+    /// binary's own vocabulary).
+    pub fn parse(args: &[String], default_seed: u64) -> Result<Self, ArgError> {
+        Ok(Self {
+            jobs: jobs_from_args(args)?,
+            seed: u64_from_args(args, "seed", default_seed)?,
+            supervise: supervise_from_args(args)?,
+            mode: args
+                .iter()
+                .rev()
+                .find_map(|a| a.strip_prefix("mode=").map(String::from)),
+            tier: tier_from_args(args)?,
+        })
+    }
 }
 
 /// Like [`run_ordered`], but wraps each result with the wall-clock time
@@ -483,6 +557,70 @@ mod tests {
                 value: "xyz".into()
             })
         );
+    }
+
+    #[test]
+    fn tier_args_are_typed_with_alias() {
+        use impulse_types::TierPolicy;
+        assert_eq!(tier_from_args(&[]), Ok(TierPolicy::None));
+        assert_eq!(tier_from_args(&["tier=flat".into()]), Ok(TierPolicy::Flat));
+        assert_eq!(
+            tier_from_args(&["tier_policy=cache".into()]),
+            Ok(TierPolicy::Cache),
+            "legacy-style alias accepted"
+        );
+        assert_eq!(
+            tier_from_args(&["tier_policy=cache".into(), "tier=flat".into()]),
+            Ok(TierPolicy::Flat),
+            "tier= wins over the alias"
+        );
+        assert_eq!(
+            tier_from_args(&["tier=warp".into()]),
+            Err(ArgError::UnknownTier {
+                value: "warp".into()
+            })
+        );
+        // Display strings are stable usage text.
+        assert_eq!(
+            ArgError::UnknownTier {
+                value: "warp".into()
+            }
+            .to_string(),
+            "tier= wants one of none|flat|cache, got `warp`"
+        );
+    }
+
+    #[test]
+    fn common_args_parse_the_shared_vocabulary_once() {
+        let args: Vec<String> = [
+            "jobs=2",
+            "seed=77",
+            "watchdog_ms=5000",
+            "max_retries=3",
+            "mode=replay",
+            "tier=cache",
+            "out=ignored.json",
+        ]
+        .map(String::from)
+        .to_vec();
+        let c = CommonArgs::parse(&args, 1).expect("parse");
+        assert_eq!(c.jobs, 2);
+        assert_eq!(c.seed, 77);
+        assert_eq!(c.supervise.timeout, Some(Duration::from_millis(5000)));
+        assert_eq!(c.supervise.max_attempts, 3);
+        assert_eq!(c.mode.as_deref(), Some("replay"));
+        assert_eq!(c.tier, impulse_types::TierPolicy::Cache);
+
+        let d = CommonArgs::parse(&[], 9).expect("defaults");
+        assert_eq!(d.seed, 9);
+        assert_eq!(d.mode, None);
+        assert_eq!(d.tier, impulse_types::TierPolicy::None);
+
+        // Legacy supervision aliases flow through unchanged.
+        let legacy: Vec<String> = ["timeout_ms=100", "attempts=4"].map(String::from).to_vec();
+        let l = CommonArgs::parse(&legacy, 0).expect("aliases");
+        assert_eq!(l.supervise.timeout, Some(Duration::from_millis(100)));
+        assert_eq!(l.supervise.max_attempts, 4);
     }
 
     fn shared<T, F: Fn() -> T + Send + Sync + 'static>(f: F) -> SharedJob<T> {

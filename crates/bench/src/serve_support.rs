@@ -3,11 +3,11 @@
 //!
 //! The byte-identity contract lives here: [`CatalogBackend::run`] goes
 //! through exactly the same job construction as the batch `run_all`
-//! binary ([`run_all_experiments`]), and stores exactly the strings the
-//! batch documents are assembled from — the CSV row and the compact
-//! JSON fragment — so a result served from the daemon's cache is
-//! byte-identical to the batch runner's artifact for the same
-//! `(config, seed)`.
+//! binary (build a [`Machine`] from the catalogued config, drive it,
+//! report), and stores exactly the strings the batch documents are
+//! assembled from — the CSV row and the compact JSON fragment — so a
+//! result served from the daemon's cache is byte-identical to the
+//! batch runner's artifact for the same `(config, seed, tier)`.
 //!
 //! Chaos hooks: with [`CatalogBackend::with_chaos_hooks`], three
 //! synthetic experiments (`__chaos/hang`, `__chaos/panic`,
@@ -23,8 +23,9 @@ use std::time::Duration;
 use impulse_serve::{Backend, StoredResult};
 use impulse_sim::Machine;
 use impulse_types::ident::{digest64, mix};
+use impulse_types::TierPolicy;
 
-use crate::experiments::{catalog_entries, report_artifacts, run_all_experiments};
+use crate::experiments::{catalog_entries, report_artifacts};
 
 /// Name prefix for the synthetic fault-injection experiments.
 pub const CHAOS_PREFIX: &str = "__chaos/";
@@ -45,7 +46,7 @@ impl Default for CatalogBackend {
 }
 
 impl CatalogBackend {
-    /// Production backend: exactly the 24 catalog experiments.
+    /// Production backend: exactly the 28 catalog experiments.
     pub fn new() -> Self {
         Self {
             chaos_hooks: false,
@@ -99,38 +100,51 @@ impl Backend for CatalogBackend {
         names
     }
 
-    fn config_digest(&self, experiment: &str, seed: u64) -> Option<u64> {
+    fn config_digest(&self, experiment: &str, seed: u64, tier: TierPolicy) -> Option<u64> {
         if experiment.starts_with(CHAOS_PREFIX) {
             if !self.chaos_hooks || !self.names().iter().any(|n| n == experiment) {
                 return None;
             }
-            return Some(digest64(experiment.as_bytes()));
+            return Some(mix(
+                digest64(experiment.as_bytes()),
+                digest64(tier.name().as_bytes()),
+            ));
         }
         // Several catalog entries share a SystemConfig (all `paint()`),
         // so the digest folds the name in next to the config
-        // fingerprint: same name + same machine config ⇒ same digest.
+        // fingerprint — and the tier override next to both, since the
+        // same experiment under a different memory organisation is a
+        // different cached result.
         catalog_entries(seed)
-            .iter()
+            .into_iter()
             .find(|e| e.name() == experiment)
             .map(|e| {
                 mix(
-                    digest64(experiment.as_bytes()),
-                    Machine::config_fingerprint(e.config()),
+                    mix(
+                        digest64(experiment.as_bytes()),
+                        digest64(tier.name().as_bytes()),
+                    ),
+                    Machine::config_fingerprint(e.with_tier(tier).config()),
                 )
             })
     }
 
-    fn run(&self, experiment: &str, seed: u64) -> Result<StoredResult, String> {
+    fn run(&self, experiment: &str, seed: u64, tier: TierPolicy) -> Result<StoredResult, String> {
         if experiment.starts_with(CHAOS_PREFIX) {
             return self.run_chaos_hook(experiment, seed);
         }
-        // Same construction path as the batch runner, so the simulated
-        // results — and their serialized artifacts — are identical.
-        let exp = run_all_experiments(seed)
+        // Same construction path as the batch runner (build from the
+        // catalogued config, drive, report), so for `tier = None` the
+        // simulated results — and their serialized artifacts — are
+        // byte-identical to the batch `run_all` output.
+        let entry = catalog_entries(seed)
             .into_iter()
             .find(|e| e.name() == experiment)
-            .ok_or_else(|| format!("no catalog entry named `{experiment}`"))?;
-        let report = exp.run();
+            .ok_or_else(|| format!("no catalog entry named `{experiment}`"))?
+            .with_tier(tier);
+        let mut m = Machine::new(entry.config());
+        entry.drive(&mut m);
+        let report = m.report(entry.name().to_string());
         let artifacts = report_artifacts(&report);
         Ok(StoredResult {
             csv: artifacts.csv,
@@ -148,38 +162,59 @@ mod tests {
     fn digests_are_stable_and_name_sensitive() {
         let b = CatalogBackend::new();
         let d1 = b
-            .config_digest("ipc/software gather (copy)", DEFAULT_SEED)
+            .config_digest("ipc/software gather (copy)", DEFAULT_SEED, TierPolicy::None)
             .expect("known");
         let d2 = b
-            .config_digest("ipc/software gather (copy)", DEFAULT_SEED)
+            .config_digest("ipc/software gather (copy)", DEFAULT_SEED, TierPolicy::None)
             .expect("known");
         assert_eq!(d1, d2, "digest must be deterministic");
         let other = b
-            .config_digest("ipc/impulse no-copy gather", DEFAULT_SEED)
+            .config_digest("ipc/impulse no-copy gather", DEFAULT_SEED, TierPolicy::None)
             .expect("known");
         assert_ne!(d1, other, "same config, different name ⇒ different digest");
-        assert_eq!(b.config_digest("no/such/experiment", DEFAULT_SEED), None);
+        assert_eq!(
+            b.config_digest("no/such/experiment", DEFAULT_SEED, TierPolicy::None),
+            None
+        );
+    }
+
+    #[test]
+    fn digests_are_tier_sensitive() {
+        let b = CatalogBackend::new();
+        let mut seen = std::collections::HashSet::new();
+        for tier in TierPolicy::ALL {
+            let d = b
+                .config_digest("fig1/conventional", DEFAULT_SEED, tier)
+                .expect("known");
+            assert!(seen.insert(d), "tier {} collides", tier.name());
+        }
     }
 
     #[test]
     fn chaos_hooks_are_invisible_unless_enabled() {
         let plain = CatalogBackend::new();
-        assert_eq!(plain.config_digest("__chaos/flaky", 1), None);
-        assert_eq!(plain.names().len(), 24);
+        assert_eq!(plain.config_digest("__chaos/flaky", 1, TierPolicy::None), None);
+        assert_eq!(plain.names().len(), 28);
         let chaotic = CatalogBackend::with_chaos_hooks();
-        assert!(chaotic.config_digest("__chaos/flaky", 1).is_some());
-        assert_eq!(chaotic.names().len(), 27);
-        assert_eq!(chaotic.config_digest("__chaos/bogus", 1), None);
+        assert!(chaotic
+            .config_digest("__chaos/flaky", 1, TierPolicy::None)
+            .is_some());
+        assert_eq!(chaotic.names().len(), 31);
+        assert_eq!(chaotic.config_digest("__chaos/bogus", 1, TierPolicy::None), None);
     }
 
     #[test]
     fn flaky_hook_fails_then_succeeds() {
         let b = CatalogBackend::with_chaos_hooks();
         for i in 1..=FLAKY_FAILURES {
-            let err = b.run("__chaos/flaky", 7).expect_err("injected failure");
+            let err = b
+                .run("__chaos/flaky", 7, TierPolicy::None)
+                .expect_err("injected failure");
             assert!(err.contains(&format!("#{i}")), "got: {err}");
         }
-        let ok = b.run("__chaos/flaky", 7).expect("succeeds after retries");
+        let ok = b
+            .run("__chaos/flaky", 7, TierPolicy::None)
+            .expect("succeeds after retries");
         assert_eq!(ok.csv, "__chaos/flaky,7,ok");
     }
 }

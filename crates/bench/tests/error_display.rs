@@ -72,14 +72,23 @@ fn exemplars() -> Vec<(ImpulseError, &'static str)> {
             ImpulseError::CapTableCorrupt { slot: 5 },
             "capability table entry 5 failed its integrity check and could not be recovered",
         ),
+        (
+            ImpulseError::Mc(McError::TierDegraded { channel: 2 }),
+            "memory controller error: tier degraded: DRAM channel 2 is offline",
+        ),
+        (
+            ImpulseError::Mc(McError::LineRetired { line: 0x40 }),
+            "memory controller error: SCM line 0x40 is permanently retired",
+        ),
     ]
 }
 
 #[test]
 fn every_variant_has_a_stable_display_string() {
     let cases = exemplars();
-    // One exemplar per variant (Vm gets both of its inner shapes).
-    assert_eq!(cases.len(), 13);
+    // One exemplar per variant (Vm gets both of its inner shapes; Mc
+    // additionally freezes both hybrid-tier degradation errors).
+    assert_eq!(cases.len(), 15);
     for (err, expected) in &cases {
         assert_eq!(&err.to_string(), expected, "{err:?} rendering drifted");
         // The alias renders identically, of course — it IS the type.

@@ -1,13 +1,18 @@
 //! The replay backend's central contract: `mode=replay` must produce
 //! artifacts **byte-identical** to `mode=execute` over the full
-//! 24-experiment catalog, at any worker count.
+//! 28-experiment catalog, at any worker count.
 //!
 //! Two layers:
 //!
-//! * Every catalog entry must actually replay (`replayed == true`) —
-//!   a silent fallback to the executed report would make the speedup
-//!   numbers in `BENCH_run_all.json` fiction.
-//! * The serialized CSV and JSON documents assembled from replayed
+//! * Every replayable catalog entry must actually replay
+//!   (`replayed == true`) — a silent fallback to the executed report
+//!   would make the speedup numbers in `BENCH_run_all.json` fiction.
+//!   Cells with an active tier policy (flat or cache) are the
+//!   documented exception: they must *refuse* to replay with a typed
+//!   reason and fall back to the executed report, never silently
+//!   mis-time tier traffic. The `tier/none` baseline cell has no tier
+//!   engine and replays like any other entry.
+//! * The serialized CSV and JSON documents assembled from replay-mode
 //!   reports must equal the ones assembled from direct executions,
 //!   byte for byte, and must not depend on the worker count.
 
@@ -15,6 +20,7 @@ use impulse_bench::experiments::{catalog_entries, json_document, DEFAULT_SEED};
 use impulse_bench::replay_mode;
 use impulse_bench::runner;
 use impulse_sim::{Machine, Report};
+use impulse_types::TierPolicy;
 
 /// Serializes reports exactly as the `run_all` binary does.
 fn serialize(reports: &[Report]) -> (String, String) {
@@ -53,16 +59,36 @@ fn replay_all(workers: usize) -> Vec<replay_mode::ReplayRun> {
 fn full_catalog_replays_byte_identical_to_execution() {
     let executed = serialize(&execute_all());
 
+    let entries = catalog_entries(DEFAULT_SEED);
     let runs = replay_all(4);
-    assert_eq!(runs.len(), 24, "the catalog is 24 experiments");
-    for run in &runs {
-        assert!(
-            run.replayed,
-            "{} fell back to execution: {:?}",
-            run.report.name, run.fallback_reason
-        );
-        assert!(run.raw_ops > 0 && run.folded_ops > 0);
+    assert_eq!(runs.len(), 28, "the catalog is 28 experiments");
+    let mut replayed_count = 0usize;
+    for (run, entry) in runs.iter().zip(&entries) {
+        if entry.config().tier.policy != TierPolicy::None {
+            // Tier machines must fall back with the typed reason, not
+            // pretend the batched evaluator timed SCM traffic.
+            assert!(
+                !run.replayed,
+                "{} must refuse to replay (tier state is execution-ordered)",
+                run.report.name
+            );
+            assert_eq!(
+                run.fallback_reason.as_deref(),
+                Some("unreplayable configuration (fault schedules or hybrid tiers)"),
+                "{}",
+                run.report.name
+            );
+        } else {
+            assert!(
+                run.replayed,
+                "{} fell back to execution: {:?}",
+                run.report.name, run.fallback_reason
+            );
+            assert!(run.raw_ops > 0 && run.folded_ops > 0);
+            replayed_count += 1;
+        }
     }
+    assert_eq!(replayed_count, 25, "every tierless entry replays");
     let reports: Vec<Report> = runs.iter().map(|r| r.report.clone()).collect();
     let replayed = serialize(&reports);
 

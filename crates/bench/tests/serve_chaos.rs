@@ -18,6 +18,7 @@ use impulse_serve::{
     Backend, Class, Client, ClientError, Response, RetryPolicy, RunRequest, Server, ServerConfig,
     ServerError, ServerErrorKind, StoredResult,
 };
+use impulse_types::TierPolicy;
 
 struct TinyBackend {
     executed: AtomicU64,
@@ -36,14 +37,16 @@ impl Backend for TinyBackend {
         vec!["tiny/a".into(), "tiny/b".into()]
     }
 
-    fn config_digest(&self, experiment: &str, _seed: u64) -> Option<u64> {
-        self.names()
-            .iter()
-            .any(|n| n == experiment)
-            .then(|| impulse_types::ident::digest64(experiment.as_bytes()))
+    fn config_digest(&self, experiment: &str, _seed: u64, tier: TierPolicy) -> Option<u64> {
+        self.names().iter().any(|n| n == experiment).then(|| {
+            impulse_types::ident::mix(
+                impulse_types::ident::digest64(experiment.as_bytes()),
+                impulse_types::ident::digest64(tier.name().as_bytes()),
+            )
+        })
     }
 
-    fn run(&self, experiment: &str, seed: u64) -> Result<StoredResult, String> {
+    fn run(&self, experiment: &str, seed: u64, _tier: TierPolicy) -> Result<StoredResult, String> {
         thread::sleep(Duration::from_millis(50));
         self.executed.fetch_add(1, Ordering::SeqCst);
         Ok(StoredResult {
@@ -87,6 +90,7 @@ fn req(experiment: &str, seed: u64) -> RunRequest {
         tenant: "test".into(),
         class: Class::Interactive,
         deadline_ms: 0,
+        tier: TierPolicy::None,
     }
 }
 
@@ -143,6 +147,15 @@ fn lifecycle_coalesce_cache_restart() {
         .expect("other seed");
     assert!(!other.cached);
     assert_eq!(counted.executed.load(Ordering::SeqCst), 2);
+
+    // A different tier policy is a different cache identity too.
+    let mut tiered_req = req("tiny/a", 5);
+    tiered_req.tier = TierPolicy::Cache;
+    let tiered = Client::new(&socket, policy(), 20)
+        .run(&tiered_req)
+        .expect("tiered request");
+    assert!(!tiered.cached, "tier must be part of the cache key");
+    assert_eq!(counted.executed.load(Ordering::SeqCst), 3);
 
     // Unknown experiments and malformed frames are typed, not hangs.
     let err = Client::new(&socket, policy(), 11)

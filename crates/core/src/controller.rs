@@ -27,6 +27,7 @@ use crate::flight::{FlightGeom, FlightRecorder, HitClass};
 use crate::pgtbl::{PgTbl, PgTblConfig, PgTblStats};
 use crate::prefetch::{PrefetchCache, PrefetchStats};
 use crate::remap::{RemapFn, Segment};
+use crate::tier::{TierEngine, TierStats};
 
 /// Identifier of a configured shadow descriptor slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -58,6 +59,18 @@ pub enum McError {
     /// A gather touched a pseudo-virtual page with no mapping downloaded
     /// to the controller page table.
     PvUnmapped(u64),
+    /// A flat-mode tier access targeted a DRAM channel killed by the
+    /// tier-fail fault; the partition it served is offline.
+    TierDegraded {
+        /// The dead DRAM channel (bank) index.
+        channel: u64,
+    },
+    /// The access touched an SCM line permanently retired by write
+    /// wear after the spare pool was exhausted.
+    LineRetired {
+        /// The dead SCM line index.
+        line: u64,
+    },
 }
 
 impl fmt::Display for McError {
@@ -80,6 +93,12 @@ impl fmt::Display for McError {
                     f,
                     "pseudo-virtual page {page:#x} is not mapped in the controller"
                 )
+            }
+            McError::TierDegraded { channel } => {
+                write!(f, "tier degraded: DRAM channel {channel} is offline")
+            }
+            McError::LineRetired { line } => {
+                write!(f, "SCM line {line:#x} is permanently retired")
             }
         }
     }
@@ -222,6 +241,9 @@ pub struct MemController {
     /// common path one pointer each.
     flight: Option<Box<FlightRecorder>>,
     hot: Option<Box<HotSketch>>,
+    /// The hybrid-memory tier engine (SCM + policy state); `None` on a
+    /// classic single-tier machine, which keeps the direct DRAM path.
+    tier: Option<Box<TierEngine>>,
 }
 
 /// Drains pending injected bit flips from the DRAM array and runs them
@@ -241,6 +263,24 @@ fn scrub_flips(dram: &mut Dram, ecc: &EccConfig, stats: &mut EccStats) -> Cycle 
         penalty += stats.absorb(outcome, t, addr);
     }
     penalty
+}
+
+/// Routes one data access either straight to DRAM (single-tier machine)
+/// or through the tier engine. A free function over the two fields so
+/// the gather path, which destructures the controller, can use it too.
+fn tier_route(
+    tier: &mut Option<Box<TierEngine>>,
+    dram: &mut Dram,
+    addr: MAddr,
+    kind: AccessKind,
+    bytes: u64,
+    now: Cycle,
+    gather: bool,
+) -> Result<Cycle, McError> {
+    match tier.as_deref_mut() {
+        Some(t) => t.access(dram, addr, kind, bytes, now, gather),
+        None => Ok(dram.access(addr, kind, bytes, now)),
+    }
 }
 
 impl MemController {
@@ -282,9 +322,48 @@ impl MemController {
                 ))
             }),
             hot: cfg.hotness.map(|s| Box::new(HotSketch::new(s))),
+            tier: None,
             dram,
             cfg,
         }
+    }
+
+    /// Attaches a hybrid-memory tier engine. The bus-visible capacity
+    /// changes to the tier's (shadow space moves up accordingly), and
+    /// every data access routes through the tier from here on; the
+    /// controller page table's walk path stays pinned in DRAM. Call
+    /// before [`set_faults`](Self::set_faults) so the tier's fault
+    /// planes get wired.
+    pub fn attach_tier(&mut self, engine: TierEngine) {
+        self.shadow_base = engine.visible_capacity();
+        self.tier = Some(Box::new(engine));
+    }
+
+    /// The tier engine, when one is attached.
+    pub fn tier(&self) -> Option<&TierEngine> {
+        self.tier.as_deref()
+    }
+
+    /// Tier engine counters (zeros on a single-tier machine).
+    pub fn tier_stats(&self) -> TierStats {
+        self.tier.as_deref().map(TierEngine::stats).unwrap_or_default()
+    }
+
+    /// Tier fault counters (zeros when no tier or no tier faults).
+    pub fn tier_fault_stats(&self) -> impulse_fault::TierFaultStats {
+        self.tier
+            .as_deref()
+            .map(TierEngine::fault_stats)
+            .unwrap_or_default()
+    }
+
+    /// ECC bookkeeping for the SCM's raw bit-error stream (zeros on a
+    /// single-tier machine).
+    pub fn scm_ecc_stats(&self) -> EccStats {
+        self.tier
+            .as_deref()
+            .map(TierEngine::scm_ecc_stats)
+            .unwrap_or_default()
     }
 
     /// Feeds one classified transaction to the flight recorder and the
@@ -310,6 +389,9 @@ impl MemController {
         }
         if let Some(inj) = faults.pgtbl_injector() {
             self.pgtbl.set_fault_injector(inj);
+        }
+        if let Some(t) = self.tier.as_deref_mut() {
+            t.set_faults(faults);
         }
     }
 
@@ -360,6 +442,9 @@ impl MemController {
         self.lat_shadow = Histogram::new();
         self.lat_shadow_hit = Histogram::new();
         self.ecc_stats = EccStats::default();
+        if let Some(t) = self.tier.as_deref_mut() {
+            t.reset_stats();
+        }
         if let Some(f) = self.flight.as_deref_mut() {
             f.clear();
         }
@@ -588,7 +673,10 @@ impl MemController {
     ///
     /// [`McError::NoDescriptor`] when a shadow address matches no
     /// configured descriptor; [`McError::PvUnmapped`] when a gather
-    /// touches a pseudo-virtual page with no downloaded mapping.
+    /// touches a pseudo-virtual page with no downloaded mapping;
+    /// [`McError::TierDegraded`] / [`McError::LineRetired`] when an
+    /// attached hybrid tier rejects the access (dead DRAM channel in
+    /// flat mode, worn-out SCM line).
     pub fn try_read_line_attributed(
         &mut self,
         p: PAddr,
@@ -597,7 +685,7 @@ impl MemController {
         let r = if self.is_shadow(p) {
             self.read_shadow(p, now)
         } else {
-            Ok(self.read_physical(p, now))
+            self.read_physical(p, now)
         };
         if r.is_err() {
             self.note_access(now, p.raw(), HitClass::NackRead, None);
@@ -631,7 +719,7 @@ impl MemController {
         let r = if self.is_shadow(p) {
             self.write_shadow(p, now)
         } else {
-            Ok(self.write_physical(p, now))
+            self.write_physical(p, now)
         };
         if r.is_err() {
             self.note_access(now, p.raw(), HitClass::NackWrite, None);
@@ -651,8 +739,7 @@ impl MemController {
 
     // ---- non-shadow path -------------------------------------------------
 
-    fn read_physical(&mut self, p: PAddr, now: Cycle) -> (Cycle, McBreakdown) {
-        self.stats.line_reads += 1;
+    fn read_physical(&mut self, p: PAddr, now: Cycle) -> Result<(Cycle, McBreakdown), McError> {
         let mut bd = McBreakdown {
             frontend: self.cfg.t_overhead,
             ..McBreakdown::default()
@@ -661,20 +748,27 @@ impl MemController {
         let line = p.align_down(self.cfg.line_bytes);
         if self.cfg.prefetch_nonshadow {
             if let Some(ready) = self.pf.demand_lookup(line, t) {
+                self.stats.line_reads += 1;
                 let data = ready.max(t) + self.cfg.t_sram;
                 bd.sram = data - t;
                 self.lat_pf_hit.record(data - now);
                 self.note_access(now, line.raw(), HitClass::DirectSramHit, None);
                 self.obl_prefetch(line.add(self.cfg.line_bytes), data);
-                return (data, bd);
+                return Ok((data, bd));
             }
         }
-        let raw_done = self.dram.access(
+        // Tier errors (dead channel, retired line) propagate before the
+        // read is counted: the caller NACKs and accounts the rejection.
+        let raw_done = tier_route(
+            &mut self.tier,
+            &mut self.dram,
             MAddr::new(line.raw()),
             AccessKind::Load,
             self.cfg.line_bytes,
             t,
-        );
+            false,
+        )?;
+        self.stats.line_reads += 1;
         bd.dram = raw_done - t;
         // ECC sits on the controller's return path: flips that occurred
         // in the array are corrected (or flagged) here, delaying the data.
@@ -686,38 +780,49 @@ impl MemController {
         if self.cfg.prefetch_nonshadow {
             self.obl_prefetch(line.add(self.cfg.line_bytes), done);
         }
-        (done, bd)
+        Ok((done, bd))
     }
 
-    fn write_physical(&mut self, p: PAddr, now: Cycle) -> Cycle {
-        self.stats.line_writes += 1;
+    fn write_physical(&mut self, p: PAddr, now: Cycle) -> Result<Cycle, McError> {
         let line = p.align_down(self.cfg.line_bytes);
-        self.note_access(now, line.raw(), HitClass::StoreDirect, None);
+        // Invalidate before the access: conservative and safe even when
+        // the write is then rejected by a degraded tier.
         self.pf.invalidate(line);
-        let done = self.dram.access(
+        let done = tier_route(
+            &mut self.tier,
+            &mut self.dram,
             MAddr::new(line.raw()),
             AccessKind::Store,
             self.cfg.line_bytes,
             now + self.cfg.t_overhead,
-        );
-        done + scrub_flips(&mut self.dram, &self.ecc, &mut self.ecc_stats)
+            false,
+        )?;
+        self.stats.line_writes += 1;
+        self.note_access(now, line.raw(), HitClass::StoreDirect, None);
+        Ok(done + scrub_flips(&mut self.dram, &self.ecc, &mut self.ecc_stats))
     }
 
-    /// One-block-lookahead prefetch into the 2 KB SRAM.
+    /// One-block-lookahead prefetch into the 2 KB SRAM. Speculative:
+    /// silently abandoned when the tier rejects the access.
     fn obl_prefetch(&mut self, line: PAddr, start: Cycle) {
         let _span = prof::span("mc.prefetch");
         if line.raw() + self.cfg.line_bytes > self.shadow_base {
-            return; // next line is not backed by DRAM
+            return; // next line is not backed by visible memory
         }
         if self.pf.contains(line) {
             return;
         }
-        let done = self.dram.access(
+        let Ok(done) = tier_route(
+            &mut self.tier,
+            &mut self.dram,
             MAddr::new(line.raw()),
             AccessKind::Load,
             self.cfg.line_bytes,
             start,
-        );
+            false,
+        ) else {
+            return; // speculative: silently abandoned
+        };
         let done = done + scrub_flips(&mut self.dram, &self.ecc, &mut self.ecc_stats);
         self.pf.insert(line, done);
     }
@@ -859,6 +964,7 @@ impl MemController {
             cfg,
             ecc,
             ecc_stats,
+            tier,
             ..
         } = self;
         let Some(desc) = descs.get_mut(idx).and_then(Option::as_mut) else {
@@ -883,7 +989,7 @@ impl MemController {
                 if !desc.vector_block_cached(block) {
                     let (m, ready) = pgtbl.translate(block, dram, t)?;
                     bd.pgtbl += ready - t;
-                    t = dram.access(m, AccessKind::Load, vb, ready);
+                    t = tier_route(tier, dram, m, AccessKind::Load, vb, ready, true)?;
                     bd.dram += t - ready;
                 }
                 block = block.add(vb);
@@ -928,15 +1034,20 @@ impl MemController {
             merge_scratch.push((addr, bytes));
         }
 
-        // 4. DRAM scheduler: issue the batch.
-        let outcome = sched.run_batch_sized(dram, merge_scratch, kind, t);
+        // 4. Issue the batch: through the DRAM scheduler on a
+        // single-tier machine, through the tier engine otherwise (which
+        // issues in order, like the paper's published scheduler).
+        let done = match tier.as_deref_mut() {
+            Some(te) => te.run_batch(dram, merge_scratch, kind, t)?,
+            None => sched.run_batch_sized(dram, merge_scratch, kind, t).done,
+        };
         desc.note_gather(merge_scratch.len() as u64);
-        bd.dram += outcome.done.saturating_sub(t);
+        bd.dram += done.saturating_sub(t);
         // One ECC drain covers every DRAM access this gather made (vector
         // reads, page-table walks, and the batch itself).
         let penalty = scrub_flips(dram, ecc, ecc_stats);
         bd.frontend += penalty;
-        Ok((outcome.done + penalty, bd))
+        Ok((done + penalty, bd))
     }
 
     /// Serializes the controller's mutable state: the DRAM array, the
@@ -975,6 +1086,10 @@ impl MemController {
         w.u64(self.ecc_stats.silent);
         w.u64(self.ecc_stats.corrupt_sig);
         w.u64(self.ecc_stats.recovery_cycles);
+        w.bool(self.tier.is_some());
+        if let Some(t) = &self.tier {
+            t.snap_save(w);
+        }
     }
 
     /// Restores the state saved by [`MemController::snap_save`] into a
@@ -1020,6 +1135,12 @@ impl MemController {
         self.ecc_stats.silent = r.u64()?;
         self.ecc_stats.corrupt_sig = r.u64()?;
         self.ecc_stats.recovery_cycles = r.u64()?;
+        let had_tier = r.bool()?;
+        match (&mut self.tier, had_tier) {
+            (Some(t), true) => t.snap_load(r)?,
+            (None, false) => {}
+            _ => return Err(SnapError::Geometry("tier engine presence")),
+        }
         // Observability state (flight ring, hotness sketch) is
         // deliberately not part of the image: captures describe one
         // process's execution, not the checkpointed machine. Clear both
@@ -1067,6 +1188,9 @@ impl Observe for MemController {
             m.counter("mc.hot.observed", h.observed());
             m.counter("mc.hot.decays", h.decays());
             m.counter("mc.hot.candidates", h.candidates_len() as u64);
+        }
+        if let Some(t) = &self.tier {
+            t.observe_into(m);
         }
         let mut tmp = MetricsRegistry::new();
         tmp.observe(&self.pgtbl);

@@ -55,8 +55,10 @@ pub mod flight;
 pub mod pgtbl;
 pub mod prefetch;
 pub mod remap;
+pub mod tier;
 
 pub use controller::{DescId, McBreakdown, McConfig, McError, McStats, MemController};
+pub use tier::{TierConfig, TierEngine, TierStats};
 pub use desc::{DescError, DescStats, ShadowDescriptor};
 pub use flight::{Capture, FlightEvent, FlightGeom, FlightRecorder, HitClass, TraceError};
 pub use pgtbl::{PgTbl, PgTblConfig, PgTblStats};

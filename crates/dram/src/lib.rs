@@ -30,8 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod sched;
+pub mod scm;
 
 pub use sched::{BatchOutcome, SchedulePolicy, Scheduler};
+pub use scm::{Scm, ScmConfig, ScmError, ScmStats};
 
 use impulse_fault::{BitFlip, FlipInjector, FlipStats};
 use impulse_obs::{prof, Histogram, MetricsRegistry, Observe};

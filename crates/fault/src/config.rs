@@ -3,7 +3,7 @@
 use impulse_types::Cycle;
 
 use crate::ecc::EccConfig;
-use crate::inject::{CapsInjector, FlipInjector, PgTblInjector, TimeoutInjector};
+use crate::inject::{CapsInjector, FlipInjector, PgTblInjector, TierInjector, TimeoutInjector};
 use crate::plan::{FaultPlan, Trigger};
 
 // Per-site seed salts: each injection site derives an independent
@@ -13,6 +13,9 @@ const SALT_DRAM: u64 = 0xD12A_0001;
 const SALT_BUS: u64 = 0xB005_0002;
 const SALT_PGTBL: u64 = 0x967B_0003;
 const SALT_CAPS: u64 = 0xCA95_0004;
+const SALT_SCM: u64 = 0x5C4D_0005;
+const SALT_TAG: u64 = 0x7A60_0006;
+const SALT_TIER: u64 = 0x71E4_0007;
 
 /// Everything needed to generate a deterministic fault schedule for one
 /// simulated machine. The default is fault-free ([`FaultConfig::none`]),
@@ -41,6 +44,16 @@ pub struct FaultConfig {
     /// When kernel capability-table corruption fires (per capability
     /// validation; the plan's clock is the validation ordinal).
     pub caps_corrupt: Trigger,
+    /// When SCM bit flips fire (per SCM media access). SCM's raw
+    /// bit-error rate is typically set well above DRAM's.
+    pub scm_flip: Trigger,
+    /// Fraction (‰) of fired SCM flips that are double-bit.
+    pub scm_double_permille: u32,
+    /// When tier tag-array corruption fires (per cache-mode tag lookup).
+    pub tag_corrupt: Trigger,
+    /// When the tier-fail trigger kills a DRAM channel (per tier
+    /// access). Each firing retires one more channel.
+    pub tier_fail: Trigger,
 }
 
 impl FaultConfig {
@@ -56,6 +69,10 @@ impl FaultConfig {
             bus_backoff: 16,
             pgtbl_corrupt: Trigger::Never,
             caps_corrupt: Trigger::Never,
+            scm_flip: Trigger::Never,
+            scm_double_permille: 0,
+            tag_corrupt: Trigger::Never,
+            tier_fail: Trigger::Never,
         }
     }
 
@@ -65,6 +82,9 @@ impl FaultConfig {
             && self.bus_timeout.is_never()
             && self.pgtbl_corrupt.is_never()
             && self.caps_corrupt.is_never()
+            && self.scm_flip.is_never()
+            && self.tag_corrupt.is_never()
+            && self.tier_fail.is_never()
     }
 
     /// The DRAM bit-flip injector, or `None` when the class is off.
@@ -101,6 +121,28 @@ impl FaultConfig {
         (!self.caps_corrupt.is_never())
             .then(|| CapsInjector::new(FaultPlan::new(self.caps_corrupt, self.seed ^ SALT_CAPS)))
     }
+
+    /// The SCM bit-flip injector, or `None` when the class is off.
+    /// Independent of the DRAM flip stream even at the same trigger.
+    pub fn scm_flip_injector(&self) -> Option<FlipInjector> {
+        (!self.scm_flip.is_never()).then(|| {
+            FlipInjector::new(
+                FaultPlan::new(self.scm_flip, self.seed ^ SALT_SCM),
+                self.scm_double_permille,
+            )
+        })
+    }
+
+    /// The tier injector (tag corruption + channel failure), or `None`
+    /// when both classes are off.
+    pub fn tier_injector(&self) -> Option<TierInjector> {
+        (!self.tag_corrupt.is_never() || !self.tier_fail.is_never()).then(|| {
+            TierInjector::new(
+                FaultPlan::new(self.tag_corrupt, self.seed ^ SALT_TAG),
+                FaultPlan::new(self.tier_fail, self.seed ^ SALT_TIER),
+            )
+        })
+    }
 }
 
 impl Default for FaultConfig {
@@ -121,6 +163,49 @@ mod tests {
         assert!(c.timeout_injector().is_none());
         assert!(c.pgtbl_injector().is_none());
         assert!(c.caps_injector().is_none());
+        assert!(c.scm_flip_injector().is_none());
+        assert!(c.tier_injector().is_none());
+    }
+
+    #[test]
+    fn tier_classes_build_their_injectors() {
+        let c = FaultConfig {
+            scm_flip: Trigger::Permille(50),
+            tier_fail: Trigger::EveryN {
+                every: 1000,
+                phase: 0,
+            },
+            ..FaultConfig::none()
+        };
+        assert!(!c.is_none());
+        assert!(c.scm_flip_injector().is_some());
+        assert!(c.tier_injector().is_some());
+        assert!(c.flip_injector().is_none());
+
+        let tag_only = FaultConfig {
+            tag_corrupt: Trigger::Permille(10),
+            ..FaultConfig::none()
+        };
+        assert!(tag_only.tier_injector().is_some());
+    }
+
+    #[test]
+    fn scm_and_dram_flip_streams_differ() {
+        let c = FaultConfig {
+            seed: 7,
+            dram_flip: Trigger::Permille(500),
+            scm_flip: Trigger::Permille(500),
+            ..FaultConfig::none()
+        };
+        let mut d = c.flip_injector().unwrap();
+        let mut s = c.scm_flip_injector().unwrap();
+        for t in 0..256 {
+            d.on_access(t * 64, t);
+            s.on_access(t * 64, t);
+        }
+        let da: Vec<u64> = d.take().iter().map(|&(a, _)| a).collect();
+        let sa: Vec<u64> = s.take().iter().map(|&(a, _)| a).collect();
+        assert_ne!(da, sa, "same trigger, independent streams");
     }
 
     #[test]

@@ -9,11 +9,12 @@ use impulse_types::Cycle;
 use crate::ecc::BitFlip;
 use crate::plan::FaultPlan;
 
-/// Snapshot section tags for the four injector types.
+/// Snapshot section tags for the five injector types.
 const TAG_FLIP: u32 = 0x464C_4950; // "FLIP"
 const TAG_BUS: u32 = 0x4255_5346; // "BUSF"
 const TAG_PGT: u32 = 0x5047_5446; // "PGTF"
 const TAG_CAP: u32 = 0x4341_5046; // "CAPF"
+const TAG_TIER: u32 = 0x5449_4552; // "TIER"
 
 /// Counters for the DRAM bit-flip site.
 #[derive(Clone, Copy, Debug, Default)]
@@ -370,6 +371,140 @@ impl CapsInjector {
     }
 }
 
+/// Counters for the hybrid-tier fault sites (tag array + tier failure).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierFaultStats {
+    /// Tag-array entries found corrupted at lookup time.
+    pub tag_corruptions: u64,
+    /// Cache lines invalidated to recover from tag corruption.
+    pub tag_invalidations: u64,
+    /// DRAM channels killed by the tier-fail trigger.
+    pub channel_kills: u64,
+    /// Demand reads served by SCM bypass because their DRAM channel is
+    /// dead (cache mode) — degraded but correct.
+    pub bypass_reads: u64,
+    /// Demand writes routed straight to SCM for the same reason.
+    pub bypass_writes: u64,
+    /// Dirty cache lines whose contents were lost to a channel kill or a
+    /// tag invalidation before writeback (counted, never silent).
+    pub lost_dirty_lines: u64,
+    /// Total extra cycles spent detecting and recovering tier faults.
+    pub recovery_cycles: u64,
+}
+
+impl TierFaultStats {
+    /// Sum of fault events (not cycles) — the "did anything fire" probe
+    /// the chaos harness uses for its zero-on-clean assertion.
+    pub fn events(&self) -> u64 {
+        self.tag_corruptions + self.channel_kills + self.bypass_reads + self.bypass_writes
+    }
+}
+
+/// Injects faults into the hybrid-memory tier engine: tag-array
+/// corruption (cache mode detects at lookup via parity, invalidates the
+/// set, and re-fetches from SCM — the authoritative copy) and whole
+/// DRAM-channel failure (`tier-fail`), after which the engine degrades
+/// to SCM bypass (cache mode) or surfaces typed `TierDegraded` errors
+/// (flat mode). Two independent plan streams keep the schedules
+/// decoupled; both clocks are machine cycles at the tier access point.
+#[derive(Clone, Debug)]
+pub struct TierInjector {
+    tag_plan: FaultPlan,
+    fail_plan: FaultPlan,
+    stats: TierFaultStats,
+}
+
+impl TierInjector {
+    /// Creates an injector from independent tag-corruption and
+    /// tier-failure streams.
+    pub fn new(tag_plan: FaultPlan, fail_plan: FaultPlan) -> Self {
+        Self {
+            tag_plan,
+            fail_plan,
+            stats: TierFaultStats::default(),
+        }
+    }
+
+    /// Consulted once per cache-mode tag lookup. True when the entry
+    /// read by this lookup should be treated as corrupted.
+    pub fn tag_corrupts(&mut self, now: Cycle) -> bool {
+        self.tag_plan.fires(now)
+    }
+
+    /// Consulted once per tier access. True when a DRAM channel should
+    /// die at this instant.
+    pub fn channel_fails(&mut self, now: Cycle) -> bool {
+        self.fail_plan.fires(now)
+    }
+
+    /// Deterministically picks which of `n` channels dies.
+    pub fn pick_channel(&mut self, n: u64) -> u64 {
+        self.fail_plan.rng().below(n)
+    }
+
+    /// Records one detected tag corruption and the invalidation that
+    /// recovered it (`lost_dirty` when the victim line was dirty).
+    pub fn note_tag_corruption(&mut self, cycles: Cycle, lost_dirty: bool) {
+        self.stats.tag_corruptions += 1;
+        self.stats.tag_invalidations += 1;
+        self.stats.recovery_cycles += cycles;
+        if lost_dirty {
+            self.stats.lost_dirty_lines += 1;
+        }
+    }
+
+    /// Records one channel kill and the dirty lines it took down.
+    pub fn note_channel_kill(&mut self, lost_dirty: u64) {
+        self.stats.channel_kills += 1;
+        self.stats.lost_dirty_lines += lost_dirty;
+    }
+
+    /// Records a demand access served by SCM bypass on a dead channel.
+    pub fn note_bypass(&mut self, write: bool) {
+        if write {
+            self.stats.bypass_writes += 1;
+        } else {
+            self.stats.bypass_reads += 1;
+        }
+    }
+
+    /// Tier fault counters so far.
+    pub fn stats(&self) -> TierFaultStats {
+        self.stats
+    }
+
+    /// Serializes the injector's dynamic state (both plan positions and
+    /// counters).
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(TAG_TIER);
+        self.tag_plan.snap_save(w);
+        self.fail_plan.snap_save(w);
+        w.u64(self.stats.tag_corruptions);
+        w.u64(self.stats.tag_invalidations);
+        w.u64(self.stats.channel_kills);
+        w.u64(self.stats.bypass_reads);
+        w.u64(self.stats.bypass_writes);
+        w.u64(self.stats.lost_dirty_lines);
+        w.u64(self.stats.recovery_cycles);
+    }
+
+    /// Restores the dynamic state saved by [`TierInjector::snap_save`]
+    /// into an injector freshly built from the same configuration.
+    pub fn snap_load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(TAG_TIER)?;
+        self.tag_plan.snap_load(r)?;
+        self.fail_plan.snap_load(r)?;
+        self.stats.tag_corruptions = r.u64()?;
+        self.stats.tag_invalidations = r.u64()?;
+        self.stats.channel_kills = r.u64()?;
+        self.stats.bypass_reads = r.u64()?;
+        self.stats.bypass_writes = r.u64()?;
+        self.stats.lost_dirty_lines = r.u64()?;
+        self.stats.recovery_cycles = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +618,48 @@ mod tests {
         // The plan position must resume: both see the same future stream.
         for t in 9..20 {
             assert_eq!(restored.corrupts(t), inj.corrupts(t));
+        }
+    }
+
+    #[test]
+    fn tier_injector_streams_are_independent_and_snapshot() {
+        let mk = || {
+            TierInjector::new(
+                FaultPlan::new(Trigger::EveryN { every: 3, phase: 0 }, 21),
+                FaultPlan::new(Trigger::EveryN { every: 7, phase: 2 }, 99),
+            )
+        };
+        let mut inj = mk();
+        let mut kills = 0;
+        for t in 0..21 {
+            if inj.tag_corrupts(t) {
+                inj.note_tag_corruption(12, t % 2 == 0);
+            }
+            if inj.channel_fails(t) {
+                let ch = inj.pick_channel(16);
+                assert!(ch < 16);
+                inj.note_channel_kill(3);
+                kills += 1;
+            }
+        }
+        inj.note_bypass(false);
+        inj.note_bypass(true);
+        let s = inj.stats();
+        assert_eq!(s.tag_corruptions, 7);
+        assert_eq!(s.channel_kills, kills);
+        assert!(s.events() > 0);
+
+        let mut w = SnapWriter::new();
+        inj.snap_save(&mut w);
+        let bytes = w.finish();
+        let mut restored = mk();
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_load(&mut r).expect("load");
+        r.finish().expect("fully consumed");
+        assert_eq!(restored.stats(), inj.stats());
+        for t in 21..60 {
+            assert_eq!(restored.tag_corrupts(t), inj.tag_corrupts(t));
+            assert_eq!(restored.channel_fails(t), inj.channel_fails(t));
         }
     }
 

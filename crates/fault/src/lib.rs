@@ -27,6 +27,10 @@
 //! - [`CapsInjector`]: kernel capability-table corruption, detected by
 //!   per-entry checksums and recovered from a mirrored table — or
 //!   surfaced as a typed error when unrecoverable.
+//! - [`TierInjector`]: hybrid-tier faults — tag-array corruption
+//!   (detect-and-invalidate) and whole DRAM-channel failure, degraded
+//!   to SCM bypass or typed `TierDegraded` errors. SCM's own raw
+//!   bit-error rate reuses [`FlipInjector`] on an independent stream.
 //! - [`FaultConfig`]: the user-facing bundle a full-system config
 //!   carries; each injection site derives its own independent stream
 //!   from the master seed so sites never perturb each other's draws.
@@ -48,7 +52,7 @@ pub use config::FaultConfig;
 pub use ecc::{word_sig, BitFlip, EccConfig, EccMode, EccOutcome, EccStats};
 pub use inject::{
     BusFaultStats, CapsFaultStats, CapsInjector, FlipInjector, FlipStats, PgTblFaultStats,
-    PgTblInjector, TimeoutInjector,
+    PgTblInjector, TierFaultStats, TierInjector, TimeoutInjector,
 };
 pub use plan::{FaultPlan, Trigger};
 pub use rng::XorShift64;

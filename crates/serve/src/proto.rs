@@ -10,6 +10,7 @@
 use std::fmt;
 
 use impulse_obs::Json;
+use impulse_types::TierPolicy;
 
 use crate::wire::{Frame, Kind};
 
@@ -84,6 +85,10 @@ pub struct RunRequest {
     /// be produced in time the server answers with a typed
     /// `DeadlineExceeded` error instead of letting the client wait.
     pub deadline_ms: u64,
+    /// Hybrid-memory tier policy the experiment runs under; part of the
+    /// experiment identity. Absent on the wire means
+    /// [`TierPolicy::None`] (pre-tier clients keep working).
+    pub tier: TierPolicy,
 }
 
 impl RunRequest {
@@ -95,6 +100,7 @@ impl RunRequest {
         j.set("tenant", Json::Str(self.tenant.clone()));
         j.set("class", Json::Str(self.class.name().into()));
         j.set("deadline_ms", Json::UInt(self.deadline_ms));
+        j.set("tier", Json::Str(self.tier.name().into()));
         Frame::new(Kind::Run, format!("{j}").into_bytes())
     }
 
@@ -112,6 +118,13 @@ impl RunRequest {
             class: Class::parse(&str_field(&j, "run request", "class")?)
                 .ok_or_else(|| ProtoError::new("run request", "unknown class"))?,
             deadline_ms: u64_field(&j, "run request", "deadline_ms")?,
+            tier: match j.get("tier") {
+                None => TierPolicy::None,
+                Some(t) => t
+                    .as_str()
+                    .and_then(TierPolicy::parse)
+                    .ok_or_else(|| ProtoError::new("run request", "unknown tier policy"))?,
+            },
         })
     }
 }
@@ -422,7 +435,18 @@ mod tests {
             tenant: "ci".into(),
             class: Class::Bulk,
             deadline_ms: 5000,
+            tier: TierPolicy::Cache,
         }
+    }
+
+    #[test]
+    fn missing_tier_defaults_to_none_and_bad_tier_is_typed() {
+        let ok = br#"{"experiment":"x","seed":1,"tenant":"t","class":"bulk","deadline_ms":0}"#;
+        let req = RunRequest::from_payload(ok).expect("pre-tier payload decodes");
+        assert_eq!(req.tier, TierPolicy::None);
+        let bad =
+            br#"{"experiment":"x","seed":1,"tenant":"t","class":"bulk","deadline_ms":0,"tier":"warp"}"#;
+        assert!(RunRequest::from_payload(bad).is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use impulse_obs::Json;
-use impulse_types::ExperimentKey;
+use impulse_types::{ExperimentKey, TierPolicy};
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::domains::TenantDomains;
@@ -52,15 +52,17 @@ pub trait Backend: Send + Sync + 'static {
     /// Every experiment name this backend can run.
     fn names(&self) -> Vec<String>;
     /// Stable configuration digest for an experiment, or `None` if the
-    /// name is unknown.
-    fn config_digest(&self, experiment: &str, seed: u64) -> Option<u64>;
+    /// name is unknown. The tier policy is part of the digest: the same
+    /// experiment under a different memory organisation is a different
+    /// cache entry.
+    fn config_digest(&self, experiment: &str, seed: u64, tier: TierPolicy) -> Option<u64>;
     /// Runs the experiment to completion.
     ///
     /// # Errors
     ///
     /// A human-readable reason; the server wraps it in a typed
     /// `worker-failed` error after the retry budget is spent.
-    fn run(&self, experiment: &str, seed: u64) -> Result<StoredResult, String>;
+    fn run(&self, experiment: &str, seed: u64, tier: TierPolicy) -> Result<StoredResult, String>;
 }
 
 /// Daemon tunables.
@@ -156,6 +158,7 @@ struct Job {
     key: ExperimentKey,
     experiment: String,
     seed: u64,
+    tier: TierPolicy,
     enqueued_ms: u64,
     pending: Arc<Pending>,
 }
@@ -372,12 +375,13 @@ fn run_job(inner: &Arc<Inner>, job: &Job) -> Result<StoredResult, ServerError> {
         let backend = Arc::clone(&inner.backend);
         let name = job.experiment.clone();
         let seed = job.seed;
+        let tier = job.tier;
         // The attempt runs detached so a hang cannot wedge the worker:
         // the watchdog abandons it and spawns a replacement attempt.
         let spawned = thread::Builder::new()
             .name(format!("impulse-attempt-{name}"))
             .spawn(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| backend.run(&name, seed)));
+                let result = catch_unwind(AssertUnwindSafe(|| backend.run(&name, seed, tier)));
                 let _ = tx.send(result);
             });
         if spawned.is_err() {
@@ -461,7 +465,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: UnixStream) {
 
 fn handle_run(inner: &Arc<Inner>, req: &RunRequest) -> Response {
     inner.counters.lock().expect("counters lock").requests += 1;
-    let Some(config) = inner.backend.config_digest(&req.experiment, req.seed) else {
+    let Some(config) = inner.backend.config_digest(&req.experiment, req.seed, req.tier) else {
         return Response::Error(ServerError::new(
             ServerErrorKind::UnknownExperiment,
             format!("no catalog entry named `{}`", req.experiment),
@@ -517,6 +521,7 @@ fn handle_run(inner: &Arc<Inner>, req: &RunRequest) -> Response {
                 key,
                 experiment: req.experiment.clone(),
                 seed: req.seed,
+                tier: req.tier,
                 enqueued_ms: inner.now_ms(),
                 pending: Arc::clone(&pending),
             };

@@ -1,11 +1,11 @@
 //! Full-system configuration, with the Paint preset from the paper.
 
 use impulse_cache::{CacheConfig, StreamConfig, TlbConfig};
-use impulse_core::McConfig;
+use impulse_core::{McConfig, TierConfig};
 use impulse_dram::DramConfig;
 use impulse_fault::FaultConfig;
 use impulse_os::KernelConfig;
-use impulse_types::Cycle;
+use impulse_types::{Cycle, TierPolicy};
 
 use crate::bus::BusConfig;
 
@@ -44,6 +44,9 @@ pub struct SystemConfig {
     pub stream: Option<StreamConfig>,
     /// Fault-injection schedule (default: fault-free, zero overhead).
     pub faults: FaultConfig,
+    /// Hybrid DRAM/SCM tier configuration (default: no tier — plain
+    /// DRAM, zero overhead). Use [`SystemConfig::with_tier`] to enable.
+    pub tier: TierConfig,
 }
 
 impl SystemConfig {
@@ -97,6 +100,7 @@ impl SystemConfig {
             mshr: 1,
             stream: None,
             faults: FaultConfig::none(),
+            tier: TierConfig::default(),
         }
     }
 
@@ -138,6 +142,38 @@ impl SystemConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns this configuration with a hybrid DRAM/SCM tier attached.
+    ///
+    /// * [`TierPolicy::Flat`] — the SCM sits above DRAM in one
+    ///   address-partitioned space, sized to match the installed DRAM, so
+    ///   the visible capacity doubles.
+    /// * [`TierPolicy::Cache`] — the SCM takes over the full installed
+    ///   capacity and the DRAM shrinks to 1/16 of it, acting as a
+    ///   tag-checked dirty-writeback cache in front; the visible capacity
+    ///   is the SCM's.
+    /// * [`TierPolicy::None`] — removes any tier.
+    ///
+    /// The kernel's notion of installed memory is kept consistent with
+    /// the tier-visible capacity in every case.
+    #[must_use]
+    pub fn with_tier(mut self, policy: TierPolicy) -> Self {
+        self.tier = TierConfig::default();
+        self.tier.policy = policy;
+        match policy {
+            TierPolicy::None => {}
+            TierPolicy::Flat => {
+                self.tier.scm.capacity = self.dram.capacity;
+            }
+            TierPolicy::Cache => {
+                self.tier.scm.capacity = self.dram.capacity;
+                self.dram.capacity = (self.dram.capacity / 16)
+                    .max(self.dram.banks * self.dram.row_bytes);
+            }
+        }
+        self.kernel.dram_capacity = self.tier.visible_capacity(self.dram.capacity);
         self
     }
 

@@ -66,8 +66,9 @@ impl Machine {
     /// disagree.
     pub fn new(cfg: &SystemConfig) -> Self {
         assert_eq!(
-            cfg.kernel.dram_capacity, cfg.dram.capacity,
-            "kernel and DRAM must agree on installed capacity"
+            cfg.kernel.dram_capacity,
+            cfg.tier.visible_capacity(cfg.dram.capacity),
+            "kernel and memory tiers must agree on installed capacity"
         );
         let mut kernel = Kernel::new(cfg.kernel);
         kernel.attach_caps_injector(cfg.faults.caps_injector());

@@ -1284,9 +1284,11 @@ impl From<TraceError> for ReplayError {
 /// Whether a configuration's runs can be replayed from a capture at
 /// all. Fault schedules are the documented fallback-to-execute case:
 /// their RNG draws are tied to execution sites the evaluator does not
-/// visit in the same order.
+/// visit in the same order. Hybrid-tier machines are the other: tier
+/// state (tags, fill buffer, wear) evolves with the full access stream,
+/// which the batched evaluator does not walk in execution order.
 pub fn replayable(cfg: &SystemConfig) -> bool {
-    cfg.faults.is_none()
+    cfg.faults.is_none() && cfg.tier.policy == impulse_types::TierPolicy::None
 }
 
 /// Replay evaluation statistics (host-side, for telemetry).

@@ -8,11 +8,11 @@
 //! DRAM (creating real contention) but do not stall the CPU.
 
 use impulse_cache::{Cache, FlushOutcome, Outcome, StreamBuffers, StreamOutcome, Tlb};
-use impulse_core::MemController;
+use impulse_core::{McError, MemController, TierEngine};
 use impulse_dram::Dram;
 use impulse_obs::{Attribution, Histogram, MetricsRegistry, Observe, Stage};
 use impulse_types::snap::{SnapError, SnapReader, SnapWriter};
-use impulse_types::{AccessKind, Cycle, PAddr, VAddr};
+use impulse_types::{AccessKind, Cycle, PAddr, TierPolicy, VAddr};
 
 use crate::bus::Bus;
 use crate::config::SystemConfig;
@@ -53,6 +53,11 @@ pub struct MemStats {
     /// Demand loads whose remapped (shadow) access was rejected by the
     /// controller and fell back to a NACK-degraded non-remapped access.
     pub remap_faults: u64,
+    /// Demand loads rejected by a degraded hybrid tier (dead DRAM
+    /// channel in flat mode, worn-out SCM line) and NACK-degraded. The
+    /// rejection is typed at the controller and counted here — never
+    /// silent.
+    pub tier_faults: u64,
 }
 
 impl MemStats {
@@ -141,6 +146,15 @@ impl MemorySystem {
     pub fn new(cfg: &SystemConfig) -> Self {
         let dram = Dram::new(cfg.dram.clone());
         let mut mc = MemController::new(dram, cfg.mc.clone());
+        if cfg.tier.policy != TierPolicy::None {
+            // Attach before set_faults so the tier's fault planes (SCM
+            // bit errors, tag corruption, tier-fail) get wired too.
+            mc.attach_tier(TierEngine::new(
+                cfg.tier.clone(),
+                &cfg.dram,
+                cfg.mc.line_bytes,
+            ));
+        }
         let mut bus = Bus::new(cfg.bus);
         if !cfg.faults.is_none() {
             // Distribute per-site injectors: DRAM flips + ECC and pgtbl
@@ -463,12 +477,18 @@ impl MemorySystem {
                 let request = t + self.t_l2_hit + self.bus.request_latency();
                 let (data_ready, bd) = match self.mc.try_read_line_attributed(p, request) {
                     Ok(r) => r,
-                    Err(_) => {
-                        // A misconfigured or torn-down remapping degrades
-                        // to a NACKed access instead of aborting the
-                        // machine; the controller counts the rejection and
-                        // the infallible path charges the bounce.
-                        self.stats.remap_faults += 1;
+                    Err(e) => {
+                        // A misconfigured or torn-down remapping — or a
+                        // degraded hybrid tier — degrades to a NACKed
+                        // access instead of aborting the machine; the
+                        // controller counts the rejection and the
+                        // infallible path charges the bounce.
+                        match e {
+                            McError::TierDegraded { .. } | McError::LineRetired { .. } => {
+                                self.stats.tier_faults += 1;
+                            }
+                            _ => self.stats.remap_faults += 1,
+                        }
                         self.mc.read_line_attributed(p, request)
                     }
                 };
@@ -650,6 +670,7 @@ impl MemorySystem {
             s.mem_writebacks,
             s.tlb_penalties,
             s.remap_faults,
+            s.tier_faults,
         ] {
             w.u64(v);
         }
@@ -705,6 +726,7 @@ impl MemorySystem {
             &mut s.mem_writebacks,
             &mut s.tlb_penalties,
             &mut s.remap_faults,
+            &mut s.tier_faults,
         ] {
             *v = r.u64()?;
         }
@@ -745,6 +767,7 @@ impl Observe for MemorySystem {
         m.counter("mem.mem_writebacks", s.mem_writebacks);
         m.counter("mem.tlb_penalties", s.tlb_penalties);
         m.counter("mem.remap_faults", s.remap_faults);
+        m.counter("mem.tier_faults", s.tier_faults);
         m.gauge("mem.avg_load_time", s.avg_load_time());
         m.histogram("mem.lat_l1_hit", &self.lat_l1_hit);
         m.histogram("mem.lat_l2_hit", &self.lat_l2_hit);

@@ -313,6 +313,102 @@ fn caps_fault_schedule_resumes_bit_exactly() {
 }
 
 #[test]
+fn tier_cache_policy_resumes_bit_exactly() {
+    // The DRAM-as-cache tier carries a tag array, fill buffer, and SCM
+    // channel clocks across the snapshot; SCM bit errors and tag
+    // corruption keep their RNG streams live mid-schedule.
+    let faults = FaultConfig {
+        seed: 0x71E4,
+        scm_flip: Trigger::Permille(250),
+        scm_double_permille: 100,
+        tag_corrupt: Trigger::EveryN { every: 9, phase: 4 },
+        ..FaultConfig::none()
+    };
+    check_equivalence(
+        &SystemConfig::paint_small()
+            .with_tier(impulse_types::TierPolicy::Cache)
+            .with_faults(faults),
+        "cache tier + scm faults",
+        plain_setup,
+        2500,
+        2000,
+    );
+}
+
+#[test]
+fn tier_wear_out_resumes_bit_exactly() {
+    // Restore mid-wear-out: per-line wear counters, retired lines, and
+    // spare accounting are physical state and must survive the image, so
+    // lines keep wearing out at exactly the same writes after resume.
+    // A 64 KB DRAM cache thrashed by a 256 KB working set produces a
+    // steady stream of dirty writebacks into single-write-limit SCM
+    // lines: the 8 spares retire early in the run, then lines go dead,
+    // so the restored machine resumes with dead lines, lost writebacks,
+    // and NACK-degraded demand fetches all in flight.
+    let mut cfg = SystemConfig::paint_small().with_tier(impulse_types::TierPolicy::Cache);
+    cfg.dram.capacity = 64 * 1024;
+    cfg.tier.scm.wear_limit = 1;
+    cfg.tier.scm.spare_lines = 8;
+    check_equivalence(&cfg, "cache tier wear-out", plain_setup, 3000, 2500);
+
+    // The schedule above must actually retire and kill lines, otherwise
+    // this test exercises nothing: drive one machine solo and check.
+    let mut m = Machine::new(&cfg);
+    let data = plain_setup(&mut m);
+    drive(&mut m, data, 5500, 7);
+    let reg = m.metrics();
+    let retired = reg.counter_value("mc.scm.wear_retirements");
+    let dead = reg.counter_value("mc.scm.dead_rejects");
+    let faults = reg.counter_value("mem.tier_faults");
+    assert!(
+        retired.is_some_and(|v| v > 0),
+        "wear schedule never retired a line (got {retired:?})"
+    );
+    assert!(
+        dead.is_some_and(|v| v > 0) && faults.is_some_and(|v| v > 0),
+        "no line ever went dead (dead_rejects {dead:?}, tier_faults {faults:?})"
+    );
+}
+
+#[test]
+fn tier_channel_kill_resumes_bit_exactly() {
+    // Restore mid-channel-failure: the dead-bank mask, bypass counters,
+    // and the kill plan's RNG stream resume so later kills pick the same
+    // victims. Flat mode turns dead-channel accesses into typed,
+    // NACK-degraded rejections, which must also count identically.
+    let faults = FaultConfig {
+        seed: 0xDEAD_C4,
+        tier_fail: Trigger::EveryN {
+            every: 900,
+            phase: 300,
+        },
+        ..FaultConfig::none()
+    };
+    for policy in [impulse_types::TierPolicy::Flat, impulse_types::TierPolicy::Cache] {
+        let cfg = SystemConfig::paint_small()
+            .with_tier(policy)
+            .with_faults(faults.clone());
+        check_equivalence(
+            &cfg,
+            &format!("{} tier + channel kill", policy.name()),
+            plain_setup,
+            2500,
+            2000,
+        );
+
+        let mut m = Machine::new(&cfg);
+        let data = plain_setup(&mut m);
+        drive(&mut m, data, 4500, 7);
+        let kills = m.metrics().counter_value("mc.tier.fault.channel_kills");
+        assert!(
+            kills.is_some_and(|v| v > 0),
+            "{}: kill schedule never fired (got {kills:?})",
+            policy.name()
+        );
+    }
+}
+
+#[test]
 fn restore_rejects_corruption_and_mismatch() {
     let cfg = SystemConfig::paint_small();
     let mut m = Machine::new(&cfg);
@@ -366,3 +462,6 @@ fn snapshot_is_deterministic() {
         "two snapshots of the same machine must be byte-identical"
     );
 }
+
+
+

@@ -40,6 +40,7 @@ pub mod hash;
 pub mod ident;
 pub mod range;
 pub mod snap;
+pub mod tier;
 pub mod varint;
 
 pub use access::{Access, AccessKind};
@@ -47,6 +48,7 @@ pub use addr::{MAddr, PAddr, PvAddr, VAddr};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ident::ExperimentKey;
 pub use range::{PRange, VRange};
+pub use tier::TierPolicy;
 
 /// Simulation time, measured in CPU cycles.
 ///

@@ -1,0 +1,58 @@
+//! Memory-tier policy vocabulary shared by the controller, the system
+//! configuration, the serve protocol, and the bench argument parser.
+
+/// How a second (SCM) memory class behind the controller is organized.
+///
+/// `None` is the classic single-tier machine. `Flat` partitions the bus
+/// address space: DRAM serves `[0, dram_capacity)` and SCM serves the
+/// addresses above it. `Cache` runs the DRAM as a tag-checked,
+/// dirty-writeback cache in front of an SCM backing store (the HMS
+/// organization), so the visible capacity is the SCM's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TierPolicy {
+    /// Single-tier DRAM machine (the default; no SCM is attached).
+    #[default]
+    None,
+    /// Address-partitioned tiers: DRAM low, SCM high.
+    Flat,
+    /// DRAM as a direct-mapped writeback cache over SCM.
+    Cache,
+}
+
+impl TierPolicy {
+    /// Every policy, in stable grid order.
+    pub const ALL: [TierPolicy; 3] = [TierPolicy::None, TierPolicy::Flat, TierPolicy::Cache];
+
+    /// Stable wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierPolicy::None => "none",
+            TierPolicy::Flat => "flat",
+            TierPolicy::Cache => "cache",
+        }
+    }
+
+    /// Parses a wire/CLI name ([`TierPolicy::name`] round-trips).
+    pub fn parse(s: &str) -> Option<TierPolicy> {
+        match s {
+            "none" => Some(TierPolicy::None),
+            "flat" => Some(TierPolicy::Flat),
+            "cache" => Some(TierPolicy::Cache),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in TierPolicy::ALL {
+            assert_eq!(TierPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(TierPolicy::parse("warp"), None);
+        assert_eq!(TierPolicy::default(), TierPolicy::None);
+    }
+}
